@@ -1,0 +1,30 @@
+//! Criterion: full experiment regeneration — one sample per paper
+//! artefact so `cargo bench` demonstrably reproduces every table and
+//! figure (wall-clock cost of a full simulated run is the quantity
+//! being measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use teem_bench::experiments::{fig1, fig3_fig4, fig5, memory, tables};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(10);
+
+    g.bench_function("fig1_case_study", |b| b.iter(fig1::run));
+    g.bench_function("table1_pipeline", |b| b.iter(tables::table1));
+    g.bench_function("table2_pipeline", |b| b.iter(tables::table2));
+    g.bench_function("fig3_scatter_matrix", |b| b.iter(fig3_fig4::fig3));
+    g.bench_function("fig4_residuals", |b| b.iter(fig3_fig4::fig4));
+    g.bench_function("mem_accounting", |b| b.iter(memory::run));
+    g.finish();
+
+    // The 24-run Fig. 5 suite is the heavyweight; a single timed sample
+    // regenerates figures 5a/5b/5c.
+    let mut g = c.benchmark_group("fig5_suite");
+    g.sample_size(10);
+    g.bench_function("fig5_all_24_runs", |b| b.iter(fig5::run_all));
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: the offline regression machinery — Table I / Table II fit
+//! latency on the 17-observation set, and raw OLS throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use teem_core::offline::{fit_full_model, fit_transformed_model, regression_observations};
+use teem_linreg::Dataset;
+use teem_soc::Board;
+
+fn bench_fits(c: &mut Criterion) {
+    let board = Board::odroid_xu4_ideal();
+    let obs = regression_observations(&board);
+
+    c.bench_function("table1_full_model_fit", |b| {
+        b.iter(|| fit_full_model(black_box(&obs)).expect("fits"))
+    });
+
+    c.bench_function("table2_transformed_fit", |b| {
+        b.iter(|| fit_transformed_model(black_box(&obs)).expect("fits"))
+    });
+
+    c.bench_function("observation_collection_17pts", |b| {
+        b.iter(|| regression_observations(black_box(&board)))
+    });
+
+    // Raw OLS scaling: 100-observation synthetic fit.
+    c.bench_function("ols_fit_n100_p4", |b| {
+        b.iter_batched(
+            || {
+                let mut d = Dataset::new("y");
+                for j in 0..4 {
+                    d.push_predictor(
+                        format!("x{j}"),
+                        (0..100).map(|i| ((i * (j + 2)) % 17) as f64).collect(),
+                    );
+                }
+                d.set_response((0..100).map(|i| (i % 23) as f64).collect());
+                d
+            },
+            |d| d.fit().expect("fits"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_fits);
+criterion_main!(benches);

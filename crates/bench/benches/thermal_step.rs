@@ -1,0 +1,28 @@
+//! Criterion: thermal-network integration throughput — the engine's
+//! hottest loop — plus steady-state solves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teem_soc::Board;
+
+fn bench_thermal(c: &mut Criterion) {
+    let board = Board::odroid_xu4_ideal();
+    let powers = vec![6.0, 0.6, 2.6, 2.2];
+
+    c.bench_function("thermal_step_10ms", |b| {
+        let mut model = board.thermal.clone();
+        b.iter(|| model.step(black_box(0.01), black_box(&powers)))
+    });
+
+    c.bench_function("thermal_step_1s_substepped", |b| {
+        let mut model = board.thermal.clone();
+        b.iter(|| model.step(black_box(1.0), black_box(&powers)))
+    });
+
+    c.bench_function("thermal_steady_state_solve", |b| {
+        b.iter(|| board.thermal.steady_state(black_box(&powers)))
+    });
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

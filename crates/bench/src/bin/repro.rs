@@ -1,0 +1,69 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro all            # everything
+//! repro fig1           # motivational case study
+//! repro table1 table2  # regression tables
+//! repro fig3 fig4      # scatter matrix / residual plot
+//! repro fig5a fig5b fig5c
+//! repro mem            # section V-D memory accounting
+//! repro ablation       # threshold / delta / floor sweeps
+//! ```
+
+use teem_bench::experiments::{ablation, fig1, fig3_fig4, fig5, memory, tables};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [all|fig1|table1|table2|fig3|fig4|fig5a|fig5b|fig5c|fig5|mem|ablation]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut fig5_cache: Option<fig5::Fig5> = None;
+    let fig5_data = |cache: &mut Option<fig5::Fig5>| -> fig5::Fig5 {
+        if cache.is_none() {
+            *cache = Some(fig5::run_all());
+        }
+        cache.clone().expect("populated above")
+    };
+
+    for arg in &args {
+        match arg.as_str() {
+            "all" => {
+                println!("{}", fig1::report(&fig1::run()));
+                println!("{}", tables::report_table1(&tables::table1()));
+                println!("{}", tables::report_table2(&tables::table2()));
+                println!("{}", fig3_fig4::report_fig3(&fig3_fig4::fig3()));
+                println!("{}", fig3_fig4::report_fig4(&fig3_fig4::fig4()));
+                let f = fig5_data(&mut fig5_cache);
+                println!("{}", fig5::report_a(&f));
+                println!("{}", fig5::report_b(&f));
+                println!("{}", fig5::report_c(&f));
+                println!("{}", memory::report(&memory::run()));
+                println!("{}", ablation::default_report());
+            }
+            "fig1" => println!("{}", fig1::report(&fig1::run())),
+            "table1" => println!("{}", tables::report_table1(&tables::table1())),
+            "table2" => println!("{}", tables::report_table2(&tables::table2())),
+            "fig3" => println!("{}", fig3_fig4::report_fig3(&fig3_fig4::fig3())),
+            "fig4" => println!("{}", fig3_fig4::report_fig4(&fig3_fig4::fig4())),
+            "fig5" => {
+                let f = fig5_data(&mut fig5_cache);
+                println!("{}", fig5::report_a(&f));
+                println!("{}", fig5::report_b(&f));
+                println!("{}", fig5::report_c(&f));
+            }
+            "fig5a" => println!("{}", fig5::report_a(&fig5_data(&mut fig5_cache))),
+            "fig5b" => println!("{}", fig5::report_b(&fig5_data(&mut fig5_cache))),
+            "fig5c" => println!("{}", fig5::report_c(&fig5_data(&mut fig5_cache))),
+            "mem" | "memory" => println!("{}", memory::report(&memory::run())),
+            "ablation" => println!("{}", ablation::default_report()),
+            _ => usage(),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Ablations of TEEM's design choices, as the paper discusses in prose:
+//! the 85 °C threshold ("either high overheads ... or miss performance
+//! improvement opportunities"), the δ = 200 MHz step, and the 1400 MHz
+//! floor ("1400 MHz was used due to the observation made while
+//! evaluating the effects of various frequencies").
+
+use crate::experiments::fig1::case_study_spec;
+use teem_core::TeemGovernor;
+use teem_soc::{Board, MHz, Simulation};
+use teem_telemetry::RunSummary;
+
+/// One ablation point.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// The varied parameter's value.
+    pub value: f64,
+    /// The run's summary.
+    pub summary: RunSummary,
+    /// Reactive-zone trips (non-zero means the setting lost control).
+    pub zone_trips: u32,
+}
+
+fn run_with(governor: TeemGovernor) -> (RunSummary, u32) {
+    let mut g = governor;
+    let mut sim = Simulation::new(Board::odroid_xu4_ideal(), case_study_spec());
+    let r = sim.run(&mut g);
+    (r.summary, r.zone_trips)
+}
+
+/// Sweeps the thermal threshold (the paper explored several before
+/// settling on 85 °C).
+pub fn threshold_sweep(values_c: &[f64]) -> Vec<AblationPoint> {
+    values_c
+        .iter()
+        .map(|&v| {
+            let (summary, zone_trips) = run_with(TeemGovernor::with_threshold(v));
+            AblationPoint {
+                value: v,
+                summary,
+                zone_trips,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the frequency step δ.
+pub fn delta_sweep(values_mhz: &[u32]) -> Vec<AblationPoint> {
+    values_mhz
+        .iter()
+        .map(|&v| {
+            let mut g = TeemGovernor::paper();
+            g.delta_mhz = v;
+            let (summary, zone_trips) = run_with(g);
+            AblationPoint {
+                value: f64::from(v),
+                summary,
+                zone_trips,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the frequency floor.
+pub fn floor_sweep(values_mhz: &[u32]) -> Vec<AblationPoint> {
+    values_mhz
+        .iter()
+        .map(|&v| {
+            let mut g = TeemGovernor::paper();
+            g.floor = MHz(v);
+            let (summary, zone_trips) = run_with(g);
+            AblationPoint {
+                value: f64::from(v),
+                summary,
+                zone_trips,
+            }
+        })
+        .collect()
+}
+
+/// Prints a sweep as a table.
+pub fn report(name: &str, points: &[AblationPoint]) -> String {
+    let mut out = format!("== ablation: {name} (CV, 2L+3B) ==\n");
+    out.push_str(&format!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6}\n",
+        "value", "ET(s)", "E(J)", "avgT(C)", "peakT(C)", "varT(C2)", "trips"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>8.0} {:>8.1} {:>8.0} {:>8.1} {:>8.1} {:>9.2} {:>6}\n",
+            p.value,
+            p.summary.execution_time_s,
+            p.summary.energy_j,
+            p.summary.avg_temp_c,
+            p.summary.peak_temp_c,
+            p.summary.temp_variance,
+            p.zone_trips
+        ));
+    }
+    out
+}
+
+/// The default sweeps reported by `repro ablation`.
+pub fn default_report() -> String {
+    let mut out = String::new();
+    out.push_str(&report("threshold (C)", &threshold_sweep(&[80.0, 85.0, 90.0])));
+    out.push_str(&report("delta (MHz)", &delta_sweep(&[100, 200, 400])));
+    out.push_str(&report("floor (MHz)", &floor_sweep(&[1000, 1400, 1800])));
+    out.push_str(
+        "[paper: 85 C chosen — higher thresholds add frequency-change overhead, lower ones\n miss performance; 1400 MHz floor from the frequency/performance characterisation]\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_sweep_is_monotone_in_temperature() {
+        let pts = threshold_sweep(&[80.0, 85.0, 90.0]);
+        assert!(pts[0].summary.avg_temp_c < pts[2].summary.avg_temp_c);
+        // Hotter threshold -> faster (higher sustainable frequency).
+        assert!(
+            pts[2].summary.execution_time_s <= pts[0].summary.execution_time_s,
+            "{} vs {}",
+            pts[2].summary.execution_time_s,
+            pts[0].summary.execution_time_s
+        );
+    }
+
+    #[test]
+    fn floor_sweep_trades_control_for_speed() {
+        let pts = floor_sweep(&[1000, 1400, 1800]);
+        // A high floor loses thermal control (hotter average).
+        assert!(pts[2].summary.avg_temp_c >= pts[0].summary.avg_temp_c);
+        let text = report("floor (MHz)", &pts);
+        assert!(text.contains("1400"));
+    }
+
+    #[test]
+    fn delta_sweep_runs() {
+        let pts = delta_sweep(&[100, 400]);
+        assert_eq!(pts.len(), 2);
+        // Both settings keep the zone untripped on the case study.
+        assert!(pts.iter().all(|p| p.zone_trips == 0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Experiment `fig1`: the motivational case study — COVARIANCE on 2L+3B
+//! at partition 1024/2048 under (a) stock ondemand + reactive 95 °C trip
+//! and (b) TEEM at the 85 °C threshold.
+//!
+//! Paper reference values: ondemand ET 48 s / 530 J / avg 93.7 °C / peak
+//! 96 °C; TEEM ET 39.6 s / 413 J / avg 85.8 °C / peak 90 °C.
+
+use teem_core::TeemGovernor;
+use teem_governors::Ondemand;
+use teem_soc::{Board, ClusterFreqs, CpuMapping, MHz, RunResult, RunSpec, Simulation};
+use teem_telemetry::summary::{compare, Comparison};
+use teem_workload::{App, Partition};
+
+/// The Fig. 1 run specification.
+pub fn case_study_spec() -> RunSpec {
+    RunSpec {
+        app: App::Covariance,
+        mapping: CpuMapping::new(2, 3),
+        partition: Partition::even(),
+        initial: ClusterFreqs {
+            big: MHz(2000),
+            little: MHz(1400),
+            gpu: MHz(600),
+        },
+    }
+}
+
+/// Both Fig. 1 runs plus the derived comparison.
+#[derive(Debug)]
+pub struct Fig1 {
+    /// (a) ondemand + reactive trip.
+    pub ondemand: RunResult,
+    /// (b) TEEM at 85 °C.
+    pub teem: RunResult,
+    /// TEEM relative to ondemand.
+    pub comparison: Option<Comparison>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig1 {
+    let mut sim = Simulation::new(Board::odroid_xu4(), case_study_spec());
+    let ondemand = sim.run(&mut Ondemand::xu4());
+    let mut sim = Simulation::new(Board::odroid_xu4(), case_study_spec());
+    let teem = sim.run(&mut TeemGovernor::paper());
+    let comparison = compare(&ondemand.summary, &teem.summary);
+    Fig1 {
+        ondemand,
+        teem,
+        comparison,
+    }
+}
+
+/// Prints the paper-vs-measured report.
+pub fn report(fig: &Fig1) -> String {
+    let mut out = String::new();
+    out.push_str("== fig1: motivational case study (CV, 2L+3B, partition 1024) ==\n");
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>6}\n",
+        "approach", "ET(s)", "E(J)", "avgT(C)", "peakT(C)", "trips"
+    ));
+    for (r, paper) in [
+        (&fig.ondemand, "paper: 48.0s 530J 93.7C 96C"),
+        (&fig.teem, "paper: 39.6s 413J 85.8C 90C"),
+    ] {
+        out.push_str(&format!(
+            "{:<10} {:>8.1} {:>8.0} {:>8.1} {:>8.1} {:>6}   [{paper}]\n",
+            r.summary.approach,
+            r.summary.execution_time_s,
+            r.summary.energy_j,
+            r.summary.avg_temp_c,
+            r.summary.peak_temp_c,
+            r.zone_trips,
+        ));
+    }
+    if let Some(c) = &fig.comparison {
+        out.push_str(&format!(
+            "TEEM vs ondemand: {:+.1}% time, {:+.1}% energy, {:+.1}% variance, {:+.1}C peak\n",
+            c.perf_improvement_pct,
+            c.energy_saving_pct,
+            c.variance_reduction_pct,
+            c.peak_temp_delta_c
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_holds() {
+        let fig = run();
+        assert!(fig.ondemand.zone_trips >= 1);
+        assert_eq!(fig.teem.zone_trips, 0);
+        let c = fig.comparison.expect("comparable");
+        assert!(c.perf_improvement_pct > 0.0, "TEEM must be faster");
+        assert!(c.variance_reduction_pct > 65.0, "variance {}",
+            c.variance_reduction_pct);
+        let text = report(&fig);
+        assert!(text.contains("TEEM"));
+        assert!(text.contains("paper: 48.0s"));
+    }
+}

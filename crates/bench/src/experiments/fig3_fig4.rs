@@ -1,0 +1,133 @@
+//! Experiments `fig3` and `fig4`: the scatter-matrix data behind the
+//! collinearity diagnosis (Fig. 3) and the residuals-vs-fitted plot of
+//! the transformed model (Fig. 4).
+
+use teem_core::offline::{fit_transformed_model, full_dataset, regression_observations};
+use teem_linreg::corr::{to_csv, CorrelationMatrix};
+use teem_soc::Board;
+use teem_telemetry::TimeSeries;
+
+/// Fig. 3 outputs: the observation CSV (for external scatter plotting)
+/// and the correlation matrix that drives the paper's "masking"
+/// discussion.
+#[derive(Debug)]
+pub struct Fig3 {
+    /// CSV of `(M, AT, ET, PT, EC)` rows.
+    pub csv: String,
+    /// Pairwise Pearson correlations.
+    pub correlations: CorrelationMatrix,
+    /// The collinear pairs with |r| >= 0.7.
+    pub strong_pairs: Vec<(String, String, f64)>,
+}
+
+/// Runs the Fig. 3 analysis on the Table I/II observation set (the
+/// paper's scatter matrix visualises the same data its regressions use).
+pub fn fig3() -> Fig3 {
+    let board = Board::odroid_xu4_ideal();
+    let data = full_dataset(&regression_observations(&board));
+    let correlations = CorrelationMatrix::of(&data).expect("correlations");
+    let strong_pairs = correlations.strongly_correlated(0.7);
+    Fig3 {
+        csv: to_csv(&data),
+        correlations,
+        strong_pairs,
+    }
+}
+
+/// Prints the Fig. 3 report.
+pub fn report_fig3(f: &Fig3) -> String {
+    let mut out = String::new();
+    out.push_str("== fig3: scatter-matrix data and correlations ==\n");
+    out.push_str(&f.correlations.to_string());
+    out.push_str("strongly correlated pairs (|r| >= 0.7):\n");
+    for (a, b, r) in &f.strong_pairs {
+        out.push_str(&format!("  {a} ~ {b}: r = {r:+.3}\n"));
+    }
+    out.push_str("[paper: AT~PT and ET~EC closely associated -> PT, EC dropped]\n");
+    out.push_str("\n--- observation CSV ---\n");
+    out.push_str(&f.csv);
+    out
+}
+
+/// Fig. 4 outputs: residuals vs fitted of the transformed model.
+#[derive(Debug)]
+pub struct Fig4 {
+    /// `(fitted, residual)` pairs.
+    pub points: Vec<(f64, f64)>,
+    /// Largest |residual|.
+    pub max_abs_residual: f64,
+}
+
+/// Runs the Fig. 4 analysis.
+pub fn fig4() -> Fig4 {
+    let board = Board::odroid_xu4_ideal();
+    let t = fit_transformed_model(&regression_observations(&board)).expect("fits");
+    let points: Vec<(f64, f64)> = t
+        .fit
+        .fitted()
+        .iter()
+        .copied()
+        .zip(t.fit.residuals().iter().copied())
+        .collect();
+    let max_abs_residual = points.iter().map(|p| p.1.abs()).fold(0.0, f64::max);
+    Fig4 {
+        points,
+        max_abs_residual,
+    }
+}
+
+/// Prints the Fig. 4 report with an ASCII residual plot.
+pub fn report_fig4(f: &Fig4) -> String {
+    let mut sorted = f.points.clone();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fitted values"));
+    let series: TimeSeries = sorted.into_iter().collect();
+    let mut out = String::new();
+    out.push_str("== fig4: residuals vs fitted (transformed model) ==\n");
+    out.push_str(&teem_telemetry::plot::ascii_chart(
+        &series,
+        64,
+        12,
+        "residuals vs fitted",
+    ));
+    out.push_str("fitted,residual\n");
+    for (x, y) in &f.points {
+        out.push_str(&format!("{x:.5},{y:.5}\n"));
+    }
+    out.push_str(&format!(
+        "max |residual| = {:.4} [paper: residuals in -0.346..0.226, randomly scattered]\n",
+        f.max_abs_residual
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_finds_the_papers_collinear_pairs() {
+        let f = fig3();
+        let has = |a: &str, b: &str| {
+            f.strong_pairs
+                .iter()
+                .any(|(x, y, _)| (x == a && y == b) || (x == b && y == a))
+        };
+        assert!(has("AT", "PT"), "AT~PT missing from {:?}", f.strong_pairs);
+        assert!(has("ET", "EC"), "ET~EC missing from {:?}", f.strong_pairs);
+        assert!(f.csv.lines().count() > 10);
+        assert!(f.csv.starts_with("M,AT,ET,PT,EC"));
+    }
+
+    #[test]
+    fn fig4_residuals_are_small_and_centred() {
+        let f = fig4();
+        assert_eq!(f.points.len(), 16);
+        // Residuals sum to ~0 (OLS with intercept).
+        let sum: f64 = f.points.iter().map(|p| p.1).sum();
+        assert!(sum.abs() < 1e-8, "residual sum {sum}");
+        // Comparable scale to the paper's +-0.35 band.
+        assert!(f.max_abs_residual < 0.5, "{}", f.max_abs_residual);
+        let text = report_fig4(&f);
+        assert!(text.contains("fitted,residual"));
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per paper artefact: each regenerates the corresponding
+//! table or figure and prints measured-vs-paper values.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig3_fig4;
+pub mod fig5;
+pub mod memory;
+pub mod tables;

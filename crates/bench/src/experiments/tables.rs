@@ -1,0 +1,79 @@
+//! Experiments `table1` and `table2`: the offline regression pipeline —
+//! the full eq. (5) model with its collinearity diagnosis (Table I) and
+//! the reduced log-transformed eq. (6) model (Table II), printed as
+//! R-style summaries against the paper's reported statistics.
+
+use teem_core::offline::{
+    fit_full_model, fit_transformed_model, regression_observations, TransformedFit,
+};
+use teem_linreg::summary::Summary;
+use teem_linreg::OlsFit;
+use teem_soc::Board;
+
+/// Paper statistics quoted from Table I.
+pub const PAPER_TABLE1: &str =
+    "paper Table I: R2=0.8749 adjR2=0.8332 F=20.98 on 4 and 12 DF (p=2.396e-05), sigma=0.4802";
+
+/// Paper statistics quoted from Table II.
+pub const PAPER_TABLE2: &str =
+    "paper Table II: R2=0.9219 adjR2=0.9019 F=76.71 on 2 and 13 DF (p=6.348e-08), sigma=0.1614";
+
+/// Runs the Table I fit on the regression observation set.
+pub fn table1() -> OlsFit {
+    let board = Board::odroid_xu4_ideal();
+    let obs = regression_observations(&board);
+    fit_full_model(&obs).expect("Table I model fits")
+}
+
+/// Runs the Table II pipeline (reduced + outlier drop + log transform).
+pub fn table2() -> TransformedFit {
+    let board = Board::odroid_xu4_ideal();
+    let obs = regression_observations(&board);
+    fit_transformed_model(&obs).expect("Table II model fits")
+}
+
+/// Prints the Table I report.
+pub fn report_table1(fit: &OlsFit) -> String {
+    format!(
+        "== table1: M ~ AT + ET + PT + EC (n=17) ==\n{}\n{PAPER_TABLE1}\n",
+        Summary::new(fit)
+    )
+}
+
+/// Prints the Table II report.
+pub fn report_table2(t: &TransformedFit) -> String {
+    format!(
+        "== table2: log10(M) ~ AT + ET (n=16, dropped obs #{}) ==\n{}\n{PAPER_TABLE2}\n",
+        t.dropped_observation,
+        Summary::new(&t.fit)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_report_structure() {
+        let fit = table1();
+        assert_eq!(fit.df_residual(), 12);
+        let text = report_table1(&fit);
+        assert!(text.contains("Pr(>|t|)"));
+        assert!(text.contains("paper Table I"));
+    }
+
+    #[test]
+    fn table2_matches_paper_statistics_shape() {
+        let t = table2();
+        assert_eq!(t.fit.df_residual(), 13);
+        assert!(t.fit.r_squared() > 0.80, "R2 = {}", t.fit.r_squared());
+        let (f, d1, d2) = t.fit.f_statistic();
+        assert_eq!((d1, d2), (2, 13));
+        assert!(f > 10.0, "F = {f}");
+        // ET significant and negative, as in the paper.
+        let et = t.fit.coefficient("ET").expect("ET term");
+        assert!(et.estimate < 0.0 && et.p_value < 0.01);
+        let text = report_table2(&t);
+        assert!(text.contains("log10(M)"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # teem-bench
+//!
+//! The experiment harness of the TEEM reproduction: one module per table
+//! and figure in the paper's evaluation (§IV–V), each regenerating the
+//! artefact on the simulated board and printing measured values next to
+//! the paper's, plus the ablation sweeps for TEEM's design parameters.
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```sh
+//! cargo run --release -p teem-bench --bin repro -- all
+//! ```
+//!
+//! Criterion micro-benchmarks for the underlying machinery (regression
+//! fitting, thermal stepping, design-space enumeration, online decision
+//! latency, kernel execution) live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;

@@ -1,0 +1,12 @@
+//! The comparison approaches of §IV-B: EEMP \[15\] (energy-efficient
+//! mapping and thread partitioning, no thermal consideration) and RMP \[9\]
+//! (reliable, temperature-aware mapping and partitioning, no online
+//! adaptation). Both plan a static design point and hold its V/f for the
+//! whole run — the kernel's reactive thermal zone is their only
+//! protection, exactly the behaviour the paper contrasts TEEM against.
+
+mod eemp;
+mod rmp;
+
+pub use eemp::Eemp;
+pub use rmp::Rmp;

@@ -1,0 +1,61 @@
+//! # teem-core
+//!
+//! The paper's primary contribution: **TEEM**, an online thermal- and
+//! energy-efficiency manager for CPU-GPU MPSoCs (Isuwa et al., DATE
+//! 2019), reproduced end to end on the simulated Odroid-XU4 substrate.
+//!
+//! The crate mirrors the structure of the paper's Fig. 2:
+//!
+//! * **Offline** ([`offline`]): profile design points, fit the full
+//!   regression `M ~ AT + ET + PT + EC` (Table I), diagnose the AT↔PT /
+//!   ET↔EC collinearity, and refit the reduced log-transformed model
+//!   `log10(M) = β0 + β1·AT + β2·ET` (Table II, eq. 6). Only the model
+//!   and `ET_GPU` are stored per application ([`ProfileStore`]) — the
+//!   §V-D memory saving ([`memory`]).
+//! * **Online** ([`online`]): at launch invert the model into a
+//!   [`CpuMapping`](teem_soc::CpuMapping) and size the CPU work share
+//!   with eq. (9) ([`partition`]); during execution step the A15
+//!   frequency down by δ=200 MHz whenever the hottest sensor reaches the
+//!   85 °C threshold (never below 1400 MHz) and restore maximum when
+//!   below it.
+//! * **Baselines** ([`baselines`]): EEMP (min-energy static point, no
+//!   thermal consideration) and RMP (temperature-aware static choice,
+//!   no online adaptation), plus the stock ondemand path via
+//!   [`runner`].
+//!
+//! # Examples
+//!
+//! Profile COVARIANCE offline, then run it under TEEM:
+//!
+//! ```
+//! use teem_core::{offline, runner::{run, Approach}, UserRequirement};
+//! use teem_soc::Board;
+//! use teem_workload::App;
+//!
+//! # fn main() -> Result<(), teem_linreg::LinregError> {
+//! let board = Board::odroid_xu4_ideal();
+//! let profile = offline::profile_app(&board, App::Covariance)?;
+//! let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.85);
+//! let result = run(App::Covariance, Approach::Teem, &req, Some(&profile), None, None);
+//! assert_eq!(result.zone_trips, 0); // proactive: never hits the 95 C trip
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod memory;
+mod model;
+pub mod offline;
+pub mod online;
+pub mod partition;
+mod profile;
+mod requirements;
+pub mod runner;
+
+pub use model::{mapping_with_cores, MappingModel};
+pub use online::{plan, TeemGovernor, TeemPlan};
+pub use profile::{AppProfile, ProfileStore};
+pub use requirements::UserRequirement;

@@ -1,0 +1,142 @@
+//! The paper's mapping-prediction model — equation (6):
+//!
+//! ```text
+//! log10(M) = β0 + β1·AT + β2·ET
+//! ```
+//!
+//! where `M` is the number of used big.LITTLE cores and (AT, ET) are the
+//! user's average-temperature and execution-time requirements. The
+//! coefficients come from the offline regression (Table II); inversion
+//! turns a predicted `M` into a concrete [`CpuMapping`].
+
+use std::fmt;
+use teem_soc::CpuMapping;
+
+/// Fitted coefficients of the transformed model (eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingModel {
+    /// Intercept β0.
+    pub intercept: f64,
+    /// Average-temperature slope β1 (negative in the paper: hotter
+    /// requirement → fewer cores).
+    pub at_coeff: f64,
+    /// Execution-time slope β2 (negative: looser deadline → fewer cores).
+    pub et_coeff: f64,
+}
+
+impl MappingModel {
+    /// Predicts `log10(M)` for a requirement.
+    pub fn predict_log_m(&self, at_c: f64, et_s: f64) -> f64 {
+        self.intercept + self.at_coeff * at_c + self.et_coeff * et_s
+    }
+
+    /// Predicts `M` (a fractional core count).
+    pub fn predict_m(&self, at_c: f64, et_s: f64) -> f64 {
+        10f64.powf(self.predict_log_m(at_c, et_s))
+    }
+
+    /// Converts a predicted `M` into a concrete mapping: the combination
+    /// mapping whose total core count is nearest to `M` (clamped to
+    /// 2..=8), preferring big cores for the odd remainder — big cores
+    /// carry the throughput the prediction is trying to provision.
+    pub fn to_mapping(&self, at_c: f64, et_s: f64) -> CpuMapping {
+        let m = self.predict_m(at_c, et_s).round().clamp(2.0, 8.0) as u32;
+        mapping_with_cores(m)
+    }
+}
+
+/// The combination mapping (`little >= 1`, `big >= 1`) with `total`
+/// cores, big-heavy for odd totals.
+///
+/// # Panics
+///
+/// Panics if `total` is not in `2..=8`.
+pub fn mapping_with_cores(total: u32) -> CpuMapping {
+    assert!((2..=8).contains(&total), "core total {total} out of 2..=8");
+    let big = ((total + 1) / 2).min(4);
+    let little = (total - big).min(4);
+    // If little hit its cap, push the remainder to big.
+    let big = (total - little).min(4);
+    CpuMapping::new(little, big)
+}
+
+impl fmt::Display for MappingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "log10(M) = {:.4} + ({:.5})*AT + ({:.5})*ET",
+            self.intercept, self.at_coeff, self.et_coeff
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Coefficients in the spirit of Table II (intercept 10.099,
+    /// AT -0.079, ET -0.066).
+    fn paper_like() -> MappingModel {
+        MappingModel {
+            intercept: 10.099_046,
+            at_coeff: -0.079_174,
+            et_coeff: -0.065_991,
+        }
+    }
+
+    #[test]
+    fn prediction_matches_equation() {
+        let m = paper_like();
+        let log_m = m.predict_log_m(85.0, 40.0);
+        assert!((log_m - (10.099_046 - 0.079_174 * 85.0 - 0.065_991 * 40.0)).abs() < 1e-12);
+        assert!((m.predict_m(85.0, 40.0) - 10f64.powf(log_m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tighter_deadline_needs_more_cores() {
+        let m = paper_like();
+        // Negative ET coefficient: smaller TREQ -> larger M.
+        assert!(m.predict_m(85.0, 30.0) > m.predict_m(85.0, 50.0));
+        // Negative AT coefficient: cooler requirement -> more cores
+        // (spread the load wider at lower frequency).
+        assert!(m.predict_m(80.0, 40.0) > m.predict_m(90.0, 40.0));
+    }
+
+    #[test]
+    fn mapping_with_cores_is_big_heavy_and_valid() {
+        assert_eq!(mapping_with_cores(2), CpuMapping::new(1, 1));
+        assert_eq!(mapping_with_cores(5), CpuMapping::new(2, 3));
+        assert_eq!(mapping_with_cores(7), CpuMapping::new(3, 4));
+        assert_eq!(mapping_with_cores(8), CpuMapping::new(4, 4));
+        for total in 2..=8 {
+            let m = mapping_with_cores(total);
+            assert_eq!(m.total_cores(), total);
+            assert!(m.little >= 1 || total < 2);
+            assert!(m.big >= m.little);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 2..=8")]
+    fn mapping_with_cores_rejects_out_of_range() {
+        mapping_with_cores(9);
+    }
+
+    #[test]
+    fn to_mapping_clamps_extremes() {
+        let m = paper_like();
+        // Absurdly loose requirement -> still at least 1L+1B.
+        let small = m.to_mapping(95.0, 100.0);
+        assert!(small.total_cores() >= 2);
+        // Absurdly tight requirement -> capped at 4L+4B.
+        let big = m.to_mapping(60.0, 1.0);
+        assert!(big.total_cores() <= 8);
+    }
+
+    #[test]
+    fn display_shows_equation() {
+        let s = paper_like().to_string();
+        assert!(s.contains("log10(M)"));
+        assert!(s.contains("AT"));
+    }
+}

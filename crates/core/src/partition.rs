@@ -1,0 +1,88 @@
+//! Workload-fraction determination — equations (7)–(9).
+//!
+//! `ET_GPU` (the whole application's GPU-only time) is stored offline;
+//! online, the CPU share is sized so the GPU share finishes exactly at
+//! the deadline:
+//!
+//! ```text
+//! WG_CPU = 1 − TREQ / ET_GPU        (eq. 9, valid when TREQ < ET_GPU)
+//! ```
+//!
+//! When `TREQ >= ET_GPU` the GPU alone meets the requirement and the
+//! whole application runs there ("there is no advantage in exploring the
+//! heterogeneity of the cores", §III-A.4).
+
+use teem_workload::Partition;
+
+/// Eq. (7): CPU-share completion time `ET = WG_CPU × ET_CPU`.
+pub fn cpu_share_et(wg_cpu: f64, et_cpu_s: f64) -> f64 {
+    wg_cpu * et_cpu_s
+}
+
+/// Eq. (8): GPU-share completion time `ET = (1 − WG_CPU) × ET_GPU`.
+pub fn gpu_share_et(wg_cpu: f64, et_gpu_s: f64) -> f64 {
+    (1.0 - wg_cpu) * et_gpu_s
+}
+
+/// Eq. (9): the CPU work fraction for a deadline `treq_s` given the
+/// stored GPU-only time `et_gpu_s`. Returns `Partition::all_gpu()` when
+/// the GPU alone meets the deadline.
+///
+/// # Panics
+///
+/// Panics if either argument is not positive.
+pub fn partition_for(treq_s: f64, et_gpu_s: f64) -> Partition {
+    assert!(treq_s > 0.0, "TREQ must be positive");
+    assert!(et_gpu_s > 0.0, "ET_GPU must be positive");
+    if treq_s >= et_gpu_s {
+        return Partition::all_gpu();
+    }
+    Partition::from_cpu_fraction(1.0 - treq_s / et_gpu_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_identities() {
+        assert_eq!(cpu_share_et(0.5, 60.0), 30.0);
+        assert_eq!(gpu_share_et(0.25, 40.0), 30.0);
+    }
+
+    #[test]
+    fn loose_deadline_goes_gpu_only() {
+        assert!(partition_for(50.0, 40.0).is_gpu_only());
+        assert!(partition_for(40.0, 40.0).is_gpu_only());
+    }
+
+    #[test]
+    fn tight_deadline_moves_work_to_cpu() {
+        // TREQ = 30, ET_GPU = 40 -> WG_CPU = 1/4.
+        let p = partition_for(30.0, 40.0);
+        assert!((p.cpu_fraction() - 0.25).abs() < 1e-3, "{p}");
+        // Tighter deadline -> larger CPU share.
+        let tighter = partition_for(10.0, 40.0);
+        assert!(tighter.cpu_fraction() > p.cpu_fraction());
+    }
+
+    #[test]
+    fn gpu_share_meets_deadline_by_construction() {
+        for &(treq, etg) in &[(30.0, 40.0), (12.5, 50.0), (39.9, 40.0)] {
+            let p = partition_for(treq, etg);
+            let gpu_time = gpu_share_et(p.cpu_fraction(), etg);
+            // Up to one partition grain of rounding.
+            let grain = etg / f64::from(Partition::GRAINS);
+            assert!(
+                gpu_time <= treq + grain,
+                "gpu side {gpu_time} misses {treq}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_inputs() {
+        partition_for(-1.0, 40.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-application profile data: the *only* state TEEM keeps from the
+//! offline phase — the fitted mapping model and `ET_GPU` ("only the
+//! different models for each application and the GPU execution time
+//! (ETGPU) are stored. This gives a total of 2 items", §V-D).
+//!
+//! The store serialises to a compact hand-rolled binary format whose
+//! size is the TEEM side of the §V-D memory comparison.
+
+use crate::model::MappingModel;
+use std::collections::BTreeMap;
+use std::fmt;
+use teem_workload::App;
+
+/// The two stored items for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Item 1: the fitted mapping model (eq. 6 coefficients).
+    pub model: MappingModel,
+    /// Item 2: the GPU-only execution time at maximum GPU frequency,
+    /// seconds.
+    pub et_gpu_s: f64,
+}
+
+impl AppProfile {
+    /// Number of stored items per application (the paper's accounting).
+    pub const ITEMS: usize = 2;
+
+    /// Serialised size: three model coefficients + `ET_GPU`, all `f64`.
+    pub const STORED_BYTES: usize = 4 * 8;
+}
+
+/// The profile store: one [`AppProfile`] per application.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileStore {
+    profiles: BTreeMap<App, AppProfile>,
+}
+
+impl ProfileStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ProfileStore::default()
+    }
+
+    /// Inserts or replaces an application's profile, returning the old
+    /// one if present.
+    pub fn insert(&mut self, app: App, profile: AppProfile) -> Option<AppProfile> {
+        self.profiles.insert(app, profile)
+    }
+
+    /// Looks up an application's profile.
+    pub fn get(&self, app: App) -> Option<&AppProfile> {
+        self.profiles.get(&app)
+    }
+
+    /// Number of profiled applications.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterates over `(app, profile)` pairs in app order.
+    pub fn iter(&self) -> impl Iterator<Item = (&App, &AppProfile)> {
+        self.profiles.iter()
+    }
+
+    /// Bytes of profile payload in the §V-D accounting
+    /// (`len() * AppProfile::STORED_BYTES`).
+    pub fn stored_bytes(&self) -> usize {
+        self.len() * AppProfile::STORED_BYTES
+    }
+
+    /// Serialises to the compact on-flash format: a 4-byte magic, a u16
+    /// count, then per app a 2-byte tag and four little-endian `f64`s.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.len() * (2 + 32));
+        out.extend_from_slice(b"TEEM");
+        out.extend_from_slice(&(self.len() as u16).to_le_bytes());
+        for (app, p) in &self.profiles {
+            let tag = app.abbrev().as_bytes();
+            out.extend_from_slice(&[tag[0], tag[1]]);
+            for v in [
+                p.model.intercept,
+                p.model.at_coeff,
+                p.model.et_coeff,
+                p.et_gpu_s,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the [`ProfileStore::to_bytes`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error string for truncated or corrupt input
+    /// (bad magic, unknown app tag, wrong length).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ProfileStore, String> {
+        if bytes.len() < 6 || &bytes[0..4] != b"TEEM" {
+            return Err("bad magic: not a TEEM profile store".to_string());
+        }
+        let count = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
+        let expected = 6 + count * 34;
+        if bytes.len() != expected {
+            return Err(format!(
+                "length mismatch: expected {expected} bytes for {count} profiles, got {}",
+                bytes.len()
+            ));
+        }
+        let mut store = ProfileStore::new();
+        for i in 0..count {
+            let at = 6 + i * 34;
+            let tag = std::str::from_utf8(&bytes[at..at + 2])
+                .map_err(|_| "non-UTF8 app tag".to_string())?;
+            let app: App = tag
+                .parse()
+                .map_err(|e| format!("unknown app tag {tag:?}: {e}"))?;
+            let mut vals = [0.0_f64; 4];
+            for (j, v) in vals.iter_mut().enumerate() {
+                let o = at + 2 + j * 8;
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&bytes[o..o + 8]);
+                *v = f64::from_le_bytes(buf);
+            }
+            store.insert(
+                app,
+                AppProfile {
+                    model: MappingModel {
+                        intercept: vals[0],
+                        at_coeff: vals[1],
+                        et_coeff: vals[2],
+                    },
+                    et_gpu_s: vals[3],
+                },
+            );
+        }
+        Ok(store)
+    }
+}
+
+impl fmt::Display for ProfileStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ProfileStore: {} app(s), {} B payload",
+            self.len(),
+            self.stored_bytes()
+        )?;
+        for (app, p) in &self.profiles {
+            writeln!(f, "  {app}: {} ET_GPU={:.1}s", p.model, p.et_gpu_s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile(seed: f64) -> AppProfile {
+        AppProfile {
+            model: MappingModel {
+                intercept: 10.0 + seed,
+                at_coeff: -0.08,
+                et_coeff: -0.066,
+            },
+            et_gpu_s: 36.0 + seed,
+        }
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut s = ProfileStore::new();
+        assert!(s.is_empty());
+        assert!(s.insert(App::Covariance, sample_profile(0.0)).is_none());
+        assert!(s.insert(App::Gemm, sample_profile(1.0)).is_none());
+        assert_eq!(s.len(), 2);
+        assert!(s.get(App::Covariance).is_some());
+        assert!(s.get(App::Mvt).is_none());
+        // Replace returns the old value.
+        let old = s.insert(App::Covariance, sample_profile(2.0));
+        assert_eq!(old, Some(sample_profile(0.0)));
+    }
+
+    #[test]
+    fn roundtrip_serialisation() {
+        let mut s = ProfileStore::new();
+        for (i, app) in App::paper_eight().into_iter().enumerate() {
+            s.insert(app, sample_profile(i as f64 * 0.5));
+        }
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), 6 + 8 * 34);
+        let back = ProfileStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(ProfileStore::from_bytes(b"junk").is_err());
+        assert!(ProfileStore::from_bytes(b"TEEM").is_err());
+        let mut s = ProfileStore::new();
+        s.insert(App::Covariance, sample_profile(0.0));
+        let mut bytes = s.to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(ProfileStore::from_bytes(&bytes).is_err());
+        // Unknown tag.
+        let mut bytes = s.to_bytes();
+        bytes[6] = b'?';
+        bytes[7] = b'?';
+        assert!(ProfileStore::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn accounting_constants() {
+        assert_eq!(AppProfile::ITEMS, 2);
+        assert_eq!(AppProfile::STORED_BYTES, 32);
+        let mut s = ProfileStore::new();
+        s.insert(App::Covariance, sample_profile(0.0));
+        assert_eq!(s.stored_bytes(), 32);
+    }
+
+    #[test]
+    fn display_lists_apps() {
+        let mut s = ProfileStore::new();
+        s.insert(App::Syrk, sample_profile(0.0));
+        let text = s.to_string();
+        assert!(text.contains("SR"));
+        assert!(text.contains("ET_GPU"));
+    }
+}

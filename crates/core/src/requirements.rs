@@ -1,0 +1,68 @@
+//! User requirements: the inputs to TEEM's online decision (§II-A):
+//! a required execution time `TREQ` and an average temperature `AT`.
+
+use std::fmt;
+
+/// The user's performance and thermal requirement for one application run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserRequirement {
+    /// Required (maximum acceptable) execution time, seconds.
+    pub treq_s: f64,
+    /// Required average temperature, °C (doubles as TEEM's online
+    /// threshold; the paper uses 85 °C throughout the evaluation).
+    pub avg_temp_c: f64,
+}
+
+impl UserRequirement {
+    /// Creates a requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `treq_s` is not positive or `avg_temp_c` is not a
+    /// plausible silicon temperature (0–120 °C).
+    pub fn new(treq_s: f64, avg_temp_c: f64) -> Self {
+        assert!(treq_s > 0.0, "TREQ must be positive, got {treq_s}");
+        assert!(
+            (0.0..=120.0).contains(&avg_temp_c),
+            "AT {avg_temp_c} out of plausible range"
+        );
+        UserRequirement { treq_s, avg_temp_c }
+    }
+
+    /// The paper's evaluation setting: 85 °C threshold with the given
+    /// time requirement.
+    pub fn with_paper_threshold(treq_s: f64) -> Self {
+        UserRequirement::new(treq_s, 85.0)
+    }
+}
+
+impl fmt::Display for UserRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TREQ={:.1}s AT={:.1}C", self.treq_s, self.avg_temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_and_display() {
+        let r = UserRequirement::new(40.0, 85.0);
+        assert_eq!(r.to_string(), "TREQ=40.0s AT=85.0C");
+        let p = UserRequirement::with_paper_threshold(50.0);
+        assert_eq!(p.avg_temp_c, 85.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TREQ")]
+    fn rejects_zero_treq() {
+        UserRequirement::new(0.0, 85.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "plausible")]
+    fn rejects_absurd_temperature() {
+        UserRequirement::new(10.0, 400.0);
+    }
+}

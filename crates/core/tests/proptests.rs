@@ -1,0 +1,115 @@
+//! Property-based tests for TEEM's planning and control logic.
+
+use proptest::prelude::*;
+use teem_core::partition::{gpu_share_et, partition_for};
+use teem_core::{mapping_with_cores, plan, AppProfile, MappingModel, TeemGovernor, UserRequirement};
+use teem_soc::{ClusterFreqs, CpuMapping, MHz, Manager, SensorBank, SocControl, SocView};
+use teem_workload::Partition;
+
+fn view(temp_c: f64, big_mhz: u32) -> SocView {
+    SocView {
+        time_s: 5.0,
+        readings: SensorBank::ideal().read(temp_c, temp_c - 10.0),
+        freqs: ClusterFreqs {
+            big: MHz(big_mhz),
+            little: MHz(1400),
+            gpu: MHz(600),
+        },
+        cpu_progress: 0.4,
+        gpu_progress: 0.4,
+        big_util: 1.0,
+        power_w: 10.0,
+        mapping: CpuMapping::new(2, 3),
+        partition: Partition::even(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn governor_requests_stay_in_band(
+        temp in 40.0..110.0f64,
+        freq_step in 2u32..=18,
+    ) {
+        let mut g = TeemGovernor::paper();
+        let mut ctl = SocControl::default();
+        g.control(&view(temp, freq_step * 100 + 200), &mut ctl);
+        let f = ctl.big_request().expect("TEEM always sets a frequency");
+        prop_assert!(f >= g.floor, "below floor: {f}");
+        prop_assert!(f <= g.max_big, "above max: {f}");
+        // Hot -> never raises; cool -> exactly max.
+        let current = MHz(freq_step * 100 + 200);
+        if temp + 2.2 >= g.threshold_c {
+            prop_assert!(f <= current.max(g.floor));
+        } else {
+            prop_assert_eq!(f, g.max_big);
+        }
+    }
+
+    #[test]
+    fn equation_9_partition_is_within_bounds(
+        treq in 1.0..200.0f64,
+        et_gpu in 1.0..200.0f64,
+    ) {
+        let p = partition_for(treq, et_gpu);
+        prop_assert!(p.cpu_fraction() >= 0.0 && p.cpu_fraction() <= 1.0);
+        // GPU share never overshoots the deadline by more than one grain.
+        let grain = et_gpu / f64::from(Partition::GRAINS);
+        prop_assert!(gpu_share_et(p.cpu_fraction(), et_gpu) <= treq + grain);
+        // Tightening the deadline never shrinks the CPU share.
+        let tighter = partition_for(treq * 0.9, et_gpu);
+        prop_assert!(tighter.cpu_fraction() >= p.cpu_fraction() - 1e-9);
+    }
+
+    #[test]
+    fn mapping_with_cores_is_total_preserving(total in 2u32..=8) {
+        let m = mapping_with_cores(total);
+        prop_assert_eq!(m.total_cores(), total);
+        prop_assert!(m.little <= 4 && m.big <= 4);
+        prop_assert!(m.big >= m.little, "big-heavy policy");
+    }
+
+    #[test]
+    fn plan_is_sane_for_any_model(
+        intercept in 0.0..12.0f64,
+        at_coeff in -0.1..0.0f64,
+        et_coeff in -0.2..0.0f64,
+        et_gpu in 5.0..200.0f64,
+        treq_factor in 0.3..1.5f64,
+        at in 70.0..95.0f64,
+    ) {
+        let profile = AppProfile {
+            model: MappingModel { intercept, at_coeff, et_coeff },
+            et_gpu_s: et_gpu,
+        };
+        let req = UserRequirement::new(et_gpu * treq_factor, at);
+        let p = plan(&profile, &req);
+        // Mapping always valid and within cluster sizes.
+        prop_assert!(p.mapping.total_cores() >= 2 && p.mapping.total_cores() <= 8);
+        // Loose deadlines go GPU-only; tight ones always leave CPU work.
+        if treq_factor >= 1.0 {
+            prop_assert!(p.partition.is_gpu_only());
+        } else {
+            prop_assert!(p.partition.cpu_fraction() > 0.0);
+        }
+    }
+
+    #[test]
+    fn profile_store_roundtrip_is_lossless(
+        intercept in -20.0..20.0f64,
+        at_coeff in -1.0..1.0f64,
+        et_coeff in -1.0..1.0f64,
+        et_gpu in 0.1..1000.0f64,
+    ) {
+        use teem_core::ProfileStore;
+        use teem_workload::App;
+        let mut store = ProfileStore::new();
+        store.insert(App::Syr2k, AppProfile {
+            model: MappingModel { intercept, at_coeff, et_coeff },
+            et_gpu_s: et_gpu,
+        });
+        let back = ProfileStore::from_bytes(&store.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(back, store);
+    }
+}

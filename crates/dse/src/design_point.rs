@@ -1,0 +1,107 @@
+//! Design points: a CPU mapping, per-cluster frequencies and a CPU/GPU
+//! work partition — the unit of the paper's offline design-space
+//! exploration (§III-A.1).
+
+use std::fmt;
+use teem_soc::{ClusterFreqs, CpuMapping, MHz};
+use teem_workload::Partition;
+
+/// One design point of the paper's space: mapping × frequencies ×
+/// partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// CPU cores used (`xL+yB`).
+    pub mapping: CpuMapping,
+    /// Cluster frequency setting.
+    pub freqs: ClusterFreqs,
+    /// Work-item split.
+    pub partition: Partition,
+}
+
+impl DesignPoint {
+    /// A convenient maximum-performance point for a mapping: all clusters
+    /// at the XU4 maxima, even partition.
+    pub fn max_for(mapping: CpuMapping) -> DesignPoint {
+        DesignPoint {
+            mapping,
+            freqs: ClusterFreqs {
+                big: MHz(2000),
+                little: MHz(1400),
+                gpu: MHz(600),
+            },
+            partition: Partition::even(),
+        }
+    }
+
+    /// The bytes an EEMP-style lookup table spends per stored design
+    /// point: mapping (2×u8), three frequencies (3×u16), partition (u16)
+    /// plus the two stored metrics the selection needs at runtime
+    /// (predicted ET and energy as f32) — 18 bytes (§V-D accounting).
+    pub const STORED_BYTES: usize = 2 + 3 * 2 + 2 + 2 * 4;
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {}/{}/{} p={}",
+            self.mapping, self.freqs.big, self.freqs.little, self.freqs.gpu, self.partition
+        )
+    }
+}
+
+/// Measured (or predicted) metrics of one design point for one
+/// application — the columns of the paper's evaluation table
+/// (§III-A.2): execution time, average and peak temperature, and energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPointEval {
+    /// Execution time, seconds.
+    pub et_s: f64,
+    /// Average of the hottest sensor over the run, °C.
+    pub avg_temp_c: f64,
+    /// Peak of the hottest sensor over the run, °C.
+    pub peak_temp_c: f64,
+    /// Wall energy, joules.
+    pub energy_j: f64,
+}
+
+impl DesignPointEval {
+    /// `true` when the point meets a performance constraint `treq` and a
+    /// average-temperature constraint `at` (the paper's user
+    /// requirement).
+    pub fn meets(&self, treq_s: f64, at_c: f64) -> bool {
+        self.et_s <= treq_s && self.avg_temp_c <= at_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let dp = DesignPoint::max_for(CpuMapping::new(2, 3));
+        let s = dp.to_string();
+        assert!(s.contains("2L+3B"));
+        assert!(s.contains("2000 MHz"));
+        assert!(s.contains("1024/2048"));
+    }
+
+    #[test]
+    fn stored_bytes_is_18() {
+        assert_eq!(DesignPoint::STORED_BYTES, 18);
+    }
+
+    #[test]
+    fn meets_checks_both_constraints() {
+        let e = DesignPointEval {
+            et_s: 40.0,
+            avg_temp_c: 84.0,
+            peak_temp_c: 88.0,
+            energy_j: 400.0,
+        };
+        assert!(e.meets(45.0, 85.0));
+        assert!(!e.meets(39.0, 85.0));
+        assert!(!e.meets(45.0, 83.0));
+    }
+}

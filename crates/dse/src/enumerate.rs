@@ -1,0 +1,164 @@
+//! Enumeration of the paper's design space — equations (1) and (2).
+//!
+//! * Eq. (1): `MCPU = Nb + NL + Nb·NL` mappings on the CPU clusters
+//!   (big-only, LITTLE-only, and combinations) — 24 for the 4+4 Exynos.
+//! * Eq. (2): `MDP = {(Nb·Fb) + (NL·FL) + (Nb·Fb·NL·FL)} × {1·Fg}` design
+//!   points including frequency settings — 28 560 with (Fb, FL, Fg) =
+//!   (19, 13, 7).
+//! * With the nine work-item partitions of §III-A.1 the full space is
+//!   257 040 points, of which the paper evaluates a diverse 10 368-point
+//!   subset (see [`crate::sample`]).
+
+use crate::design_point::DesignPoint;
+use teem_soc::{Board, ClusterFreqs, CpuMapping, MHz};
+use teem_workload::Partition;
+
+/// Eq. (1): number of CPU mappings for `nb` big and `nl` LITTLE cores.
+pub fn mcpu_count(nb: u32, nl: u32) -> u64 {
+    nb as u64 + nl as u64 + nb as u64 * nl as u64
+}
+
+/// Eq. (2): number of frequency-annotated design points for cluster sizes
+/// `(nb, nl)` and OPP-table sizes `(fb, fl, fg)`.
+pub fn mdp_count(nb: u64, fb: u64, nl: u64, fl: u64, fg: u64) -> u64 {
+    (nb * fb + nl * fl + nb * fb * nl * fl) * fg
+}
+
+/// The 24 CPU mappings of eq. (1) on the Exynos 5422: `1B..4B`,
+/// `1L..4L`, and every `xL+yB` combination.
+pub fn all_mappings() -> Vec<CpuMapping> {
+    let mut out = Vec::with_capacity(24);
+    for big in 1..=4 {
+        out.push(CpuMapping::new(0, big));
+    }
+    for little in 1..=4 {
+        out.push(CpuMapping::new(little, 0));
+    }
+    for little in 1..=4 {
+        for big in 1..=4 {
+            out.push(CpuMapping::new(little, big));
+        }
+    }
+    out
+}
+
+/// The 16 combination mappings (`1L+1B` … `4L+4B`) the paper's regression
+/// dataset varies over ("varying the mapping from 1L+1B to 4L+4B").
+pub fn combo_mappings() -> Vec<CpuMapping> {
+    let mut out = Vec::with_capacity(16);
+    for little in 1..=4 {
+        for big in 1..=4 {
+            out.push(CpuMapping::new(little, big));
+        }
+    }
+    out
+}
+
+/// Lazily enumerates the full frequency-annotated design space of eq. (2)
+/// × the nine partitions (257 040 points for the XU4). The iterator is
+/// cheap; materialising all points is the caller's choice.
+pub fn full_space(board: &Board) -> impl Iterator<Item = DesignPoint> + '_ {
+    // Eq. (2) structure: big-only terms (Nb × Fb), LITTLE-only terms
+    // (NL × FL), and combination terms (Nb × Fb × NL × FL), all crossed
+    // with the GPU's Fg settings and the 9 partitions.
+    let big_opps: Vec<MHz> = board.big_opps.iter().map(|o| o.freq).collect();
+    let little_opps: Vec<MHz> = board.little_opps.iter().map(|o| o.freq).collect();
+    let gpu_opps: Vec<MHz> = board.gpu_opps.iter().map(|o| o.freq).collect();
+    let partitions = Partition::offline_grid();
+
+    // Build the (mapping, big freq, little freq) triples per eq. (2).
+    let mut cpu_terms: Vec<(CpuMapping, MHz, MHz)> = Vec::new();
+    for big in 1..=4u32 {
+        for &fb in &big_opps {
+            cpu_terms.push((CpuMapping::new(0, big), fb, little_opps[0]));
+        }
+    }
+    for little in 1..=4u32 {
+        for &fl in &little_opps {
+            cpu_terms.push((CpuMapping::new(little, 0), big_opps[0], fl));
+        }
+    }
+    for big in 1..=4u32 {
+        for &fb in &big_opps {
+            for little in 1..=4u32 {
+                for &fl in &little_opps {
+                    cpu_terms.push((CpuMapping::new(little, big), fb, fl));
+                }
+            }
+        }
+    }
+
+    cpu_terms.into_iter().flat_map(move |(mapping, fb, fl)| {
+        let gpu_opps = gpu_opps.clone();
+        gpu_opps.into_iter().flat_map(move |fg| {
+            partitions.into_iter().map(move |partition| DesignPoint {
+                mapping,
+                freqs: ClusterFreqs {
+                    big: fb,
+                    little: fl,
+                    gpu: fg,
+                },
+                partition,
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equation_1_gives_24_for_the_xu4() {
+        assert_eq!(mcpu_count(4, 4), 24);
+        assert_eq!(all_mappings().len(), 24);
+        // Degenerate platforms.
+        assert_eq!(mcpu_count(1, 0), 1);
+        assert_eq!(mcpu_count(2, 3), 11);
+    }
+
+    #[test]
+    fn equation_2_gives_28560_for_the_xu4() {
+        // (4*19 + 4*13 + 4*19*4*13) * (1*7) = 4080 * 7 = 28 560.
+        assert_eq!(mdp_count(4, 19, 4, 13, 7), 28_560);
+    }
+
+    #[test]
+    fn full_space_has_257040_points() {
+        // 28 560 x 9 partitions, as the paper states.
+        let board = teem_soc::Board::odroid_xu4_ideal();
+        assert_eq!(full_space(&board).count(), 257_040);
+    }
+
+    #[test]
+    fn mappings_are_distinct_and_valid() {
+        let all = all_mappings();
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 24);
+        assert!(all.iter().all(|m| m.total_cores() > 0));
+        assert_eq!(combo_mappings().len(), 16);
+        assert!(combo_mappings().iter().all(|m| m.little > 0 && m.big > 0));
+    }
+
+    #[test]
+    fn full_space_points_are_unique() {
+        let board = teem_soc::Board::odroid_xu4_ideal();
+        let mut seen = HashSet::new();
+        let mut n = 0u64;
+        for dp in full_space(&board) {
+            // Hash a compact encoding to keep memory bounded.
+            let key = (
+                dp.mapping.little,
+                dp.mapping.big,
+                dp.freqs.big.0,
+                dp.freqs.little.0,
+                dp.freqs.gpu.0,
+                dp.partition.grains(),
+            );
+            assert!(seen.insert(key), "duplicate point {dp}");
+            n += 1;
+        }
+        assert_eq!(n, 257_040);
+    }
+}

@@ -1,0 +1,33 @@
+//! # teem-dse
+//!
+//! Design-space exploration substrate for the TEEM reproduction: the
+//! paper's design points (CPU mapping × cluster frequencies × CPU/GPU
+//! partition), their enumeration via equations (1) and (2), the diverse
+//! 10 368-point sample of §III-A.1, fast analytic and full-simulation
+//! evaluation (§III-A.2), and EEMP-style per-application lookup tables
+//! whose byte footprint feeds the §V-D memory experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use teem_dse::{enumerate, sample};
+//!
+//! // Equation (1): 24 CPU mappings on the 4+4 Exynos 5422.
+//! assert_eq!(enumerate::mcpu_count(4, 4), 24);
+//! // Equation (2): 28 560 frequency-annotated design points.
+//! assert_eq!(enumerate::mdp_count(4, 19, 4, 13, 7), 28_560);
+//! // The evaluated subset.
+//! assert_eq!(sample::diverse_sample().len(), 10_368);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod design_point;
+pub mod enumerate;
+pub mod evaluate;
+mod lut;
+pub mod sample;
+
+pub use design_point::{DesignPoint, DesignPointEval};
+pub use lut::DesignPointLut;

@@ -1,0 +1,153 @@
+//! EEMP-style per-application design-point lookup tables.
+//!
+//! The EEMP baseline [15] stores, for each application, a table of
+//! evaluated design points (128 per application in the paper's §V-D
+//! memory accounting) and selects at runtime the minimum-energy point
+//! meeting the performance constraint. TEEM replaces the whole table
+//! with a fitted model + `ET_GPU` — the 98.8 % memory saving of §V-D.
+
+use crate::design_point::{DesignPoint, DesignPointEval};
+use std::fmt;
+
+/// A per-application table of evaluated design points.
+#[derive(Debug, Clone)]
+pub struct DesignPointLut {
+    app: String,
+    entries: Vec<(DesignPoint, DesignPointEval)>,
+}
+
+impl DesignPointLut {
+    /// The entry count the paper attributes to EEMP per application.
+    pub const EEMP_ENTRIES: usize = 128;
+
+    /// Creates a LUT from evaluated points.
+    pub fn new(app: impl Into<String>, entries: Vec<(DesignPoint, DesignPointEval)>) -> Self {
+        DesignPointLut {
+            app: app.into(),
+            entries,
+        }
+    }
+
+    /// Application name.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, (DesignPoint, DesignPointEval)> {
+        self.entries.iter()
+    }
+
+    /// EEMP's runtime selection: the minimum-energy entry with
+    /// `ET <= treq`. Ties broken by lower energy then lower ET. Returns
+    /// `None` when no entry meets the constraint.
+    pub fn min_energy_within(&self, treq_s: f64) -> Option<&(DesignPoint, DesignPointEval)> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.et_s <= treq_s)
+            .min_by(|a, b| {
+                a.1.energy_j
+                    .partial_cmp(&b.1.energy_j)
+                    .expect("finite energies")
+                    .then(a.1.et_s.partial_cmp(&b.1.et_s).expect("finite ETs"))
+            })
+    }
+
+    /// The fastest entry (fallback when no entry meets the constraint).
+    pub fn fastest(&self) -> Option<&(DesignPoint, DesignPointEval)> {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.1.et_s.partial_cmp(&b.1.et_s).expect("finite ETs"))
+    }
+
+    /// Bytes this table occupies in the §V-D accounting:
+    /// `len() * DesignPoint::STORED_BYTES`.
+    pub fn stored_bytes(&self) -> usize {
+        self.len() * DesignPoint::STORED_BYTES
+    }
+}
+
+impl fmt::Display for DesignPointLut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT[{}: {} entries, {} B]",
+            self.app,
+            self.len(),
+            self.stored_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teem_soc::{ClusterFreqs, CpuMapping, MHz};
+    use teem_workload::Partition;
+
+    fn entry(et: f64, energy: f64) -> (DesignPoint, DesignPointEval) {
+        (
+            DesignPoint {
+                mapping: CpuMapping::new(2, 2),
+                freqs: ClusterFreqs {
+                    big: MHz(1000),
+                    little: MHz(1000),
+                    gpu: MHz(420),
+                },
+                partition: Partition::even(),
+            },
+            DesignPointEval {
+                et_s: et,
+                avg_temp_c: 80.0,
+                peak_temp_c: 85.0,
+                energy_j: energy,
+            },
+        )
+    }
+
+    #[test]
+    fn min_energy_selection_respects_constraint() {
+        let lut = DesignPointLut::new(
+            "CV",
+            vec![entry(30.0, 500.0), entry(40.0, 300.0), entry(60.0, 200.0)],
+        );
+        // With TREQ=45 the 60s/200J point is excluded.
+        let (_, e) = lut.min_energy_within(45.0).unwrap();
+        assert_eq!(e.energy_j, 300.0);
+        // With a loose TREQ the cheapest wins.
+        let (_, e) = lut.min_energy_within(100.0).unwrap();
+        assert_eq!(e.energy_j, 200.0);
+        // Impossible TREQ.
+        assert!(lut.min_energy_within(10.0).is_none());
+    }
+
+    #[test]
+    fn fastest_fallback() {
+        let lut = DesignPointLut::new("CV", vec![entry(30.0, 500.0), entry(40.0, 300.0)]);
+        assert_eq!(lut.fastest().unwrap().1.et_s, 30.0);
+        let empty = DesignPointLut::new("CV", vec![]);
+        assert!(empty.fastest().is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_matches_paper_scale() {
+        let entries: Vec<_> = (0..DesignPointLut::EEMP_ENTRIES)
+            .map(|i| entry(30.0 + i as f64, 400.0))
+            .collect();
+        let lut = DesignPointLut::new("CV", entries);
+        assert_eq!(lut.len(), 128);
+        assert_eq!(lut.stored_bytes(), 128 * 18);
+        assert!(lut.to_string().contains("128 entries"));
+    }
+}

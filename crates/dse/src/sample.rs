@@ -1,0 +1,93 @@
+//! The diverse design-point subset the paper actually evaluates.
+//!
+//! "Specifically, 10,368 design points that cover a diverse mapping
+//! represented as used big and LITTLE cores and various partitions were
+//! used" (§III-A.1). The paper does not list the subset; we reconstruct a
+//! grid with exactly that cardinality:
+//!
+//! ```text
+//! 16 combination mappings × 9 partitions × (6 big × 4 LITTLE × 3 GPU
+//! frequencies) = 10 368
+//! ```
+//!
+//! covering every `xL+yB` combination, the full partition grid, and
+//! frequency settings spread across each cluster's range.
+
+use crate::design_point::DesignPoint;
+use crate::enumerate::combo_mappings;
+use teem_soc::{ClusterFreqs, MHz};
+use teem_workload::Partition;
+
+/// The big-cluster frequencies of the diverse sample (6 of 19).
+pub const SAMPLE_BIG_MHZ: [u32; 6] = [800, 1100, 1400, 1600, 1800, 2000];
+
+/// The LITTLE-cluster frequencies of the diverse sample (4 of 13).
+pub const SAMPLE_LITTLE_MHZ: [u32; 4] = [600, 1000, 1200, 1400];
+
+/// The GPU frequencies of the diverse sample (3 of 7).
+pub const SAMPLE_GPU_MHZ: [u32; 3] = [350, 480, 600];
+
+/// Generates the 10 368-point diverse sample.
+pub fn diverse_sample() -> Vec<DesignPoint> {
+    let mut out = Vec::with_capacity(10_368);
+    for mapping in combo_mappings() {
+        for partition in Partition::offline_grid() {
+            for &fb in &SAMPLE_BIG_MHZ {
+                for &fl in &SAMPLE_LITTLE_MHZ {
+                    for &fg in &SAMPLE_GPU_MHZ {
+                        out.push(DesignPoint {
+                            mapping,
+                            freqs: ClusterFreqs {
+                                big: MHz(fb),
+                                little: MHz(fl),
+                                gpu: MHz(fg),
+                            },
+                            partition,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sample_has_exactly_10368_points() {
+        assert_eq!(diverse_sample().len(), 10_368);
+    }
+
+    #[test]
+    fn sample_covers_all_combo_mappings_and_partitions() {
+        let sample = diverse_sample();
+        let mappings: HashSet<_> = sample.iter().map(|d| d.mapping).collect();
+        assert_eq!(mappings.len(), 16);
+        let partitions: HashSet<_> = sample.iter().map(|d| d.partition).collect();
+        assert_eq!(partitions.len(), 9);
+    }
+
+    #[test]
+    fn sample_frequencies_are_valid_opps() {
+        let board = teem_soc::Board::odroid_xu4_ideal();
+        for dp in diverse_sample().iter().take(500) {
+            assert!(board.big_opps.exact(dp.freqs.big).is_some(), "{dp}");
+            assert!(board.little_opps.exact(dp.freqs.little).is_some(), "{dp}");
+            assert!(board.gpu_opps.exact(dp.freqs.gpu).is_some(), "{dp}");
+        }
+    }
+
+    #[test]
+    fn sample_is_a_subset_of_the_full_space_shape() {
+        // Every sampled point uses a combination mapping and the offline
+        // partition grid — i.e. it lies within the 257 040-point space.
+        for dp in diverse_sample().iter().step_by(97) {
+            assert!(dp.mapping.little >= 1 && dp.mapping.big >= 1);
+            assert_eq!(u32::from(dp.partition.grains()) % 256, 0);
+        }
+    }
+}

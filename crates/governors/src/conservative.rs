@@ -1,0 +1,111 @@
+//! The Linux `conservative` governor: like ondemand, but steps frequency
+//! gradually (one OPP per sampling period) instead of jumping to maximum.
+//! Included for governor-comparison ablations; TEEM's own frequency
+//! descent is structurally similar but thermally- rather than
+//! utilisation-triggered.
+
+use teem_soc::{MHz, Manager, SocControl, SocView};
+
+/// Conservative governor acting on the big cluster.
+#[derive(Debug, Clone)]
+pub struct Conservative {
+    /// Step up when utilisation exceeds this.
+    pub up_threshold: f64,
+    /// Step down when utilisation falls below this.
+    pub down_threshold: f64,
+    /// Step size, MHz (one XU4 OPP = 100 MHz).
+    pub step_mhz: u32,
+    max_big: MHz,
+    min_big: MHz,
+    target: MHz,
+}
+
+impl Conservative {
+    /// Conservative governor with Linux-like defaults on the XU4 range.
+    pub fn xu4() -> Self {
+        Conservative {
+            up_threshold: 0.8,
+            down_threshold: 0.2,
+            step_mhz: 100,
+            max_big: MHz(2000),
+            min_big: MHz(200),
+            target: MHz(200),
+        }
+    }
+
+    /// Current internal frequency target.
+    pub fn target(&self) -> MHz {
+        self.target
+    }
+}
+
+impl Manager for Conservative {
+    fn name(&self) -> &str {
+        "conservative"
+    }
+
+    fn control(&mut self, view: &SocView, ctl: &mut SocControl) {
+        if view.big_util > self.up_threshold {
+            self.target = MHz((self.target.0 + self.step_mhz).min(self.max_big.0));
+        } else if view.big_util < self.down_threshold {
+            self.target = MHz(self.target.0.saturating_sub(self.step_mhz).max(self.min_big.0));
+        }
+        ctl.set_big_freq(self.target);
+        ctl.set_little_freq(MHz(1400));
+        ctl.set_gpu_freq(MHz(600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teem_soc::{Board, ClusterFreqs, CpuMapping, RunSpec, Simulation};
+    use teem_workload::{App, Partition};
+
+    #[test]
+    fn ramps_up_gradually_under_load() {
+        let spec = RunSpec {
+            app: App::Covariance,
+            mapping: CpuMapping::new(2, 3),
+            partition: Partition::even(),
+            initial: ClusterFreqs {
+                big: MHz(200),
+                little: MHz(1400),
+                gpu: MHz(600),
+            },
+        };
+        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), spec);
+        let r = sim.run(&mut Conservative::xu4());
+        assert!(!r.timed_out);
+        let f = r.trace.stats("freq.big").unwrap();
+        // Started at 200, must have climbed.
+        assert_eq!(f.min(), 200.0);
+        assert!(f.max() >= 1500.0, "max {}", f.max());
+        // Gradual: mean clearly between the extremes.
+        assert!(f.mean() > 500.0 && f.mean() < 2000.0);
+    }
+
+    #[test]
+    fn steps_down_when_idle() {
+        let mut g = Conservative::xu4();
+        g.target = MHz(1000);
+        let mut ctl = SocControl::default();
+        let view = SocView {
+            time_s: 0.0,
+            readings: teem_soc::SensorBank::ideal().read(60.0, 50.0),
+            freqs: ClusterFreqs {
+                big: MHz(1000),
+                little: MHz(1400),
+                gpu: MHz(600),
+            },
+            cpu_progress: 1.0,
+            gpu_progress: 0.5,
+            big_util: 0.05,
+            power_w: 5.0,
+            mapping: CpuMapping::new(2, 3),
+            partition: Partition::even(),
+        };
+        g.control(&view, &mut ctl);
+        assert_eq!(g.target(), MHz(900));
+    }
+}

@@ -1,0 +1,182 @@
+//! The trivial cpufreq policies: `performance` (always max), `powersave`
+//! (always min) and `userspace` (caller-chosen fixed frequencies).
+//!
+//! `userspace` is the actuation primitive both EEMP-style static policies
+//! and the offline design-point evaluation use: pin a design point's
+//! frequencies and run.
+
+use teem_soc::{ClusterFreqs, MHz, Manager, SocControl, SocView};
+
+/// `performance`: every cluster pinned at maximum.
+#[derive(Debug, Clone)]
+pub struct Performance {
+    max: ClusterFreqs,
+}
+
+impl Performance {
+    /// Performance governor with the XU4 maxima.
+    pub fn xu4() -> Self {
+        Performance {
+            max: ClusterFreqs {
+                big: MHz(2000),
+                little: MHz(1400),
+                gpu: MHz(600),
+            },
+        }
+    }
+}
+
+impl Manager for Performance {
+    fn name(&self) -> &str {
+        "performance"
+    }
+
+    fn control(&mut self, _view: &SocView, ctl: &mut SocControl) {
+        ctl.set_big_freq(self.max.big);
+        ctl.set_little_freq(self.max.little);
+        ctl.set_gpu_freq(self.max.gpu);
+    }
+}
+
+/// `powersave`: every cluster pinned at minimum.
+#[derive(Debug, Clone)]
+pub struct Powersave {
+    min: ClusterFreqs,
+}
+
+impl Powersave {
+    /// Powersave governor with the XU4 minima.
+    pub fn xu4() -> Self {
+        Powersave {
+            min: ClusterFreqs {
+                big: MHz(200),
+                little: MHz(200),
+                gpu: MHz(177),
+            },
+        }
+    }
+}
+
+impl Manager for Powersave {
+    fn name(&self) -> &str {
+        "powersave"
+    }
+
+    fn control(&mut self, _view: &SocView, ctl: &mut SocControl) {
+        ctl.set_big_freq(self.min.big);
+        ctl.set_little_freq(self.min.little);
+        ctl.set_gpu_freq(self.min.gpu);
+    }
+}
+
+/// `userspace`: pin caller-chosen frequencies (a design point's V/f).
+#[derive(Debug, Clone)]
+pub struct Userspace {
+    freqs: ClusterFreqs,
+    label: String,
+}
+
+impl Userspace {
+    /// Pins the given frequencies.
+    pub fn new(freqs: ClusterFreqs) -> Self {
+        Userspace {
+            freqs,
+            label: "userspace".to_string(),
+        }
+    }
+
+    /// Pins frequencies under a custom display name (e.g. `"EEMP"`).
+    pub fn named(freqs: ClusterFreqs, label: impl Into<String>) -> Self {
+        Userspace {
+            freqs,
+            label: label.into(),
+        }
+    }
+
+    /// The pinned frequencies.
+    pub fn freqs(&self) -> ClusterFreqs {
+        self.freqs
+    }
+}
+
+impl Manager for Userspace {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn control(&mut self, _view: &SocView, ctl: &mut SocControl) {
+        ctl.set_big_freq(self.freqs.big);
+        ctl.set_little_freq(self.freqs.little);
+        ctl.set_gpu_freq(self.freqs.gpu);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teem_soc::{Board, CpuMapping, RunSpec, Simulation};
+    use teem_workload::{App, Partition};
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            app: App::Mvt,
+            mapping: CpuMapping::new(2, 2),
+            partition: Partition::even(),
+            initial: ClusterFreqs {
+                big: MHz(1000),
+                little: MHz(1000),
+                gpu: MHz(480),
+            },
+        }
+    }
+
+    #[test]
+    fn performance_is_fastest_powersave_slowest() {
+        let run = |m: &mut dyn Manager| {
+            Simulation::new(Board::odroid_xu4_ideal(), spec())
+                .run(m)
+                .summary
+                .execution_time_s
+        };
+        let et_perf = run(&mut Performance::xu4());
+        let et_save = run(&mut Powersave::xu4());
+        let et_user = run(&mut Userspace::new(ClusterFreqs {
+            big: MHz(1000),
+            little: MHz(800),
+            gpu: MHz(420),
+        }));
+        assert!(et_perf < et_user, "{et_perf} !< {et_user}");
+        assert!(et_user < et_save, "{et_user} !< {et_save}");
+    }
+
+    #[test]
+    fn userspace_holds_requested_frequency() {
+        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), spec());
+        let r = sim.run(&mut Userspace::new(ClusterFreqs {
+            big: MHz(1500),
+            little: MHz(1100),
+            gpu: MHz(350),
+        }));
+        let f = r.trace.stats("freq.big").unwrap();
+        assert_eq!(f.max(), 1500.0);
+        // The very first trace sample records the spec's initial frequency
+        // (1000 MHz) before the governor's first control tick; from then
+        // on MVT at 1500 MHz stays below the trip, so no cap applies and
+        // the time-weighted mean sits at the pinned value.
+        assert!(f.time_weighted_mean() > 1495.0, "{}", f.time_weighted_mean());
+    }
+
+    #[test]
+    fn named_userspace_reports_label() {
+        let g = Userspace::named(
+            ClusterFreqs {
+                big: MHz(1000),
+                little: MHz(1000),
+                gpu: MHz(600),
+            },
+            "EEMP",
+        );
+        assert_eq!(g.name(), "EEMP");
+        assert_eq!(g.freqs().big, MHz(1000));
+    }
+}

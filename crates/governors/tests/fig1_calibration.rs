@@ -1,0 +1,77 @@
+//! Calibration probe for the Fig. 1 scenario (run with
+//! `cargo test -p teem-governors --test fig1_calibration -- --ignored --nocapture`).
+//! Prints ondemand vs a TEEM-like proactive stepper on COVARIANCE/2L+3B.
+
+use teem_governors::Ondemand;
+use teem_soc::{
+    Board, ClusterFreqs, CpuMapping, MHz, Manager, RunSpec, Simulation, SocControl, SocView,
+};
+use teem_workload::{App, Partition};
+
+/// Minimal TEEM-like frequency stepper: threshold 85 C, delta 200 MHz,
+/// floor 1400 MHz, otherwise max (used only for calibration; the real
+/// implementation lives in teem-core).
+struct ProactiveStepper;
+
+impl Manager for ProactiveStepper {
+    fn name(&self) -> &str {
+        "proactive-85"
+    }
+
+    fn control(&mut self, view: &SocView, ctl: &mut SocControl) {
+        if view.readings.max_c() >= 85.0 {
+            let next = view.freqs.big.0.saturating_sub(200).max(1400);
+            ctl.set_big_freq(MHz(next));
+        } else {
+            ctl.set_big_freq(MHz(2000));
+        }
+        ctl.set_little_freq(MHz(1400));
+        ctl.set_gpu_freq(MHz(600));
+    }
+}
+
+fn spec() -> RunSpec {
+    RunSpec {
+        app: App::Covariance,
+        mapping: CpuMapping::new(2, 3),
+        partition: Partition::even(),
+        initial: ClusterFreqs {
+            big: MHz(2000),
+            little: MHz(1400),
+            gpu: MHz(600),
+        },
+    }
+}
+
+#[test]
+#[ignore = "calibration probe; run manually with --ignored --nocapture"]
+fn print_fig1_numbers() {
+    let mut sim = Simulation::new(Board::odroid_xu4_ideal(), spec());
+    let od = sim.run(&mut Ondemand::xu4());
+    println!(
+        "ondemand : ET={:.1}s E={:.0}J avgT={:.1} peakT={:.1} varT={:.2} avgF={:.0} trips={}",
+        od.summary.execution_time_s,
+        od.summary.energy_j,
+        od.summary.avg_temp_c,
+        od.summary.peak_temp_c,
+        od.summary.temp_variance,
+        od.summary.avg_big_freq_mhz,
+        od.zone_trips
+    );
+
+    let mut sim = Simulation::new(Board::odroid_xu4_ideal(), spec());
+    let tm = sim.run(&mut ProactiveStepper);
+    println!(
+        "proactive: ET={:.1}s E={:.0}J avgT={:.1} peakT={:.1} varT={:.2} avgF={:.0} trips={}",
+        tm.summary.execution_time_s,
+        tm.summary.energy_j,
+        tm.summary.avg_temp_c,
+        tm.summary.peak_temp_c,
+        tm.summary.temp_variance,
+        tm.summary.avg_big_freq_mhz,
+        tm.zone_trips
+    );
+    println!(
+        "paper    : ondemand ET=48s E=530J avgT=93.7 peakT=96 | TEEM ET=39.6s E=413J avgT=85.8 peakT=90"
+    );
+}

@@ -1,0 +1,245 @@
+//! Pearson correlations and scatter-matrix data — the machinery behind the
+//! paper's Fig. 3 (matrix scatterplot of response and predictor variables)
+//! and its collinearity discussion (AT↔PT and ET↔EC are strongly
+//! correlated, which masks PT and EC in the full model).
+
+use crate::error::{LinregError, Result};
+use crate::ols::Dataset;
+use std::fmt;
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` when lengths differ, fewer than two points are supplied,
+/// or either sample has zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use teem_linreg::corr::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Named correlation matrix over the columns of a [`Dataset`] (response
+/// first, then predictors) — the numeric backbone of a scatterplot matrix.
+#[derive(Debug, Clone)]
+pub struct CorrelationMatrix {
+    names: Vec<String>,
+    /// Row-major `names.len() x names.len()` correlation entries.
+    values: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Computes the correlation matrix of a dataset's columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinregError::NotEnoughObservations`] for fewer than two
+    /// observations and [`LinregError::InvalidValue`] when a column has
+    /// zero variance (correlation undefined).
+    pub fn of(data: &Dataset) -> Result<CorrelationMatrix> {
+        if data.n() < 2 {
+            return Err(LinregError::NotEnoughObservations {
+                n: data.n(),
+                required: 2,
+            });
+        }
+        let mut names = vec![data.response_name().to_string()];
+        names.extend(data.predictor_names().iter().cloned());
+        let k = names.len();
+        let col = |i: usize| -> &[f64] {
+            if i == 0 {
+                data.response()
+            } else {
+                data.predictor(i - 1)
+            }
+        };
+        let mut values = vec![0.0; k * k];
+        for i in 0..k {
+            for j in i..k {
+                let r = if i == j {
+                    1.0
+                } else {
+                    pearson(col(i), col(j)).ok_or(LinregError::InvalidValue {
+                        what: "zero-variance column in correlation",
+                        value: 0.0,
+                    })?
+                };
+                values[i * k + j] = r;
+                values[j * k + i] = r;
+            }
+        }
+        Ok(CorrelationMatrix { names, values })
+    }
+
+    /// Column/row names, response first.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Correlation between columns `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        let k = self.names.len();
+        assert!(i < k && j < k, "correlation index out of range");
+        self.values[i * k + j]
+    }
+
+    /// Correlation looked up by column names.
+    pub fn between(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.names.iter().position(|n| n == a)?;
+        let j = self.names.iter().position(|n| n == b)?;
+        Some(self.at(i, j))
+    }
+
+    /// Pairs of distinct columns with `|r| >= threshold` — the collinear
+    /// pairs the paper's Fig. 3 reveals (AT↔PT, ET↔EC).
+    pub fn strongly_correlated(&self, threshold: f64) -> Vec<(String, String, f64)> {
+        let k = self.names.len();
+        let mut out = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let r = self.at(i, j);
+                if r.abs() >= threshold {
+                    out.push((self.names[i].clone(), self.names[j].clone(), r));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CorrelationMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.names.iter().map(|n| n.len()).max().unwrap_or(4).max(6);
+        write!(f, "{:w$}", "")?;
+        for n in &self.names {
+            write!(f, " {n:>w$}")?;
+        }
+        writeln!(f)?;
+        let k = self.names.len();
+        for i in 0..k {
+            write!(f, "{:<w$}", self.names[i])?;
+            for j in 0..k {
+                write!(f, " {:>w$.3}", self.at(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Emits the dataset as CSV (response first), ready for an external
+/// scatter-matrix plot of Fig. 3.
+pub fn to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(data.response_name());
+    for n in data.predictor_names() {
+        out.push(',');
+        out.push_str(n);
+    }
+    out.push('\n');
+    for r in 0..data.n() {
+        out.push_str(&format!("{}", data.response()[r]));
+        for c in 0..data.predictor_names().len() {
+            out.push_str(&format!(",{}", data.predictor(c)[r]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new("M");
+        d.push_predictor("AT", vec![84.0, 86.0, 88.0, 90.0, 92.0, 94.0]);
+        // PT tracks AT closely (collinear pair).
+        d.push_predictor("PT", vec![86.1, 88.0, 89.9, 92.2, 94.0, 96.1]);
+        d.push_predictor("ET", vec![55.0, 48.0, 41.0, 35.0, 30.0, 26.0]);
+        d.set_response(vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        d
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[5.0, 5.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let m = CorrelationMatrix::of(&sample()).unwrap();
+        let k = m.names().len();
+        for i in 0..k {
+            assert_eq!(m.at(i, i), 1.0);
+            for j in 0..k {
+                assert_eq!(m.at(i, j), m.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn finds_collinear_pair() {
+        let m = CorrelationMatrix::of(&sample()).unwrap();
+        let strong = m.strongly_correlated(0.99);
+        assert!(
+            strong
+                .iter()
+                .any(|(a, b, _)| (a == "AT" && b == "PT") || (a == "PT" && b == "AT")),
+            "expected AT~PT in {strong:?}"
+        );
+        let r = m.between("AT", "PT").unwrap();
+        assert!(r > 0.99);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("M,AT,PT,ET"));
+        assert_eq!(csv.lines().count(), 7);
+    }
+
+    #[test]
+    fn display_prints_grid() {
+        let m = CorrelationMatrix::of(&sample()).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("AT"));
+        assert!(s.contains("1.000"));
+    }
+}

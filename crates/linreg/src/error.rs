@@ -1,0 +1,122 @@
+//! Error types for the linear-regression substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or fitting linear models.
+///
+/// # Examples
+///
+/// ```
+/// use teem_linreg::{Matrix, LinregError};
+///
+/// let bad = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+/// assert!(matches!(bad, Err(LinregError::RaggedRows { .. })));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinregError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Dimensions of the right operand `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// Rows of differing lengths were supplied to a matrix constructor.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// The normal-equations matrix was singular (perfectly collinear
+    /// predictors or fewer observations than coefficients).
+    Singular,
+    /// Fewer observations than required for the requested fit.
+    NotEnoughObservations {
+        /// Observations supplied.
+        n: usize,
+        /// Minimum required (coefficients + 1).
+        required: usize,
+    },
+    /// A response or predictor value was non-finite, or a transform was
+    /// applied to a value outside its domain (e.g. `log10` of a
+    /// non-positive response).
+    InvalidValue {
+        /// Description of what was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for LinregError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinregError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinregError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "ragged rows: row {row} has {found} entries, expected {expected}"
+            ),
+            LinregError::Singular => {
+                write!(f, "singular system: predictors are perfectly collinear")
+            }
+            LinregError::NotEnoughObservations { n, required } => write!(
+                f,
+                "not enough observations: {n} supplied, at least {required} required"
+            ),
+            LinregError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
+        }
+    }
+}
+
+impl Error for LinregError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinregError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinregError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinregError::NotEnoughObservations { n: 3, required: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+
+        let e = LinregError::InvalidValue {
+            what: "log10 response",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("log10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinregError>();
+    }
+}

@@ -1,0 +1,119 @@
+//! # teem-linreg
+//!
+//! Linear-regression substrate for the TEEM reproduction — a from-scratch
+//! replacement for the R workflow the paper uses in its offline phase
+//! ("Linear regression in R was used to determine the model", §III-A.3).
+//!
+//! The paper's Tables I and II are verbatim `summary(lm(...))` output; this
+//! crate reproduces every statistic they contain:
+//!
+//! * coefficient estimates, standard errors, t values and `Pr(>|t|)`
+//!   ([`ols`], [`dist`]),
+//! * residual five-number summary and residual standard error
+//!   ([`quantile`]),
+//! * multiple/adjusted R² and the overall F-test ([`ols`]),
+//! * the R-style text rendering ([`summary`]),
+//! * the Fig. 3 scatter-matrix / collinearity analysis ([`corr`]).
+//!
+//! # Examples
+//!
+//! Fit the paper's transformed model shape, `log10(M) = β0 + β1·AT + β2·ET`:
+//!
+//! ```
+//! use teem_linreg::{Dataset, summary::Summary};
+//!
+//! let mut d = Dataset::new("M");
+//! d.push_predictor("AT", vec![84.0, 86.0, 88.0, 90.0, 92.0, 93.0, 95.0]);
+//! d.push_predictor("ET", vec![55.0, 48.0, 42.0, 36.0, 31.0, 28.0, 25.0]);
+//! d.set_response(vec![8.0, 7.0, 5.5, 4.2, 3.1, 2.4, 2.0]);
+//! let logd = d.map_response("log(M)", f64::log10)?;
+//! let fit = logd.fit()?;
+//! println!("{}", Summary::new(&fit));
+//! assert!(fit.r_squared() > 0.9);
+//! # Ok::<(), teem_linreg::LinregError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corr;
+pub mod dist;
+mod error;
+mod matrix;
+pub mod ols;
+pub mod quantile;
+pub mod solve;
+pub mod summary;
+
+pub use error::{LinregError, Result};
+pub use matrix::Matrix;
+pub use ols::{Coefficient, Dataset, OlsFit};
+
+#[cfg(test)]
+mod integration {
+    use super::*;
+
+    /// End-to-end: replicate the paper's modelling narrative on synthetic
+    /// data — full model has collinearity-masked predictors, reduced
+    /// log-model is strongly significant.
+    #[test]
+    fn paper_style_workflow() {
+        // Synthetic profile data with the paper's structure: AT and ET vary
+        // on (almost) independent grids so neither masks the other, while
+        // PT tracks AT and EC tracks ET (the collinear pairs of Fig. 3).
+        let n = 17;
+        let at: Vec<f64> = (0..n)
+            .map(|i| 82.0 + 3.0 * ((i % 4) as f64) + 0.2 * ((i / 4) as f64))
+            .collect();
+        let et: Vec<f64> = (0..n)
+            .map(|i| 25.0 + 8.0 * ((i / 4) as f64) + 0.5 * ((i % 3) as f64))
+            .collect();
+        let pt: Vec<f64> = at
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 2.0 + 0.3 * ((i % 5) as f64))
+            .collect();
+        let ec: Vec<f64> = et
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 8.0 * v + 6.0 * ((i * i % 7) as f64))
+            .collect();
+        let m: Vec<f64> = at
+            .iter()
+            .zip(et.iter())
+            .enumerate()
+            .map(|(i, (a, e))| {
+                let log_m = 2.6 - 0.018 * a - 0.012 * e + 0.02 * ((i % 5) as f64 - 2.0);
+                10f64.powf(log_m)
+            })
+            .collect();
+
+        let mut d = Dataset::new("M");
+        d.push_predictor("AT", at);
+        d.push_predictor("ET", et);
+        d.push_predictor("PT", pt);
+        d.push_predictor("EC", ec);
+        d.set_response(m);
+
+        let full = d.fit().expect("full model fits");
+        assert_eq!(full.df_residual(), 12); // n=17, p=4 -> 12 DF as Table I
+
+        // Collinearity: AT/PT pair strongly correlated.
+        let corr = corr::CorrelationMatrix::of(&d).unwrap();
+        assert!(corr.between("AT", "PT").unwrap().abs() > 0.95);
+        assert!(corr.between("ET", "EC").unwrap().abs() > 0.95);
+
+        // Reduced + outlier-dropped + log-transformed model (Table II shape).
+        let reduced = d.with_predictors(&["AT", "ET"]);
+        let fit0 = reduced.fit().unwrap();
+        let drop = fit0.worst_outlier();
+        let logd = reduced
+            .without_observation(drop)
+            .map_response("log(M)", f64::log10)
+            .unwrap();
+        let fit = logd.fit().unwrap();
+        assert_eq!(fit.df_residual(), 13); // n=16, p=2 -> 13 DF as Table II
+        assert!(fit.r_squared() > 0.9, "R2 = {}", fit.r_squared());
+        assert!(fit.coefficient("ET").unwrap().p_value < 0.001);
+    }
+}

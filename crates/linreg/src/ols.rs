@@ -1,0 +1,676 @@
+//! Ordinary least squares with the full inferential apparatus of R's
+//! `summary.lm`: coefficient standard errors, t statistics, two-sided
+//! p-values, residual standard error, (adjusted) R², and the overall
+//! F-test.
+//!
+//! This is the engine behind the paper's Table I and Table II, which were
+//! produced with `lm()` in R.
+
+use crate::dist::{f_upper_p, t_two_sided_p};
+use crate::error::{LinregError, Result};
+use crate::matrix::Matrix;
+use crate::quantile::FiveNum;
+use crate::solve::cholesky;
+
+/// A dataset for regression: named predictor columns plus a named response.
+///
+/// # Examples
+///
+/// ```
+/// use teem_linreg::Dataset;
+///
+/// let mut d = Dataset::new("M");
+/// d.push_predictor("AT", vec![80.0, 85.0, 90.0, 95.0]);
+/// d.push_predictor("ET", vec![30.0, 45.0, 50.0, 70.0]);
+/// d.set_response(vec![8.0, 6.0, 4.0, 2.0]);
+/// let fit = d.fit()?;
+/// assert_eq!(fit.coefficients().len(), 3); // intercept + 2 predictors
+/// # Ok::<(), teem_linreg::LinregError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    response_name: String,
+    predictor_names: Vec<String>,
+    predictors: Vec<Vec<f64>>,
+    response: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given response-variable name.
+    pub fn new(response_name: impl Into<String>) -> Self {
+        Dataset {
+            response_name: response_name.into(),
+            ..Dataset::default()
+        }
+    }
+
+    /// Adds a named predictor column.
+    pub fn push_predictor(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        self.predictor_names.push(name.into());
+        self.predictors.push(values);
+    }
+
+    /// Sets the response column.
+    pub fn set_response(&mut self, values: Vec<f64>) {
+        self.response = values;
+    }
+
+    /// Name of the response variable.
+    pub fn response_name(&self) -> &str {
+        &self.response_name
+    }
+
+    /// Names of the predictor variables, in order.
+    pub fn predictor_names(&self) -> &[String] {
+        &self.predictor_names
+    }
+
+    /// Borrow of the response column.
+    pub fn response(&self) -> &[f64] {
+        &self.response
+    }
+
+    /// Borrow of predictor column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn predictor(&self, i: usize) -> &[f64] {
+        &self.predictors[i]
+    }
+
+    /// Number of observations (length of the response).
+    pub fn n(&self) -> usize {
+        self.response.len()
+    }
+
+    /// Returns a copy of this dataset keeping only the named predictors.
+    /// Unknown names are ignored. Used for the paper's collinearity step
+    /// where PT and EC are dropped.
+    pub fn with_predictors(&self, keep: &[&str]) -> Dataset {
+        let mut d = Dataset::new(self.response_name.clone());
+        for (name, vals) in self.predictor_names.iter().zip(self.predictors.iter()) {
+            if keep.contains(&name.as_str()) {
+                d.push_predictor(name.clone(), vals.clone());
+            }
+        }
+        d.set_response(self.response.clone());
+        d
+    }
+
+    /// Returns a copy with observation `idx` removed from every column.
+    /// Used for outlier deletion between the paper's Table I and Table II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.n()`.
+    pub fn without_observation(&self, idx: usize) -> Dataset {
+        assert!(idx < self.n(), "observation {idx} out of range");
+        let mut d = Dataset::new(self.response_name.clone());
+        for (name, vals) in self.predictor_names.iter().zip(self.predictors.iter()) {
+            let mut v = vals.clone();
+            v.remove(idx);
+            d.push_predictor(name.clone(), v);
+        }
+        let mut y = self.response.clone();
+        y.remove(idx);
+        d.set_response(y);
+        d
+    }
+
+    /// Returns a copy with the response transformed by `f` and renamed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinregError::InvalidValue`] if the transform produces a
+    /// non-finite value (e.g. `log10` of a non-positive response).
+    pub fn map_response(
+        &self,
+        new_name: impl Into<String>,
+        f: impl Fn(f64) -> f64,
+    ) -> Result<Dataset> {
+        let mut d = Dataset::new(new_name);
+        for (name, vals) in self.predictor_names.iter().zip(self.predictors.iter()) {
+            d.push_predictor(name.clone(), vals.clone());
+        }
+        let mut y = Vec::with_capacity(self.response.len());
+        for &v in &self.response {
+            let t = f(v);
+            if !t.is_finite() {
+                return Err(LinregError::InvalidValue {
+                    what: "transformed response",
+                    value: v,
+                });
+            }
+            y.push(t);
+        }
+        d.set_response(y);
+        Ok(d)
+    }
+
+    /// Builds the design matrix (leading intercept column of ones followed
+    /// by the predictors) and response vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinregError::DimensionMismatch`] if any column length differs
+    ///   from the response length.
+    /// * [`LinregError::NotEnoughObservations`] if `n <= p + 1`.
+    /// * [`LinregError::InvalidValue`] for non-finite entries.
+    pub fn design(&self) -> Result<(Matrix, Vec<f64>)> {
+        let n = self.response.len();
+        let p = self.predictors.len();
+        for col in &self.predictors {
+            if col.len() != n {
+                return Err(LinregError::DimensionMismatch {
+                    op: "dataset design",
+                    lhs: (n, 1),
+                    rhs: (col.len(), 1),
+                });
+            }
+        }
+        if n < p + 2 {
+            return Err(LinregError::NotEnoughObservations {
+                n,
+                required: p + 2,
+            });
+        }
+        let mut x = Matrix::zeros(n, p + 1);
+        for r in 0..n {
+            x[(r, 0)] = 1.0;
+            for c in 0..p {
+                let v = self.predictors[c][r];
+                if !v.is_finite() {
+                    return Err(LinregError::InvalidValue {
+                        what: "predictor",
+                        value: v,
+                    });
+                }
+                x[(r, c + 1)] = v;
+            }
+            if !self.response[r].is_finite() {
+                return Err(LinregError::InvalidValue {
+                    what: "response",
+                    value: self.response[r],
+                });
+            }
+        }
+        Ok((x, self.response.clone()))
+    }
+
+    /// Fits an OLS model with intercept to this dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the design-construction errors of [`Dataset::design`] and
+    /// [`LinregError::Singular`] for perfectly collinear predictors.
+    pub fn fit(&self) -> Result<OlsFit> {
+        let (x, y) = self.design()?;
+        let mut names = Vec::with_capacity(self.predictor_names.len() + 1);
+        names.push("(Intercept)".to_string());
+        names.extend(self.predictor_names.iter().cloned());
+        OlsFit::from_design(x, y, names, self.response_name.clone())
+    }
+}
+
+/// One row of the coefficients table: estimate, standard error, t value and
+/// two-sided p-value — exactly the columns of R's coefficient summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficient {
+    /// Term name (`(Intercept)`, `AT`, `ET`, …).
+    pub name: String,
+    /// Point estimate of the coefficient.
+    pub estimate: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// `estimate / std_error`.
+    pub t_value: f64,
+    /// Two-sided p-value `Pr(>|t|)` with the fit's residual df.
+    pub p_value: f64,
+}
+
+impl Coefficient {
+    /// R-style significance code: `***`, `**`, `*`, `.` or empty.
+    ///
+    /// Note the paper's tables print the legend with R's standard
+    /// breakpoints (0.001, 0.01, 0.05, 0.1).
+    pub fn signif_code(&self) -> &'static str {
+        signif_code(self.p_value)
+    }
+}
+
+/// Maps a p-value to the R significance code.
+pub fn signif_code(p: f64) -> &'static str {
+    if p < 0.001 {
+        "***"
+    } else if p < 0.01 {
+        "**"
+    } else if p < 0.05 {
+        "*"
+    } else if p < 0.1 {
+        "."
+    } else {
+        ""
+    }
+}
+
+/// A fitted OLS model, with everything `summary.lm` reports.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    response_name: String,
+    coefficients: Vec<Coefficient>,
+    residuals: Vec<f64>,
+    fitted: Vec<f64>,
+    leverage: Vec<f64>,
+    sigma: f64,
+    df_residual: usize,
+    r_squared: f64,
+    adj_r_squared: f64,
+    f_statistic: f64,
+    f_df: (usize, usize),
+    f_p_value: f64,
+    xtx_inv: Matrix,
+}
+
+impl OlsFit {
+    /// Fits from an explicit design matrix (first column must already be
+    /// the intercept if one is wanted) and response vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinregError::Singular`] when `X^T X` is not invertible.
+    /// * [`LinregError::NotEnoughObservations`] when `n <= p`.
+    pub fn from_design(
+        x: Matrix,
+        y: Vec<f64>,
+        names: Vec<String>,
+        response_name: String,
+    ) -> Result<OlsFit> {
+        let n = x.rows();
+        let p = x.cols(); // includes intercept
+        if n <= p {
+            return Err(LinregError::NotEnoughObservations { n, required: p + 1 });
+        }
+        let gram = x.gram();
+        let chol = cholesky(&gram)?;
+        // beta = (X'X)^-1 X'y
+        let xty: Vec<f64> = (0..p)
+            .map(|c| (0..n).map(|r| x[(r, c)] * y[r]).sum())
+            .collect();
+        let beta = chol.solve(&xty)?;
+        let xtx_inv = chol.inverse()?;
+
+        let fitted = x.matvec(&beta)?;
+        let residuals: Vec<f64> = y.iter().zip(fitted.iter()).map(|(a, b)| a - b).collect();
+        let rss: f64 = residuals.iter().map(|e| e * e).sum();
+        let ybar = y.iter().sum::<f64>() / n as f64;
+        let tss: f64 = y.iter().map(|v| (v - ybar) * (v - ybar)).sum();
+        let df_residual = n - p;
+        let sigma2 = rss / df_residual as f64;
+        let sigma = sigma2.sqrt();
+
+        // Leverage h_i = x_i (X'X)^-1 x_i'
+        let mut leverage = Vec::with_capacity(n);
+        for r in 0..n {
+            let xi = x.row(r);
+            let tmp = xtx_inv.matvec(xi)?;
+            let h: f64 = xi.iter().zip(tmp.iter()).map(|(a, b)| a * b).sum();
+            leverage.push(h);
+        }
+
+        let mut coefficients = Vec::with_capacity(p);
+        for j in 0..p {
+            let se = (sigma2 * xtx_inv[(j, j)]).sqrt();
+            let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+            coefficients.push(Coefficient {
+                name: names
+                    .get(j)
+                    .cloned()
+                    .unwrap_or_else(|| format!("x{j}")),
+                estimate: beta[j],
+                std_error: se,
+                t_value: t,
+                p_value: t_two_sided_p(t, df_residual as f64),
+            });
+        }
+
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { f64::NAN };
+        let k = p - 1; // predictors excluding intercept
+        let adj_r_squared = if tss > 0.0 && n > p {
+            1.0 - (rss / df_residual as f64) / (tss / (n - 1) as f64)
+        } else {
+            f64::NAN
+        };
+        let (f_statistic, f_p_value) = if k > 0 && rss > 0.0 {
+            let f = ((tss - rss) / k as f64) / (rss / df_residual as f64);
+            (f, f_upper_p(f, k as f64, df_residual as f64))
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+
+        Ok(OlsFit {
+            response_name,
+            coefficients,
+            residuals,
+            fitted,
+            leverage,
+            sigma,
+            df_residual,
+            r_squared,
+            adj_r_squared,
+            f_statistic,
+            f_df: (k, df_residual),
+            f_p_value,
+            xtx_inv,
+        })
+    }
+
+    /// Name of the response variable the model was fitted to.
+    pub fn response_name(&self) -> &str {
+        &self.response_name
+    }
+
+    /// Coefficient table (intercept first).
+    pub fn coefficients(&self) -> &[Coefficient] {
+        &self.coefficients
+    }
+
+    /// Looks up a coefficient by term name.
+    pub fn coefficient(&self, name: &str) -> Option<&Coefficient> {
+        self.coefficients.iter().find(|c| c.name == name)
+    }
+
+    /// Raw residuals `y - fitted`.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// Fitted values.
+    pub fn fitted(&self) -> &[f64] {
+        &self.fitted
+    }
+
+    /// Hat-matrix diagonal (leverage) per observation.
+    pub fn leverage(&self) -> &[f64] {
+        &self.leverage
+    }
+
+    /// Residual standard error (R's `sigma`).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Residual degrees of freedom `n - p - 1` (with `p` predictors).
+    pub fn df_residual(&self) -> usize {
+        self.df_residual
+    }
+
+    /// Multiple R-squared.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Adjusted R-squared.
+    pub fn adj_r_squared(&self) -> f64 {
+        self.adj_r_squared
+    }
+
+    /// Overall F statistic and its degrees of freedom `(k, n - p - 1)`.
+    pub fn f_statistic(&self) -> (f64, usize, usize) {
+        (self.f_statistic, self.f_df.0, self.f_df.1)
+    }
+
+    /// p-value of the overall F-test.
+    pub fn f_p_value(&self) -> f64 {
+        self.f_p_value
+    }
+
+    /// Number of observations the model was fitted on.
+    pub fn n(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Five-number summary of the residuals (the `Residuals:` block).
+    pub fn residual_five_num(&self) -> FiveNum {
+        FiveNum::of(&self.residuals).expect("fit guarantees at least one observation")
+    }
+
+    /// Internally studentised residuals `e_i / (sigma * sqrt(1 - h_i))`.
+    pub fn studentized_residuals(&self) -> Vec<f64> {
+        self.residuals
+            .iter()
+            .zip(self.leverage.iter())
+            .map(|(e, h)| {
+                let denom = self.sigma * (1.0 - h).max(1e-12).sqrt();
+                e / denom
+            })
+            .collect()
+    }
+
+    /// Index of the observation with the largest |studentised residual| —
+    /// the outlier the paper removes before the log-transformed refit.
+    pub fn worst_outlier(&self) -> usize {
+        self.studentized_residuals()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.abs()
+                    .partial_cmp(&b.1.abs())
+                    .expect("non-finite studentised residual")
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Predicts the response for a new predictor vector (without intercept
+    /// — it is added internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinregError::DimensionMismatch`] if `xs.len()` differs
+    /// from the number of predictors.
+    pub fn predict(&self, xs: &[f64]) -> Result<f64> {
+        if xs.len() + 1 != self.coefficients.len() {
+            return Err(LinregError::DimensionMismatch {
+                op: "predict",
+                lhs: (self.coefficients.len() - 1, 1),
+                rhs: (xs.len(), 1),
+            });
+        }
+        let mut y = self.coefficients[0].estimate;
+        for (c, x) in self.coefficients[1..].iter().zip(xs.iter()) {
+            y += c.estimate * x;
+        }
+        Ok(y)
+    }
+
+    /// Coefficient covariance scale matrix `(X^T X)^{-1}` (multiply by
+    /// `sigma^2` for the covariance).
+    pub fn xtx_inverse(&self) -> &Matrix {
+        &self.xtx_inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 2 + 3 x1 - 0.5 x2, exact.
+    fn exact_dataset() -> Dataset {
+        let x1 = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x2 = vec![2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let y: Vec<f64> = x1
+            .iter()
+            .zip(x2.iter())
+            .map(|(a, b)| 2.0 + 3.0 * a - 0.5 * b)
+            .collect();
+        let mut d = Dataset::new("y");
+        d.push_predictor("x1", x1);
+        d.push_predictor("x2", x2);
+        d.set_response(y);
+        d
+    }
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        let fit = exact_dataset().fit().unwrap();
+        let c = fit.coefficients();
+        assert!((c[0].estimate - 2.0).abs() < 1e-10);
+        assert!((c[1].estimate - 3.0).abs() < 1e-10);
+        assert!((c[2].estimate + 0.5).abs() < 1e-10);
+        assert!(fit.r_squared() > 0.999_999);
+        assert!(fit.residuals().iter().all(|e| e.abs() < 1e-9));
+    }
+
+    #[test]
+    fn simple_regression_matches_closed_form() {
+        // y = a + b x fitted by OLS has closed-form slope/intercept.
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = vec![2.1, 3.9, 6.2, 7.8, 10.1];
+        let n = x.len() as f64;
+        let sx: f64 = x.iter().sum();
+        let sy: f64 = y.iter().sum();
+        let sxx: f64 = x.iter().map(|v| v * v).sum();
+        let sxy: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+
+        let mut d = Dataset::new("y");
+        d.push_predictor("x", x);
+        d.set_response(y);
+        let fit = d.fit().unwrap();
+        assert!((fit.coefficients()[0].estimate - intercept).abs() < 1e-10);
+        assert!((fit.coefficients()[1].estimate - slope).abs() < 1e-10);
+    }
+
+    #[test]
+    fn matches_closed_form_reference_fit() {
+        // Reference derived by hand from the OLS closed forms for
+        //   x = 1..8, y = (2.0, 4.1, 5.9, 8.3, 9.8, 12.2, 13.9, 16.1):
+        // slope = 672.4/336, intercept = 0.0321428571,
+        // sigma = 0.1819756 on 6 df, se_b = sigma/sqrt(42) = 0.0280795,
+        // se_a = sigma*sqrt(1/8 + 4.5^2/42) = 0.1417942,
+        // R^2 = 0.9988201, F = 5079.3 on 1 and 6 DF.
+        let mut d = Dataset::new("y");
+        d.push_predictor("x", (1..=8).map(f64::from).collect());
+        d.set_response(vec![2.0, 4.1, 5.9, 8.3, 9.8, 12.2, 13.9, 16.1]);
+        let fit = d.fit().unwrap();
+        let c = fit.coefficients();
+        assert!((c[0].estimate - 0.032_142_857_1).abs() < 1e-9, "{}", c[0].estimate);
+        assert!((c[1].estimate - 672.4 / 336.0).abs() < 1e-9, "{}", c[1].estimate);
+        assert!((c[0].std_error - 0.141_794_2).abs() < 1e-6, "{}", c[0].std_error);
+        assert!((c[1].std_error - 0.028_079_5).abs() < 1e-6, "{}", c[1].std_error);
+        assert!((fit.sigma() - 0.181_975_6).abs() < 1e-6, "{}", fit.sigma());
+        assert_eq!(fit.df_residual(), 6);
+        assert!((fit.r_squared() - 0.998_820_1).abs() < 1e-6);
+        let (f, d1, d2) = fit.f_statistic();
+        assert_eq!((d1, d2), (1, 6));
+        assert!((f / 5079.3 - 1.0).abs() < 1e-4, "F = {f}");
+    }
+
+    #[test]
+    fn p_values_flag_irrelevant_predictor() {
+        // y depends on x1 only; noise predictor x2 should be insignificant.
+        let x1: Vec<f64> = (0..20).map(f64::from).collect();
+        let x2: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let y: Vec<f64> = x1
+            .iter()
+            .enumerate()
+            .map(|(i, a)| 1.0 + 2.0 * a + if i % 3 == 0 { 0.05 } else { -0.02 })
+            .collect();
+        let mut d = Dataset::new("y");
+        d.push_predictor("x1", x1);
+        d.push_predictor("x2", x2);
+        d.set_response(y);
+        let fit = d.fit().unwrap();
+        assert!(fit.coefficient("x1").unwrap().p_value < 1e-10);
+        assert!(fit.coefficient("x2").unwrap().p_value > 0.05);
+    }
+
+    #[test]
+    fn collinear_predictors_are_singular() {
+        let x1 = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let x2: Vec<f64> = x1.iter().map(|v| 2.0 * v).collect();
+        let mut d = Dataset::new("y");
+        d.push_predictor("x1", x1);
+        d.push_predictor("x2", x2);
+        d.set_response(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(d.fit().unwrap_err(), LinregError::Singular);
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        let mut d = Dataset::new("y");
+        d.push_predictor("x1", vec![1.0, 2.0]);
+        d.push_predictor("x2", vec![2.0, 1.0]);
+        d.set_response(vec![1.0, 2.0]);
+        assert!(matches!(
+            d.fit(),
+            Err(LinregError::NotEnoughObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn without_observation_removes_row_everywhere() {
+        let d = exact_dataset();
+        let d2 = d.without_observation(2);
+        assert_eq!(d2.n(), d.n() - 1);
+        assert_eq!(d2.predictor(0)[2], d.predictor(0)[3]);
+        assert_eq!(d2.response()[2], d.response()[3]);
+    }
+
+    #[test]
+    fn with_predictors_subsets_and_preserves_order() {
+        let d = exact_dataset();
+        let d2 = d.with_predictors(&["x2"]);
+        assert_eq!(d2.predictor_names(), &["x2".to_string()]);
+        assert_eq!(d2.predictor(0), d.predictor(1));
+    }
+
+    #[test]
+    fn map_response_log10_and_domain_error() {
+        let mut d = Dataset::new("y");
+        d.push_predictor("x", vec![1.0, 2.0, 3.0, 4.0]);
+        d.set_response(vec![10.0, 100.0, 1000.0, 10_000.0]);
+        let dl = d.map_response("log10(y)", f64::log10).unwrap();
+        assert_eq!(dl.response(), &[1.0, 2.0, 3.0, 4.0]);
+
+        let mut bad = Dataset::new("y");
+        bad.push_predictor("x", vec![1.0, 2.0, 3.0, 4.0]);
+        bad.set_response(vec![1.0, -1.0, 2.0, 3.0]);
+        assert!(matches!(
+            bad.map_response("log10(y)", f64::log10),
+            Err(LinregError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn leverage_sums_to_p() {
+        // Known property: trace(H) = number of coefficients.
+        let fit = exact_dataset().fit().unwrap();
+        let sum: f64 = fit.leverage().iter().sum();
+        assert!((sum - 3.0).abs() < 1e-8, "trace(H) = {sum}");
+    }
+
+    #[test]
+    fn worst_outlier_finds_planted_outlier() {
+        let x: Vec<f64> = (0..15).map(f64::from).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| 1.0 + 2.0 * v + 0.01 * (v % 2.0)).collect();
+        y[7] += 25.0; // plant an outlier
+        let mut d = Dataset::new("y");
+        d.push_predictor("x", x);
+        d.set_response(y);
+        let fit = d.fit().unwrap();
+        assert_eq!(fit.worst_outlier(), 7);
+    }
+
+    #[test]
+    fn predict_applies_coefficients() {
+        let fit = exact_dataset().fit().unwrap();
+        let y = fit.predict(&[10.0, 4.0]).unwrap();
+        assert!((y - (2.0 + 30.0 - 2.0)).abs() < 1e-8);
+        assert!(fit.predict(&[1.0]).is_err());
+    }
+}

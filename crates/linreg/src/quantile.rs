@@ -1,0 +1,126 @@
+//! Sample quantiles (R's default "type 7" definition) used for the
+//! `Residuals:` block of an R-style model summary.
+
+/// Computes the sample quantile at probability `p` using linear
+/// interpolation of the order statistics (R's `quantile(type = 7)`).
+///
+/// Returns `None` for an empty sample or `p` outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use teem_linreg::quantile::quantile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// assert_eq!(quantile(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in quantile"));
+    Some(quantile_sorted(&sorted, p))
+}
+
+/// Like [`quantile`] but assumes `sorted` is already ascending. Useful when
+/// extracting several quantiles from one sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// The five-number summary R prints for residuals: min, 1Q, median, 3Q, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNum {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl FiveNum {
+    /// Computes the five-number summary of a sample.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<FiveNum> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in five-num"));
+        Some(FiveNum {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_sample() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn quartiles_match_r_type7() {
+        // R: quantile(c(1,2,3,4,5,6,7,8), c(.25,.75)) -> 2.75, 6.25
+        let xs: Vec<f64> = (1..=8).map(f64::from).collect();
+        assert!((quantile(&xs, 0.25).unwrap() - 2.75).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75).unwrap() - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_out_of_range() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+    }
+
+    #[test]
+    fn five_num_ordering() {
+        let f = FiveNum::of(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.max, 5.0);
+        assert!(f.min <= f.q1 && f.q1 <= f.median && f.median <= f.q3 && f.q3 <= f.max);
+    }
+
+    #[test]
+    fn five_num_empty() {
+        assert_eq!(FiveNum::of(&[]), None);
+    }
+
+    #[test]
+    fn single_element_sample() {
+        let f = FiveNum::of(&[7.0]).unwrap();
+        assert_eq!(f.min, 7.0);
+        assert_eq!(f.q1, 7.0);
+        assert_eq!(f.max, 7.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! R-style textual model summaries, matching the layout of the paper's
+//! Table I and Table II (which are verbatim `summary.lm` output).
+
+use crate::ols::OlsFit;
+use std::fmt;
+
+/// Wrapper that formats an [`OlsFit`] like R's `summary.lm`.
+///
+/// # Examples
+///
+/// ```
+/// use teem_linreg::{Dataset, summary::Summary};
+///
+/// let mut d = Dataset::new("y");
+/// d.push_predictor("x", (1..=8).map(f64::from).collect());
+/// d.set_response(vec![2.0, 4.1, 5.9, 8.3, 9.8, 12.2, 13.9, 16.1]);
+/// let fit = d.fit()?;
+/// let text = Summary::new(&fit).to_string();
+/// assert!(text.contains("Residuals:"));
+/// assert!(text.contains("Multiple R-squared"));
+/// # Ok::<(), teem_linreg::LinregError>(())
+/// ```
+#[derive(Debug)]
+pub struct Summary<'a> {
+    fit: &'a OlsFit,
+}
+
+impl<'a> Summary<'a> {
+    /// Creates a summary formatter for a fit.
+    pub fn new(fit: &'a OlsFit) -> Self {
+        Summary { fit }
+    }
+}
+
+/// Formats a p-value the way R does: scientific notation below 1e-4,
+/// fixed-point otherwise, `< 2e-16` for underflow.
+pub fn format_p_value(p: f64) -> String {
+    if p.is_nan() {
+        return "NA".to_string();
+    }
+    if p < 2e-16 {
+        return "< 2e-16".to_string();
+    }
+    if p < 1e-4 {
+        format!("{p:.3e}")
+    } else {
+        format!("{p:.5}")
+    }
+}
+
+impl fmt::Display for Summary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fit = self.fit;
+        let five = fit.residual_five_num();
+        writeln!(f, "Residuals:")?;
+        writeln!(
+            f,
+            "{:>9} {:>9} {:>9} {:>9} {:>9}",
+            "Min", "1Q", "Median", "3Q", "Max"
+        )?;
+        writeln!(
+            f,
+            "{:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            five.min, five.q1, five.median, five.q3, five.max
+        )?;
+        writeln!(f)?;
+        writeln!(f, "Coefficients:")?;
+        let name_w = fit
+            .coefficients()
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(12)
+            .max(11);
+        writeln!(
+            f,
+            "{:<name_w$} {:>12} {:>12} {:>8} {:>10}",
+            "", "Estimate", "Std. Error", "t value", "Pr(>|t|)"
+        )?;
+        for c in fit.coefficients() {
+            writeln!(
+                f,
+                "{:<name_w$} {:>12.6} {:>12.6} {:>8.3} {:>10} {}",
+                c.name,
+                c.estimate,
+                c.std_error,
+                c.t_value,
+                format_p_value(c.p_value),
+                c.signif_code(),
+            )?;
+        }
+        writeln!(f, "---")?;
+        writeln!(
+            f,
+            "Signif. codes:  0 '***' 0.001 '**' 0.01 '*' 0.05 '.' 0.1 ' ' 1"
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "Residual standard error: {:.4} on {} degrees of freedom",
+            fit.sigma(),
+            fit.df_residual()
+        )?;
+        writeln!(
+            f,
+            "Multiple R-squared: {:.4}, Adjusted R-squared: {:.4}",
+            fit.r_squared(),
+            fit.adj_r_squared()
+        )?;
+        let (fs, d1, d2) = fit.f_statistic();
+        writeln!(
+            f,
+            "F-statistic: {:.4} on {} and {} DF, p-value: {}",
+            fs,
+            d1,
+            d2,
+            format_p_value(fit.f_p_value())
+        )
+    }
+}
+
+/// One line of a compact model comparison (used when printing several fits
+/// side by side, e.g. before/after the paper's log transform).
+pub fn one_line(fit: &OlsFit) -> String {
+    let (fs, d1, d2) = fit.f_statistic();
+    format!(
+        "{}: R2={:.4} adjR2={:.4} F={:.2} on {} and {} DF (p={}) sigma={:.4}",
+        fit.response_name(),
+        fit.r_squared(),
+        fit.adj_r_squared(),
+        fs,
+        d1,
+        d2,
+        format_p_value(fit.f_p_value()),
+        fit.sigma()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ols::{signif_code, Dataset};
+
+    fn sample_fit() -> OlsFit {
+        let mut d = Dataset::new("y");
+        d.push_predictor("x", (1..=10).map(f64::from).collect());
+        d.set_response(vec![1.2, 2.1, 2.9, 4.3, 4.8, 6.2, 7.1, 7.9, 9.2, 9.8]);
+        d.fit().unwrap()
+    }
+
+    #[test]
+    fn summary_contains_all_sections() {
+        let fit = sample_fit();
+        let s = Summary::new(&fit).to_string();
+        for needle in [
+            "Residuals:",
+            "Coefficients:",
+            "(Intercept)",
+            "Pr(>|t|)",
+            "Signif. codes",
+            "Residual standard error",
+            "Multiple R-squared",
+            "F-statistic",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn signif_codes_cover_all_bands() {
+        assert_eq!(signif_code(0.0001), "***");
+        assert_eq!(signif_code(0.005), "**");
+        assert_eq!(signif_code(0.03), "*");
+        assert_eq!(signif_code(0.07), ".");
+        assert_eq!(signif_code(0.5), "");
+    }
+
+    #[test]
+    fn p_value_formatting() {
+        assert_eq!(format_p_value(1e-17), "< 2e-16");
+        assert!(format_p_value(2.4e-5).contains('e'));
+        assert_eq!(format_p_value(0.01727), "0.01727");
+        assert_eq!(format_p_value(f64::NAN), "NA");
+    }
+
+    #[test]
+    fn one_line_mentions_key_stats() {
+        let fit = sample_fit();
+        let line = one_line(&fit);
+        assert!(line.contains("R2="));
+        assert!(line.contains("F="));
+        assert!(line.contains("DF"));
+    }
+}

@@ -1,0 +1,629 @@
+//! The time-stepped simulation engine: executes one application run under
+//! a resource manager, integrating performance, power and temperature and
+//! producing the trace/summary the paper's figures are built from.
+
+use crate::board::Board;
+use crate::freq::MHz;
+use crate::perf::{cpu_rate, gpu_rate, CpuMapping};
+use crate::sensors::SensorReadings;
+use crate::thermal_zone::ThermalZone;
+use teem_telemetry::stats::SeriesStats;
+use teem_telemetry::{RunSummary, Trace};
+use teem_workload::{App, Partition};
+
+/// Cluster frequencies at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterFreqs {
+    /// Big (A15) cluster frequency.
+    pub big: MHz,
+    /// LITTLE (A7) cluster frequency.
+    pub little: MHz,
+    /// GPU frequency.
+    pub gpu: MHz,
+}
+
+impl ClusterFreqs {
+    /// Every cluster at its maximum OPP — how TEEM schedules an
+    /// application initially ("execute at maximum frequency for all the
+    /// clusters", §III-B).
+    pub fn max_of(board: &Board) -> ClusterFreqs {
+        ClusterFreqs {
+            big: board.big_opps.max().freq,
+            little: board.little_opps.max().freq,
+            gpu: board.gpu_opps.max().freq,
+        }
+    }
+}
+
+/// What to run: an application, a core mapping and a work partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// The application (provides simulator characteristics and names).
+    pub app: App,
+    /// CPU cores used for the CPU share.
+    pub mapping: CpuMapping,
+    /// Work-item split between CPU and GPU.
+    pub partition: Partition,
+    /// Starting frequencies (managers may change them immediately).
+    pub initial: ClusterFreqs,
+}
+
+/// The manager-visible state of the SoC at a control instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocView {
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Latest sensor sample.
+    pub readings: SensorReadings,
+    /// Current (effective) cluster frequencies.
+    pub freqs: ClusterFreqs,
+    /// Fraction of the CPU share completed (1.0 when done or no share).
+    pub cpu_progress: f64,
+    /// Fraction of the GPU share completed (1.0 when done or no share).
+    pub gpu_progress: f64,
+    /// Big-cluster utilisation in `[0, 1]` (what ondemand samples).
+    pub big_util: f64,
+    /// Instantaneous wall power, watts.
+    pub power_w: f64,
+    /// The run's mapping.
+    pub mapping: CpuMapping,
+    /// The run's partition.
+    pub partition: Partition,
+}
+
+/// Frequency requests a manager issues at a control instant. Unset fields
+/// leave the current frequency unchanged; requests are clamped to the OPP
+/// table (`at_or_below`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocControl {
+    big: Option<MHz>,
+    little: Option<MHz>,
+    gpu: Option<MHz>,
+}
+
+impl SocControl {
+    /// Requests a big-cluster frequency.
+    pub fn set_big_freq(&mut self, f: MHz) {
+        self.big = Some(f);
+    }
+
+    /// Requests a LITTLE-cluster frequency.
+    pub fn set_little_freq(&mut self, f: MHz) {
+        self.little = Some(f);
+    }
+
+    /// Requests a GPU frequency.
+    pub fn set_gpu_freq(&mut self, f: MHz) {
+        self.gpu = Some(f);
+    }
+
+    /// The pending big-cluster request, if any.
+    pub fn big_request(&self) -> Option<MHz> {
+        self.big
+    }
+}
+
+/// A runtime resource manager: ondemand, EEMP's static policy, RMP, TEEM…
+/// The engine calls [`Manager::control`] every [`Manager::period_s`]
+/// seconds of simulated time.
+pub trait Manager {
+    /// Manager name used in reports (e.g. `"TEEM"`).
+    fn name(&self) -> &str;
+
+    /// Observes the SoC and issues frequency requests.
+    fn control(&mut self, view: &SocView, ctl: &mut SocControl);
+
+    /// Control period in seconds (default 100 ms, a typical governor
+    /// sampling rate).
+    fn period_s(&self) -> f64 {
+        0.1
+    }
+}
+
+/// Everything a finished run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Headline metrics (the Fig. 1 / Fig. 5 numbers).
+    pub summary: RunSummary,
+    /// Recorded channels: `temp.max`, `temp.big`, `temp.gpu`, `freq.big`,
+    /// `freq.little`, `freq.gpu`, `power.total`.
+    pub trace: Trace,
+    /// Number of reactive thermal-zone trips during the run.
+    pub zone_trips: u32,
+    /// `true` if the run hit the simulation timeout before completing.
+    pub timed_out: bool,
+    /// Per-domain energy, joules: (big, little, gpu, board).
+    pub energy_breakdown_j: (f64, f64, f64, f64),
+}
+
+/// Engine options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Integration step, seconds.
+    pub dt_s: f64,
+    /// Trace/sensor sampling period, seconds.
+    pub sample_period_s: f64,
+    /// Abort the run after this much simulated time.
+    pub timeout_s: f64,
+    /// Fraction of the run's initial power used to pre-heat the board
+    /// (the paper's runs start warm from back-to-back measurements —
+    /// Fig. 1 starts at ~80 °C).
+    pub warm_start_fraction: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dt_s: 0.01,
+            sample_period_s: 0.1,
+            timeout_s: 1_000.0,
+            warm_start_fraction: 0.93,
+        }
+    }
+}
+
+/// A single-run simulation of the board executing a [`RunSpec`] under a
+/// [`Manager`], with the stock reactive [`ThermalZone`] armed underneath
+/// (as on the real kernel) unless disabled.
+#[derive(Debug)]
+pub struct Simulation {
+    board: Board,
+    spec: RunSpec,
+    config: SimConfig,
+    zone: Option<ThermalZone>,
+}
+
+impl Simulation {
+    /// Creates a simulation with the stock 95 °C thermal zone armed.
+    pub fn new(board: Board, spec: RunSpec) -> Self {
+        Simulation {
+            board,
+            spec,
+            config: SimConfig::default(),
+            zone: Some(ThermalZone::stock_xu4()),
+        }
+    }
+
+    /// Replaces the engine configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces or disables the reactive thermal zone.
+    pub fn with_thermal_zone(mut self, zone: Option<ThermalZone>) -> Self {
+        self.zone = zone;
+        self
+    }
+
+    /// Read access to the board (for inspecting OPP tables etc.).
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Runs the spec to completion under `manager` and reports.
+    pub fn run(&mut self, manager: &mut dyn Manager) -> RunResult {
+        let chars = self.spec.app.characteristics();
+        let items = chars.items as f64;
+        let cpu_items = self.spec.partition.cpu_fraction() * items;
+        let gpu_items = items - cpu_items;
+
+        let dt = self.config.dt_s;
+        let mut t = 0.0_f64;
+        let mut cpu_done_items = 0.0;
+        let mut gpu_done_items = 0.0;
+
+        // Desired (manager-requested) frequencies; the zone caps big.
+        let mut desired = clamp_freqs(&self.board, self.spec.initial);
+        let mut effective = desired;
+
+        // Warm start: pre-heat to a fraction of the initial load's steady
+        // state (back-to-back measurement protocol), clamped to a
+        // thermally-managed ceiling — whatever ran before was itself kept
+        // below the trip, so no silicon starts beyond ~80 °C.
+        let p0 = self.node_powers(&chars, effective, cpu_items > 0.0, gpu_items > 0.0, 70.0);
+        let frac = self.config.warm_start_fraction;
+        let scaled: Vec<f64> = p0.iter().map(|p| p * frac).collect();
+        self.board.thermal.warm_start(&scaled);
+        const WARM_START_CEILING_C: f64 = 80.0;
+        for i in 0..self.board.thermal.len() {
+            let t = self.board.thermal.temp(i);
+            self.board.thermal.set_temp(i, t.min(WARM_START_CEILING_C));
+        }
+
+        let mut meter = crate::meter::SmartPowerMeter::new();
+        let mut trace = Trace::new();
+        let mut zone_trips = 0u32;
+        let mut zone_was_tripped = false;
+        let mut next_sample = 0.0_f64;
+        let mut next_control = 0.0_f64;
+        let chars_activity = chars.activity;
+        let mut readings = self.read_sensors_at(effective, cpu_items > 0.0, chars_activity);
+        let mut energy_breakdown = (0.0, 0.0, 0.0, 0.0);
+        let mut timed_out = false;
+        let mut last_total_w = 0.0_f64;
+
+        loop {
+            let cpu_done = cpu_done_items >= cpu_items;
+            let gpu_done = gpu_done_items >= gpu_items;
+            if cpu_done && gpu_done {
+                break;
+            }
+            if t >= self.config.timeout_s {
+                timed_out = true;
+                break;
+            }
+
+            // --- Sensing (trace cadence) ---
+            if t + 1e-12 >= next_sample {
+                readings = self.read_sensors_at(
+                    effective,
+                    cpu_done_items < cpu_items,
+                    chars_activity,
+                );
+                trace.record("temp.max", t, readings.max_c());
+                trace.record("temp.big", t, readings.big_max_c());
+                trace.record("temp.gpu", t, readings.gpu_c);
+                trace.record("freq.big", t, effective.big.0 as f64);
+                trace.record("freq.little", t, effective.little.0 as f64);
+                trace.record("freq.gpu", t, effective.gpu.0 as f64);
+                trace.record("power.total", t, last_total_w);
+                next_sample += self.config.sample_period_s;
+            }
+
+            // --- Manager control ---
+            if t + 1e-12 >= next_control {
+                let view = SocView {
+                    time_s: t,
+                    readings,
+                    freqs: effective,
+                    cpu_progress: progress(cpu_done_items, cpu_items),
+                    gpu_progress: progress(gpu_done_items, gpu_items),
+                    big_util: if cpu_done || self.spec.mapping.big == 0 {
+                        0.05
+                    } else {
+                        1.0
+                    },
+                    power_w: meter.power_samples().last().map(|s| s.v).unwrap_or(0.0),
+                    mapping: self.spec.mapping,
+                    partition: self.spec.partition,
+                };
+                let mut ctl = SocControl::default();
+                manager.control(&view, &mut ctl);
+                if let Some(f) = ctl.big {
+                    desired.big = self.board.big_opps.at_or_below(f).freq;
+                }
+                if let Some(f) = ctl.little {
+                    desired.little = self.board.little_opps.at_or_below(f).freq;
+                }
+                if let Some(f) = ctl.gpu {
+                    desired.gpu = self.board.gpu_opps.at_or_below(f).freq;
+                }
+                next_control += manager.period_s();
+            }
+
+            // --- Reactive thermal zone (kernel layer) ---
+            effective = desired;
+            if let Some(zone) = &mut self.zone {
+                if let Some(cap) = zone.update(t, readings.max_c()) {
+                    if effective.big > cap {
+                        effective.big = self.board.big_opps.at_or_below(cap).freq;
+                    }
+                }
+                if zone.is_tripped() && !zone_was_tripped {
+                    zone_trips += 1;
+                }
+                zone_was_tripped = zone.is_tripped();
+            }
+
+            // --- Workload progress ---
+            if !cpu_done && !self.spec.mapping.is_empty() {
+                cpu_done_items +=
+                    cpu_rate(&chars, self.spec.mapping, effective.big, effective.little) * dt;
+            }
+            if !gpu_done {
+                gpu_done_items += gpu_rate(&chars, effective.gpu) * dt;
+            }
+
+            // --- Power & thermal ---
+            let temps_board = self.board.thermal.temps().to_vec();
+            let p = self.node_powers_at(
+                &chars,
+                effective,
+                !cpu_done,
+                !gpu_done,
+                &temps_board,
+            );
+            energy_breakdown.0 += p[self.board.nodes.big] * dt;
+            energy_breakdown.1 += p[self.board.nodes.little] * dt;
+            energy_breakdown.2 += p[self.board.nodes.gpu] * dt;
+            energy_breakdown.3 += p[self.board.nodes.board] * dt;
+            let total: f64 = p.iter().sum();
+            meter.observe(t, dt, total);
+            last_total_w = total;
+            self.board.thermal.step(dt, &p);
+
+            t += dt;
+        }
+
+        // Final sensor sample closes the trace.
+        let final_readings = self.read_sensors_at(effective, false, chars_activity);
+        trace.record("temp.max", t, final_readings.max_c());
+        trace.record("freq.big", t, effective.big.0 as f64);
+
+        let temp_stats =
+            trace.stats("temp.max").unwrap_or_else(|| SeriesStats::of(&single(t)).expect("one"));
+        let freq_stats =
+            trace.stats("freq.big").expect("freq.big always recorded");
+
+        let summary = RunSummary {
+            app: self.spec.app.full_name().to_string(),
+            approach: manager.name().to_string(),
+            execution_time_s: t,
+            energy_j: meter.energy_j(),
+            avg_temp_c: temp_stats.mean(),
+            peak_temp_c: temp_stats.max(),
+            temp_variance: temp_stats.variance(),
+            avg_big_freq_mhz: freq_stats.mean(),
+        };
+        RunResult {
+            summary,
+            trace,
+            zone_trips,
+            timed_out,
+            energy_breakdown_j: energy_breakdown,
+        }
+    }
+
+    /// Reads the sensor bank including per-core hotspot contributions for
+    /// the currently-active big cores.
+    fn read_sensors_at(
+        &mut self,
+        freqs: ClusterFreqs,
+        cpu_busy: bool,
+        activity: f64,
+    ) -> SensorReadings {
+        let big = self.board.thermal.temp(self.board.nodes.big);
+        let gpu = self.board.thermal.temp(self.board.nodes.gpu);
+        let active = self.spec.mapping.big;
+        let mut core_power = [0.0_f64; 4];
+        if active > 0 {
+            let volts = self.board.big_opps.volts_at(freqs.big);
+            let util = if cpu_busy { 1.0 } else { 0.03 };
+            let dyn_core = self
+                .board
+                .big_power
+                .dynamic_w(volts, freqs.big.as_hz(), 1, util, activity);
+            let leak_core =
+                self.board.big_power.leakage_w(volts, big, active) / f64::from(active);
+            for slot in core_power.iter_mut().take(active as usize) {
+                *slot = dyn_core + leak_core;
+            }
+        }
+        self.board
+            .sensors
+            .read_with_hotspots(big, &core_power, gpu)
+    }
+
+    /// Node power vector with every cluster at a given uniform silicon
+    /// temperature (used for warm start before temperatures exist).
+    fn node_powers(
+        &self,
+        chars: &teem_workload::KernelCharacteristics,
+        freqs: ClusterFreqs,
+        cpu_busy: bool,
+        gpu_busy: bool,
+        assumed_temp_c: f64,
+    ) -> Vec<f64> {
+        let temps = vec![assumed_temp_c; self.board.thermal.len()];
+        self.node_powers_at(chars, freqs, cpu_busy, gpu_busy, &temps)
+    }
+
+    fn node_powers_at(
+        &self,
+        chars: &teem_workload::KernelCharacteristics,
+        freqs: ClusterFreqs,
+        cpu_busy: bool,
+        gpu_busy: bool,
+        temps: &[f64],
+    ) -> Vec<f64> {
+        let mapping = self.spec.mapping;
+        let n = self.board.thermal.len();
+        let mut p = vec![0.0; n];
+
+        // Big cluster: active cores per the mapping; idle once done.
+        let big_active = mapping.big;
+        let big_util = if cpu_busy && big_active > 0 { 1.0 } else { 0.03 };
+        p[self.board.nodes.big] = self.board.big_power.total_w(
+            self.board.big_opps.volts_at(freqs.big),
+            freqs.big.as_hz(),
+            big_active.max(0),
+            big_util,
+            chars.activity,
+            temps[self.board.nodes.big],
+        );
+
+        // LITTLE cluster: the OS keeps one core online even when the app
+        // uses none.
+        let little_active = mapping.little.max(1);
+        let little_util = if cpu_busy && mapping.little > 0 { 1.0 } else { 0.08 };
+        p[self.board.nodes.little] = self.board.little_power.total_w(
+            self.board.little_opps.volts_at(freqs.little),
+            freqs.little.as_hz(),
+            little_active,
+            little_util,
+            chars.activity,
+            temps[self.board.nodes.little],
+        );
+
+        // GPU: all 6 shaders while its share runs, near-idle after.
+        let gpu_util = if gpu_busy { 1.0 } else { 0.02 };
+        p[self.board.nodes.gpu] = self.board.gpu_power.total_w(
+            self.board.gpu_opps.volts_at(freqs.gpu),
+            freqs.gpu.as_hz(),
+            6,
+            gpu_util,
+            chars.activity,
+            temps[self.board.nodes.gpu],
+        );
+
+        p[self.board.nodes.board] = self.board.board_base_w;
+        p
+    }
+}
+
+fn clamp_freqs(board: &Board, f: ClusterFreqs) -> ClusterFreqs {
+    ClusterFreqs {
+        big: board.big_opps.at_or_below(f.big).freq,
+        little: board.little_opps.at_or_below(f.little).freq,
+        gpu: board.gpu_opps.at_or_below(f.gpu).freq,
+    }
+}
+
+fn progress(done: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        1.0
+    } else {
+        (done / total).min(1.0)
+    }
+}
+
+fn single(t: f64) -> teem_telemetry::TimeSeries {
+    teem_telemetry::TimeSeries::from_pairs(&[(t, 0.0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial manager that pins all clusters at maximum.
+    struct PinMax;
+
+    impl Manager for PinMax {
+        fn name(&self) -> &str {
+            "pin-max"
+        }
+
+        fn control(&mut self, view: &SocView, ctl: &mut SocControl) {
+            let _ = view;
+            ctl.set_big_freq(MHz(2000));
+            ctl.set_little_freq(MHz(1400));
+            ctl.set_gpu_freq(MHz(600));
+        }
+    }
+
+    /// A manager that pins a fixed big frequency (userspace-like).
+    struct PinBig(MHz);
+
+    impl Manager for PinBig {
+        fn name(&self) -> &str {
+            "pin-big"
+        }
+
+        fn control(&mut self, _view: &SocView, ctl: &mut SocControl) {
+            ctl.set_big_freq(self.0);
+        }
+    }
+
+    fn cv_spec() -> RunSpec {
+        RunSpec {
+            app: App::Covariance,
+            mapping: CpuMapping::new(2, 3),
+            partition: Partition::even(),
+            initial: ClusterFreqs {
+                big: MHz(2000),
+                little: MHz(1400),
+                gpu: MHz(600),
+            },
+        }
+    }
+
+    #[test]
+    fn run_completes_and_reports() {
+        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), cv_spec());
+        let mut mgr = PinMax;
+        let r = sim.run(&mut mgr);
+        assert!(!r.timed_out, "run timed out");
+        assert!(r.summary.execution_time_s > 5.0, "{}", r.summary.execution_time_s);
+        assert!(r.summary.execution_time_s < 200.0);
+        assert!(r.summary.energy_j > 50.0);
+        assert!(r.summary.peak_temp_c > 70.0);
+        assert_eq!(r.summary.approach, "pin-max");
+        assert_eq!(r.summary.app, "COVARIANCE");
+        // Energy breakdown sums to the meter's total.
+        let (b, l, g, bo) = r.energy_breakdown_j;
+        assert!((b + l + g + bo - r.summary.energy_j).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_frequency_run_trips_the_stock_zone() {
+        // The Fig. 1(a) phenomenon: pinned at 2 GHz, COVARIANCE must reach
+        // the 95 C trip and throttle at least once.
+        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), cv_spec());
+        let r = sim.run(&mut PinMax);
+        assert!(r.zone_trips >= 1, "no thermal trip at max frequency");
+        assert!(r.summary.peak_temp_c >= 95.0, "peak {}", r.summary.peak_temp_c);
+        // Frequency trace must show the 900 MHz cap.
+        let fmin = r.trace.stats("freq.big").unwrap().min();
+        assert_eq!(fmin, 900.0);
+    }
+
+    #[test]
+    fn mid_frequency_run_stays_below_trip() {
+        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), cv_spec());
+        let r = sim.run(&mut PinBig(MHz(1400)));
+        assert_eq!(r.zone_trips, 0, "unexpected trip at 1400 MHz");
+        assert!(r.summary.peak_temp_c < 95.0, "peak {}", r.summary.peak_temp_c);
+    }
+
+    #[test]
+    fn lower_frequency_is_slower() {
+        let mut fast = Simulation::new(Board::odroid_xu4_ideal(), cv_spec())
+            .with_thermal_zone(None);
+        let et_fast = fast.run(&mut PinBig(MHz(2000))).summary.execution_time_s;
+        let mut slow = Simulation::new(Board::odroid_xu4_ideal(), cv_spec())
+            .with_thermal_zone(None);
+        let et_slow = slow.run(&mut PinBig(MHz(1000))).summary.execution_time_s;
+        assert!(et_slow > et_fast, "{et_slow} <= {et_fast}");
+    }
+
+    #[test]
+    fn gpu_only_spec_ignores_cpu() {
+        let spec = RunSpec {
+            mapping: CpuMapping::new(0, 0),
+            partition: Partition::all_gpu(),
+            ..cv_spec()
+        };
+        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), spec);
+        let r = sim.run(&mut PinBig(MHz(2000)));
+        assert!(!r.timed_out);
+        // Big cluster idles: far less energy in the big domain than a
+        // CPU-involved run.
+        let (big_j, _, gpu_j, _) = r.energy_breakdown_j;
+        assert!(gpu_j > big_j, "gpu {gpu_j} J vs big {big_j} J");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut sim = Simulation::new(Board::odroid_xu4(), cv_spec());
+            sim.run(&mut PinMax).summary
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), cv_spec()).with_config(
+            SimConfig {
+                timeout_s: 1.0,
+                ..SimConfig::default()
+            },
+        );
+        let r = sim.run(&mut PinMax);
+        assert!(r.timed_out);
+        assert!(r.summary.execution_time_s <= 1.0 + 0.011);
+    }
+}

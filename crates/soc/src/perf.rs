@@ -1,0 +1,266 @@
+//! Throughput/performance model: how fast a mapping processes work items.
+//!
+//! Implements the timing side of the paper's equations (3)/(4): cluster
+//! throughputs are summed per-core rates (with a small per-core
+//! synchronisation penalty), and a partitioned execution finishes when the
+//! slower device finishes its share:
+//!
+//! ```text
+//! ET = max(WGcpu * ETcpu, (1 - WGcpu) * ETgpu)
+//! ```
+
+use crate::freq::MHz;
+use teem_workload::{KernelCharacteristics, Partition};
+
+/// A CPU-core mapping: how many LITTLE and big cores the application uses
+/// (the paper's `xL+yB` notation, e.g. `2L+3B`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuMapping {
+    /// Active Cortex-A7 (LITTLE) cores, 0–4.
+    pub little: u32,
+    /// Active Cortex-A15 (big) cores, 0–4.
+    pub big: u32,
+}
+
+impl CpuMapping {
+    /// Creates a mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds 4 (the cluster sizes).
+    pub fn new(little: u32, big: u32) -> Self {
+        assert!(little <= 4 && big <= 4, "Exynos 5422 has 4+4 CPU cores");
+        CpuMapping { little, big }
+    }
+
+    /// Total CPU cores in use — the response variable `M` of the paper's
+    /// regression model.
+    pub fn total_cores(self) -> u32 {
+        self.little + self.big
+    }
+
+    /// `true` when no CPU core is used (GPU-only execution).
+    pub fn is_empty(self) -> bool {
+        self.total_cores() == 0
+    }
+}
+
+impl std::fmt::Display for CpuMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}L+{}B", self.little, self.big)
+    }
+}
+
+impl std::str::FromStr for CpuMapping {
+    type Err = String;
+
+    /// Parses the paper's `"2L+3B"` notation (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let u = s.to_ascii_uppercase();
+        let parts: Vec<&str> = u.split('+').collect();
+        if parts.len() != 2 {
+            return Err(format!("expected xL+yB, got {s:?}"));
+        }
+        let little = parts[0]
+            .strip_suffix('L')
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| format!("bad LITTLE count in {s:?}"))?;
+        let big = parts[1]
+            .strip_suffix('B')
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| format!("bad big count in {s:?}"))?;
+        if little > 4 || big > 4 {
+            return Err(format!("core counts out of range in {s:?}"));
+        }
+        Ok(CpuMapping { little, big })
+    }
+}
+
+/// Per-core synchronisation/runtime overhead: each additional core in a
+/// cluster loses this fraction of throughput (OpenCL work distribution is
+/// not perfectly linear on the XU4).
+pub const PER_CORE_SYNC_PENALTY: f64 = 0.02;
+
+fn cluster_efficiency(cores: u32) -> f64 {
+    if cores == 0 {
+        0.0
+    } else {
+        1.0 - PER_CORE_SYNC_PENALTY * (cores - 1) as f64
+    }
+}
+
+/// CPU-side throughput (work items/second) for a mapping at the given
+/// cluster frequencies.
+pub fn cpu_rate(
+    chars: &KernelCharacteristics,
+    mapping: CpuMapping,
+    big_freq: MHz,
+    little_freq: MHz,
+) -> f64 {
+    let mut rate = 0.0;
+    if mapping.big > 0 {
+        rate += mapping.big as f64
+            * chars.big.rate(big_freq.as_hz())
+            * cluster_efficiency(mapping.big);
+    }
+    if mapping.little > 0 {
+        rate += mapping.little as f64
+            * chars.little.rate(little_freq.as_hz())
+            * cluster_efficiency(mapping.little);
+    }
+    rate
+}
+
+/// GPU throughput (work items/second): 6 Mali shader cores.
+pub fn gpu_rate(chars: &KernelCharacteristics, gpu_freq: MHz) -> f64 {
+    6.0 * chars.gpu.rate(gpu_freq.as_hz()) * cluster_efficiency(6)
+}
+
+/// Time to run the whole application on the CPU alone (`ET_CPU`).
+/// Returns `f64::INFINITY` for an empty mapping.
+pub fn et_cpu(
+    chars: &KernelCharacteristics,
+    mapping: CpuMapping,
+    big_freq: MHz,
+    little_freq: MHz,
+) -> f64 {
+    let r = cpu_rate(chars, mapping, big_freq, little_freq);
+    if r > 0.0 {
+        chars.items as f64 / r
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Time to run the whole application on the GPU alone (`ET_GPU`) — the
+/// quantity TEEM stores per application for equation (9).
+pub fn et_gpu(chars: &KernelCharacteristics, gpu_freq: MHz) -> f64 {
+    chars.items as f64 / gpu_rate(chars, gpu_freq)
+}
+
+/// Predicted execution time of a partitioned run — equation (3):
+/// `ET = max(WGcpu·ETcpu, (1−WGcpu)·ETgpu)`.
+pub fn predicted_et(
+    chars: &KernelCharacteristics,
+    mapping: CpuMapping,
+    partition: Partition,
+    big_freq: MHz,
+    little_freq: MHz,
+    gpu_freq: MHz,
+) -> f64 {
+    let wg_cpu = partition.cpu_fraction();
+    let cpu_side = if wg_cpu > 0.0 {
+        wg_cpu * et_cpu(chars, mapping, big_freq, little_freq)
+    } else {
+        0.0
+    };
+    let gpu_side = (1.0 - wg_cpu) * et_gpu(chars, gpu_freq);
+    cpu_side.max(gpu_side)
+}
+
+/// The partition that balances both devices (equal finish time), clamped
+/// to the grain grid: `WGcpu = Rcpu / (Rcpu + Rgpu)`.
+pub fn balanced_partition(
+    chars: &KernelCharacteristics,
+    mapping: CpuMapping,
+    big_freq: MHz,
+    little_freq: MHz,
+    gpu_freq: MHz,
+) -> Partition {
+    let rc = cpu_rate(chars, mapping, big_freq, little_freq);
+    let rg = gpu_rate(chars, gpu_freq);
+    if rc + rg <= 0.0 {
+        return Partition::all_gpu();
+    }
+    Partition::from_cpu_fraction(rc / (rc + rg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teem_workload::App;
+
+    fn cv() -> KernelCharacteristics {
+        App::Covariance.characteristics()
+    }
+
+    #[test]
+    fn mapping_parse_and_display() {
+        let m: CpuMapping = "2L+3B".parse().unwrap();
+        assert_eq!(m, CpuMapping::new(2, 3));
+        assert_eq!(m.to_string(), "2L+3B");
+        assert_eq!(m.total_cores(), 5);
+        assert!("5L+1B".parse::<CpuMapping>().is_err());
+        assert!("2B+3L".parse::<CpuMapping>().is_err());
+        assert!("junk".parse::<CpuMapping>().is_err());
+        assert_eq!("0l+0b".parse::<CpuMapping>().unwrap(), CpuMapping::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "4+4")]
+    fn mapping_rejects_overflow() {
+        CpuMapping::new(5, 0);
+    }
+
+    #[test]
+    fn rates_scale_with_frequency_and_cores() {
+        let c = cv();
+        let r1 = cpu_rate(&c, CpuMapping::new(0, 1), MHz(1000), MHz(1000));
+        let r2 = cpu_rate(&c, CpuMapping::new(0, 2), MHz(1000), MHz(1000));
+        assert!(r2 > 1.8 * r1 && r2 < 2.0 * r1, "sync penalty applies");
+        let rf = cpu_rate(&c, CpuMapping::new(0, 1), MHz(2000), MHz(1000));
+        assert!(rf > 1.5 * r1, "frequency scaling");
+    }
+
+    #[test]
+    fn empty_mapping_has_no_rate_and_infinite_et() {
+        let c = cv();
+        assert_eq!(cpu_rate(&c, CpuMapping::new(0, 0), MHz(2000), MHz(1400)), 0.0);
+        assert!(et_cpu(&c, CpuMapping::new(0, 0), MHz(2000), MHz(1400)).is_infinite());
+    }
+
+    #[test]
+    fn et_equation_3_takes_the_max_side() {
+        let c = cv();
+        let m = CpuMapping::new(2, 3);
+        let (fb, fl, fg) = (MHz(2000), MHz(1400), MHz(600));
+        let cpu_only = predicted_et(&c, m, Partition::all_cpu(), fb, fl, fg);
+        let gpu_only = predicted_et(&c, m, Partition::all_gpu(), fb, fl, fg);
+        let even = predicted_et(&c, m, Partition::even(), fb, fl, fg);
+        assert!((cpu_only - et_cpu(&c, m, fb, fl)).abs() < 1e-9);
+        assert!((gpu_only - et_gpu(&c, fg)).abs() < 1e-9);
+        assert!(even <= cpu_only.max(gpu_only));
+        assert!(even >= 0.4 * cpu_only.min(gpu_only));
+    }
+
+    #[test]
+    fn balanced_partition_minimises_et_on_grid() {
+        let c = cv();
+        let m = CpuMapping::new(2, 3);
+        let (fb, fl, fg) = (MHz(2000), MHz(1400), MHz(600));
+        let best = balanced_partition(&c, m, fb, fl, fg);
+        let et_best = predicted_et(&c, m, best, fb, fl, fg);
+        for p in Partition::offline_grid() {
+            let et = predicted_et(&c, m, p, fb, fl, fg);
+            assert!(et_best <= et + 1e-9, "{p} beats balanced: {et} < {et_best}");
+        }
+    }
+
+    #[test]
+    fn gpu_only_fallback_for_empty_mapping() {
+        let c = cv();
+        let p = balanced_partition(&c, CpuMapping::new(0, 0), MHz(200), MHz(200), MHz(600));
+        assert!(p.is_gpu_only());
+    }
+
+    #[test]
+    fn covariance_full_runs_take_tens_of_seconds() {
+        // Sanity for the Fig. 1 time scale: ET_GPU and ET_CPU at max
+        // frequency in 15..90 s.
+        let c = cv();
+        let etg = et_gpu(&c, MHz(600));
+        let etc = et_cpu(&c, CpuMapping::new(2, 3), MHz(2000), MHz(1400));
+        assert!((10.0..120.0).contains(&etg), "ET_GPU = {etg}");
+        assert!((10.0..120.0).contains(&etc), "ET_CPU = {etc}");
+    }
+}

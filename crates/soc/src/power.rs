@@ -1,0 +1,251 @@
+//! Cluster power model: switching (dynamic) power plus
+//! temperature-dependent leakage.
+//!
+//! Dynamic power follows the standard CMOS model `P = Ceff · V² · f` per
+//! active core, scaled by utilisation and the workload's switching
+//! activity. Leakage grows exponentially with temperature — the positive
+//! feedback that makes sustained operation at the 95 °C trip point
+//! energy-expensive, and therefore the physical reason TEEM's proactive
+//! 85 °C threshold *saves* energy relative to EEMP's thermally-blind
+//! maximum-frequency policy (§V-A).
+
+/// Static parameters of one power domain (cluster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Effective switched capacitance per core, farads.
+    pub ceff_f_per_core: f64,
+    /// Frequency-independent domain overhead (interconnect, L2), watts,
+    /// drawn whenever the domain is powered.
+    pub uncore_w: f64,
+    /// Leakage scale: watts at `V = 1 V`, `T = leak_ref_c`.
+    pub leak_scale_w: f64,
+    /// Exponential leakage temperature coefficient, 1/°C.
+    pub leak_alpha: f64,
+    /// Reference temperature for `leak_scale_w`, °C.
+    pub leak_ref_c: f64,
+    /// Total cores in the domain.
+    pub cores: u32,
+}
+
+impl PowerParams {
+    /// Dynamic switching power with `active` cores busy at `utilization`
+    /// in `[0, 1]` and workload switching `activity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `active > cores`.
+    pub fn dynamic_w(
+        &self,
+        volts: f64,
+        freq_hz: f64,
+        active: u32,
+        utilization: f64,
+        activity: f64,
+    ) -> f64 {
+        debug_assert!(active <= self.cores, "more active cores than exist");
+        let per_core = self.ceff_f_per_core * volts * volts * freq_hz;
+        per_core * active as f64 * utilization.clamp(0.0, 1.0) * activity
+    }
+
+    /// Temperature- and voltage-dependent leakage for the whole domain.
+    ///
+    /// Scales with the fraction of un-gated cores (power-gated cores stop
+    /// leaking, which is how EEMP's "turn off unused cores" saves static
+    /// power) with a 25 % floor for the always-on domain logic.
+    pub fn leakage_w(&self, volts: f64, temp_c: f64, active: u32) -> f64 {
+        let gate_frac = 0.25 + 0.75 * active as f64 / self.cores as f64;
+        self.leak_scale_w
+            * volts
+            * volts
+            * (self.leak_alpha * (temp_c - self.leak_ref_c)).exp()
+            * gate_frac
+    }
+
+    /// Uncore power: zero when the domain is fully collapsed (no active
+    /// cores), otherwise the constant overhead.
+    pub fn uncore_power_w(&self, active: u32) -> f64 {
+        if active == 0 {
+            0.0
+        } else {
+            self.uncore_w
+        }
+    }
+
+    /// Total domain power.
+    pub fn total_w(
+        &self,
+        volts: f64,
+        freq_hz: f64,
+        active: u32,
+        utilization: f64,
+        activity: f64,
+        temp_c: f64,
+    ) -> f64 {
+        if active == 0 {
+            // Fully power-collapsed domain: residual leakage only.
+            return self.leakage_w(volts, temp_c, 0);
+        }
+        self.dynamic_w(volts, freq_hz, active, utilization, activity)
+            + self.leakage_w(volts, temp_c, active)
+            + self.uncore_power_w(active)
+    }
+}
+
+/// Per-source power at one instant, as the wall meter cannot see it but
+/// the model can (useful for ablation and debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Big-cluster power, watts.
+    pub big_w: f64,
+    /// LITTLE-cluster power, watts.
+    pub little_w: f64,
+    /// GPU power, watts.
+    pub gpu_w: f64,
+    /// Board base power (DRAM, regulators, fan), watts.
+    pub board_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Sum seen by the wall meter.
+    pub fn total_w(&self) -> f64 {
+        self.big_w + self.little_w + self.gpu_w + self.board_w
+    }
+}
+
+/// Default power parameters for the Exynos 5422's three domains, chosen to
+/// land in the board's published envelope (big cluster ~6–7 W at 2 GHz,
+/// LITTLE ~1 W, Mali ~2.5 W, total wall power 10–13 W under full load).
+pub mod exynos5422 {
+    use super::PowerParams;
+
+    /// Cortex-A15 (big) cluster. The leakage parameters are deliberately
+    /// steep (`alpha = 0.045/°C`): at the 95 °C trip the cluster leaks
+    /// ~6x its 55 °C value, which is what makes sustained hot operation
+    /// energy-expensive and gives TEEM its energy win over
+    /// thermally-blind policies.
+    pub fn big() -> PowerParams {
+        PowerParams {
+            ceff_f_per_core: 0.40e-9,
+            uncore_w: 0.35,
+            leak_scale_w: 0.45,
+            leak_alpha: 0.045,
+            leak_ref_c: 55.0,
+            cores: 4,
+        }
+    }
+
+    /// Cortex-A7 (LITTLE) cluster.
+    pub fn little() -> PowerParams {
+        PowerParams {
+            ceff_f_per_core: 0.10e-9,
+            uncore_w: 0.10,
+            leak_scale_w: 0.05,
+            leak_alpha: 0.018,
+            leak_ref_c: 55.0,
+            cores: 4,
+        }
+    }
+
+    /// Mali-T628 MP6 GPU (cores = shader cores).
+    pub fn gpu() -> PowerParams {
+        PowerParams {
+            ceff_f_per_core: 0.50e-9,
+            uncore_w: 0.25,
+            leak_scale_w: 0.20,
+            leak_alpha: 0.019,
+            leak_ref_c: 55.0,
+            cores: 6,
+        }
+    }
+
+    /// Constant board overhead seen by the wall meter (DRAM, eMMC,
+    /// regulators, fan), watts.
+    pub const BOARD_BASE_W: f64 = 2.2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_power_scales_with_v2f() {
+        let p = exynos5422::big();
+        let base = p.dynamic_w(1.0, 1.0e9, 4, 1.0, 1.0);
+        assert!((p.dynamic_w(2.0, 1.0e9, 4, 1.0, 1.0) / base - 4.0).abs() < 1e-9);
+        assert!((p.dynamic_w(1.0, 2.0e9, 4, 1.0, 1.0) / base - 2.0).abs() < 1e-9);
+        assert!((p.dynamic_w(1.0, 1.0e9, 2, 1.0, 1.0) / base - 0.5).abs() < 1e-9);
+        assert!((p.dynamic_w(1.0, 1.0e9, 4, 0.5, 1.0) / base - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_cluster_peak_power_in_envelope() {
+        // 4 A15 at 2 GHz / 1.362 V fully busy at 85 C: expect ~7-11 W
+        // (the XU4 can pull >10 W through the big rail before throttling).
+        let p = exynos5422::big();
+        let total = p.total_w(1.362, 2.0e9, 4, 1.0, 1.0, 85.0);
+        assert!((6.0..11.0).contains(&total), "big peak {total} W");
+    }
+
+    #[test]
+    fn little_cluster_is_an_order_cheaper() {
+        let big = exynos5422::big().total_w(1.362, 2.0e9, 4, 1.0, 1.0, 70.0);
+        let little = exynos5422::little().total_w(1.212, 1.4e9, 4, 1.0, 1.0, 70.0);
+        assert!(little < big / 4.0, "little {little} vs big {big}");
+        assert!((0.4..2.0).contains(&little), "little {little} W");
+    }
+
+    #[test]
+    fn gpu_power_in_envelope() {
+        let gpu = exynos5422::gpu().total_w(1.037, 6.0e8, 6, 1.0, 1.0, 75.0);
+        assert!((1.5..4.0).contains(&gpu), "gpu {gpu} W");
+    }
+
+    #[test]
+    fn leakage_grows_exponentially_with_temperature() {
+        let p = exynos5422::big();
+        let cold = p.leakage_w(1.3, 55.0, 4);
+        let hot = p.leakage_w(1.3, 95.0, 4);
+        // exp(0.045 * 40) = 6.05x
+        assert!((hot / cold - (0.045_f64 * 40.0).exp()).abs() < 1e-9);
+        assert!(hot > 5.0 * cold);
+    }
+
+    #[test]
+    fn gating_cores_cuts_leakage() {
+        let p = exynos5422::big();
+        let all = p.leakage_w(1.3, 80.0, 4);
+        let half = p.leakage_w(1.3, 80.0, 2);
+        let none = p.leakage_w(1.3, 80.0, 0);
+        assert!(half < all);
+        assert!(none < half);
+        assert!(none > 0.0, "always-on logic still leaks");
+    }
+
+    #[test]
+    fn collapsed_domain_draws_only_leakage() {
+        let p = exynos5422::gpu();
+        let off = p.total_w(0.812, 1.77e8, 0, 0.0, 1.0, 50.0);
+        assert_eq!(off, p.leakage_w(0.812, 50.0, 0));
+        assert!(off < 0.1);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let p = exynos5422::big();
+        assert_eq!(
+            p.dynamic_w(1.0, 1e9, 4, 2.0, 1.0),
+            p.dynamic_w(1.0, 1e9, 4, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = PowerBreakdown {
+            big_w: 5.0,
+            little_w: 1.0,
+            gpu_w: 2.0,
+            board_w: 2.2,
+        };
+        assert!((b.total_w() - 10.2).abs() < 1e-12);
+    }
+}

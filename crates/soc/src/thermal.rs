@@ -1,0 +1,348 @@
+//! Lumped RC thermal network.
+//!
+//! Each node (big cluster, LITTLE cluster, GPU, board) has a heat capacity
+//! and is connected to other nodes and to ambient through thermal
+//! conductances. Heat flows are integrated with forward Euler using
+//! automatic sub-stepping for stability (`dt_sub < min_i C_i / ΣG_i`).
+//!
+//! This is the standard HotSpot-style compact model; first-order accuracy
+//! is all the reproduction needs because TEEM, the trip-based throttler
+//! and the baselines all react to *sensor readings of node temperatures*,
+//! not to intra-die gradients.
+
+use teem_linreg::{solve::lu_solve, Matrix};
+
+/// Index of a thermal node within a [`ThermalModel`].
+pub type NodeId = usize;
+
+/// A lumped RC thermal network.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    names: Vec<String>,
+    capacitance: Vec<f64>,       // J/°C per node
+    conductance: Vec<Vec<f64>>,  // symmetric node-to-node W/°C
+    to_ambient: Vec<f64>,        // node-to-ambient W/°C
+    temps: Vec<f64>,             // current temperature per node, °C
+    ambient_c: f64,
+    max_stable_dt: f64,
+}
+
+/// Builder for [`ThermalModel`].
+#[derive(Debug, Clone, Default)]
+pub struct ThermalModelBuilder {
+    names: Vec<String>,
+    capacitance: Vec<f64>,
+    edges: Vec<(usize, usize, f64)>,
+    to_ambient: Vec<f64>,
+    ambient_c: f64,
+    initial_c: Vec<f64>,
+}
+
+impl ThermalModelBuilder {
+    /// Starts a builder with the given ambient temperature.
+    pub fn new(ambient_c: f64) -> Self {
+        ThermalModelBuilder {
+            ambient_c,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance_j_per_c` is not positive.
+    pub fn node(
+        &mut self,
+        name: impl Into<String>,
+        capacitance_j_per_c: f64,
+        ambient_conductance_w_per_c: f64,
+        initial_c: f64,
+    ) -> NodeId {
+        assert!(
+            capacitance_j_per_c > 0.0,
+            "node capacitance must be positive"
+        );
+        assert!(ambient_conductance_w_per_c >= 0.0);
+        self.names.push(name.into());
+        self.capacitance.push(capacitance_j_per_c);
+        self.to_ambient.push(ambient_conductance_w_per_c);
+        self.initial_c.push(initial_c);
+        self.names.len() - 1
+    }
+
+    /// Connects two nodes with a thermal conductance (W/°C).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ids, self-loops, or non-positive conductance.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, conductance_w_per_c: f64) -> &mut Self {
+        assert!(a < self.names.len() && b < self.names.len(), "unknown node");
+        assert_ne!(a, b, "self-loop");
+        assert!(conductance_w_per_c > 0.0, "conductance must be positive");
+        self.edges.push((a, b, conductance_w_per_c));
+        self
+    }
+
+    /// Finalises the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nodes were added.
+    pub fn build(&self) -> ThermalModel {
+        let n = self.names.len();
+        assert!(n > 0, "thermal model needs at least one node");
+        let mut g = vec![vec![0.0; n]; n];
+        for &(a, b, c) in &self.edges {
+            g[a][b] += c;
+            g[b][a] += c;
+        }
+        // Stability: forward Euler on dT/dt = (P - G_total (T - ...)) / C
+        // requires dt < min C_i / (sum_j G_ij + G_amb,i).
+        let mut max_dt = f64::INFINITY;
+        for i in 0..n {
+            let gsum: f64 = g[i].iter().sum::<f64>() + self.to_ambient[i];
+            if gsum > 0.0 {
+                max_dt = max_dt.min(self.capacitance[i] / gsum);
+            }
+        }
+        // Safety factor 0.5.
+        let max_stable_dt = if max_dt.is_finite() {
+            0.5 * max_dt
+        } else {
+            0.1
+        };
+        ThermalModel {
+            names: self.names.clone(),
+            capacitance: self.capacitance.clone(),
+            conductance: g,
+            to_ambient: self.to_ambient.clone(),
+            temps: self.initial_c.clone(),
+            ambient_c: self.ambient_c,
+            max_stable_dt,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the model has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Node names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Current temperature of a node, °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn temp(&self, node: NodeId) -> f64 {
+        self.temps[node]
+    }
+
+    /// All node temperatures in id order.
+    pub fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Overwrites a node temperature (used to start runs from a warm
+    /// steady state).
+    pub fn set_temp(&mut self, node: NodeId, temp_c: f64) {
+        self.temps[node] = temp_c;
+    }
+
+    /// Ambient temperature, °C.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Advances the network by `dt` seconds with `power_w[i]` watts
+    /// injected into node `i`, sub-stepping as needed for stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_w.len() != self.len()` or `dt < 0`.
+    pub fn step(&mut self, dt: f64, power_w: &[f64]) {
+        assert_eq!(power_w.len(), self.len(), "power vector length mismatch");
+        assert!(dt >= 0.0, "negative dt");
+        let mut remaining = dt;
+        while remaining > 0.0 {
+            let h = remaining.min(self.max_stable_dt);
+            self.euler_step(h, power_w);
+            remaining -= h;
+        }
+    }
+
+    fn euler_step(&mut self, h: f64, power_w: &[f64]) {
+        let n = self.len();
+        let mut deriv = vec![0.0; n];
+        for i in 0..n {
+            let mut q = power_w[i];
+            for j in 0..n {
+                if i != j {
+                    q -= self.conductance[i][j] * (self.temps[i] - self.temps[j]);
+                }
+            }
+            q -= self.to_ambient[i] * (self.temps[i] - self.ambient_c);
+            deriv[i] = q / self.capacitance[i];
+        }
+        for i in 0..n {
+            self.temps[i] += h * deriv[i];
+        }
+    }
+
+    /// Solves the steady-state temperatures for constant injected power:
+    /// `(G + G_amb) T = P + G_amb T_amb` — used for calibration and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance system is singular (a node with no path
+    /// to ambient).
+    pub fn steady_state(&self, power_w: &[f64]) -> Vec<f64> {
+        assert_eq!(power_w.len(), self.len());
+        let n = self.len();
+        let mut a = Matrix::zeros(n, n);
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            let mut diag = self.to_ambient[i];
+            for j in 0..n {
+                if i != j {
+                    a[(i, j)] = -self.conductance[i][j];
+                    diag += self.conductance[i][j];
+                }
+            }
+            a[(i, i)] = diag;
+            b[i] = power_w[i] + self.to_ambient[i] * self.ambient_c;
+        }
+        lu_solve(&a, &b).expect("thermal network must be connected to ambient")
+    }
+
+    /// Sets every node to its steady state for the given power — a "warm
+    /// start" as if the board idled long enough to equilibrate.
+    pub fn warm_start(&mut self, power_w: &[f64]) {
+        self.temps = self.steady_state(power_w);
+    }
+
+    /// Largest Euler step the network tolerates (informational).
+    pub fn max_stable_dt(&self) -> f64 {
+        self.max_stable_dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-node toy network: die -> board -> ambient.
+    fn toy() -> ThermalModel {
+        let mut b = ThermalModelBuilder::new(25.0);
+        let die = b.node("die", 0.5, 0.0, 25.0);
+        let board = b.node("board", 50.0, 0.5, 25.0);
+        b.connect(die, board, 0.2);
+        b.build()
+    }
+
+    #[test]
+    fn relaxes_to_ambient_without_power() {
+        let mut m = toy();
+        m.set_temp(0, 80.0);
+        m.set_temp(1, 60.0);
+        m.step(10_000.0, &[0.0, 0.0]);
+        assert!((m.temp(0) - 25.0).abs() < 0.1, "die {}", m.temp(0));
+        assert!((m.temp(1) - 25.0).abs() < 0.1, "board {}", m.temp(1));
+    }
+
+    #[test]
+    fn steady_state_matches_hand_computation() {
+        let m = toy();
+        // P=4W into die: all flows die->board->ambient.
+        // T_board = 25 + 4/0.5 = 33; T_die = 33 + 4/0.2 = 53.
+        let ss = m.steady_state(&[4.0, 0.0]);
+        assert!((ss[1] - 33.0).abs() < 1e-9, "board {}", ss[1]);
+        assert!((ss[0] - 53.0).abs() < 1e-9, "die {}", ss[0]);
+    }
+
+    #[test]
+    fn long_integration_converges_to_steady_state() {
+        let mut m = toy();
+        let p = [4.0, 0.0];
+        let ss = m.steady_state(&p);
+        m.step(5_000.0, &p);
+        assert!((m.temp(0) - ss[0]).abs() < 0.05);
+        assert!((m.temp(1) - ss[1]).abs() < 0.05);
+    }
+
+    #[test]
+    fn warm_start_sets_steady_state() {
+        let mut m = toy();
+        m.warm_start(&[2.0, 0.0]);
+        let ss = m.steady_state(&[2.0, 0.0]);
+        assert_eq!(m.temps(), ss.as_slice());
+    }
+
+    #[test]
+    fn heating_is_monotone_under_constant_power() {
+        let mut m = toy();
+        let mut last = m.temp(0);
+        for _ in 0..50 {
+            m.step(1.0, &[4.0, 0.0]);
+            let now = m.temp(0);
+            assert!(now >= last - 1e-9, "temperature fell while heating");
+            last = now;
+        }
+        assert!(last > 30.0);
+    }
+
+    #[test]
+    fn faster_time_constant_for_smaller_capacitance() {
+        // Die (C=0.5, G=0.2) has tau = 2.5 s; after 2.5 s of heating from
+        // equilibrium the die should have covered ~63% of its step
+        // response relative to the (slow) board.
+        let mut m = toy();
+        m.step(2.5, &[4.0, 0.0]);
+        let die_rise = m.temp(0) - 25.0;
+        let board_rise = m.temp(1) - 25.0;
+        assert!(die_rise > 5.0 * board_rise, "die {die_rise} board {board_rise}");
+    }
+
+    #[test]
+    fn substepping_is_stable_for_large_dt() {
+        let mut m = toy();
+        // One giant step must not oscillate/diverge.
+        m.step(1_000.0, &[4.0, 0.0]);
+        let t = m.temp(0);
+        assert!(t.is_finite() && (25.0..200.0).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_power_vector_length() {
+        toy().step(1.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_capacitance() {
+        ThermalModelBuilder::new(25.0).node("x", 0.0, 0.1, 25.0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_edges() {
+        let mut b = ThermalModelBuilder::new(25.0);
+        let n0 = b.node("a", 1.0, 0.1, 25.0);
+        let n1 = b.node("b", 1.0, 0.1, 25.0);
+        b.connect(n0, n1, 0.5);
+        let m = b.build();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.names(), &["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the MPSoC substrate: physical invariants
+//! that must hold across the whole parameter space, not just at the
+//! calibrated operating points.
+
+use proptest::prelude::*;
+use teem_soc::power::exynos5422;
+use teem_soc::thermal::ThermalModelBuilder;
+use teem_soc::{Board, MHz, SensorBank, ThermalZone};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn opp_lookup_is_consistent(freq in 0u32..3000) {
+        let board = Board::odroid_xu4_ideal();
+        for table in [&board.big_opps, &board.little_opps, &board.gpu_opps] {
+            let below = table.at_or_below(MHz(freq));
+            let above = table.at_or_above(MHz(freq));
+            // Bracketing (modulo clamping at the table ends).
+            prop_assert!(below.freq <= above.freq || freq < table.min().freq.0
+                || freq > table.max().freq.0);
+            // Results are real OPPs.
+            prop_assert!(table.exact(below.freq).is_some());
+            prop_assert!(table.exact(above.freq).is_some());
+        }
+    }
+
+    #[test]
+    fn step_down_never_exceeds_current_or_violates_floor(
+        start in 200u32..=2000,
+        delta in 1u32..800,
+        floor in 200u32..=2000,
+    ) {
+        let board = Board::odroid_xu4_ideal();
+        let start = MHz(start / 100 * 100);
+        let floor = MHz(floor / 100 * 100);
+        let stepped = board.big_opps.step_down(start, delta, floor);
+        // Never exceeds the current frequency unless pulling *up* to the
+        // floor (when the current frequency is already below it).
+        let floor_opp = board.big_opps.at_or_below(floor).freq;
+        prop_assert!(stepped.freq <= start.max(floor_opp));
+        // Result is never below both the floor and the table minimum.
+        prop_assert!(stepped.freq >= floor_opp.min(board.big_opps.min().freq.max(floor_opp))
+            || stepped.freq >= board.big_opps.min().freq);
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_and_temperature(
+        f1 in 2e8..2e9f64,
+        df in 1e7..5e8f64,
+        t1 in 40.0..100.0f64,
+        dt in 0.5..20.0f64,
+    ) {
+        let p = exynos5422::big();
+        let v = 1.2;
+        let a = p.total_w(v, f1, 4, 1.0, 1.0, t1);
+        let b = p.total_w(v, f1 + df, 4, 1.0, 1.0, t1);
+        prop_assert!(b > a, "power fell with frequency: {b} < {a}");
+        let c = p.total_w(v, f1, 4, 1.0, 1.0, t1 + dt);
+        prop_assert!(c > a, "power fell with temperature: {c} < {a}");
+    }
+
+    #[test]
+    fn thermal_steady_state_is_monotone_in_power(
+        p_big in 0.0..10.0f64,
+        extra in 0.1..5.0f64,
+    ) {
+        let board = Board::odroid_xu4_ideal();
+        let base = board.thermal.steady_state(&[p_big, 0.5, 2.0, 2.2]);
+        let more = board.thermal.steady_state(&[p_big + extra, 0.5, 2.0, 2.2]);
+        // Heating one node raises every node's steady state.
+        for (a, b) in base.iter().zip(more.iter()) {
+            prop_assert!(*b >= *a - 1e-9);
+        }
+        // And every node stays above ambient.
+        for t in &base {
+            prop_assert!(*t >= board.thermal.ambient_c() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn thermal_integration_approaches_steady_state(
+        p_big in 0.5..8.0f64,
+        p_gpu in 0.5..4.0f64,
+    ) {
+        let board = Board::odroid_xu4_ideal();
+        let powers = [p_big, 0.5, p_gpu, 2.2];
+        let ss = board.thermal.steady_state(&powers);
+        let mut model = board.thermal.clone();
+        model.step(3_000.0, &powers);
+        for (a, b) in model.temps().iter().zip(ss.iter()) {
+            prop_assert!((a - b).abs() < 0.5, "integrated {a} vs steady {b}");
+        }
+    }
+
+    #[test]
+    fn sensors_never_read_below_node_offsets(big in 20.0..110.0f64, gpu in 20.0..110.0f64) {
+        let mut bank = SensorBank::ideal();
+        let r = bank.read(big, gpu);
+        prop_assert!(r.big_max_c() >= big, "max offset is positive");
+        prop_assert_eq!(r.gpu_c, gpu);
+        prop_assert!(r.max_c() >= r.gpu_c);
+        prop_assert!(r.hottest_big_core() < 4);
+    }
+
+    #[test]
+    fn zone_state_machine_is_sound(temps in proptest::collection::vec(70.0..100.0f64, 1..80)) {
+        let mut zone = ThermalZone::stock_xu4();
+        let mut t = 0.0;
+        for temp in temps {
+            let cap = zone.update(t, temp);
+            // Whenever hard-tripped, the cap is exactly the throttle freq.
+            if zone.is_tripped() {
+                prop_assert_eq!(cap, Some(MHz(900)));
+            }
+            // A cap is present iff the zone reports capping.
+            prop_assert_eq!(cap.is_some(), zone.is_capping());
+            if let Some(c) = cap {
+                prop_assert!(c >= MHz(900) && c <= MHz(2000));
+            }
+            t += 0.1;
+        }
+    }
+
+    #[test]
+    fn builder_networks_relax_to_ambient(
+        c1 in 0.1..5.0f64,
+        c2 in 1.0..100.0f64,
+        g in 0.05..1.0f64,
+        amb in 10.0..40.0f64,
+    ) {
+        let mut b = ThermalModelBuilder::new(amb);
+        let die = b.node("die", c1, 0.0, amb + 30.0);
+        let sink = b.node("sink", c2, g, amb + 10.0);
+        b.connect(die, sink, g);
+        let mut m = b.build();
+        m.step(20_000.0, &[0.0, 0.0]);
+        prop_assert!((m.temp(die) - amb).abs() < 0.5, "die {} vs ambient {amb}", m.temp(die));
+    }
+}

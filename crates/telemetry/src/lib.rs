@@ -1,0 +1,38 @@
+//! # teem-telemetry
+//!
+//! Measurement and reporting substrate for the TEEM reproduction: time
+//! series, thermal statistics, multi-channel traces, terminal plots and
+//! run summaries.
+//!
+//! The paper evaluates every approach through four observables — execution
+//! time, energy, average/peak temperature and temporal thermal variance
+//! ("thermal gradient"). This crate owns those computations so that the
+//! simulator, the governors and the benchmark harness all report metrics
+//! identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use teem_telemetry::{TimeSeries, stats::SeriesStats};
+//!
+//! // A throttling temperature trace oscillating around a trip point.
+//! let trace: TimeSeries = (0..100)
+//!     .map(|i| (i as f64 * 0.5, 90.0 + 5.0 * (i as f64 * 0.4).sin()))
+//!     .collect();
+//! let stats = SeriesStats::of(&trace).expect("non-empty");
+//! assert!(stats.max() <= 95.0);
+//! assert!(stats.variance() > 5.0); // oscillation = high thermal variance
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod plot;
+mod series;
+pub mod stats;
+pub mod summary;
+mod trace;
+
+pub use series::{Sample, TimeSeries};
+pub use summary::RunSummary;
+pub use trace::Trace;

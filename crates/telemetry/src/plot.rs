@@ -1,0 +1,196 @@
+//! Terminal plotting: ASCII line charts and sparklines for rendering the
+//! paper's traces (Fig. 1) and bar groups (Fig. 5) without a plotting
+//! stack.
+
+use crate::series::TimeSeries;
+
+/// Renders a time series as a fixed-size ASCII line chart.
+///
+/// # Examples
+///
+/// ```
+/// use teem_telemetry::{TimeSeries, plot::ascii_chart};
+///
+/// let s: TimeSeries = (0..100).map(|i| (i as f64, (i as f64 / 10.0).sin())).collect();
+/// let art = ascii_chart(&s, 60, 10, "sine");
+/// assert!(art.lines().count() >= 10);
+/// ```
+pub fn ascii_chart(series: &TimeSeries, width: usize, height: usize, title: &str) -> String {
+    let width = width.max(8);
+    let height = height.max(2);
+    if series.is_empty() {
+        return format!("{title}: (no data)\n");
+    }
+    let t0 = series.first().expect("non-empty").t;
+    let t1 = series.last().expect("non-empty").t;
+    let values = series.values();
+    let vmin = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let vmax = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (vmax - vmin).abs() < 1e-12 {
+        1.0
+    } else {
+        vmax - vmin
+    };
+    let tspan = if (t1 - t0).abs() < 1e-12 { 1.0 } else { t1 - t0 };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let col = (((s.t - t0) / tspan) * (width - 1) as f64).round() as usize;
+        let row = (((s.v - vmin) / span) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - row.min(height - 1);
+        grid[row][col.min(width - 1)] = '*';
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}  [{vmin:.1} .. {vmax:.1}]\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{vmax:>8.1} |")
+        } else if i == height - 1 {
+            format!("{vmin:>8.1} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>8}  {:<w$.1}{:>r$.1}\n",
+        "",
+        "-".repeat(width),
+        "",
+        t0,
+        t1,
+        w = width / 2,
+        r = width - width / 2
+    ));
+    out
+}
+
+/// Renders a compact unicode sparkline of the series values.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let vmin = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let vmax = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (vmax - vmin).abs() < 1e-12 {
+        1.0
+    } else {
+        vmax - vmin
+    };
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - vmin) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// One labelled group of bars (e.g. one application with one bar per
+/// approach), for rendering Fig. 5-style grouped bar charts in text.
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// Group label (e.g. the application abbreviation "CV").
+    pub label: String,
+    /// `(series name, value)` bars within the group.
+    pub bars: Vec<(String, f64)>,
+}
+
+/// Renders grouped horizontal bars with a shared scale.
+///
+/// # Examples
+///
+/// ```
+/// use teem_telemetry::plot::{bar_chart, BarGroup};
+///
+/// let groups = vec![BarGroup {
+///     label: "CV".into(),
+///     bars: vec![("EEMP".into(), 530.0), ("TEEM".into(), 413.0)],
+/// }];
+/// let art = bar_chart(&groups, 40, "J");
+/// assert!(art.contains("EEMP"));
+/// assert!(art.contains("CV"));
+/// ```
+pub fn bar_chart(groups: &[BarGroup], width: usize, unit: &str) -> String {
+    let width = width.max(10);
+    let max = groups
+        .iter()
+        .flat_map(|g| g.bars.iter().map(|b| b.1))
+        .fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return "(no data)\n".to_string();
+    }
+    let name_w = groups
+        .iter()
+        .flat_map(|g| g.bars.iter().map(|b| b.0.len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    for g in groups {
+        out.push_str(&format!("{}\n", g.label));
+        for (name, v) in &g.bars {
+            let filled = ((v / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {name:<name_w$} |{}{} {v:.1} {unit}\n",
+                "#".repeat(filled.min(width)),
+                " ".repeat(width - filled.min(width)),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_with_bounds() {
+        let s = TimeSeries::from_pairs(&[(0.0, 80.0), (10.0, 95.0), (20.0, 85.0)]);
+        let art = ascii_chart(&s, 40, 8, "temp");
+        assert!(art.contains("temp"));
+        assert!(art.contains("95.0"));
+        assert!(art.contains("80.0"));
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn chart_handles_empty_and_constant() {
+        assert!(ascii_chart(&TimeSeries::new(), 40, 8, "x").contains("no data"));
+        let s = TimeSeries::from_pairs(&[(0.0, 5.0), (1.0, 5.0)]);
+        let art = ascii_chart(&s, 20, 4, "const");
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn sparkline_min_max_mapping() {
+        let s = sparkline(&[0.0, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let groups = vec![
+            BarGroup {
+                label: "2D".into(),
+                bars: vec![("EEMP".into(), 100.0), ("TEEM".into(), 50.0)],
+            },
+            BarGroup {
+                label: "CV".into(),
+                bars: vec![("EEMP".into(), 0.0)],
+            },
+        ];
+        let art = bar_chart(&groups, 20, "J");
+        // 100 -> 20 hashes, 50 -> 10 hashes, 0 -> none.
+        assert!(art.contains(&"#".repeat(20)));
+        assert!(art.contains(&format!("|{} ", "#".repeat(10))) || art.contains("##########"));
+        assert!(art.contains("2D"));
+    }
+}

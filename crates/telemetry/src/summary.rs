@@ -1,0 +1,213 @@
+//! Run summaries: the per-run quantities the paper reports for every
+//! experiment — execution time, energy, average/peak temperature, thermal
+//! variance — plus tabular side-by-side comparison of approaches.
+
+use crate::stats::percent_reduction;
+use std::fmt;
+
+/// Headline metrics of one application run under one management approach.
+///
+/// These are exactly the numbers annotated on Fig. 1 (48 s / 530 J /
+/// 93.7 °C / 96 °C for ondemand vs 39.6 s / 413 J / 85.8 °C / 90 °C for
+/// TEEM) and plotted per-application in Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Application name (e.g. "COVARIANCE").
+    pub app: String,
+    /// Management approach (e.g. "TEEM", "EEMP", "RMP", "ondemand").
+    pub approach: String,
+    /// Wall-clock execution time in seconds.
+    pub execution_time_s: f64,
+    /// Total energy consumed in joules (wall meter).
+    pub energy_j: f64,
+    /// Average of the hottest-sensor temperature over the run, °C.
+    pub avg_temp_c: f64,
+    /// Peak of the hottest-sensor temperature over the run, °C.
+    pub peak_temp_c: f64,
+    /// Temporal variance of the hottest-sensor temperature, °C².
+    pub temp_variance: f64,
+    /// Average big-cluster frequency over the run, MHz.
+    pub avg_big_freq_mhz: f64,
+}
+
+impl RunSummary {
+    /// Average power over the run in watts.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.execution_time_s > 0.0 {
+            self.energy_j / self.execution_time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: ET={:.1}s E={:.0}J avgT={:.1}C peakT={:.1}C varT={:.2}C2 avgF={:.0}MHz",
+            self.app,
+            self.approach,
+            self.execution_time_s,
+            self.energy_j,
+            self.avg_temp_c,
+            self.peak_temp_c,
+            self.temp_variance,
+            self.avg_big_freq_mhz
+        )
+    }
+}
+
+/// Pairwise comparison of one approach against a baseline, expressed as the
+/// paper does: percentage savings (positive = candidate better/lower).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Energy reduction in percent.
+    pub energy_saving_pct: f64,
+    /// Execution-time reduction in percent ("performance improvement").
+    pub perf_improvement_pct: f64,
+    /// Temperature-variance reduction in percent ("thermal gradient").
+    pub variance_reduction_pct: f64,
+    /// Peak-temperature reduction in degrees (absolute, °C).
+    pub peak_temp_delta_c: f64,
+}
+
+/// Compares `candidate` against `baseline` run-for-run.
+///
+/// Returns `None` if any baseline quantity is zero (undefined percentage).
+///
+/// # Examples
+///
+/// ```
+/// use teem_telemetry::summary::{compare, RunSummary};
+///
+/// let base = RunSummary { app: "CV".into(), approach: "ondemand".into(),
+///     execution_time_s: 48.0, energy_j: 530.0, avg_temp_c: 93.7,
+///     peak_temp_c: 96.0, temp_variance: 9.0, avg_big_freq_mhz: 1300.0 };
+/// let teem = RunSummary { app: "CV".into(), approach: "TEEM".into(),
+///     execution_time_s: 39.6, energy_j: 413.0, avg_temp_c: 85.8,
+///     peak_temp_c: 90.0, temp_variance: 2.0, avg_big_freq_mhz: 1600.0 };
+/// let c = compare(&base, &teem).unwrap();
+/// assert!(c.energy_saving_pct > 20.0);
+/// assert!(c.perf_improvement_pct > 15.0);
+/// ```
+pub fn compare(baseline: &RunSummary, candidate: &RunSummary) -> Option<Comparison> {
+    Some(Comparison {
+        energy_saving_pct: percent_reduction(baseline.energy_j, candidate.energy_j)?,
+        perf_improvement_pct: percent_reduction(
+            baseline.execution_time_s,
+            candidate.execution_time_s,
+        )?,
+        variance_reduction_pct: percent_reduction(
+            baseline.temp_variance,
+            candidate.temp_variance,
+        )?,
+        peak_temp_delta_c: baseline.peak_temp_c - candidate.peak_temp_c,
+    })
+}
+
+/// Formats a set of summaries as a fixed-width comparison table, grouped in
+/// input order — the textual analogue of the Fig. 5 bar charts.
+pub fn table(rows: &[RunSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9}\n",
+        "app", "approach", "ET(s)", "E(J)", "avgT(C)", "peakT(C)", "varT(C2)", "avgF(MHz)"
+    ));
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>8.1} {:>9.1} {:>8.1} {:>8.1} {:>9.2} {:>9.0}\n",
+            r.app,
+            r.approach,
+            r.execution_time_s,
+            r.energy_j,
+            r.avg_temp_c,
+            r.peak_temp_c,
+            r.temp_variance,
+            r.avg_big_freq_mhz
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(approach: &str, et: f64, e: f64) -> RunSummary {
+        RunSummary {
+            app: "CV".into(),
+            approach: approach.into(),
+            execution_time_s: et,
+            energy_j: e,
+            avg_temp_c: 90.0,
+            peak_temp_c: 95.0,
+            temp_variance: 8.0,
+            avg_big_freq_mhz: 1500.0,
+        }
+    }
+
+    #[test]
+    fn avg_power() {
+        let r = s("x", 10.0, 100.0);
+        assert_eq!(r.avg_power_w(), 10.0);
+        let zero = s("x", 0.0, 100.0);
+        assert_eq!(zero.avg_power_w(), 0.0);
+    }
+
+    #[test]
+    fn comparison_matches_paper_fig1_numbers() {
+        let ondemand = RunSummary {
+            app: "CV".into(),
+            approach: "ondemand".into(),
+            execution_time_s: 48.0,
+            energy_j: 530.0,
+            avg_temp_c: 93.7,
+            peak_temp_c: 96.0,
+            temp_variance: 10.0,
+            avg_big_freq_mhz: 1250.0,
+        };
+        let teem = RunSummary {
+            app: "CV".into(),
+            approach: "TEEM".into(),
+            execution_time_s: 39.6,
+            energy_j: 413.0,
+            avg_temp_c: 85.8,
+            peak_temp_c: 90.0,
+            temp_variance: 2.0,
+            avg_big_freq_mhz: 1600.0,
+        };
+        let c = compare(&ondemand, &teem).unwrap();
+        // 530 -> 413 J is 22.1% saving; 48 -> 39.6 s is 17.5% faster.
+        assert!((c.energy_saving_pct - 22.07).abs() < 0.1);
+        assert!((c.perf_improvement_pct - 17.5).abs() < 0.1);
+        assert!((c.peak_temp_delta_c - 6.0).abs() < 1e-12);
+        assert_eq!(c.variance_reduction_pct, 80.0);
+    }
+
+    #[test]
+    fn comparison_none_on_zero_baseline() {
+        let zero = s("b", 0.0, 0.0);
+        let cand = s("c", 1.0, 1.0);
+        assert!(compare(&zero, &cand).is_none());
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let rows = vec![s("EEMP", 50.0, 600.0), s("TEEM", 40.0, 420.0)];
+        let t = table(&rows);
+        assert!(t.contains("EEMP"));
+        assert!(t.contains("TEEM"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = s("TEEM", 39.6, 413.0);
+        let d = r.to_string();
+        assert!(d.contains("TEEM"));
+        assert!(d.contains("413"));
+    }
+}

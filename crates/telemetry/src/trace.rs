@@ -1,0 +1,166 @@
+//! Multi-channel traces: named time series recorded during a simulation
+//! run, with CSV export for external plotting of the paper's figures.
+
+use crate::series::TimeSeries;
+use crate::stats::SeriesStats;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A collection of named [`TimeSeries`] channels (e.g. `temp.big`,
+/// `freq.big`, `power.total`) recorded during one run.
+///
+/// Channels are kept in name order so exports are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use teem_telemetry::Trace;
+///
+/// let mut tr = Trace::new();
+/// tr.record("temp.big", 0.0, 81.0);
+/// tr.record("temp.big", 1.0, 84.5);
+/// tr.record("freq.big", 0.0, 2000.0);
+/// assert_eq!(tr.channel("temp.big").unwrap().len(), 2);
+/// assert!(tr.to_csv().starts_with("t,freq.big,temp.big"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    channels: BTreeMap<String, TimeSeries>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample to the named channel, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the channel's last timestamp (see
+    /// [`TimeSeries::push`]).
+    pub fn record(&mut self, channel: &str, t: f64, v: f64) {
+        self.channels
+            .entry(channel.to_string())
+            .or_default()
+            .push(t, v);
+    }
+
+    /// Looks up a channel by name.
+    pub fn channel(&self, name: &str) -> Option<&TimeSeries> {
+        self.channels.get(name)
+    }
+
+    /// Channel names in sorted order.
+    pub fn channel_names(&self) -> Vec<&str> {
+        self.channels.keys().map(String::as_str).collect()
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// `true` when no channels exist.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Statistics for one channel, if present and non-empty.
+    pub fn stats(&self, name: &str) -> Option<SeriesStats> {
+        self.channels.get(name).and_then(SeriesStats::of)
+    }
+
+    /// Exports all channels as a single CSV with a shared time column.
+    ///
+    /// The time grid is the union of all sample times; each channel is
+    /// sampled by zero-order hold, with empty cells before a channel's
+    /// first sample.
+    pub fn to_csv(&self) -> String {
+        let mut grid: Vec<f64> = self
+            .channels
+            .values()
+            .flat_map(|s| s.times())
+            .collect();
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        grid.dedup();
+
+        let mut out = String::from("t");
+        for name in self.channels.keys() {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for &t in &grid {
+            out.push_str(&format!("{t}"));
+            for series in self.channels.values() {
+                out.push(',');
+                if let Some(v) = series.value_at(t) {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Trace with {} channel(s):", self.len())?;
+        for (name, series) in &self.channels {
+            writeln!(f, "  {name}: {series}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_creates_channels() {
+        let mut tr = Trace::new();
+        tr.record("a", 0.0, 1.0);
+        tr.record("b", 0.0, 2.0);
+        tr.record("a", 1.0, 3.0);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.channel("a").unwrap().len(), 2);
+        assert_eq!(tr.channel_names(), vec!["a", "b"]);
+        assert!(tr.channel("missing").is_none());
+    }
+
+    #[test]
+    fn csv_uses_union_grid_with_hold() {
+        let mut tr = Trace::new();
+        tr.record("x", 0.0, 1.0);
+        tr.record("x", 2.0, 3.0);
+        tr.record("y", 1.0, 5.0);
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,x,y");
+        assert_eq!(lines[1], "0,1,"); // y not started yet
+        assert_eq!(lines[2], "1,1,5"); // x held at 1
+        assert_eq!(lines[3], "2,3,5"); // y held at 5
+    }
+
+    #[test]
+    fn stats_passthrough() {
+        let mut tr = Trace::new();
+        tr.record("temp", 0.0, 80.0);
+        tr.record("temp", 1.0, 90.0);
+        let st = tr.stats("temp").unwrap();
+        assert_eq!(st.max(), 90.0);
+        assert!(tr.stats("none").is_none());
+    }
+
+    #[test]
+    fn display_lists_channels() {
+        let mut tr = Trace::new();
+        tr.record("temp.big", 0.0, 80.0);
+        let s = tr.to_string();
+        assert!(s.contains("temp.big"));
+    }
+}

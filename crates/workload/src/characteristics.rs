@@ -1,0 +1,274 @@
+//! Per-kernel execution-cost characteristics for the simulated devices.
+//!
+//! On the real board, the paper *measures* per-application behaviour on
+//! each cluster at each frequency (§III-A, contribution 1). Without the
+//! board, each kernel instead carries measured-style constants: compute
+//! cycles and frequency-independent memory time per work item, per device.
+//! The time for one work item on one core of a device running at `f` Hz is
+//!
+//! ```text
+//! t_item(f) = cycles_per_item / f + mem_s_per_item
+//! ```
+//!
+//! The memory term is what makes memory-bound kernels (MVT) insensitive to
+//! DVFS, and the per-device cycle ratios encode GPU affinity (2DCONV and
+//! GEMM run far better on the Mali's 6 shader cores; CORRELATION less so).
+//! The constants were chosen so full runs take tens of seconds — the
+//! paper's Fig. 1 time scale — and so the CPU:GPU affinity ordering
+//! matches the paper's RMP behaviour (GPU-only wins for 2D and GM).
+
+/// Cost of one work item on one core of a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCost {
+    /// Compute cycles per work item (scales with frequency).
+    pub cycles_per_item: f64,
+    /// Frequency-independent time per work item, seconds (memory system).
+    pub mem_s_per_item: f64,
+}
+
+impl DeviceCost {
+    /// Time for one work item at core frequency `hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not positive.
+    pub fn item_time(self, hz: f64) -> f64 {
+        assert!(hz > 0.0, "frequency must be positive, got {hz}");
+        self.cycles_per_item / hz + self.mem_s_per_item
+    }
+
+    /// Work items per second for one core at frequency `hz`.
+    pub fn rate(self, hz: f64) -> f64 {
+        1.0 / self.item_time(hz)
+    }
+}
+
+/// Complete cost model of one application on the Exynos 5422's three
+/// device types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCharacteristics {
+    /// Application abbreviation (paper spelling: "2D", "CV", …).
+    pub abbrev: &'static str,
+    /// Work items in a full-size run (abstract NDRange size).
+    pub items: u64,
+    /// Cost on one Cortex-A15 (big) core.
+    pub big: DeviceCost,
+    /// Cost on one Cortex-A7 (LITTLE) core.
+    pub little: DeviceCost,
+    /// Cost on one Mali-T628 shader core.
+    pub gpu: DeviceCost,
+    /// Switching-activity factor for dynamic power (1.0 = fully busy
+    /// pipeline; memory-bound kernels stall more and switch less).
+    pub activity: f64,
+}
+
+impl KernelCharacteristics {
+    /// Ratio of GPU-cluster throughput (6 shaders at `gpu_hz`) to
+    /// CPU-cluster throughput (`n_big` A15 at `big_hz` + `n_little` A7 at
+    /// `little_hz`) — the GPU-affinity measure that drives RMP's
+    /// GPU-only-vs-partition decision.
+    pub fn gpu_affinity(
+        &self,
+        n_big: u32,
+        big_hz: f64,
+        n_little: u32,
+        little_hz: f64,
+        gpu_hz: f64,
+    ) -> f64 {
+        let cpu = n_big as f64 * self.big.rate(big_hz) + n_little as f64 * self.little.rate(little_hz);
+        let gpu = 6.0 * self.gpu.rate(gpu_hz);
+        gpu / cpu
+    }
+}
+
+/// Builds the characteristics table entry for a paper application.
+///
+/// All constants in one place so calibration touches a single function.
+pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
+    // Shorthand: (cycles, mem_us) -> DeviceCost.
+    fn dc(cycles: f64, mem_us: f64) -> DeviceCost {
+        DeviceCost {
+            cycles_per_item: cycles,
+            mem_s_per_item: mem_us * 1e-6,
+        }
+    }
+    let c = match abbrev {
+        // 2D convolution: cheap stencil, embarrassingly parallel, strongly
+        // GPU-affine (the Mali eats stencils).
+        "2D" => KernelCharacteristics {
+            abbrev: "2D",
+            items: 2_000_000,
+            big: dc(150_000.0, 6.0),
+            little: dc(380_000.0, 9.0),
+            gpu: dc(22_000.0, 5.0),
+            activity: 0.95,
+        },
+        // COVARIANCE: the Fig. 1 case-study app; mixed affinity with a
+        // modest GPU edge.
+        "CV" => KernelCharacteristics {
+            abbrev: "CV",
+            items: 1_000_000,
+            big: dc(400_000.0, 4.0),
+            little: dc(1_500_000.0, 16.0),
+            gpu: dc(120_000.0, 20.0),
+            activity: 1.0,
+        },
+        // CORRELATION: like covariance plus normalisation; slightly more
+        // divergent control flow hurts the GPU a little.
+        "CR" => KernelCharacteristics {
+            abbrev: "CR",
+            items: 1_000_000,
+            big: dc(430_000.0, 10.0),
+            little: dc(1_020_000.0, 16.0),
+            gpu: dc(150_000.0, 22.0),
+            activity: 1.0,
+        },
+        // GEMM: dense regular compute, strongly GPU-affine.
+        "GE" | "GM" => KernelCharacteristics {
+            abbrev: "GE",
+            items: 1_500_000,
+            big: dc(300_000.0, 8.0),
+            little: dc(760_000.0, 12.0),
+            gpu: dc(45_000.0, 7.0),
+            activity: 1.05,
+        },
+        // 2MM: two chained GEMMs; heavier per item, GPU moderately ahead.
+        "2M" => KernelCharacteristics {
+            abbrev: "2M",
+            items: 900_000,
+            big: dc(640_000.0, 12.0),
+            little: dc(1_500_000.0, 20.0),
+            gpu: dc(170_000.0, 18.0),
+            activity: 1.05,
+        },
+        // MVT: memory-bound; the mem term dominates so neither DVFS nor
+        // the GPU helps much.
+        "MV" => KernelCharacteristics {
+            abbrev: "MV",
+            items: 1_200_000,
+            big: dc(90_000.0, 140.0),
+            little: dc(190_000.0, 170.0),
+            gpu: dc(60_000.0, 160.0),
+            activity: 0.65,
+        },
+        // SYR2K: rank-2k update; balanced affinity where a CPU+GPU
+        // partition clearly beats either device alone.
+        "S2" => KernelCharacteristics {
+            abbrev: "S2",
+            items: 1_100_000,
+            big: dc(500_000.0, 10.0),
+            little: dc(1_150_000.0, 15.0),
+            gpu: dc(210_000.0, 24.0),
+            activity: 1.0,
+        },
+        // SYRK: rank-k update; mildly GPU-affine, big TEEM-vs-RMP energy
+        // delta in the paper (47.28% saving).
+        "SR" => KernelCharacteristics {
+            abbrev: "SR",
+            items: 1_000_000,
+            big: dc(460_000.0, 10.0),
+            little: dc(1_060_000.0, 15.0),
+            gpu: dc(190_000.0, 22.0),
+            activity: 1.0,
+        },
+        // GESUMMV (extension): two fused MV products, mildly memory-bound.
+        "GS" => KernelCharacteristics {
+            abbrev: "GS",
+            items: 1_200_000,
+            big: dc(130_000.0, 90.0),
+            little: dc(280_000.0, 120.0),
+            gpu: dc(80_000.0, 100.0),
+            activity: 0.7,
+        },
+        // BICG (extension): A'x and Ax together; like MVT but slightly
+        // more compute.
+        "BC" => KernelCharacteristics {
+            abbrev: "BC",
+            items: 1_200_000,
+            big: dc(110_000.0, 120.0),
+            little: dc(240_000.0, 150.0),
+            gpu: dc(70_000.0, 135.0),
+            activity: 0.7,
+        },
+        _ => return None,
+    };
+    Some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GHZ2: f64 = 2.0e9;
+    const GHZ1_4: f64 = 1.4e9;
+    const MHZ600: f64 = 600.0e6;
+
+    #[test]
+    fn item_time_combines_compute_and_memory() {
+        let c = DeviceCost {
+            cycles_per_item: 1.0e6,
+            mem_s_per_item: 100e-6,
+        };
+        // At 1 GHz: 1 ms compute + 0.1 ms memory.
+        assert!((c.item_time(1.0e9) - 1.1e-3).abs() < 1e-12);
+        assert!((c.rate(1.0e9) - 1.0 / 1.1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        DeviceCost {
+            cycles_per_item: 1.0,
+            mem_s_per_item: 0.0,
+        }
+        .item_time(0.0);
+    }
+
+    #[test]
+    fn all_paper_apps_have_characteristics() {
+        for app in ["2D", "CV", "CR", "GE", "2M", "MV", "S2", "SR"] {
+            assert!(characteristics_for(app).is_some(), "missing {app}");
+        }
+        assert!(characteristics_for("GM").is_some(), "GM alias for GEMM");
+        assert!(characteristics_for("??").is_none());
+    }
+
+    #[test]
+    fn gpu_affinity_ordering_matches_paper() {
+        // 2D and GEMM must be the most GPU-affine (RMP runs them
+        // GPU-only); MVT the least.
+        let aff = |a: &str| {
+            characteristics_for(a)
+                .unwrap()
+                .gpu_affinity(4, GHZ2, 4, GHZ1_4, MHZ600)
+        };
+        assert!(aff("2D") > 1.5, "2D affinity {}", aff("2D"));
+        assert!(aff("GE") > 1.5, "GE affinity {}", aff("GE"));
+        assert!(aff("CV") > 0.5 && aff("CV") < 1.6, "CV affinity {}", aff("CV"));
+        assert!(aff("MV") < 1.3, "MV affinity {}", aff("MV"));
+        assert!(aff("2D") > aff("CV"));
+        assert!(aff("GE") > aff("SR"));
+    }
+
+    #[test]
+    fn memory_bound_kernel_is_dvfs_insensitive() {
+        let mv = characteristics_for("MV").unwrap();
+        let cv = characteristics_for("CV").unwrap();
+        // Speedup of big core from 0.9 GHz -> 2.0 GHz.
+        let mv_speedup = mv.big.rate(GHZ2) / mv.big.rate(0.9e9);
+        let cv_speedup = cv.big.rate(GHZ2) / cv.big.rate(0.9e9);
+        assert!(mv_speedup < 1.5, "MVT speedup {mv_speedup}");
+        assert!(cv_speedup > 1.9, "CV speedup {cv_speedup}");
+    }
+
+    #[test]
+    fn little_cores_are_slower_than_big() {
+        for app in ["2D", "CV", "CR", "GE", "2M", "MV", "S2", "SR", "GS", "BC"] {
+            let c = characteristics_for(app).unwrap();
+            assert!(
+                c.little.rate(GHZ1_4) < c.big.rate(GHZ2),
+                "{app}: LITTLE faster than big?"
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Host execution of partitioned kernels.
+//!
+//! On the Odroid-XU4 the paper runs the CPU share of a kernel via OpenCL on
+//! the A15/A7 clusters and the GPU share on the Mali via OpenCL+FreeOCL.
+//! Here both devices are simulated, so the *functional* execution happens
+//! on host threads: one pool stands in for the CPU cluster, another for
+//! the GPU. What matters — and what the tests enforce — is that the final
+//! output is identical for every partition and worker count, exactly as a
+//! correct OpenCL partitioning must be.
+
+use crate::kernel::Kernel;
+use crate::partition::{chunk_range, Partition};
+
+/// Worker-pool sizes standing in for the two OpenCL devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Host threads emulating the CPU cluster share.
+    pub cpu_workers: usize,
+    /// Host threads emulating the GPU share.
+    pub gpu_workers: usize,
+}
+
+impl Default for ExecConfig {
+    /// Four CPU workers (one per big core) and six GPU workers (one per
+    /// Mali-T628 MP6 shader core).
+    fn default() -> Self {
+        ExecConfig {
+            cpu_workers: 4,
+            gpu_workers: 6,
+        }
+    }
+}
+
+/// Executes `kernel` with the index space split by `partition`, the CPU
+/// share fanned out over `cfg.cpu_workers` threads and the GPU share over
+/// `cfg.gpu_workers`.
+///
+/// Returns the full output buffer. The result is bit-identical to
+/// [`Kernel::execute_all`] for any partition/config — the partitioning
+/// invariant the paper's approach relies on.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a kernel contract violation).
+pub fn execute_partitioned(
+    kernel: &dyn Kernel,
+    partition: Partition,
+    cfg: &ExecConfig,
+) -> Vec<f64> {
+    let items = kernel.work_items();
+    let opi = kernel.outputs_per_item();
+    let mut out = vec![0.0; kernel.output_len()];
+    let (cpu_range, gpu_range) = partition.split_ranges(items);
+
+    // Build the per-thread chunks for both devices up front.
+    let mut chunks = chunk_range(cpu_range, cfg.cpu_workers.max(1));
+    chunks.extend(chunk_range(gpu_range, cfg.gpu_workers.max(1)));
+
+    // Hand each chunk a disjoint window of the output buffer; the Kernel
+    // contract indexes windows relative to the chunk start, so threads
+    // write with no synchronisation at all.
+    crossbeam::thread::scope(|scope| {
+        let mut rest: &mut [f64] = &mut out;
+        let mut consumed = 0usize;
+        for chunk in &chunks {
+            let start = chunk.start * opi;
+            let end = chunk.end * opi;
+            let (_, tail) = std::mem::take(&mut rest).split_at_mut(start - consumed);
+            let (mine, tail) = tail.split_at_mut(end - start);
+            rest = tail;
+            consumed = end;
+            let chunk = chunk.clone();
+            scope.spawn(move |_| kernel.execute_range(chunk, mine));
+        }
+    })
+    .expect("kernel worker panicked");
+    out
+}
+
+/// Serial reference execution (all work items in order, one thread).
+pub fn execute_serial(kernel: &dyn Kernel) -> Vec<f64> {
+    let mut out = vec![0.0; kernel.output_len()];
+    kernel.execute_range(0..kernel.work_items(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ProblemSize;
+    use crate::polybench::{Covariance, Gemm, Mvt};
+
+    #[test]
+    fn partitioned_equals_serial_for_gemm() {
+        let k = Gemm::new(ProblemSize::Mini);
+        let reference = execute_serial(&k);
+        for grains in [0u16, 256, 1024, 1536, 2048] {
+            let p = Partition::from_grains(grains);
+            let got = execute_partitioned(&k, p, &ExecConfig::default());
+            assert_eq!(got, reference, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn partitioned_equals_serial_for_covariance() {
+        let k = Covariance::new(ProblemSize::Mini);
+        let reference = execute_serial(&k);
+        let got = execute_partitioned(&k, Partition::even(), &ExecConfig::default());
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn worker_count_does_not_matter() {
+        let k = Mvt::new(ProblemSize::Mini);
+        let reference = execute_serial(&k);
+        for (c, g) in [(1, 1), (2, 3), (8, 2), (1, 16)] {
+            let cfg = ExecConfig {
+                cpu_workers: c,
+                gpu_workers: g,
+            };
+            let got = execute_partitioned(&k, Partition::from_grains(700), &cfg);
+            assert_eq!(got, reference, "workers {c}/{g}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let k = Mvt::new(ProblemSize::Mini);
+        let cfg = ExecConfig {
+            cpu_workers: 0,
+            gpu_workers: 0,
+        };
+        let got = execute_partitioned(&k, Partition::even(), &cfg);
+        assert_eq!(got, execute_serial(&k));
+    }
+}

@@ -1,0 +1,44 @@
+//! # teem-workload
+//!
+//! The OpenCL-workload substrate for the TEEM reproduction: real
+//! implementations of the Polybench kernels the paper evaluates, the
+//! work-item [`Partition`] abstraction its thread-partitioning is built
+//! on, a partitioned host [`execute_partitioned`] executor, and per-kernel
+//! device [`characteristics`] that drive the MPSoC simulator's timing
+//! model.
+//!
+//! The paper's approach splits each application's work-item index space
+//! between the CPU clusters and the GPU at a chosen fraction (`WG_CPU`).
+//! Everything here preserves the property that makes that valid: a kernel
+//! output is identical for *any* partition, which the tests verify for
+//! every kernel at many partitions and worker counts.
+//!
+//! # Examples
+//!
+//! Run COVARIANCE (the paper's Fig. 1 app) half on "CPU", half on "GPU":
+//!
+//! ```
+//! use teem_workload::{execute_partitioned, execute_serial, ExecConfig, Partition};
+//! use teem_workload::polybench::Covariance;
+//! use teem_workload::ProblemSize;
+//!
+//! let kernel = Covariance::new(ProblemSize::Mini);
+//! let out = execute_partitioned(&kernel, Partition::even(), &ExecConfig::default());
+//! assert_eq!(out, execute_serial(&kernel));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod characteristics;
+mod executor;
+mod kernel;
+mod partition;
+pub mod polybench;
+mod suite;
+
+pub use characteristics::{DeviceCost, KernelCharacteristics};
+pub use executor::{execute_partitioned, execute_serial, ExecConfig};
+pub use kernel::{init_matrix, init_value, init_vector, weighted_checksum, Kernel, ProblemSize};
+pub use partition::{chunk_range, Partition};
+pub use suite::{App, ParseAppError};

@@ -1,0 +1,258 @@
+//! Work-item partitioning between CPU and GPU.
+//!
+//! The paper expresses partitions two ways: coarse **eighths** for offline
+//! design-point generation (0, 1/8, …, 1 — §III-A.1) and a fine grain for
+//! runtime (Fig. 1 runs "partition 1024", i.e. 1024 of 2048 grains on the
+//! CPU). [`Partition`] stores the fine representation and provides the
+//! eighths as named constructors.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A CPU/GPU work split: how many of [`Partition::GRAINS`] grains of the
+/// index space execute on the CPU (the rest go to the GPU).
+///
+/// `Partition::all_gpu()` is the paper's partition 0; `all_cpu()` is
+/// partition 1; `even()` is Fig. 1's "partition 1024".
+///
+/// # Examples
+///
+/// ```
+/// use teem_workload::Partition;
+///
+/// let p = Partition::even();
+/// assert_eq!(p.cpu_fraction(), 0.5);
+/// let (cpu, gpu) = p.split_ranges(1000);
+/// assert_eq!(cpu, 0..500);
+/// assert_eq!(gpu, 500..1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Partition(u16);
+
+impl Partition {
+    /// Total number of grains (the paper's fine partition granularity).
+    pub const GRAINS: u16 = 2048;
+
+    /// Creates a partition with `grains` of [`Self::GRAINS`] on the CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grains > Self::GRAINS`.
+    pub fn from_grains(grains: u16) -> Self {
+        assert!(
+            grains <= Self::GRAINS,
+            "partition grains {grains} exceed {}",
+            Self::GRAINS
+        );
+        Partition(grains)
+    }
+
+    /// Creates a partition from a CPU fraction in `[0, 1]`, rounded to the
+    /// nearest grain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn from_cpu_fraction(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "CPU fraction {fraction} out of [0,1]"
+        );
+        Partition((fraction * Self::GRAINS as f64).round() as u16)
+    }
+
+    /// The paper's offline grid: `k/8` of the work on the CPU, `k` in
+    /// `0..=8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 8`.
+    pub fn from_eighths(k: u8) -> Self {
+        assert!(k <= 8, "eighths index {k} out of 0..=8");
+        Partition(Self::GRAINS / 8 * k as u16)
+    }
+
+    /// All work on the GPU (the paper's partition 0).
+    pub fn all_gpu() -> Self {
+        Partition(0)
+    }
+
+    /// All work on the CPU (the paper's partition 1).
+    pub fn all_cpu() -> Self {
+        Partition(Self::GRAINS)
+    }
+
+    /// Even split (Fig. 1's "partition 1024").
+    pub fn even() -> Self {
+        Partition(Self::GRAINS / 2)
+    }
+
+    /// The nine offline design-point partitions 0, 1/8, …, 1.
+    pub fn offline_grid() -> [Partition; 9] {
+        let mut out = [Partition(0); 9];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = Partition::from_eighths(k as u8);
+        }
+        out
+    }
+
+    /// CPU grains out of [`Self::GRAINS`].
+    pub fn grains(self) -> u16 {
+        self.0
+    }
+
+    /// Fraction of work on the CPU (the paper's `WG_CPU`).
+    pub fn cpu_fraction(self) -> f64 {
+        self.0 as f64 / Self::GRAINS as f64
+    }
+
+    /// Fraction of work on the GPU (`1 - WG_CPU`).
+    pub fn gpu_fraction(self) -> f64 {
+        1.0 - self.cpu_fraction()
+    }
+
+    /// `true` when every work item runs on the GPU.
+    pub fn is_gpu_only(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` when every work item runs on the CPU.
+    pub fn is_cpu_only(self) -> bool {
+        self.0 == Self::GRAINS
+    }
+
+    /// Splits `n` work items into CPU and GPU counts (CPU count rounded to
+    /// nearest; the two always sum to `n`).
+    pub fn split_items(self, n: usize) -> (usize, usize) {
+        let cpu = (self.cpu_fraction() * n as f64).round() as usize;
+        let cpu = cpu.min(n);
+        (cpu, n - cpu)
+    }
+
+    /// Splits the index space `0..n` into a leading CPU range and trailing
+    /// GPU range.
+    pub fn split_ranges(self, n: usize) -> (Range<usize>, Range<usize>) {
+        let (cpu, _) = self.split_items(n);
+        (0..cpu, cpu..n)
+    }
+}
+
+impl Default for Partition {
+    /// Defaults to the even split used by the motivational case study.
+    fn default() -> Self {
+        Partition::even()
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} (CPU {:.1}%)",
+            self.0,
+            Self::GRAINS,
+            self.cpu_fraction() * 100.0
+        )
+    }
+}
+
+/// Splits a range into at most `parts` near-equal contiguous chunks
+/// (earlier chunks take the remainder). Empty chunks are omitted.
+pub fn chunk_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = range.start;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constructors() {
+        assert!(Partition::all_gpu().is_gpu_only());
+        assert!(Partition::all_cpu().is_cpu_only());
+        assert_eq!(Partition::even().grains(), 1024);
+        assert_eq!(Partition::default(), Partition::even());
+    }
+
+    #[test]
+    fn eighths_grid_matches_paper() {
+        let grid = Partition::offline_grid();
+        assert_eq!(grid.len(), 9);
+        assert_eq!(grid[0], Partition::all_gpu());
+        assert_eq!(grid[8], Partition::all_cpu());
+        assert_eq!(grid[4], Partition::even());
+        assert!((grid[3].cpu_fraction() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn rejects_too_many_grains() {
+        Partition::from_grains(3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_bad_fraction() {
+        Partition::from_cpu_fraction(1.5);
+    }
+
+    #[test]
+    fn split_items_sums_to_n() {
+        for grains in [0u16, 1, 7, 1024, 2000, 2048] {
+            let p = Partition::from_grains(grains);
+            for n in [0usize, 1, 13, 100, 12345] {
+                let (c, g) = p.split_items(n);
+                assert_eq!(c + g, n, "grains={grains} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_ranges_are_contiguous() {
+        let (c, g) = Partition::even().split_ranges(101);
+        assert_eq!(c.end, g.start);
+        assert_eq!(g.end, 101);
+        // 50.5 rounds to 51 -> wait: 0.5*101 = 50.5 rounds half-away = 51.
+        assert_eq!(c, 0..51);
+    }
+
+    #[test]
+    fn chunking_covers_range_without_overlap() {
+        let chunks = chunk_range(3..17, 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].start, 3);
+        assert_eq!(chunks.last().unwrap().end, 17);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let total: usize = chunks.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn chunking_degenerate_cases() {
+        assert!(chunk_range(5..5, 3).is_empty());
+        assert!(chunk_range(0..10, 0).is_empty());
+        // More parts than items: one chunk per item.
+        assert_eq!(chunk_range(0..3, 10).len(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Partition::even().to_string(), "1024/2048 (CPU 50.0%)");
+    }
+}

@@ -1,0 +1,86 @@
+//! BICG (Polybench `BICG`): the two matrix-vector kernels of the
+//! BiCG-stab solver, `q = A p` and `s = A^T r`. One work item computes
+//! element `i` of both (2 outputs per item). Included as a suite
+//! extension beyond the paper's eight apps.
+
+use crate::kernel::{init_matrix, init_vector, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// BiCG sub-kernels.
+#[derive(Debug, Clone)]
+pub struct Bicg {
+    n: usize,
+    a: Vec<f64>,
+    p: Vec<f64>,
+    r: Vec<f64>,
+}
+
+impl Bicg {
+    /// Builds the kernel with deterministic inputs (square `n x n`).
+    pub fn new(size: ProblemSize) -> Self {
+        let n = size.dim() * 2;
+        Bicg {
+            n,
+            a: init_matrix(n, n, 0xB101),
+            p: init_vector(n, 0xB102),
+            r: init_vector(n, 0xB103),
+        }
+    }
+
+    /// Vector length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Kernel for Bicg {
+    fn name(&self) -> &'static str {
+        "BICG"
+    }
+
+    fn work_items(&self) -> usize {
+        self.n
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        2
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.n, "work-item range out of bounds");
+        assert!(out.len() >= range.len() * 2, "output window too small");
+        let n = self.n;
+        let start = range.start;
+        for i in range {
+            let mut q = 0.0;
+            let mut s = 0.0;
+            for j in 0..n {
+                q += self.a[i * n + j] * self.p[j];
+                s += self.a[j * n + i] * self.r[j];
+            }
+            out[(i - start) * 2] = q;
+            out[(i - start) * 2 + 1] = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_matches_naive() {
+        let k = Bicg::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        for &i in &[0usize, 11, k.n() - 1] {
+            let mut q = 0.0;
+            let mut s = 0.0;
+            for j in 0..k.n() {
+                q += k.a[i * k.n + j] * k.p[j];
+                s += k.a[j * k.n + i] * k.r[j];
+            }
+            assert!((out[i * 2] - q).abs() < 1e-10);
+            assert!((out[i * 2 + 1] - s).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! 2D convolution (Polybench `2DCONV`): a 3×3 stencil over a padded input
+//! image. One work item computes one output row.
+
+use crate::kernel::{init_matrix, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// The 3×3 convolution coefficients Polybench's `conv2d` uses.
+const C: [[f64; 3]; 3] = [[0.2, -0.3, 0.4], [0.5, 0.6, -0.7], [-0.8, -0.9, 0.1]];
+
+/// 2D convolution over an `h x w` output with a `(h+2) x (w+2)` input.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    h: usize,
+    w: usize,
+    input: Vec<f64>, // (h+2) x (w+2), row-major
+}
+
+impl Conv2d {
+    /// Builds the kernel with deterministic input data. The convolution
+    /// output dimension is scaled up relative to the square kernels since
+    /// stencils are cheap per element.
+    pub fn new(size: ProblemSize) -> Self {
+        let d = size.dim() * 4;
+        Conv2d {
+            h: d,
+            w: d,
+            input: init_matrix(d + 2, d + 2, 0x2D),
+        }
+    }
+
+    /// Output image height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Output image width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.input[r * (self.w + 2) + c]
+    }
+}
+
+impl Kernel for Conv2d {
+    fn name(&self) -> &'static str {
+        "2DCONV"
+    }
+
+    fn work_items(&self) -> usize {
+        self.h
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        self.w
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.h, "work-item range out of bounds");
+        assert!(
+            out.len() >= range.len() * self.w,
+            "output window too small"
+        );
+        let start = range.start;
+        for i in range {
+            let row = &mut out[(i - start) * self.w..(i - start + 1) * self.w];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (di, crow) in C.iter().enumerate() {
+                    for (dj, &coef) in crow.iter().enumerate() {
+                        acc += coef * self.at(i + di, j + dj);
+                    }
+                }
+                *slot = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_stencil() {
+        let k = Conv2d::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        // Naive recomputation at a few probe points.
+        for &(i, j) in &[(0usize, 0usize), (3, 5), (k.height() - 1, k.width() - 1)] {
+            let mut acc = 0.0;
+            for di in 0..3 {
+                for dj in 0..3 {
+                    acc += C[di][dj] * k.at(i + di, j + dj);
+                }
+            }
+            let got = out[i * k.width() + j];
+            assert!((got - acc).abs() < 1e-12, "({i},{j}): {got} vs {acc}");
+        }
+    }
+
+    #[test]
+    fn range_execution_fills_exact_window() {
+        let k = Conv2d::new(ProblemSize::Mini);
+        // A window sized for exactly two work items, plus canary space.
+        let mut out = vec![f64::NAN; 2 * k.width() + 3];
+        k.execute_range(2..4, &mut out);
+        assert!(out[..2 * k.width()].iter().all(|v| v.is_finite()));
+        assert!(out[2 * k.width()..].iter().all(|v| v.is_nan()), "canary overwritten");
+        // Window contents equal the matching slice of a full run.
+        let full = k.execute_all();
+        assert_eq!(&out[..2 * k.width()], &full[2 * k.width()..4 * k.width()]);
+    }
+}

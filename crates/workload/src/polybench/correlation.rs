@@ -1,0 +1,136 @@
+//! Correlation (Polybench `CORRELATION`): the `m x m` Pearson correlation
+//! matrix of an `n x m` data matrix. One work item computes one row.
+
+use crate::kernel::{init_matrix, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// Correlation of `n` observations of `m` variables.
+#[derive(Debug, Clone)]
+pub struct Correlation {
+    n: usize,
+    m: usize,
+    data: Vec<f64>,
+    means: Vec<f64>,
+    stddevs: Vec<f64>,
+}
+
+impl Correlation {
+    /// Builds the kernel; means and standard deviations are precomputed
+    /// (Polybench's sequential prologue).
+    pub fn new(size: ProblemSize) -> Self {
+        let m = size.dim();
+        let n = size.dim() + size.dim() / 2;
+        let data = init_matrix(n, m, 0xCA);
+        let mut means = vec![0.0; m];
+        for i in 0..n {
+            for j in 0..m {
+                means[j] += data[i * m + j];
+            }
+        }
+        for mj in &mut means {
+            *mj /= n as f64;
+        }
+        let mut stddevs = vec![0.0; m];
+        for i in 0..n {
+            for j in 0..m {
+                let d = data[i * m + j] - means[j];
+                stddevs[j] += d * d;
+            }
+        }
+        for s in &mut stddevs {
+            *s = (*s / n as f64).sqrt();
+            // Polybench guards against near-zero stddev.
+            if *s <= 0.1 {
+                *s = 1.0;
+            }
+        }
+        Correlation {
+            n,
+            m,
+            data,
+            means,
+            stddevs,
+        }
+    }
+
+    /// Number of variables (matrix dimension).
+    pub fn variables(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn standardised(&self, obs: usize, var: usize) -> f64 {
+        (self.data[obs * self.m + var] - self.means[var]) / self.stddevs[var]
+    }
+}
+
+impl Kernel for Correlation {
+    fn name(&self) -> &'static str {
+        "CORRELATION"
+    }
+
+    fn work_items(&self) -> usize {
+        self.m
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        self.m
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.m, "work-item range out of bounds");
+        assert!(
+            out.len() >= range.len() * self.m,
+            "output window too small"
+        );
+        let start = range.start;
+        for i in range {
+            let row = &mut out[(i - start) * self.m..(i - start + 1) * self.m];
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i == j {
+                    *slot = 1.0;
+                    continue;
+                }
+                let mut acc = 0.0;
+                for k in 0..self.n {
+                    acc += self.standardised(k, i) * self.standardised(k, j);
+                }
+                *slot = acc / self.n as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_diagonal_and_bounded_entries() {
+        let k = Correlation::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        let m = k.variables();
+        for i in 0..m {
+            assert_eq!(out[i * m + i], 1.0);
+            for j in 0..m {
+                assert!(
+                    out[i * m + j].abs() <= 1.0 + 1e-9,
+                    "corr({i},{j}) = {} out of range",
+                    out[i * m + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_symmetric() {
+        let k = Correlation::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        let m = k.variables();
+        for i in 0..m {
+            for j in 0..m {
+                assert!((out[i * m + j] - out[j * m + i]).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Covariance (Polybench `COVARIANCE`, the paper's Fig. 1 case-study
+//! application): the `m x m` covariance matrix of an `n x m` data matrix.
+//! One work item computes one row of the covariance matrix.
+
+use crate::kernel::{init_matrix, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// Covariance of `n` observations of `m` variables.
+#[derive(Debug, Clone)]
+pub struct Covariance {
+    n: usize,
+    m: usize,
+    data: Vec<f64>,  // n x m, row-major
+    means: Vec<f64>, // per-column means, precomputed (sequential prologue)
+}
+
+impl Covariance {
+    /// Builds the kernel with deterministic data; column means are
+    /// precomputed once (the Polybench code does the same in a separate
+    /// loop nest before the parallel part).
+    pub fn new(size: ProblemSize) -> Self {
+        let m = size.dim();
+        let n = size.dim() + size.dim() / 2;
+        let data = init_matrix(n, m, 0xC0);
+        let mut means = vec![0.0; m];
+        for i in 0..n {
+            for j in 0..m {
+                means[j] += data[i * m + j];
+            }
+        }
+        for mj in &mut means {
+            *mj /= n as f64;
+        }
+        Covariance { n, m, data, means }
+    }
+
+    /// Number of variables (matrix dimension).
+    pub fn variables(&self) -> usize {
+        self.m
+    }
+
+    /// Number of observations.
+    pub fn observations(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn centred(&self, obs: usize, var: usize) -> f64 {
+        self.data[obs * self.m + var] - self.means[var]
+    }
+}
+
+impl Kernel for Covariance {
+    fn name(&self) -> &'static str {
+        "COVARIANCE"
+    }
+
+    fn work_items(&self) -> usize {
+        self.m
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        self.m
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.m, "work-item range out of bounds");
+        assert!(
+            out.len() >= range.len() * self.m,
+            "output window too small"
+        );
+        let denom = (self.n - 1) as f64;
+        let start = range.start;
+        for i in range {
+            let row = &mut out[(i - start) * self.m..(i - start + 1) * self.m];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for k in 0..self.n {
+                    acc += self.centred(k, i) * self.centred(k, j);
+                }
+                *slot = acc / denom;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::weighted_checksum;
+
+    #[test]
+    fn is_symmetric_with_nonnegative_diagonal() {
+        let k = Covariance::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        let m = k.variables();
+        for i in 0..m {
+            assert!(out[i * m + i] >= 0.0, "variance must be non-negative");
+            for j in 0..m {
+                assert!(
+                    (out[i * m + j] - out[j * m + i]).abs() < 1e-10,
+                    "asymmetry at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matches_direct_variance() {
+        let k = Covariance::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        let m = k.variables();
+        let n = k.observations();
+        // Recompute var of column 0 directly.
+        let mut mean = 0.0;
+        for obs in 0..n {
+            mean += k.data[obs * m];
+        }
+        mean /= n as f64;
+        let mut var = 0.0;
+        for obs in 0..n {
+            let d = k.data[obs * m] - mean;
+            var += d * d;
+        }
+        var /= (n - 1) as f64;
+        assert!((out[0] - var).abs() < 1e-10, "{} vs {var}", out[0]);
+    }
+
+    #[test]
+    fn deterministic_checksum() {
+        let a = Covariance::new(ProblemSize::Mini).execute_all();
+        let b = Covariance::new(ProblemSize::Mini).execute_all();
+        assert_eq!(weighted_checksum(&a), weighted_checksum(&b));
+    }
+}

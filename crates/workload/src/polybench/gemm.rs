@@ -1,0 +1,105 @@
+//! GEMM (Polybench `GEMM`): `C = alpha * A x B + beta * C`. One work item
+//! computes one row of `C`.
+
+use crate::kernel::{init_matrix, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// General matrix multiply on `ni x nk` by `nk x nj` inputs.
+#[derive(Debug, Clone)]
+pub struct Gemm {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    alpha: f64,
+    beta: f64,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c0: Vec<f64>, // initial C (the beta term reads it)
+}
+
+impl Gemm {
+    /// Builds the kernel with deterministic inputs and Polybench's
+    /// canonical `alpha = 32412`, `beta = 2123` scaled down to keep values
+    /// in a comparable range.
+    pub fn new(size: ProblemSize) -> Self {
+        let d = size.dim();
+        Gemm {
+            ni: d,
+            nj: d,
+            nk: d,
+            alpha: 1.5,
+            beta: 1.2,
+            a: init_matrix(d, d, 0x6E01),
+            b: init_matrix(d, d, 0x6E02),
+            c0: init_matrix(d, d, 0x6E03),
+        }
+    }
+
+    /// Rows of the output matrix.
+    pub fn ni(&self) -> usize {
+        self.ni
+    }
+
+    /// Columns of the output matrix.
+    pub fn nj(&self) -> usize {
+        self.nj
+    }
+}
+
+impl Kernel for Gemm {
+    fn name(&self) -> &'static str {
+        "GEMM"
+    }
+
+    fn work_items(&self) -> usize {
+        self.ni
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        self.nj
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.ni, "work-item range out of bounds");
+        assert!(
+            out.len() >= range.len() * self.nj,
+            "output window too small"
+        );
+        let start = range.start;
+        for i in range {
+            let row = &mut out[(i - start) * self.nj..(i - start + 1) * self.nj];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let mut acc = self.beta * self.c0[i * self.nj + j];
+                for k in 0..self.nk {
+                    acc += self.alpha * self.a[i * self.nk + k] * self.b[k * self.nj + j];
+                }
+                *slot = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_points_match_naive() {
+        let k = Gemm::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        for &(i, j) in &[(0usize, 0usize), (5, 7), (k.ni() - 1, k.nj() - 1)] {
+            let mut acc = k.beta * k.c0[i * k.nj + j];
+            for kk in 0..k.nk {
+                acc += k.alpha * k.a[i * k.nk + kk] * k.b[kk * k.nj + j];
+            }
+            assert!((out[i * k.nj + j] - acc).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn output_dimensions() {
+        let k = Gemm::new(ProblemSize::Mini);
+        assert_eq!(k.output_len(), k.ni() * k.nj());
+        assert_eq!(k.execute_all().len(), k.output_len());
+    }
+}

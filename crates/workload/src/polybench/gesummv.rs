@@ -1,0 +1,94 @@
+//! GESUMMV (Polybench `GESUMMV`): scalar-vector-matrix summation
+//! `y = alpha * A x + beta * B x`. One work item computes one element of
+//! `y`. Included as a suite extension beyond the paper's eight apps.
+
+use crate::kernel::{init_matrix, init_vector, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// Summed matrix-vector products.
+#[derive(Debug, Clone)]
+pub struct Gesummv {
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl Gesummv {
+    /// Builds the kernel with deterministic inputs.
+    pub fn new(size: ProblemSize) -> Self {
+        let n = size.dim() * 2;
+        Gesummv {
+            n,
+            alpha: 1.5,
+            beta: 1.2,
+            a: init_matrix(n, n, 0x6501),
+            b: init_matrix(n, n, 0x6502),
+            x: init_vector(n, 0x6503),
+        }
+    }
+
+    /// Vector length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Kernel for Gesummv {
+    fn name(&self) -> &'static str {
+        "GESUMMV"
+    }
+
+    fn work_items(&self) -> usize {
+        self.n
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        1
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.n, "work-item range out of bounds");
+        assert!(out.len() >= range.len(), "output window too small");
+        let n = self.n;
+        let start = range.start;
+        for i in range {
+            let mut ta = 0.0;
+            let mut tb = 0.0;
+            for j in 0..n {
+                ta += self.a[i * n + j] * self.x[j];
+                tb += self.b[i * n + j] * self.x[j];
+            }
+            out[i - start] = self.alpha * ta + self.beta * tb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_matches_naive() {
+        let k = Gesummv::new(ProblemSize::Mini);
+        let out = k.execute_all();
+        for &i in &[0usize, 7, k.n() - 1] {
+            let mut ta = 0.0;
+            let mut tb = 0.0;
+            for j in 0..k.n() {
+                ta += k.a[i * k.n + j] * k.x[j];
+                tb += k.b[i * k.n + j] * k.x[j];
+            }
+            let e = k.alpha * ta + k.beta * tb;
+            assert!((out[i] - e).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn one_output_per_item() {
+        let k = Gesummv::new(ProblemSize::Mini);
+        assert_eq!(k.output_len(), k.n());
+    }
+}

@@ -1,0 +1,117 @@
+//! 2MM (Polybench `2MM`): `D = (alpha * A x B) x C + beta * D`. One work
+//! item computes one row of `D`, materialising its private row of the
+//! intermediate `tmp = alpha * A x B` locally (the fused form used by the
+//! OpenCL port when partitioned across devices).
+
+use crate::kernel::{init_matrix, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// Two chained matrix multiplications.
+#[derive(Debug, Clone)]
+pub struct TwoMm {
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    d0: Vec<f64>,
+}
+
+impl TwoMm {
+    /// Builds the kernel with deterministic square inputs.
+    pub fn new(size: ProblemSize) -> Self {
+        let n = size.dim();
+        TwoMm {
+            n,
+            alpha: 1.5,
+            beta: 1.2,
+            a: init_matrix(n, n, 0x2101),
+            b: init_matrix(n, n, 0x2102),
+            c: init_matrix(n, n, 0x2103),
+            d0: init_matrix(n, n, 0x2104),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Kernel for TwoMm {
+    fn name(&self) -> &'static str {
+        "2MM"
+    }
+
+    fn work_items(&self) -> usize {
+        self.n
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        self.n
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.n, "work-item range out of bounds");
+        assert!(out.len() >= range.len() * self.n, "output window too small");
+        let n = self.n;
+        let start = range.start;
+        let mut tmp = vec![0.0; n];
+        for i in range {
+            // tmp_i = alpha * A_i x B
+            for (k, slot) in tmp.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += self.a[i * n + l] * self.b[l * n + k];
+                }
+                *slot = self.alpha * acc;
+            }
+            // D_i = tmp_i x C + beta * D0_i
+            let row = &mut out[(i - start) * n..(i - start + 1) * n];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let mut acc = self.beta * self.d0[i * n + j];
+                for (k, t) in tmp.iter().enumerate() {
+                    acc += t * self.c[k * n + j];
+                }
+                *slot = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_unfused_reference() {
+        let k = TwoMm::new(ProblemSize::Mini);
+        let n = k.n();
+        // Unfused: materialise the whole tmp, then multiply.
+        let mut tmp = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += k.a[i * n + l] * k.b[l * n + j];
+                }
+                tmp[i * n + j] = k.alpha * acc;
+            }
+        }
+        let mut expected = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = k.beta * k.d0[i * n + j];
+                for l in 0..n {
+                    acc += tmp[i * n + l] * k.c[l * n + j];
+                }
+                expected[i * n + j] = acc;
+            }
+        }
+        let out = k.execute_all();
+        for (g, e) in out.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-9, "{g} vs {e}");
+        }
+    }
+}

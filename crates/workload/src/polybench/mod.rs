@@ -1,0 +1,30 @@
+//! Real implementations of the Polybench kernels the paper evaluates
+//! (§IV-A.2): data-mining (CORRELATION, COVARIANCE), linear-algebra kernels
+//! (2MM, MVT), BLAS routines (GEMM, SYRK, SYR2K), the 2D-CONVOLUTION
+//! stencil, plus two extras (GESUMMV, BICG) from the same suite.
+//!
+//! Every kernel follows the [`Kernel`](crate::Kernel) output contract so it
+//! can be thread-partitioned between the CPU and GPU devices at any
+//! work-item fraction.
+
+mod bicg;
+mod conv2d;
+mod correlation;
+mod covariance;
+mod gemm;
+mod gesummv;
+mod mm2;
+mod mvt;
+mod syr2k;
+mod syrk;
+
+pub use bicg::Bicg;
+pub use conv2d::Conv2d;
+pub use correlation::Correlation;
+pub use covariance::Covariance;
+pub use gemm::Gemm;
+pub use gesummv::Gesummv;
+pub use mm2::TwoMm;
+pub use mvt::Mvt;
+pub use syr2k::Syr2k;
+pub use syrk::Syrk;

@@ -1,0 +1,98 @@
+//! MVT (Polybench `MVT`): the memory-bound pair of matrix-vector products
+//! `x1 += A y1` and `x2 += A^T y2`. One work item computes element `i` of
+//! both results (2 outputs per item).
+
+use crate::kernel::{init_matrix, init_vector, Kernel, ProblemSize};
+use std::ops::Range;
+
+/// Matrix-vector product and transposed product.
+#[derive(Debug, Clone)]
+pub struct Mvt {
+    n: usize,
+    a: Vec<f64>,
+    x1: Vec<f64>,
+    x2: Vec<f64>,
+    y1: Vec<f64>,
+    y2: Vec<f64>,
+}
+
+impl Mvt {
+    /// Builds the kernel with deterministic inputs. MVT touches the whole
+    /// matrix per output element, so it is the most memory-bound kernel in
+    /// the suite (which is why frequency scaling helps it least).
+    pub fn new(size: ProblemSize) -> Self {
+        let n = size.dim() * 2;
+        Mvt {
+            n,
+            a: init_matrix(n, n, 0x3101),
+            x1: init_vector(n, 0x3102),
+            x2: init_vector(n, 0x3103),
+            y1: init_vector(n, 0x3104),
+            y2: init_vector(n, 0x3105),
+        }
+    }
+
+    /// Vector length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Kernel for Mvt {
+    fn name(&self) -> &'static str {
+        "MVT"
+    }
+
+    fn work_items(&self) -> usize {
+        self.n
+    }
+
+    fn outputs_per_item(&self) -> usize {
+        2
+    }
+
+    fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
+        assert!(range.end <= self.n, "work-item range out of bounds");
+        assert!(out.len() >= range.len() * 2, "output window too small");
+        let n = self.n;
+        let start = range.start;
+        for i in range {
+            let mut acc1 = self.x1[i];
+            let mut acc2 = self.x2[i];
+            for j in 0..n {
+                acc1 += self.a[i * n + j] * self.y1[j];
+                acc2 += self.a[j * n + i] * self.y2[j];
+            }
+            out[(i - start) * 2] = acc1;
+            out[(i - start) * 2 + 1] = acc2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_products() {
+        let k = Mvt::new(ProblemSize::Mini);
+        let n = k.n();
+        let out = k.execute_all();
+        for &i in &[0usize, 3, n - 1] {
+            let mut e1 = k.x1[i];
+            let mut e2 = k.x2[i];
+            for j in 0..n {
+                e1 += k.a[i * n + j] * k.y1[j];
+                e2 += k.a[j * n + i] * k.y2[j];
+            }
+            assert!((out[i * 2] - e1).abs() < 1e-10);
+            assert!((out[i * 2 + 1] - e2).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn two_outputs_per_item() {
+        let k = Mvt::new(ProblemSize::Mini);
+        assert_eq!(k.output_len(), 2 * k.n());
+    }
+}

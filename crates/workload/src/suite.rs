@@ -1,0 +1,221 @@
+//! The application suite: the paper's eight Polybench apps (§IV-A.2) plus
+//! two extensions, with their abbreviations, kernel constructors and
+//! simulator characteristics.
+
+use crate::characteristics::{characteristics_for, KernelCharacteristics};
+use crate::kernel::{Kernel, ProblemSize};
+use crate::polybench::{
+    Bicg, Conv2d, Correlation, Covariance, Gemm, Gesummv, Mvt, Syr2k, Syrk, TwoMm,
+};
+use std::fmt;
+use std::str::FromStr;
+
+/// An application from the evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum App {
+    /// 2D convolution (`2D`).
+    Conv2d,
+    /// Covariance (`CV`) — the Fig. 1 case-study app.
+    Covariance,
+    /// Correlation (`CR`).
+    Correlation,
+    /// GEMM (`GE`, printed `GM` in Fig. 5a/c).
+    Gemm,
+    /// 2MM (`2M`).
+    TwoMm,
+    /// MVT (`MV`).
+    Mvt,
+    /// SYR2K (`S2`).
+    Syr2k,
+    /// SYRK (`SR`).
+    Syrk,
+    /// GESUMMV (`GS`) — suite extension beyond the paper's eight.
+    Gesummv,
+    /// BICG (`BC`) — suite extension beyond the paper's eight.
+    Bicg,
+}
+
+impl App {
+    /// The eight applications evaluated in the paper, in Fig. 5(a) order.
+    pub fn paper_eight() -> [App; 8] {
+        [
+            App::Conv2d,
+            App::Covariance,
+            App::Gemm,
+            App::TwoMm,
+            App::Mvt,
+            App::Syr2k,
+            App::Syrk,
+            App::Correlation,
+        ]
+    }
+
+    /// Every application in the suite, extensions included.
+    pub fn all() -> [App; 10] {
+        [
+            App::Conv2d,
+            App::Covariance,
+            App::Correlation,
+            App::Gemm,
+            App::TwoMm,
+            App::Mvt,
+            App::Syr2k,
+            App::Syrk,
+            App::Gesummv,
+            App::Bicg,
+        ]
+    }
+
+    /// The paper's two-letter abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            App::Conv2d => "2D",
+            App::Covariance => "CV",
+            App::Correlation => "CR",
+            App::Gemm => "GE",
+            App::TwoMm => "2M",
+            App::Mvt => "MV",
+            App::Syr2k => "S2",
+            App::Syrk => "SR",
+            App::Gesummv => "GS",
+            App::Bicg => "BC",
+        }
+    }
+
+    /// Full Polybench kernel name.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            App::Conv2d => "2DCONV",
+            App::Covariance => "COVARIANCE",
+            App::Correlation => "CORRELATION",
+            App::Gemm => "GEMM",
+            App::TwoMm => "2MM",
+            App::Mvt => "MVT",
+            App::Syr2k => "SYR2K",
+            App::Syrk => "SYRK",
+            App::Gesummv => "GESUMMV",
+            App::Bicg => "BICG",
+        }
+    }
+
+    /// Simulator cost model for this application.
+    pub fn characteristics(self) -> KernelCharacteristics {
+        characteristics_for(self.abbrev()).expect("every App has characteristics")
+    }
+
+    /// Instantiates the real (functional) kernel at the given problem size.
+    pub fn instantiate(self, size: ProblemSize) -> Box<dyn Kernel> {
+        match self {
+            App::Conv2d => Box::new(Conv2d::new(size)),
+            App::Covariance => Box::new(Covariance::new(size)),
+            App::Correlation => Box::new(Correlation::new(size)),
+            App::Gemm => Box::new(Gemm::new(size)),
+            App::TwoMm => Box::new(TwoMm::new(size)),
+            App::Mvt => Box::new(Mvt::new(size)),
+            App::Syr2k => Box::new(Syr2k::new(size)),
+            App::Syrk => Box::new(Syrk::new(size)),
+            App::Gesummv => Box::new(Gesummv::new(size)),
+            App::Bicg => Box::new(Bicg::new(size)),
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Error returned when parsing an unknown application abbreviation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAppError(String);
+
+impl fmt::Display for ParseAppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown application abbreviation: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAppError {}
+
+impl FromStr for App {
+    type Err = ParseAppError;
+
+    /// Parses either the two-letter abbreviation (`"CV"`, `"GM"`) or the
+    /// full Polybench name (`"COVARIANCE"`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let u = s.to_ascii_uppercase();
+        let app = match u.as_str() {
+            "2D" | "2DCONV" => App::Conv2d,
+            "CV" | "COVARIANCE" => App::Covariance,
+            "CR" | "CORRELATION" => App::Correlation,
+            "GE" | "GM" | "GEMM" => App::Gemm,
+            "2M" | "2MM" => App::TwoMm,
+            "MV" | "MVT" => App::Mvt,
+            "S2" | "SYR2K" => App::Syr2k,
+            "SR" | "SYRK" => App::Syrk,
+            "GS" | "GESUMMV" => App::Gesummv,
+            "BC" | "BICG" => App::Bicg,
+            _ => return Err(ParseAppError(s.to_string())),
+        };
+        Ok(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_eight_are_distinct_and_ordered_like_fig5a() {
+        let eight = App::paper_eight();
+        let abbrevs: Vec<&str> = eight.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["2D", "CV", "GE", "2M", "MV", "S2", "SR", "CR"]);
+    }
+
+    #[test]
+    fn all_contains_paper_eight() {
+        let all = App::all();
+        for app in App::paper_eight() {
+            assert!(all.contains(&app));
+        }
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn roundtrip_parse() {
+        for app in App::all() {
+            let parsed: App = app.abbrev().parse().unwrap();
+            assert_eq!(parsed, app);
+            let parsed: App = app.full_name().parse().unwrap();
+            assert_eq!(parsed, app);
+        }
+        assert_eq!("gm".parse::<App>().unwrap(), App::Gemm);
+        assert!("XX".parse::<App>().is_err());
+        let err = "XX".parse::<App>().unwrap_err();
+        assert!(err.to_string().contains("XX"));
+    }
+
+    #[test]
+    fn kernels_instantiate_and_run() {
+        use crate::kernel::weighted_checksum;
+        for app in App::all() {
+            let k = app.instantiate(ProblemSize::Mini);
+            assert_eq!(k.name(), app.full_name());
+            assert!(k.work_items() > 0);
+            let mut out = vec![0.0; k.output_len()];
+            k.execute_range(0..k.work_items(), &mut out);
+            let sum = weighted_checksum(&out);
+            assert!(sum.is_finite(), "{app}: non-finite output");
+        }
+    }
+
+    #[test]
+    fn characteristics_available_for_all() {
+        for app in App::all() {
+            let c = app.characteristics();
+            assert_eq!(c.abbrev, app.abbrev().replace("GM", "GE"));
+            assert!(c.items > 0);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The central correctness property of thread-partitioned OpenCL
+//! execution: for every kernel, every partition and any worker
+//! configuration, the output equals the serial reference bit-for-bit.
+
+use proptest::prelude::*;
+use teem_workload::{
+    execute_partitioned, execute_serial, App, ExecConfig, Partition, ProblemSize,
+};
+
+/// Serial references are computed once per kernel (they dominate runtime).
+fn reference(app: App) -> Vec<f64> {
+    execute_serial(app.instantiate(ProblemSize::Mini).as_ref())
+}
+
+#[test]
+fn all_kernels_partition_invariant_on_grid() {
+    for app in App::all() {
+        let kernel = app.instantiate(ProblemSize::Mini);
+        let expected = execute_serial(kernel.as_ref());
+        for p in Partition::offline_grid() {
+            let got = execute_partitioned(kernel.as_ref(), p, &ExecConfig::default());
+            assert_eq!(got, expected, "{app} at partition {p}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_partitions_and_workers_are_invariant(
+        app_idx in 0usize..10,
+        grains in 0u16..=2048,
+        cpu_workers in 1usize..8,
+        gpu_workers in 1usize..8,
+    ) {
+        let app = App::all()[app_idx];
+        let kernel = app.instantiate(ProblemSize::Mini);
+        let expected = reference(app);
+        let cfg = ExecConfig { cpu_workers, gpu_workers };
+        let got = execute_partitioned(kernel.as_ref(), Partition::from_grains(grains), &cfg);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn split_items_conserves_work(grains in 0u16..=2048, n in 0usize..100_000) {
+        let p = Partition::from_grains(grains);
+        let (cpu, gpu) = p.split_items(n);
+        prop_assert_eq!(cpu + gpu, n);
+        // CPU share within one item of the exact fraction.
+        let exact = p.cpu_fraction() * n as f64;
+        prop_assert!((cpu as f64 - exact).abs() <= 0.5 + 1e-9);
+    }
+}

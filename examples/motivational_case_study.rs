@@ -1,0 +1,60 @@
+//! The paper's motivational case study (Fig. 1): COVARIANCE on 2L+3B at
+//! partition 1024/2048, stock Linux ondemand + reactive 95 C trip versus
+//! TEEM's proactive 85 C threshold.
+//!
+//! ```sh
+//! cargo run --release --example motivational_case_study
+//! ```
+
+use teem::prelude::*;
+use teem::telemetry::plot::ascii_chart;
+
+fn case_study_spec() -> RunSpec {
+    RunSpec {
+        app: App::Covariance,
+        mapping: CpuMapping::new(2, 3),
+        partition: Partition::even(), // the paper's "partition 1024"
+        initial: ClusterFreqs {
+            big: MHz(2000),
+            little: MHz(1400),
+            gpu: MHz(600),
+        },
+    }
+}
+
+fn main() {
+    // (a) Existing approach: ondemand governor, reactive thermal zone.
+    let mut sim = Simulation::new(Board::odroid_xu4(), case_study_spec());
+    let ondemand = sim.run(&mut Ondemand::xu4());
+
+    // (b) Proposed approach: TEEM's proactive threshold at 85 C.
+    let mut sim = Simulation::new(Board::odroid_xu4(), case_study_spec());
+    let teem = sim.run(&mut TeemGovernor::paper());
+
+    for (label, r) in [("(a) ondemand + 95C trip", &ondemand), ("(b) TEEM @ 85C", &teem)] {
+        println!("=== {label} ===");
+        println!("{}", r.summary);
+        println!("trips: {}", r.zone_trips);
+        if let Some(temp) = r.trace.channel("temp.max") {
+            println!("{}", ascii_chart(temp, 72, 10, "temperature (C)"));
+        }
+        if let Some(freq) = r.trace.channel("freq.big") {
+            println!("{}", ascii_chart(freq, 72, 8, "big-cluster frequency (MHz)"));
+        }
+    }
+
+    let dt = ondemand.summary.execution_time_s - teem.summary.execution_time_s;
+    let de = ondemand.summary.energy_j - teem.summary.energy_j;
+    println!("=== TEEM vs ondemand (paper: 8.4 s faster, 117 J saved, -7.9 C avg) ===");
+    println!(
+        "ET: {:.1}s vs {:.1}s ({dt:+.1}s) | E: {:.0}J vs {:.0}J ({de:+.0}J) | avgT: {:.1} vs {:.1} | peak: {:.1} vs {:.1}",
+        ondemand.summary.execution_time_s,
+        teem.summary.execution_time_s,
+        ondemand.summary.energy_j,
+        teem.summary.energy_j,
+        ondemand.summary.avg_temp_c,
+        teem.summary.avg_temp_c,
+        ondemand.summary.peak_temp_c,
+        teem.summary.peak_temp_c,
+    );
+}

@@ -1,0 +1,48 @@
+//! Extension scenario: a sequence of applications executed back-to-back
+//! under TEEM versus the stock ondemand stack — the multi-application
+//! usage a phone actually sees. Reports cumulative energy and the
+//! worst-case peak temperature across the whole sequence.
+//!
+//! ```sh
+//! cargo run --release --example multi_app
+//! ```
+
+use teem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = Board::odroid_xu4_ideal();
+    let sequence = [App::Conv2d, App::Covariance, App::Gemm, App::Mvt];
+
+    let mut totals = Vec::new();
+    for approach in [Approach::Ondemand, Approach::Teem] {
+        let mut energy = 0.0;
+        let mut time = 0.0;
+        let mut peak: f64 = 0.0;
+        let mut trips = 0;
+        println!("=== {approach} ===");
+        for app in sequence {
+            let profile = offline::profile_app(&board, app)?;
+            let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.9);
+            let r = run(app, approach, &req, Some(&profile), None, None);
+            println!("  {}", r.summary);
+            energy += r.summary.energy_j;
+            time += r.summary.execution_time_s;
+            peak = peak.max(r.summary.peak_temp_c);
+            trips += r.zone_trips;
+        }
+        println!(
+            "  TOTAL: {time:.1}s, {energy:.0}J, worst peak {peak:.1}C, {trips} trips\n"
+        );
+        totals.push((approach, time, energy, peak, trips));
+    }
+
+    let (_, t0, e0, p0, _) = totals[0];
+    let (_, t1, e1, p1, trips1) = totals[1];
+    println!("TEEM over the sequence: {:+.1}% time, {:+.1}% energy, {:+.1}C peak",
+        (t0 - t1) / t0 * 100.0,
+        (e0 - e1) / e0 * 100.0,
+        p0 - p1,
+    );
+    assert_eq!(trips1, 0, "TEEM must avoid the reactive trip everywhere");
+    Ok(())
+}

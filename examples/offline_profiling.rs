@@ -1,0 +1,47 @@
+//! The offline phase end to end: collect observations, reproduce the
+//! Table I and Table II regressions with R-style summaries, and build
+//! the profile store for all eight paper applications.
+//!
+//! ```sh
+//! cargo run --release --example offline_profiling
+//! ```
+
+use teem::linreg::summary::Summary;
+use teem::prelude::*;
+use teem_core::offline::{
+    build_profile_store, fit_full_model, fit_transformed_model, regression_observations,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = Board::odroid_xu4_ideal();
+
+    // The 17-observation dataset behind the paper's Tables I and II.
+    let obs = regression_observations(&board);
+    println!("collected {} observations\n", obs.len());
+
+    println!("--- Table I: M ~ AT + ET + PT + EC ---");
+    let full = fit_full_model(&obs)?;
+    println!("{}", Summary::new(&full));
+
+    println!("--- Table II: log10(M) ~ AT + ET (outlier dropped) ---");
+    let transformed = fit_transformed_model(&obs)?;
+    println!(
+        "(dropped observation #{})",
+        transformed.dropped_observation
+    );
+    println!("{}", Summary::new(&transformed.fit));
+
+    // Build and persist the whole store: two items per application.
+    let store = build_profile_store(&board, App::paper_eight())?;
+    println!("{store}");
+    let bytes = store.to_bytes();
+    println!(
+        "serialised store: {} bytes for {} apps ({} B/app)",
+        bytes.len(),
+        store.len(),
+        bytes.len() / store.len()
+    );
+    let roundtrip = ProfileStore::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(roundtrip, store);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: profile one application offline, run it online under TEEM,
+//! and print the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use teem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Offline phase: fit the eq. (6) model and store ET_GPU for the
+    //    Fig. 1 case-study application (COVARIANCE).
+    let board = Board::odroid_xu4_ideal();
+    let profile = offline::profile_app(&board, App::Covariance)?;
+    println!("Offline profile for CV:");
+    println!("  model : {}", profile.model);
+    println!("  ET_GPU: {:.1} s", profile.et_gpu_s);
+
+    // 2. User requirement: finish 15% faster than the GPU alone could,
+    //    keeping the average temperature at the paper's 85 C threshold.
+    let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.85);
+    println!("\nRequirement: {req}");
+
+    // 3. Online phase: plan (mapping via the model, partition via eq. 9)
+    //    and execute with the TEEM governor.
+    let planned = plan(&profile, &req);
+    println!(
+        "Plan: mapping {} partition {}",
+        planned.mapping, planned.partition
+    );
+    let result = run(
+        App::Covariance,
+        Approach::Teem,
+        &req,
+        Some(&profile),
+        None,
+        None,
+    );
+
+    println!("\n{}", result.summary);
+    println!("thermal-zone trips: {}", result.zone_trips);
+    assert_eq!(result.zone_trips, 0, "TEEM must stay below the trip");
+
+    // 4. The temperature trace, as an ASCII rendition of Fig. 1(b).
+    if let Some(series) = result.trace.channel("temp.max") {
+        println!(
+            "\n{}",
+            teem::telemetry::plot::ascii_chart(series, 72, 12, "hottest sensor (C)")
+        );
+    }
+    Ok(())
+}

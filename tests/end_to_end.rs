@@ -1,0 +1,112 @@
+//! End-to-end integration: the full offline → online pipeline on the
+//! simulated board, checking the qualitative claims of the paper's
+//! motivational case study (Fig. 1).
+
+use teem::prelude::*;
+
+fn case_study_spec() -> RunSpec {
+    RunSpec {
+        app: App::Covariance,
+        mapping: CpuMapping::new(2, 3),
+        partition: Partition::even(),
+        initial: ClusterFreqs {
+            big: MHz(2000),
+            little: MHz(1400),
+            gpu: MHz(600),
+        },
+    }
+}
+
+#[test]
+fn fig1_ondemand_vs_teem_shape() {
+    // (a) stock ondemand + reactive trip.
+    let mut sim = Simulation::new(Board::odroid_xu4_ideal(), case_study_spec());
+    let od = sim.run(&mut Ondemand::xu4());
+    // (b) TEEM.
+    let mut sim = Simulation::new(Board::odroid_xu4_ideal(), case_study_spec());
+    let tm = sim.run(&mut TeemGovernor::paper());
+
+    assert!(!od.timed_out && !tm.timed_out);
+
+    // Reactive baseline reaches the 95 C limit and throttles (Fig. 1a).
+    assert!(od.zone_trips >= 1, "ondemand never tripped");
+    assert!(od.summary.peak_temp_c >= 95.0, "peak {}", od.summary.peak_temp_c);
+
+    // TEEM stays within its 85 C band: no trips, peak well below the
+    // limit (paper: 90 C), average near the threshold (paper: 85.8 C).
+    assert_eq!(tm.zone_trips, 0, "TEEM tripped the reactive zone");
+    assert!(tm.summary.peak_temp_c < 94.0, "peak {}", tm.summary.peak_temp_c);
+    assert!(
+        (tm.summary.avg_temp_c - 85.0).abs() < 3.0,
+        "avg {} not riding the threshold",
+        tm.summary.avg_temp_c
+    );
+
+    // TEEM is faster AND consumes no more energy AND has far lower
+    // temporal thermal variance (the paper's three wins).
+    assert!(
+        tm.summary.execution_time_s < od.summary.execution_time_s,
+        "TEEM {} vs ondemand {}",
+        tm.summary.execution_time_s,
+        od.summary.execution_time_s
+    );
+    assert!(
+        tm.summary.energy_j <= od.summary.energy_j,
+        "TEEM {} J vs ondemand {} J",
+        tm.summary.energy_j,
+        od.summary.energy_j
+    );
+    assert!(
+        tm.summary.temp_variance < 0.35 * od.summary.temp_variance,
+        "variance reduction too small: {} vs {}",
+        tm.summary.temp_variance,
+        od.summary.temp_variance
+    );
+}
+
+#[test]
+fn offline_to_online_meets_the_deadline() {
+    let board = Board::odroid_xu4_ideal();
+    let profile = offline::profile_app(&board, App::Covariance).expect("profiling");
+    let treq = profile.et_gpu_s * 0.8;
+    let req = UserRequirement::with_paper_threshold(treq);
+
+    let planned = plan(&profile, &req);
+    // eq. (9): the GPU share is sized to the deadline.
+    assert!((planned.partition.cpu_fraction() - 0.2).abs() < 0.01);
+
+    let r = run(
+        App::Covariance,
+        Approach::Teem,
+        &req,
+        Some(&profile),
+        None,
+        None,
+    );
+    assert!(!r.timed_out);
+    assert_eq!(r.zone_trips, 0);
+    assert!(
+        r.summary.execution_time_s <= treq * 1.15,
+        "ET {} vs TREQ {treq}",
+        r.summary.execution_time_s
+    );
+}
+
+#[test]
+fn teem_governor_frequency_band_is_respected() {
+    let mut sim = Simulation::new(Board::odroid_xu4_ideal(), case_study_spec());
+    let r = sim.run(&mut TeemGovernor::paper());
+    let f = r.trace.stats("freq.big").expect("freq channel");
+    // Never below the 1400 MHz floor, never above the 2000 MHz maximum.
+    assert!(f.min() >= 1400.0, "floor violated: {}", f.min());
+    assert!(f.max() <= 2000.0);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run_once = || {
+        let mut sim = Simulation::new(Board::odroid_xu4(), case_study_spec());
+        sim.run(&mut TeemGovernor::paper()).summary
+    };
+    assert_eq!(run_once(), run_once());
+}

@@ -1,0 +1,92 @@
+//! Cross-crate invariants lifted directly from the paper's text: the
+//! design-space arithmetic of §III-A.1, the §V-D memory accounting, and
+//! the eq. (9) partitioning identities.
+
+use teem::prelude::*;
+use teem::core::memory::MemoryComparison;
+use teem::core::partition::{gpu_share_et, partition_for};
+use teem::dse::{enumerate, sample};
+
+#[test]
+fn design_space_counts_match_section_3a1() {
+    // Eq. (1): MCPU = Nb + NL + Nb*NL = 24.
+    assert_eq!(enumerate::mcpu_count(4, 4), 24);
+    assert_eq!(enumerate::all_mappings().len(), 24);
+    // Eq. (2): MDP = {(4*19)+(4*13)+(4*19*4*13)} * {1*7} = 28 560.
+    assert_eq!(enumerate::mdp_count(4, 19, 4, 13, 7), 28_560);
+    // "28,560 mappings x 9 partitions ... 257,040 design points".
+    let board = Board::odroid_xu4_ideal();
+    assert_eq!(enumerate::full_space(&board).count(), 257_040);
+    // "10,368 design points that cover a diverse mapping ... were used".
+    assert_eq!(sample::diverse_sample().len(), 10_368);
+}
+
+#[test]
+fn opp_tables_match_the_exynos_5422() {
+    let board = Board::odroid_xu4_ideal();
+    assert_eq!(board.big_opps.len(), 19, "A15: 200-2000 MHz step 100");
+    assert_eq!(board.little_opps.len(), 13, "A7: 200-1400 MHz step 100");
+    assert_eq!(board.gpu_opps.len(), 7, "Mali-T628: 7 OPPs");
+    assert_eq!(board.big_opps.max().freq, MHz(2000));
+    assert_eq!(board.little_opps.max().freq, MHz(1400));
+    assert_eq!(board.gpu_opps.max().freq, MHz(600));
+}
+
+#[test]
+fn memory_saving_matches_section_5d() {
+    let m = MemoryComparison::paper();
+    // "a total of 2 items compared to 128 items".
+    assert_eq!(m.teem_items, 2);
+    assert_eq!(m.eemp_items, 128);
+    // Abstract: "free more than 90% in memory storage"; §V-D: ~98.8%.
+    assert!(m.item_saving_pct() > 98.0);
+    assert!(m.byte_saving_pct() > 98.0);
+}
+
+#[test]
+fn equation_9_sizes_the_gpu_share_to_the_deadline() {
+    // WG_CPU = 1 - TREQ/ET_GPU, so the GPU side finishes at TREQ.
+    for &(treq, et_gpu) in &[(30.0, 40.0), (20.0, 55.0), (10.0, 12.0)] {
+        let p = partition_for(treq, et_gpu);
+        let gpu_time = gpu_share_et(p.cpu_fraction(), et_gpu);
+        let grain = et_gpu / f64::from(Partition::GRAINS);
+        assert!(gpu_time <= treq + grain, "{gpu_time} > {treq}");
+        assert!(gpu_time >= treq - grain, "{gpu_time} << {treq} wastes CPU");
+    }
+    // TREQ >= ET_GPU: "no advantage in exploring the heterogeneity".
+    assert!(partition_for(60.0, 40.0).is_gpu_only());
+}
+
+#[test]
+fn profile_store_roundtrips_for_all_apps() {
+    let board = Board::odroid_xu4_ideal();
+    let store =
+        teem::core::offline::build_profile_store(&board, App::paper_eight()).expect("profiles");
+    assert_eq!(store.len(), 8);
+    let bytes = store.to_bytes();
+    let back = ProfileStore::from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(back, store);
+    // Every stored model has the Table II structure: negative ET slope
+    // (tighter deadline -> more cores).
+    for (app, profile) in store.iter() {
+        assert!(
+            profile.model.et_coeff < 0.0,
+            "{app}: ET coefficient {} not negative",
+            profile.model.et_coeff
+        );
+        assert!(profile.et_gpu_s > 5.0, "{app}: ET_GPU {}", profile.et_gpu_s);
+    }
+}
+
+#[test]
+fn tables_1_and_2_have_the_papers_degrees_of_freedom() {
+    let board = Board::odroid_xu4_ideal();
+    let obs = teem::core::offline::regression_observations(&board);
+    assert_eq!(obs.len(), 17);
+    let full = teem::core::offline::fit_full_model(&obs).expect("Table I fit");
+    assert_eq!(full.df_residual(), 12); // Table I: "on 12 degrees of freedom"
+    let t = teem::core::offline::fit_transformed_model(&obs).expect("Table II fit");
+    assert_eq!(t.fit.df_residual(), 13); // Table II: "on 13 degrees of freedom"
+    let (_, d1, d2) = t.fit.f_statistic();
+    assert_eq!((d1, d2), (2, 13)); // "F-statistic ... on 2 and 13 DF"
+}
