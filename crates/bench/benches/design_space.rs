@@ -1,25 +1,24 @@
-//! Criterion: design-space machinery — eq. (1)/(2) enumeration, the
-//! 10 368-point diverse sample, analytic design-point evaluation, and
-//! EEMP LUT construction.
+//! Design-space machinery — eq. (1)/(2) enumeration, the 10 368-point
+//! diverse sample, analytic design-point evaluation, and EEMP LUT
+//! construction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use teem_bench::microbench::Runner;
 use teem_core::baselines::Eemp;
 use teem_dse::{enumerate, evaluate, sample, DesignPoint};
 use teem_soc::{Board, ClusterFreqs, CpuMapping, MHz};
 use teem_workload::{App, Partition};
 
-fn bench_design_space(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args();
     let board = Board::odroid_xu4_ideal();
     let chars = App::Covariance.characteristics();
 
-    c.bench_function("enumerate_full_space_257040", |b| {
-        b.iter(|| enumerate::full_space(black_box(&board)).count())
+    r.bench("enumerate_full_space_257040", || {
+        enumerate::full_space(black_box(&board)).count()
     });
 
-    c.bench_function("diverse_sample_10368", |b| {
-        b.iter(|| sample::diverse_sample().len())
-    });
+    r.bench("diverse_sample_10368", || sample::diverse_sample().len());
 
     let dp = DesignPoint {
         mapping: CpuMapping::new(2, 3),
@@ -30,14 +29,13 @@ fn bench_design_space(c: &mut Criterion) {
         },
         partition: Partition::even(),
     };
-    c.bench_function("predict_one_design_point", |b| {
-        b.iter(|| evaluate::predict(black_box(&board), black_box(&chars), black_box(&dp)))
+    r.bench("predict_one_design_point", || {
+        evaluate::predict(black_box(&board), black_box(&chars), black_box(&dp))
     });
 
-    c.bench_function("eemp_lut_build_128", |b| {
-        b.iter(|| Eemp::build(black_box(&board), App::Covariance))
+    r.bench("eemp_lut_build_128", || {
+        Eemp::build(black_box(&board), App::Covariance)
     });
+
+    r.finish();
 }
-
-criterion_group!(benches, bench_design_space);
-criterion_main!(benches);

@@ -1,30 +1,24 @@
-//! Criterion: full experiment regeneration — one sample per paper
-//! artefact so `cargo bench` demonstrably reproduces every table and
-//! figure (wall-clock cost of a full simulated run is the quantity
-//! being measured).
+//! Full experiment regeneration — one sample per paper artefact so
+//! `cargo bench` demonstrably reproduces every table and figure
+//! (wall-clock cost of a full simulated run is the quantity being
+//! measured), timed with a fixed low iteration count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use teem_bench::experiments::{fig1, fig3_fig4, fig5, memory, tables};
+use teem_bench::microbench::Runner;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_artifacts");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::from_args();
 
-    g.bench_function("fig1_case_study", |b| b.iter(fig1::run));
-    g.bench_function("table1_pipeline", |b| b.iter(tables::table1));
-    g.bench_function("table2_pipeline", |b| b.iter(tables::table2));
-    g.bench_function("fig3_scatter_matrix", |b| b.iter(fig3_fig4::fig3));
-    g.bench_function("fig4_residuals", |b| b.iter(fig3_fig4::fig4));
-    g.bench_function("mem_accounting", |b| b.iter(memory::run));
-    g.finish();
+    r.bench_heavy("fig1_case_study", 2, fig1::run);
+    r.bench_heavy("table1_pipeline", 2, tables::table1);
+    r.bench_heavy("table2_pipeline", 2, tables::table2);
+    r.bench_heavy("fig3_scatter_matrix", 2, fig3_fig4::fig3);
+    r.bench_heavy("fig4_residuals", 2, fig3_fig4::fig4);
+    r.bench_heavy("mem_accounting", 2, memory::run);
 
     // The 24-run Fig. 5 suite is the heavyweight; a single timed sample
-    // regenerates figures 5a/5b/5c.
-    let mut g = c.benchmark_group("fig5_suite");
-    g.sample_size(10);
-    g.bench_function("fig5_all_24_runs", |b| b.iter(fig5::run_all));
-    g.finish();
-}
+    // per batch regenerates figures 5a/5b/5c.
+    r.bench_heavy("fig5_all_24_runs", 1, fig5::run_all);
 
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);
+    r.finish();
+}

@@ -1,28 +1,25 @@
-//! Criterion: the functional Polybench kernels — serial versus
-//! partitioned execution across the simulated CPU/GPU worker pools
-//! (verifying the partitioning machinery adds tolerable overhead).
+//! The functional Polybench kernels — serial versus partitioned
+//! execution across the simulated CPU/GPU worker pools (verifying the
+//! partitioning machinery adds tolerable overhead).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use teem_bench::microbench::Runner;
 use teem_workload::{execute_partitioned, execute_serial, App, ExecConfig, Partition, ProblemSize};
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args();
     for app in [App::Covariance, App::Gemm, App::Mvt] {
         let kernel = app.instantiate(ProblemSize::Mini);
-        c.bench_function(&format!("{}_serial_mini", app.abbrev()), |b| {
-            b.iter(|| execute_serial(black_box(kernel.as_ref())))
+        r.bench(&format!("{}_serial_mini", app.abbrev()), || {
+            execute_serial(black_box(kernel.as_ref()))
         });
-        c.bench_function(&format!("{}_partitioned_even_mini", app.abbrev()), |b| {
-            b.iter(|| {
-                execute_partitioned(
-                    black_box(kernel.as_ref()),
-                    Partition::even(),
-                    &ExecConfig::default(),
-                )
-            })
+        r.bench(&format!("{}_partitioned_even_mini", app.abbrev()), || {
+            execute_partitioned(
+                black_box(kernel.as_ref()),
+                Partition::even(),
+                &ExecConfig::default(),
+            )
         });
     }
+    r.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

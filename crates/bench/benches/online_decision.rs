@@ -1,14 +1,12 @@
-//! Criterion: TEEM's online path — the per-control-period decision (the
-//! code that runs every 100 ms on the board, so its latency matters) and
-//! the launch-time planning step.
+//! TEEM's online path — the per-control-period decision (the code that
+//! runs every 100 ms on the board, so its latency matters) and the
+//! launch-time planning step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use teem_bench::microbench::Runner;
 use teem_core::offline::profile_app;
 use teem_core::{plan, TeemGovernor, UserRequirement};
-use teem_soc::{
-    Board, ClusterFreqs, CpuMapping, MHz, Manager, SensorBank, SocControl, SocView,
-};
+use teem_soc::{Board, ClusterFreqs, CpuMapping, MHz, Manager, SensorBank, SocControl, SocView};
 use teem_workload::{App, Partition};
 
 fn control_view(temp_c: f64) -> SocView {
@@ -29,33 +27,30 @@ fn control_view(temp_c: f64) -> SocView {
     }
 }
 
-fn bench_online(c: &mut Criterion) {
-    c.bench_function("teem_control_decision", |b| {
-        let mut governor = TeemGovernor::paper();
-        let view = control_view(86.0);
-        b.iter(|| {
-            let mut ctl = SocControl::default();
-            governor.control(black_box(&view), &mut ctl);
-            ctl
-        })
+fn main() {
+    let mut r = Runner::from_args();
+
+    let mut governor = TeemGovernor::paper();
+    let view = control_view(86.0);
+    r.bench("teem_control_decision", || {
+        let mut ctl = SocControl::default();
+        governor.control(black_box(&view), &mut ctl);
+        ctl
     });
 
     let board = Board::odroid_xu4_ideal();
     let profile = profile_app(&board, App::Covariance).expect("profiling");
     let req = UserRequirement::with_paper_threshold(30.0);
-    c.bench_function("teem_launch_plan", |b| {
-        b.iter(|| plan(black_box(&profile), black_box(&req)))
+    r.bench("teem_launch_plan", || {
+        plan(black_box(&profile), black_box(&req))
     });
 
-    c.bench_function("profile_store_roundtrip_8apps", |b| {
-        let store =
-            teem_core::offline::build_profile_store(&board, App::paper_eight()).expect("profiles");
-        b.iter(|| {
-            let bytes = store.to_bytes();
-            teem_core::ProfileStore::from_bytes(black_box(&bytes)).expect("roundtrip")
-        })
+    let store =
+        teem_core::offline::build_profile_store(&board, App::paper_eight()).expect("profiles");
+    r.bench("profile_store_roundtrip_8apps", || {
+        let bytes = store.to_bytes();
+        teem_core::ProfileStore::from_bytes(black_box(&bytes)).expect("roundtrip")
     });
+
+    r.finish();
 }
-
-criterion_group!(benches, bench_online);
-criterion_main!(benches);

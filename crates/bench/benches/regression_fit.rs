@@ -1,47 +1,42 @@
-//! Criterion: the offline regression machinery — Table I / Table II fit
-//! latency on the 17-observation set, and raw OLS throughput.
+//! The offline regression machinery — Table I / Table II fit latency on
+//! the 17-observation set, and raw OLS throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use teem_bench::microbench::Runner;
 use teem_core::offline::{fit_full_model, fit_transformed_model, regression_observations};
 use teem_linreg::Dataset;
 use teem_soc::Board;
 
-fn bench_fits(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args();
     let board = Board::odroid_xu4_ideal();
     let obs = regression_observations(&board);
 
-    c.bench_function("table1_full_model_fit", |b| {
-        b.iter(|| fit_full_model(black_box(&obs)).expect("fits"))
+    r.bench("table1_full_model_fit", || {
+        fit_full_model(black_box(&obs)).expect("fits")
     });
 
-    c.bench_function("table2_transformed_fit", |b| {
-        b.iter(|| fit_transformed_model(black_box(&obs)).expect("fits"))
+    r.bench("table2_transformed_fit", || {
+        fit_transformed_model(black_box(&obs)).expect("fits")
     });
 
-    c.bench_function("observation_collection_17pts", |b| {
-        b.iter(|| regression_observations(black_box(&board)))
+    r.bench("observation_collection_17pts", || {
+        regression_observations(black_box(&board))
     });
 
-    // Raw OLS scaling: 100-observation synthetic fit.
-    c.bench_function("ols_fit_n100_p4", |b| {
-        b.iter_batched(
-            || {
-                let mut d = Dataset::new("y");
-                for j in 0..4 {
-                    d.push_predictor(
-                        format!("x{j}"),
-                        (0..100).map(|i| ((i * (j + 2)) % 17) as f64).collect(),
-                    );
-                }
-                d.set_response((0..100).map(|i| (i % 23) as f64).collect());
-                d
-            },
-            |d| d.fit().expect("fits"),
-            BatchSize::SmallInput,
-        )
+    // Raw OLS scaling: 100-observation synthetic fit (the dataset build
+    // is timed with the fit; it is cheap relative to the solve).
+    r.bench("ols_fit_n100_p4", || {
+        let mut d = Dataset::new("y");
+        for j in 0..4 {
+            d.push_predictor(
+                format!("x{j}"),
+                (0..100).map(|i| ((i * (j + 2)) % 17) as f64).collect(),
+            );
+        }
+        d.set_response((0..100).map(|i| (i % 23) as f64).collect());
+        d.fit().expect("fits")
     });
+
+    r.finish();
 }
-
-criterion_group!(benches, bench_fits);
-criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Scenario-engine benchmarks: timeline construction, one full
+//! multi-app scenario execution under TEEM, and the parallel batch
+//! matrix — the wall-clock cost of the trajectory-level evaluation the
+//! scenario subsystem adds.
+
+use std::hint::black_box;
+use teem_bench::microbench::Runner;
+use teem_core::offline::build_profile_store;
+use teem_core::runner::Approach;
+use teem_scenario::{BatchRunner, Scenario, ScenarioRunner};
+use teem_soc::Board;
+use teem_workload::App;
+
+fn main() {
+    let mut r = Runner::from_args();
+
+    r.bench("builtin_suite_construction", || {
+        Scenario::builtin_suite().len()
+    });
+
+    let sc = Scenario::back_to_back("bench-b2b", &[App::Mvt, App::Gesummv, App::Syrk], 2.0, 0.9);
+    let profiles = build_profile_store(&Board::odroid_xu4_ideal(), sc.apps()).expect("profiles");
+
+    let p = profiles.clone();
+    r.bench_heavy("scenario_3apps_teem", 2, move || {
+        let mut runner = ScenarioRunner::with_profiles(Approach::Teem, p.clone());
+        runner.run(black_box(&sc)).expect("runs")
+    });
+
+    let scenarios = vec![
+        Scenario::back_to_back("m1", &[App::Mvt, App::Syrk], 2.0, 0.9),
+        Scenario::periodic("m2", App::Gesummv, 40.0, 2, 0.9),
+    ];
+    r.bench_heavy("batch_matrix_2x4", 1, move || {
+        BatchRunner::new()
+            .run_matrix(black_box(&scenarios), &Approach::all())
+            .expect("runs")
+            .len()
+    });
+
+    r.finish();
+}

@@ -1,28 +1,28 @@
-//! Criterion: thermal-network integration throughput — the engine's
-//! hottest loop — plus steady-state solves.
+//! Thermal-network integration throughput — the engine's hottest loop —
+//! plus steady-state solves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use teem_bench::microbench::Runner;
 use teem_soc::Board;
 
-fn bench_thermal(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args();
     let board = Board::odroid_xu4_ideal();
     let powers = vec![6.0, 0.6, 2.6, 2.2];
 
-    c.bench_function("thermal_step_10ms", |b| {
-        let mut model = board.thermal.clone();
-        b.iter(|| model.step(black_box(0.01), black_box(&powers)))
+    let mut model = board.thermal.clone();
+    r.bench("thermal_step_10ms", || {
+        model.step(black_box(0.01), black_box(&powers))
     });
 
-    c.bench_function("thermal_step_1s_substepped", |b| {
-        let mut model = board.thermal.clone();
-        b.iter(|| model.step(black_box(1.0), black_box(&powers)))
+    let mut model = board.thermal.clone();
+    r.bench("thermal_step_1s_substepped", || {
+        model.step(black_box(1.0), black_box(&powers))
     });
 
-    c.bench_function("thermal_steady_state_solve", |b| {
-        b.iter(|| board.thermal.steady_state(black_box(&powers)))
+    r.bench("thermal_steady_state_solve", || {
+        board.thermal.steady_state(black_box(&powers))
     });
+
+    r.finish();
 }
-
-criterion_group!(benches, bench_thermal);
-criterion_main!(benches);

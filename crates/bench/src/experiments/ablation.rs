@@ -102,7 +102,10 @@ pub fn report(name: &str, points: &[AblationPoint]) -> String {
 /// The default sweeps reported by `repro ablation`.
 pub fn default_report() -> String {
     let mut out = String::new();
-    out.push_str(&report("threshold (C)", &threshold_sweep(&[80.0, 85.0, 90.0])));
+    out.push_str(&report(
+        "threshold (C)",
+        &threshold_sweep(&[80.0, 85.0, 90.0]),
+    ));
     out.push_str(&report("delta (MHz)", &delta_sweep(&[100, 200, 400])));
     out.push_str(&report("floor (MHz)", &floor_sweep(&[1000, 1400, 1800])));
     out.push_str(

@@ -95,8 +95,11 @@ mod tests {
         assert_eq!(fig.teem.zone_trips, 0);
         let c = fig.comparison.expect("comparable");
         assert!(c.perf_improvement_pct > 0.0, "TEEM must be faster");
-        assert!(c.variance_reduction_pct > 65.0, "variance {}",
-            c.variance_reduction_pct);
+        assert!(
+            c.variance_reduction_pct > 65.0,
+            "variance {}",
+            c.variance_reduction_pct
+        );
         let text = report(&fig);
         assert!(text.contains("TEEM"));
         assert!(text.contains("paper: 48.0s"));

@@ -39,9 +39,9 @@ pub fn run_all() -> Fig5 {
         .map(|app| {
             let profile = profile_app(&board, app).expect("profiling");
             let req = fig5_requirement(app, &profile);
-            let mut results = Approach::fig5().into_iter().map(|a| {
-                run(app, a, &req, Some(&profile), Some(fig5_mapping()), None).summary
-            });
+            let mut results = Approach::fig5()
+                .into_iter()
+                .map(|a| run(app, a, &req, Some(&profile), Some(fig5_mapping()), None).summary);
             Fig5Row {
                 app,
                 eemp: results.next().expect("EEMP"),

@@ -11,11 +11,13 @@
 //! cargo run --release -p teem-bench --bin repro -- all
 //! ```
 //!
-//! Criterion micro-benchmarks for the underlying machinery (regression
-//! fitting, thermal stepping, design-space enumeration, online decision
-//! latency, kernel execution) live in `benches/`.
+//! Micro-benchmarks for the underlying machinery (regression fitting,
+//! thermal stepping, design-space enumeration, online decision latency,
+//! kernel execution, scenario execution) live in `benches/`, driven by
+//! the dependency-free [`microbench`] harness.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod microbench;

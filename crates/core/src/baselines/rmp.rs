@@ -101,9 +101,7 @@ impl Rmp {
                     // RMP trades up to `slack` of the deadline for
                     // better temperature behaviour.
                     if e.et_s <= treq_s * slack {
-                        let better = best_ok
-                            .map(|(_, t)| e.peak_temp_c < t)
-                            .unwrap_or(true);
+                        let better = best_ok.map(|(_, t)| e.peak_temp_c < t).unwrap_or(true);
                         if better {
                             best_ok = Some((dp, e.peak_temp_c));
                         }

@@ -4,8 +4,8 @@
 //! ">90 %" in the abstract).
 
 use crate::profile::AppProfile;
-use teem_dse::{DesignPoint, DesignPointLut};
 use std::fmt;
+use teem_dse::{DesignPoint, DesignPointLut};
 
 /// Side-by-side storage accounting for one application.
 #[derive(Debug, Clone, Copy, PartialEq)]

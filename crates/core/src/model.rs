@@ -53,7 +53,7 @@ impl MappingModel {
 /// Panics if `total` is not in `2..=8`.
 pub fn mapping_with_cores(total: u32) -> CpuMapping {
     assert!((2..=8).contains(&total), "core total {total} out of 2..=8");
-    let big = ((total + 1) / 2).min(4);
+    let big = total.div_ceil(2).min(4);
     let little = (total - big).min(4);
     // If little hit its cap, push the remainder to big.
     let big = (total - little).min(4);

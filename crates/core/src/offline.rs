@@ -59,12 +59,7 @@ pub const SUSTAINABLE_AVG_C: f64 = 93.0;
 /// at the balanced work partition for that setting. When no sustainable
 /// frequency meets the deadline, the fastest sustainable point is
 /// recorded — the mapping simply cannot deliver the requirement.
-pub fn observe_deadline(
-    board: &Board,
-    app: App,
-    mapping: CpuMapping,
-    treq_s: f64,
-) -> Observation {
+pub fn observe_deadline(board: &Board, app: App, mapping: CpuMapping, treq_s: f64) -> Observation {
     let chars = app.characteristics();
     let mut chosen: Option<teem_dse::DesignPointEval> = None;
     for opp in board.big_opps.iter() {
@@ -275,10 +270,14 @@ pub fn app_observations(board: &Board, app: App) -> Vec<Observation> {
             }
         }
     }
-    obs.push(observe_deadline(board, app, CpuMapping::new(2, 3), 1.03 * et_ref));
+    obs.push(observe_deadline(
+        board,
+        app,
+        CpuMapping::new(2, 3),
+        1.03 * et_ref,
+    ));
     obs
 }
-
 
 /// Builds the full eq. (5) dataset: `M ~ AT + ET + PT + EC`.
 pub fn full_dataset(observations: &[Observation]) -> Dataset {
@@ -476,26 +475,45 @@ mod debug_probe {
         for o in regression_observations(&b) {
             println!(
                 "{:6} M={} AT={:7.2} ET={:7.2} PT={:7.2} EC={:8.1}",
-                o.mapping.to_string(), o.m, o.at, o.et, o.pt, o.ec
+                o.mapping.to_string(),
+                o.m,
+                o.at,
+                o.et,
+                o.pt,
+                o.ec
             );
         }
         let t = fit_transformed_model(&regression_observations(&b)).unwrap();
-        println!("GLOBAL R2={} adj={}", t.fit.r_squared(), t.fit.adj_r_squared());
-        for c in t.fit.coefficients() { println!("{} = {} (p={})", c.name, c.estimate, c.p_value); }
+        println!(
+            "GLOBAL R2={} adj={}",
+            t.fit.r_squared(),
+            t.fit.adj_r_squared()
+        );
+        for c in t.fit.coefficients() {
+            println!("{} = {} (p={})", c.name, c.estimate, c.p_value);
+        }
         {
             use teem_linreg::corr::CorrelationMatrix;
             let d = full_dataset(&regression_observations(&b));
             let c = CorrelationMatrix::of(&d).unwrap();
-            println!("corr AT~PT={:.3} ET~EC={:.3} AT~ET={:.3}",
-                c.between("AT","PT").unwrap(), c.between("ET","EC").unwrap(), c.between("AT","ET").unwrap());
+            println!(
+                "corr AT~PT={:.3} ET~EC={:.3} AT~ET={:.3}",
+                c.between("AT", "PT").unwrap(),
+                c.between("ET", "EC").unwrap(),
+                c.between("AT", "ET").unwrap()
+            );
         }
         for app in [App::Covariance, App::Syrk, App::Gemm] {
             let t = fit_transformed_model(&app_observations(&b, app)).unwrap();
             let m = mapping_model_from(&t.fit);
-            println!("{app} R2={:.3} at={:+.5} et={:+.5} | M(85,0.9ref)={:.2} M(85,1.3ref)={:.2}",
-                t.fit.r_squared(), m.at_coeff, m.et_coeff,
-                m.predict_m(85.0, 0.9*reference_et(&b, app)),
-                m.predict_m(85.0, 1.3*reference_et(&b, app)));
+            println!(
+                "{app} R2={:.3} at={:+.5} et={:+.5} | M(85,0.9ref)={:.2} M(85,1.3ref)={:.2}",
+                t.fit.r_squared(),
+                m.at_coeff,
+                m.et_coeff,
+                m.predict_m(85.0, 0.9 * reference_et(&b, app)),
+                m.predict_m(85.0, 1.3 * reference_et(&b, app))
+            );
         }
     }
 }

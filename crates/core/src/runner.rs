@@ -8,7 +8,7 @@ use crate::online::{plan, TeemGovernor};
 use crate::profile::AppProfile;
 use crate::requirements::UserRequirement;
 use teem_governors::{Ondemand, Userspace};
-use teem_soc::{Board, ClusterFreqs, CpuMapping, MHz, RunResult, RunSpec, Simulation};
+use teem_soc::{Board, ClusterFreqs, CpuMapping, MHz, Manager, RunResult, RunSpec, Simulation};
 use teem_workload::{App, Partition};
 
 /// The management approaches the paper compares.
@@ -90,6 +90,109 @@ pub fn fig5_mapping() -> CpuMapping {
     CpuMapping::new(2, 3)
 }
 
+/// A fully-planned run: the launch-time decisions an approach makes for
+/// one application (mapping, partition, initial frequencies) plus the
+/// manager that will drive it online.
+///
+/// [`run`] executes a `PreparedRun` on a fresh board; the scenario
+/// engine instead feeds prepared runs into its own multi-app event loop,
+/// so both paths share identical planning.
+pub struct PreparedRun {
+    /// CPU cores assigned to the CPU share.
+    pub mapping: CpuMapping,
+    /// Work-item split between CPU and GPU.
+    pub partition: Partition,
+    /// Frequencies the run launches at.
+    pub initial: ClusterFreqs,
+    /// The online manager (TEEM governor, pinned EEMP/RMP point, or
+    /// stock ondemand).
+    pub manager: Box<dyn Manager + Send>,
+}
+
+impl std::fmt::Debug for PreparedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedRun")
+            .field("mapping", &self.mapping)
+            .field("partition", &self.partition)
+            .field("initial", &self.initial)
+            .field("manager", &self.manager.name())
+            .finish()
+    }
+}
+
+/// Plans `app` under `approach` for requirement `req` without running
+/// it: the launch-time half of [`run`], reused by the scenario engine
+/// for every arrival in a multi-app timeline.
+///
+/// For TEEM the profile is required (mapping via the eq. 6 model
+/// inversion, partition via eq. 9). A fixed
+/// `mapping_override`/`partition_override` can replace the planned
+/// values — the paper's Fig. 5 fixes the mapping across approaches.
+///
+/// # Panics
+///
+/// Panics if `approach` is [`Approach::Teem`] and `profile` is `None`.
+pub fn prepare(
+    app: App,
+    approach: Approach,
+    req: &UserRequirement,
+    profile: Option<&AppProfile>,
+    mapping_override: Option<CpuMapping>,
+    partition_override: Option<Partition>,
+) -> PreparedRun {
+    let max = ClusterFreqs {
+        big: MHz(2000),
+        little: MHz(1400),
+        gpu: MHz(600),
+    };
+    match approach {
+        Approach::Teem => {
+            let profile = profile.expect("TEEM requires a profile");
+            let planned = plan(profile, req);
+            PreparedRun {
+                mapping: mapping_override.unwrap_or(planned.mapping),
+                partition: partition_override.unwrap_or(planned.partition),
+                initial: max,
+                manager: Box::new(TeemGovernor::with_threshold(req.avg_temp_c)),
+            }
+        }
+        Approach::Eemp => {
+            let eemp = Eemp::build(&Board::odroid_xu4_ideal(), app);
+            let dp = match mapping_override {
+                Some(m) => eemp.plan_with_mapping(req.treq_s, m),
+                None => eemp.plan(req.treq_s),
+            };
+            PreparedRun {
+                mapping: dp.mapping,
+                partition: partition_override.unwrap_or(dp.partition),
+                initial: dp.freqs,
+                manager: Box::new(Userspace::named(dp.freqs, "EEMP")),
+            }
+        }
+        Approach::Rmp => {
+            let rmp = Rmp::build_with_mapping(
+                &Board::odroid_xu4_ideal(),
+                app,
+                req.treq_s,
+                mapping_override,
+            );
+            let dp = rmp.plan();
+            PreparedRun {
+                mapping: dp.mapping,
+                partition: dp.partition,
+                initial: dp.freqs,
+                manager: Box::new(Userspace::named(dp.freqs, "RMP")),
+            }
+        }
+        Approach::Ondemand => PreparedRun {
+            mapping: mapping_override.unwrap_or(CpuMapping::new(2, 3)),
+            partition: partition_override.unwrap_or(Partition::even()),
+            initial: max,
+            manager: Box::new(Ondemand::xu4()),
+        },
+    }
+}
+
 /// Runs `app` under `approach` on a fresh default board with requirement
 /// `req`. For TEEM the profile is used for planning (mapping +
 /// partition); pass the profile produced by
@@ -107,62 +210,21 @@ pub fn run(
     partition_override: Option<Partition>,
 ) -> RunResult {
     let board = Board::odroid_xu4();
-    let max = ClusterFreqs {
-        big: MHz(2000),
-        little: MHz(1400),
-        gpu: MHz(600),
+    let mut prepared = prepare(
+        app,
+        approach,
+        req,
+        profile,
+        mapping_override,
+        partition_override,
+    );
+    let spec = RunSpec {
+        app,
+        mapping: prepared.mapping,
+        partition: prepared.partition,
+        initial: prepared.initial,
     };
-    match approach {
-        Approach::Teem => {
-            let profile = profile.expect("TEEM requires a profile");
-            let planned = plan(profile, req);
-            let spec = RunSpec {
-                app,
-                mapping: mapping_override.unwrap_or(planned.mapping),
-                partition: partition_override.unwrap_or(planned.partition),
-                initial: max,
-            };
-            let mut governor = TeemGovernor::with_threshold(req.avg_temp_c);
-            Simulation::new(board, spec).run(&mut governor)
-        }
-        Approach::Eemp => {
-            let eemp = Eemp::build(&Board::odroid_xu4_ideal(), app);
-            let dp = match mapping_override {
-                Some(m) => eemp.plan_with_mapping(req.treq_s, m),
-                None => eemp.plan(req.treq_s),
-            };
-            let spec = RunSpec {
-                app,
-                mapping: dp.mapping,
-                partition: partition_override.unwrap_or(dp.partition),
-                initial: dp.freqs,
-            };
-            let mut governor = Userspace::named(dp.freqs, "EEMP");
-            Simulation::new(board, spec).run(&mut governor)
-        }
-        Approach::Rmp => {
-            let rmp =
-                Rmp::build_with_mapping(&Board::odroid_xu4_ideal(), app, req.treq_s, mapping_override);
-            let dp = rmp.plan();
-            let spec = RunSpec {
-                app,
-                mapping: dp.mapping,
-                partition: dp.partition,
-                initial: dp.freqs,
-            };
-            let mut governor = Userspace::named(dp.freqs, "RMP");
-            Simulation::new(board, spec).run(&mut governor)
-        }
-        Approach::Ondemand => {
-            let spec = RunSpec {
-                app,
-                mapping: mapping_override.unwrap_or(CpuMapping::new(2, 3)),
-                partition: partition_override.unwrap_or(Partition::even()),
-                initial: max,
-            };
-            Simulation::new(board, spec).run(&mut Ondemand::xu4())
-        }
-    }
+    Simulation::new(board, spec).run(&mut *prepared.manager)
 }
 
 #[cfg(test)]
@@ -183,7 +245,14 @@ mod tests {
         let profile = profile_app(&board, App::Covariance).unwrap();
         let treq = profile.et_gpu_s * 0.8; // forces a CPU share
         let req = UserRequirement::with_paper_threshold(treq);
-        let r = run(App::Covariance, Approach::Teem, &req, Some(&profile), None, None);
+        let r = run(
+            App::Covariance,
+            Approach::Teem,
+            &req,
+            Some(&profile),
+            None,
+            None,
+        );
         assert!(!r.timed_out);
         assert_eq!(r.summary.approach, "TEEM");
         // Deadline met within the engine's resolution (the plan sizes
@@ -194,6 +263,35 @@ mod tests {
             "ET {} vs TREQ {treq}",
             r.summary.execution_time_s
         );
+    }
+
+    #[test]
+    fn prepare_plans_without_running() {
+        let board = Board::odroid_xu4_ideal();
+        let profile = profile_app(&board, App::Covariance).unwrap();
+        let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.8);
+        let teem = prepare(
+            App::Covariance,
+            Approach::Teem,
+            &req,
+            Some(&profile),
+            None,
+            None,
+        );
+        assert_eq!(teem.manager.name(), "TEEM");
+        assert_eq!(teem.initial.big, MHz(2000));
+        assert!(
+            teem.partition.cpu_fraction() > 0.0,
+            "tight deadline needs CPU"
+        );
+        let od = prepare(App::Covariance, Approach::Ondemand, &req, None, None, None);
+        assert_eq!(od.manager.name(), "ondemand");
+        let eemp = prepare(App::Covariance, Approach::Eemp, &req, None, None, None);
+        assert_eq!(eemp.manager.name(), "EEMP");
+        let rmp = prepare(App::Covariance, Approach::Rmp, &req, None, None, None);
+        assert_eq!(rmp.manager.name(), "RMP");
+        // Debug formatting surfaces the plan, not the manager internals.
+        assert!(format!("{teem:?}").contains("TEEM"));
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use teem_core::partition::{gpu_share_et, partition_for};
-use teem_core::{mapping_with_cores, plan, AppProfile, MappingModel, TeemGovernor, UserRequirement};
+use teem_core::{
+    mapping_with_cores, plan, AppProfile, MappingModel, TeemGovernor, UserRequirement,
+};
 use teem_soc::{ClusterFreqs, CpuMapping, MHz, Manager, SensorBank, SocControl, SocView};
 use teem_workload::Partition;
 

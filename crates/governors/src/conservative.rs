@@ -48,7 +48,11 @@ impl Manager for Conservative {
         if view.big_util > self.up_threshold {
             self.target = MHz((self.target.0 + self.step_mhz).min(self.max_big.0));
         } else if view.big_util < self.down_threshold {
-            self.target = MHz(self.target.0.saturating_sub(self.step_mhz).max(self.min_big.0));
+            self.target = MHz(self
+                .target
+                .0
+                .saturating_sub(self.step_mhz)
+                .max(self.min_big.0));
         }
         ctl.set_big_freq(self.target);
         ctl.set_little_freq(MHz(1400));

@@ -163,7 +163,54 @@ mod tests {
         // (1000 MHz) before the governor's first control tick; from then
         // on MVT at 1500 MHz stays below the trip, so no cap applies and
         // the time-weighted mean sits at the pinned value.
-        assert!(f.time_weighted_mean() > 1495.0, "{}", f.time_weighted_mean());
+        assert!(
+            f.time_weighted_mean() > 1495.0,
+            "{}",
+            f.time_weighted_mean()
+        );
+    }
+
+    #[test]
+    fn fixed_governors_request_all_three_clusters() {
+        use teem_soc::{SensorBank, SocControl, SocView};
+        let view = SocView {
+            time_s: 0.0,
+            readings: SensorBank::ideal().read(60.0, 50.0),
+            freqs: ClusterFreqs {
+                big: MHz(1000),
+                little: MHz(1000),
+                gpu: MHz(420),
+            },
+            cpu_progress: 0.2,
+            gpu_progress: 0.2,
+            big_util: 1.0,
+            power_w: 5.0,
+            mapping: CpuMapping::new(2, 2),
+            partition: Partition::even(),
+        };
+
+        let mut ctl = SocControl::default();
+        Performance::xu4().control(&view, &mut ctl);
+        assert_eq!(ctl.big_request(), Some(MHz(2000)));
+        assert_eq!(ctl.little_request(), Some(MHz(1400)));
+        assert_eq!(ctl.gpu_request(), Some(MHz(600)));
+
+        let mut ctl = SocControl::default();
+        Powersave::xu4().control(&view, &mut ctl);
+        assert_eq!(ctl.big_request(), Some(MHz(200)));
+        assert_eq!(ctl.little_request(), Some(MHz(200)));
+        assert_eq!(ctl.gpu_request(), Some(MHz(177)));
+
+        let pinned = ClusterFreqs {
+            big: MHz(1500),
+            little: MHz(1100),
+            gpu: MHz(350),
+        };
+        let mut ctl = SocControl::default();
+        Userspace::new(pinned).control(&view, &mut ctl);
+        assert_eq!(ctl.big_request(), Some(pinned.big));
+        assert_eq!(ctl.little_request(), Some(pinned.little));
+        assert_eq!(ctl.gpu_request(), Some(pinned.gpu));
     }
 
     #[test]

@@ -55,8 +55,7 @@ impl Manager for Ondemand {
         } else {
             // Proportional scaling: f = max * util / up_threshold,
             // clamped to the policy minimum (Linux's non-jump path).
-            let scaled =
-                (self.max.big.0 as f64 * view.big_util / self.up_threshold).round() as u32;
+            let scaled = (self.max.big.0 as f64 * view.big_util / self.up_threshold).round() as u32;
             ctl.set_big_freq(MHz(scaled.max(self.min_big.0)));
         }
         // LITTLE stays at max while anything runs (it hosts the OS), GPU

@@ -21,10 +21,10 @@
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -213,7 +213,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -230,10 +230,7 @@ mod tests {
         // Gamma(n) = (n-1)!
         let mut fact = 1.0_f64;
         for n in 1..10 {
-            assert!(
-                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
-                "Gamma({n})"
-            );
+            assert!((ln_gamma(n as f64) - fact.ln()).abs() < 1e-10, "Gamma({n})");
             fact *= n as f64;
         }
         // Gamma(1/2) = sqrt(pi)

@@ -179,13 +179,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
+            .map(|r| self.row(r).iter().zip(v.iter()).map(|(a, b)| a * b).sum())
             .collect())
     }
 

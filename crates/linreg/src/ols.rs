@@ -170,10 +170,7 @@ impl Dataset {
             }
         }
         if n < p + 2 {
-            return Err(LinregError::NotEnoughObservations {
-                n,
-                required: p + 2,
-            });
+            return Err(LinregError::NotEnoughObservations { n, required: p + 2 });
         }
         let mut x = Matrix::zeros(n, p + 1);
         for r in 0..n {
@@ -321,12 +318,13 @@ impl OlsFit {
         let mut coefficients = Vec::with_capacity(p);
         for j in 0..p {
             let se = (sigma2 * xtx_inv[(j, j)]).sqrt();
-            let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+            let t = if se > 0.0 {
+                beta[j] / se
+            } else {
+                f64::INFINITY
+            };
             coefficients.push(Coefficient {
-                name: names
-                    .get(j)
-                    .cloned()
-                    .unwrap_or_else(|| format!("x{j}")),
+                name: names.get(j).cloned().unwrap_or_else(|| format!("x{j}")),
                 estimate: beta[j],
                 std_error: se,
                 t_value: t,
@@ -556,10 +554,26 @@ mod tests {
         d.set_response(vec![2.0, 4.1, 5.9, 8.3, 9.8, 12.2, 13.9, 16.1]);
         let fit = d.fit().unwrap();
         let c = fit.coefficients();
-        assert!((c[0].estimate - 0.032_142_857_1).abs() < 1e-9, "{}", c[0].estimate);
-        assert!((c[1].estimate - 672.4 / 336.0).abs() < 1e-9, "{}", c[1].estimate);
-        assert!((c[0].std_error - 0.141_794_2).abs() < 1e-6, "{}", c[0].std_error);
-        assert!((c[1].std_error - 0.028_079_5).abs() < 1e-6, "{}", c[1].std_error);
+        assert!(
+            (c[0].estimate - 0.032_142_857_1).abs() < 1e-9,
+            "{}",
+            c[0].estimate
+        );
+        assert!(
+            (c[1].estimate - 672.4 / 336.0).abs() < 1e-9,
+            "{}",
+            c[1].estimate
+        );
+        assert!(
+            (c[0].std_error - 0.141_794_2).abs() < 1e-6,
+            "{}",
+            c[0].std_error
+        );
+        assert!(
+            (c[1].std_error - 0.028_079_5).abs() < 1e-6,
+            "{}",
+            c[1].std_error
+        );
         assert!((fit.sigma() - 0.181_975_6).abs() < 1e-6, "{}", fit.sigma());
         assert_eq!(fit.df_residual(), 6);
         assert!((fit.r_squared() - 0.998_820_1).abs() < 1e-6);

@@ -98,6 +98,7 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
+            #[allow(clippy::needless_range_loop)] // index form mirrors the maths
             for k in 0..i {
                 s -= self.l[(i, k)] * y[k];
             }
@@ -107,6 +108,7 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
+            #[allow(clippy::needless_range_loop)] // index form mirrors the maths
             for k in (i + 1)..n {
                 s -= self.l[(k, i)] * x[k];
             }
@@ -279,6 +281,9 @@ mod tests {
     #[test]
     fn lu_detects_singular() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
-        assert_eq!(lu_solve(&a, &[1.0, 2.0]).unwrap_err(), LinregError::Singular);
+        assert_eq!(
+            lu_solve(&a, &[1.0, 2.0]).unwrap_err(),
+            LinregError::Singular
+        );
     }
 }

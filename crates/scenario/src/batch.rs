@@ -1,0 +1,196 @@
+//! The parallel batch runner: fan a scenario × approach matrix across
+//! `std::thread` workers and aggregate the per-run summaries into one
+//! comparison table.
+//!
+//! Every cell of the matrix is an independent simulation on its own
+//! fresh board, so the fan-out is embarrassingly parallel; profiles are
+//! computed once up front and shared (an [`teem_core::AppProfile`] is
+//! plain data). Results come back in deterministic scenario-major order
+//! regardless of worker scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::exec::{ScenarioResult, ScenarioRunner};
+use crate::scenario::Scenario;
+use teem_core::offline::build_profile_store;
+use teem_core::runner::Approach;
+use teem_core::ProfileStore;
+use teem_soc::{Board, SimConfig};
+use teem_telemetry::{scenario_table, ScenarioSummary};
+
+/// Runs scenario × approach matrices in parallel.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    threads: usize,
+    config: Option<SimConfig>,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// A batch runner using every available core.
+    pub fn new() -> Self {
+        BatchRunner {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            config: None,
+        }
+    }
+
+    /// Caps the worker count (1 ⇒ sequential — useful for determinism
+    /// A/B tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the executor configuration for every run.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Executes every `scenario` under every `approach` and returns the
+    /// results scenario-major (`scenarios[0]` under each approach first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a profiling failure for any app appearing in the
+    /// scenarios.
+    pub fn run_matrix(
+        &self,
+        scenarios: &[Scenario],
+        approaches: &[Approach],
+    ) -> Result<Vec<ScenarioResult>, teem_linreg::LinregError> {
+        let total = scenarios.len() * approaches.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+
+        // Profile every app once, up front, on the ideal board — shared
+        // by all workers instead of recomputed per cell.
+        let mut apps = Vec::new();
+        for sc in scenarios {
+            for app in sc.apps() {
+                if !apps.contains(&app) {
+                    apps.push(app);
+                }
+            }
+        }
+        let profiles: ProfileStore = build_profile_store(&Board::odroid_xu4_ideal(), apps)?;
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<ScenarioResult, teem_linreg::LinregError>>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        let workers = self.threads.min(total);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let scenario = &scenarios[idx / approaches.len()];
+                    let approach = approaches[idx % approaches.len()];
+                    let mut runner = ScenarioRunner::with_profiles(approach, profiles.clone());
+                    if let Some(cfg) = self.config {
+                        runner = runner.with_config(cfg);
+                    }
+                    let result = runner.run(scenario);
+                    slots.lock().expect("no poisoned worker")[idx] = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|r| r.expect("every cell filled"))
+            .collect()
+    }
+
+    /// Convenience: run the matrix and format the summaries as a
+    /// comparison table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a profiling failure, as [`BatchRunner::run_matrix`].
+    pub fn comparison_table(
+        &self,
+        scenarios: &[Scenario],
+        approaches: &[Approach],
+    ) -> Result<(Vec<ScenarioResult>, String), teem_linreg::LinregError> {
+        let results = self.run_matrix(scenarios, approaches)?;
+        let summaries: Vec<ScenarioSummary> = results.iter().map(|r| r.summary.clone()).collect();
+        Ok((results, scenario_table(&summaries)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teem_workload::App;
+
+    #[test]
+    fn matrix_is_scenario_major_and_complete() {
+        let scenarios = vec![
+            Scenario::new("a").arrive(0.0, App::Mvt, 0.9),
+            Scenario::new("b").arrive(0.0, App::Syrk, 0.9),
+        ];
+        let approaches = [Approach::Teem, Approach::Ondemand];
+        let results = BatchRunner::new()
+            .run_matrix(&scenarios, &approaches)
+            .expect("profiles fit");
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].summary.scenario, "a");
+        assert_eq!(results[0].summary.approach, "TEEM");
+        assert_eq!(results[1].summary.scenario, "a");
+        assert_eq!(results[1].summary.approach, "ondemand");
+        assert_eq!(results[2].summary.scenario, "b");
+        assert_eq!(results[3].summary.scenario, "b");
+        for r in &results {
+            assert_eq!(r.summary.apps_completed(), 1);
+            assert!(!r.timed_out);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let scenarios =
+            vec![Scenario::new("a")
+                .arrive(0.0, App::Mvt, 0.9)
+                .arrive(1.0, App::Gesummv, 0.9)];
+        let approaches = [Approach::Teem, Approach::Eemp];
+        let par = BatchRunner::new()
+            .run_matrix(&scenarios, &approaches)
+            .expect("runs");
+        let seq = BatchRunner::new()
+            .with_threads(1)
+            .run_matrix(&scenarios, &approaches)
+            .expect("runs");
+        let par: Vec<ScenarioSummary> = par.into_iter().map(|r| r.summary).collect();
+        let seq: Vec<ScenarioSummary> = seq.into_iter().map(|r| r.summary).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        let results = BatchRunner::new()
+            .run_matrix(&[], &[Approach::Teem])
+            .expect("trivially");
+        assert!(results.is_empty());
+    }
+}

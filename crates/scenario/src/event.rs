@@ -1,0 +1,106 @@
+//! Scenario events: the things that can happen on a multi-application
+//! timeline — app arrivals with per-app requirements, environment
+//! (ambient) changes, threshold changes and management-approach swaps.
+
+use teem_core::runner::Approach;
+use teem_workload::App;
+
+/// An application arrival: the app plus the requirement it is admitted
+/// with.
+///
+/// The execution-time requirement is expressed as a *factor* of the
+/// app's `ET_GPU` (its GPU-only execution time at maximum frequency),
+/// because absolute times are only known once the app is profiled — the
+/// runner resolves `TREQ = treq_factor × ET_GPU` at arrival. This is
+/// exactly how the paper's Fig. 5 experiments express deadlines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppRequest {
+    /// The arriving application.
+    pub app: App,
+    /// Deadline factor: `TREQ = treq_factor × ET_GPU`.
+    pub treq_factor: f64,
+    /// Per-app thermal threshold override, °C. `None` uses the
+    /// scenario's current default (85 °C unless a
+    /// [`ScenarioEvent::ThresholdChange`] preceded the arrival).
+    pub threshold_c: Option<f64>,
+}
+
+impl AppRequest {
+    /// An arrival with the given deadline factor and the default
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `treq_factor` is not positive and finite.
+    pub fn new(app: App, treq_factor: f64) -> Self {
+        assert!(
+            treq_factor.is_finite() && treq_factor > 0.0,
+            "treq factor must be positive, got {treq_factor}"
+        );
+        AppRequest {
+            app,
+            treq_factor,
+            threshold_c: None,
+        }
+    }
+
+    /// Sets a per-app thermal threshold.
+    pub fn with_threshold(mut self, threshold_c: f64) -> Self {
+        self.threshold_c = Some(threshold_c);
+        self
+    }
+}
+
+/// One thing happening on a scenario timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioEvent {
+    /// An application arrives and joins the run queue.
+    Arrival(AppRequest),
+    /// The ambient temperature changes (the device moves between
+    /// environments).
+    AmbientChange {
+        /// New ambient temperature, °C.
+        ambient_c: f64,
+    },
+    /// The default thermal threshold changes for subsequently launched
+    /// applications.
+    ThresholdChange {
+        /// New default threshold, °C.
+        threshold_c: f64,
+    },
+    /// The management approach changes for subsequently launched
+    /// applications (the currently-running app keeps its manager).
+    ApproachChange {
+        /// The approach applied from here on.
+        approach: Approach,
+    },
+}
+
+/// An event pinned to a point on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// When the event fires, seconds from scenario start.
+    pub at_s: f64,
+    /// What happens.
+    pub event: ScenarioEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder() {
+        let r = AppRequest::new(App::Covariance, 0.85);
+        assert_eq!(r.threshold_c, None);
+        let r = r.with_threshold(80.0);
+        assert_eq!(r.threshold_c, Some(80.0));
+        assert_eq!(r.app, App::Covariance);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_factor() {
+        AppRequest::new(App::Gemm, 0.0);
+    }
+}

@@ -33,6 +33,16 @@ impl ClusterFreqs {
             gpu: board.gpu_opps.max().freq,
         }
     }
+
+    /// Every cluster at its minimum OPP — how an idle board sits between
+    /// scenario arrivals (powersave-style race-to-idle floor).
+    pub fn min_of(board: &Board) -> ClusterFreqs {
+        ClusterFreqs {
+            big: board.big_opps.min().freq,
+            little: board.little_opps.min().freq,
+            gpu: board.gpu_opps.min().freq,
+        }
+    }
 }
 
 /// What to run: an application, a core mapping and a work partition.
@@ -100,6 +110,16 @@ impl SocControl {
     /// The pending big-cluster request, if any.
     pub fn big_request(&self) -> Option<MHz> {
         self.big
+    }
+
+    /// The pending LITTLE-cluster request, if any.
+    pub fn little_request(&self) -> Option<MHz> {
+        self.little
+    }
+
+    /// The pending GPU request, if any.
+    pub fn gpu_request(&self) -> Option<MHz> {
+        self.gpu
     }
 }
 
@@ -256,11 +276,8 @@ impl Simulation {
 
             // --- Sensing (trace cadence) ---
             if t + 1e-12 >= next_sample {
-                readings = self.read_sensors_at(
-                    effective,
-                    cpu_done_items < cpu_items,
-                    chars_activity,
-                );
+                readings =
+                    self.read_sensors_at(effective, cpu_done_items < cpu_items, chars_activity);
                 trace.record("temp.max", t, readings.max_c());
                 trace.record("temp.big", t, readings.big_max_c());
                 trace.record("temp.gpu", t, readings.gpu_c);
@@ -327,13 +344,7 @@ impl Simulation {
 
             // --- Power & thermal ---
             let temps_board = self.board.thermal.temps().to_vec();
-            let p = self.node_powers_at(
-                &chars,
-                effective,
-                !cpu_done,
-                !gpu_done,
-                &temps_board,
-            );
+            let p = self.node_powers_at(&chars, effective, !cpu_done, !gpu_done, &temps_board);
             energy_breakdown.0 += p[self.board.nodes.big] * dt;
             energy_breakdown.1 += p[self.board.nodes.little] * dt;
             energy_breakdown.2 += p[self.board.nodes.gpu] * dt;
@@ -351,10 +362,10 @@ impl Simulation {
         trace.record("temp.max", t, final_readings.max_c());
         trace.record("freq.big", t, effective.big.0 as f64);
 
-        let temp_stats =
-            trace.stats("temp.max").unwrap_or_else(|| SeriesStats::of(&single(t)).expect("one"));
-        let freq_stats =
-            trace.stats("freq.big").expect("freq.big always recorded");
+        let temp_stats = trace
+            .stats("temp.max")
+            .unwrap_or_else(|| SeriesStats::of(&single(t)).expect("one"));
+        let freq_stats = trace.stats("freq.big").expect("freq.big always recorded");
 
         let summary = RunSummary {
             app: self.spec.app.full_name().to_string(),
@@ -383,26 +394,13 @@ impl Simulation {
         cpu_busy: bool,
         activity: f64,
     ) -> SensorReadings {
-        let big = self.board.thermal.temp(self.board.nodes.big);
-        let gpu = self.board.thermal.temp(self.board.nodes.gpu);
-        let active = self.spec.mapping.big;
-        let mut core_power = [0.0_f64; 4];
-        if active > 0 {
-            let volts = self.board.big_opps.volts_at(freqs.big);
-            let util = if cpu_busy { 1.0 } else { 0.03 };
-            let dyn_core = self
-                .board
-                .big_power
-                .dynamic_w(volts, freqs.big.as_hz(), 1, util, activity);
-            let leak_core =
-                self.board.big_power.leakage_w(volts, big, active) / f64::from(active);
-            for slot in core_power.iter_mut().take(active as usize) {
-                *slot = dyn_core + leak_core;
-            }
-        }
-        self.board
-            .sensors
-            .read_with_hotspots(big, &core_power, gpu)
+        read_sensors_for(
+            &mut self.board,
+            self.spec.mapping,
+            freqs,
+            cpu_busy,
+            activity,
+        )
     }
 
     /// Node power vector with every cluster at a given uniform silicon
@@ -427,52 +425,148 @@ impl Simulation {
         gpu_busy: bool,
         temps: &[f64],
     ) -> Vec<f64> {
-        let mapping = self.spec.mapping;
-        let n = self.board.thermal.len();
-        let mut p = vec![0.0; n];
-
-        // Big cluster: active cores per the mapping; idle once done.
-        let big_active = mapping.big;
-        let big_util = if cpu_busy && big_active > 0 { 1.0 } else { 0.03 };
-        p[self.board.nodes.big] = self.board.big_power.total_w(
-            self.board.big_opps.volts_at(freqs.big),
-            freqs.big.as_hz(),
-            big_active.max(0),
-            big_util,
+        node_powers_for(
+            &self.board,
+            self.spec.mapping,
+            freqs,
+            cpu_busy,
+            gpu_busy,
             chars.activity,
-            temps[self.board.nodes.big],
-        );
-
-        // LITTLE cluster: the OS keeps one core online even when the app
-        // uses none.
-        let little_active = mapping.little.max(1);
-        let little_util = if cpu_busy && mapping.little > 0 { 1.0 } else { 0.08 };
-        p[self.board.nodes.little] = self.board.little_power.total_w(
-            self.board.little_opps.volts_at(freqs.little),
-            freqs.little.as_hz(),
-            little_active,
-            little_util,
-            chars.activity,
-            temps[self.board.nodes.little],
-        );
-
-        // GPU: all 6 shaders while its share runs, near-idle after.
-        let gpu_util = if gpu_busy { 1.0 } else { 0.02 };
-        p[self.board.nodes.gpu] = self.board.gpu_power.total_w(
-            self.board.gpu_opps.volts_at(freqs.gpu),
-            freqs.gpu.as_hz(),
-            6,
-            gpu_util,
-            chars.activity,
-            temps[self.board.nodes.gpu],
-        );
-
-        p[self.board.nodes.board] = self.board.board_base_w;
-        p
+            temps,
+        )
     }
 }
 
-fn clamp_freqs(board: &Board, f: ClusterFreqs) -> ClusterFreqs {
+/// Node power vector for `board` with an application mapped on `mapping`
+/// at frequencies `freqs` and per-node silicon temperatures `temps`
+/// (indexed as [`Board::nodes`]). `cpu_busy`/`gpu_busy` select busy
+/// versus near-idle utilisation per device; `activity` is the workload's
+/// switching-activity factor
+/// ([`KernelCharacteristics::activity`](teem_workload::KernelCharacteristics)).
+///
+/// This is the single power model shared by [`Simulation`] and the
+/// scenario engine, so multi-app scenario physics stays bit-identical to
+/// single-run physics.
+///
+/// # Panics
+///
+/// Panics if `temps.len() != board.thermal.len()`.
+pub fn node_powers_for(
+    board: &Board,
+    mapping: CpuMapping,
+    freqs: ClusterFreqs,
+    cpu_busy: bool,
+    gpu_busy: bool,
+    activity: f64,
+    temps: &[f64],
+) -> Vec<f64> {
+    assert_eq!(
+        temps.len(),
+        board.thermal.len(),
+        "temperature vector length"
+    );
+    let n = board.thermal.len();
+    let mut p = vec![0.0; n];
+
+    // Big cluster: active cores per the mapping; idle once done.
+    let big_active = mapping.big;
+    let big_util = if cpu_busy && big_active > 0 {
+        1.0
+    } else {
+        0.03
+    };
+    p[board.nodes.big] = board.big_power.total_w(
+        board.big_opps.volts_at(freqs.big),
+        freqs.big.as_hz(),
+        big_active,
+        big_util,
+        activity,
+        temps[board.nodes.big],
+    );
+
+    // LITTLE cluster: the OS keeps one core online even when the app
+    // uses none.
+    let little_active = mapping.little.max(1);
+    let little_util = if cpu_busy && mapping.little > 0 {
+        1.0
+    } else {
+        0.08
+    };
+    p[board.nodes.little] = board.little_power.total_w(
+        board.little_opps.volts_at(freqs.little),
+        freqs.little.as_hz(),
+        little_active,
+        little_util,
+        activity,
+        temps[board.nodes.little],
+    );
+
+    // GPU: all 6 shaders while its share runs, near-idle after.
+    let gpu_util = if gpu_busy { 1.0 } else { 0.02 };
+    p[board.nodes.gpu] = board.gpu_power.total_w(
+        board.gpu_opps.volts_at(freqs.gpu),
+        freqs.gpu.as_hz(),
+        6,
+        gpu_util,
+        activity,
+        temps[board.nodes.gpu],
+    );
+
+    p[board.nodes.board] = board.board_base_w;
+    p
+}
+
+/// Node power vector for an idle board (no application mapped, every
+/// device at its near-idle utilisation floor) — what a scenario's
+/// between-arrivals gaps dissipate.
+///
+/// # Panics
+///
+/// Panics if `temps.len() != board.thermal.len()`.
+pub fn idle_node_powers(board: &Board, freqs: ClusterFreqs, temps: &[f64]) -> Vec<f64> {
+    node_powers_for(
+        board,
+        CpuMapping::new(0, 0),
+        freqs,
+        false,
+        false,
+        1.0,
+        temps,
+    )
+}
+
+/// Reads the sensor bank including per-core hotspot contributions for
+/// the big cores active under `mapping` — shared by [`Simulation`] and
+/// the scenario engine (`&mut` because TMU-style banks advance their
+/// deterministic noise stream).
+pub fn read_sensors_for(
+    board: &mut Board,
+    mapping: CpuMapping,
+    freqs: ClusterFreqs,
+    cpu_busy: bool,
+    activity: f64,
+) -> SensorReadings {
+    let big = board.thermal.temp(board.nodes.big);
+    let gpu = board.thermal.temp(board.nodes.gpu);
+    let active = mapping.big;
+    let mut core_power = [0.0_f64; 4];
+    if active > 0 {
+        let volts = board.big_opps.volts_at(freqs.big);
+        let util = if cpu_busy { 1.0 } else { 0.03 };
+        let dyn_core = board
+            .big_power
+            .dynamic_w(volts, freqs.big.as_hz(), 1, util, activity);
+        let leak_core = board.big_power.leakage_w(volts, big, active) / f64::from(active);
+        for slot in core_power.iter_mut().take(active as usize) {
+            *slot = dyn_core + leak_core;
+        }
+    }
+    board.sensors.read_with_hotspots(big, &core_power, gpu)
+}
+
+/// Clamps every requested frequency to its cluster's OPP table
+/// (`at_or_below`, as the kernel's cpufreq layer does).
+pub fn clamp_freqs(board: &Board, f: ClusterFreqs) -> ClusterFreqs {
     ClusterFreqs {
         big: board.big_opps.at_or_below(f.big).freq,
         little: board.little_opps.at_or_below(f.little).freq,
@@ -544,7 +638,11 @@ mod tests {
         let mut mgr = PinMax;
         let r = sim.run(&mut mgr);
         assert!(!r.timed_out, "run timed out");
-        assert!(r.summary.execution_time_s > 5.0, "{}", r.summary.execution_time_s);
+        assert!(
+            r.summary.execution_time_s > 5.0,
+            "{}",
+            r.summary.execution_time_s
+        );
         assert!(r.summary.execution_time_s < 200.0);
         assert!(r.summary.energy_j > 50.0);
         assert!(r.summary.peak_temp_c > 70.0);
@@ -562,7 +660,11 @@ mod tests {
         let mut sim = Simulation::new(Board::odroid_xu4_ideal(), cv_spec());
         let r = sim.run(&mut PinMax);
         assert!(r.zone_trips >= 1, "no thermal trip at max frequency");
-        assert!(r.summary.peak_temp_c >= 95.0, "peak {}", r.summary.peak_temp_c);
+        assert!(
+            r.summary.peak_temp_c >= 95.0,
+            "peak {}",
+            r.summary.peak_temp_c
+        );
         // Frequency trace must show the 900 MHz cap.
         let fmin = r.trace.stats("freq.big").unwrap().min();
         assert_eq!(fmin, 900.0);
@@ -573,16 +675,20 @@ mod tests {
         let mut sim = Simulation::new(Board::odroid_xu4_ideal(), cv_spec());
         let r = sim.run(&mut PinBig(MHz(1400)));
         assert_eq!(r.zone_trips, 0, "unexpected trip at 1400 MHz");
-        assert!(r.summary.peak_temp_c < 95.0, "peak {}", r.summary.peak_temp_c);
+        assert!(
+            r.summary.peak_temp_c < 95.0,
+            "peak {}",
+            r.summary.peak_temp_c
+        );
     }
 
     #[test]
     fn lower_frequency_is_slower() {
-        let mut fast = Simulation::new(Board::odroid_xu4_ideal(), cv_spec())
-            .with_thermal_zone(None);
+        let mut fast =
+            Simulation::new(Board::odroid_xu4_ideal(), cv_spec()).with_thermal_zone(None);
         let et_fast = fast.run(&mut PinBig(MHz(2000))).summary.execution_time_s;
-        let mut slow = Simulation::new(Board::odroid_xu4_ideal(), cv_spec())
-            .with_thermal_zone(None);
+        let mut slow =
+            Simulation::new(Board::odroid_xu4_ideal(), cv_spec()).with_thermal_zone(None);
         let et_slow = slow.run(&mut PinBig(MHz(1000))).summary.execution_time_s;
         assert!(et_slow > et_fast, "{et_slow} <= {et_fast}");
     }
@@ -615,13 +721,76 @@ mod tests {
     }
 
     #[test]
+    fn soccontrol_reports_all_three_requests() {
+        let mut ctl = SocControl::default();
+        assert_eq!(ctl.big_request(), None);
+        assert_eq!(ctl.little_request(), None);
+        assert_eq!(ctl.gpu_request(), None);
+        ctl.set_big_freq(MHz(1800));
+        ctl.set_little_freq(MHz(1200));
+        ctl.set_gpu_freq(MHz(480));
+        assert_eq!(ctl.big_request(), Some(MHz(1800)));
+        assert_eq!(ctl.little_request(), Some(MHz(1200)));
+        assert_eq!(ctl.gpu_request(), Some(MHz(480)));
+    }
+
+    #[test]
+    fn shared_power_model_matches_engine_path() {
+        // The extracted helper must agree with what a busy run injects.
+        let board = Board::odroid_xu4_ideal();
+        let freqs = ClusterFreqs {
+            big: MHz(1600),
+            little: MHz(1400),
+            gpu: MHz(600),
+        };
+        let temps = vec![70.0; board.thermal.len()];
+        let chars = App::Covariance.characteristics();
+        let busy = node_powers_for(
+            &board,
+            CpuMapping::new(2, 3),
+            freqs,
+            true,
+            true,
+            chars.activity,
+            &temps,
+        );
+        let idle = idle_node_powers(&board, ClusterFreqs::min_of(&board), &temps);
+        assert_eq!(busy.len(), board.thermal.len());
+        // Busy dominates idle on every active silicon node.
+        assert!(busy[board.nodes.big] > idle[board.nodes.big] * 3.0);
+        assert!(busy[board.nodes.gpu] > idle[board.nodes.gpu] * 3.0);
+        // Board overhead is load-independent.
+        assert_eq!(busy[board.nodes.board], idle[board.nodes.board]);
+    }
+
+    #[test]
+    fn idle_board_cools_toward_ambient() {
+        let mut board = Board::odroid_xu4_ideal();
+        for i in 0..board.thermal.len() {
+            board.thermal.set_temp(i, 85.0);
+        }
+        let freqs = ClusterFreqs::min_of(&board);
+        // The board lump's time constant is minutes; integrate well past
+        // it (temperature-dependent leakage keeps this a fixed point
+        // iteration rather than one steady-state solve).
+        for _ in 0..50 {
+            let temps = board.thermal.temps().to_vec();
+            let p = idle_node_powers(&board, freqs, &temps);
+            board.thermal.step(60.0, &p);
+        }
+        // Idle dissipation is ~2.7 W: the die settles ~10 C over ambient.
+        let big = board.thermal.temp(board.nodes.big);
+        assert!(big < 38.0, "idle big node still at {big} C");
+        assert!(big > board.thermal.ambient_c() - 1e-9);
+    }
+
+    #[test]
     fn timeout_is_reported() {
-        let mut sim = Simulation::new(Board::odroid_xu4_ideal(), cv_spec()).with_config(
-            SimConfig {
+        let mut sim =
+            Simulation::new(Board::odroid_xu4_ideal(), cv_spec()).with_config(SimConfig {
                 timeout_s: 1.0,
                 ..SimConfig::default()
-            },
-        );
+            });
         let r = sim.run(&mut PinMax);
         assert!(r.timed_out);
         assert!(r.summary.execution_time_s <= 1.0 + 0.011);

@@ -154,7 +154,11 @@ pub fn linear_ramp(start: u32, end: u32, step_mhz: u32, v_min_mv: u32, v_max_mv:
     let opps = (0..n)
         .map(|i| {
             let f = start + i * step_mhz;
-            let frac = if n > 1 { i as f64 / (n - 1) as f64 } else { 1.0 };
+            let frac = if n > 1 {
+                i as f64 / (n - 1) as f64
+            } else {
+                1.0
+            };
             Opp {
                 freq: MHz(f),
                 volt_mv: v_min_mv + ((v_max_mv - v_min_mv) as f64 * frac).round() as u32,
@@ -262,8 +266,14 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn rejects_unsorted() {
         OppTable::new(vec![
-            Opp { freq: MHz(500), volt_mv: 900 },
-            Opp { freq: MHz(400), volt_mv: 900 },
+            Opp {
+                freq: MHz(500),
+                volt_mv: 900,
+            },
+            Opp {
+                freq: MHz(400),
+                volt_mv: 900,
+            },
         ]);
     }
 

@@ -66,7 +66,8 @@ mod thermal_zone;
 
 pub use board::{Board, ThermalNodes};
 pub use engine::{
-    ClusterFreqs, Manager, RunResult, RunSpec, SimConfig, Simulation, SocControl, SocView,
+    clamp_freqs, idle_node_powers, node_powers_for, read_sensors_for, ClusterFreqs, Manager,
+    RunResult, RunSpec, SimConfig, Simulation, SocControl, SocView,
 };
 pub use freq::{MHz, Opp, OppTable};
 pub use perf::CpuMapping;

@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "positive")]
-    fn rejects_zero_period()
-    {
+    fn rejects_zero_period() {
         SmartPowerMeter::with_sample_period(0.0);
     }
 

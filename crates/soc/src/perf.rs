@@ -99,9 +99,8 @@ pub fn cpu_rate(
 ) -> f64 {
     let mut rate = 0.0;
     if mapping.big > 0 {
-        rate += mapping.big as f64
-            * chars.big.rate(big_freq.as_hz())
-            * cluster_efficiency(mapping.big);
+        rate +=
+            mapping.big as f64 * chars.big.rate(big_freq.as_hz()) * cluster_efficiency(mapping.big);
     }
     if mapping.little > 0 {
         rate += mapping.little as f64
@@ -193,7 +192,10 @@ mod tests {
         assert!("5L+1B".parse::<CpuMapping>().is_err());
         assert!("2B+3L".parse::<CpuMapping>().is_err());
         assert!("junk".parse::<CpuMapping>().is_err());
-        assert_eq!("0l+0b".parse::<CpuMapping>().unwrap(), CpuMapping::new(0, 0));
+        assert_eq!(
+            "0l+0b".parse::<CpuMapping>().unwrap(),
+            CpuMapping::new(0, 0)
+        );
     }
 
     #[test]
@@ -215,7 +217,10 @@ mod tests {
     #[test]
     fn empty_mapping_has_no_rate_and_infinite_et() {
         let c = cv();
-        assert_eq!(cpu_rate(&c, CpuMapping::new(0, 0), MHz(2000), MHz(1400)), 0.0);
+        assert_eq!(
+            cpu_rate(&c, CpuMapping::new(0, 0), MHz(2000), MHz(1400)),
+            0.0
+        );
         assert!(et_cpu(&c, CpuMapping::new(0, 0), MHz(2000), MHz(1400)).is_infinite());
     }
 

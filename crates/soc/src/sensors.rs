@@ -8,9 +8,6 @@
 //! a fixed per-core offset (hot spot layout), optionally with quantisation
 //! and deterministic measurement noise.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// Fixed per-core offsets above the big-cluster node temperature, °C.
 /// Index 2 (board numbering: core 6) is the paper's hottest core.
 pub const BIG_CORE_OFFSETS_C: [f64; 4] = [0.6, 1.1, 2.2, 0.9];
@@ -22,6 +19,37 @@ pub const BIG_CORE_OFFSETS_C: [f64; 4] = [0.6, 1.1, 2.2, 0.9];
 /// power density, not the cluster average.
 pub const CORE_HOTSPOT_C_PER_W: f64 = 3.5;
 
+/// Deterministic measurement-noise source (SplitMix64): the TMU noise
+/// must be reproducible run-for-run so simulations stay bit-identical,
+/// which matters both for tests and for the scenario engine's
+/// same-scenario-same-trace guarantee.
+#[derive(Debug, Clone)]
+struct NoiseRng {
+    state: u64,
+}
+
+impl NoiseRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        NoiseRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[-amplitude, amplitude]`.
+    fn symmetric(&mut self, amplitude: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (unit * 2.0 - 1.0) * amplitude
+    }
+}
+
 /// A bank of thermal sensors over the SoC's thermal nodes.
 #[derive(Debug, Clone)]
 pub struct SensorBank {
@@ -29,7 +57,7 @@ pub struct SensorBank {
     noise_c: f64,
     /// Quantisation step (TMUs report integer °C), 0 to disable.
     quant_c: f64,
-    rng: StdRng,
+    rng: NoiseRng,
 }
 
 /// One sampling of every sensor.
@@ -44,7 +72,10 @@ pub struct SensorReadings {
 impl SensorReadings {
     /// Hottest big-core reading — what the paper's Fig. 1 plots.
     pub fn big_max_c(&self) -> f64 {
-        self.big_core_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.big_core_c
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The monitored maximum: hottest of {big cores, GPU} (§III-B).
@@ -69,7 +100,7 @@ impl SensorBank {
         SensorBank {
             noise_c: 0.0,
             quant_c: 0.0,
-            rng: StdRng::seed_from_u64(0),
+            rng: NoiseRng::seed_from_u64(0),
         }
     }
 
@@ -79,7 +110,7 @@ impl SensorBank {
         SensorBank {
             noise_c: 0.25,
             quant_c: 1.0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: NoiseRng::seed_from_u64(seed),
         }
     }
 
@@ -114,7 +145,7 @@ impl SensorBank {
     fn measure(&mut self, true_c: f64) -> f64 {
         let mut v = true_c;
         if self.noise_c > 0.0 {
-            v += self.rng.gen_range(-self.noise_c..=self.noise_c);
+            v += self.rng.symmetric(self.noise_c);
         }
         if self.quant_c > 0.0 {
             v = (v / self.quant_c).round() * self.quant_c;
@@ -131,8 +162,8 @@ mod tests {
     fn ideal_reads_true_plus_offsets() {
         let mut s = SensorBank::ideal();
         let r = s.read(80.0, 70.0);
-        for i in 0..4 {
-            assert_eq!(r.big_core_c[i], 80.0 + BIG_CORE_OFFSETS_C[i]);
+        for (read, offset) in r.big_core_c.iter().zip(BIG_CORE_OFFSETS_C) {
+            assert_eq!(*read, 80.0 + offset);
         }
         assert_eq!(r.gpu_c, 70.0);
     }

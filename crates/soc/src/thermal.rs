@@ -19,10 +19,10 @@ pub type NodeId = usize;
 #[derive(Debug, Clone)]
 pub struct ThermalModel {
     names: Vec<String>,
-    capacitance: Vec<f64>,       // J/°C per node
-    conductance: Vec<Vec<f64>>,  // symmetric node-to-node W/°C
-    to_ambient: Vec<f64>,        // node-to-ambient W/°C
-    temps: Vec<f64>,             // current temperature per node, °C
+    capacitance: Vec<f64>,      // J/°C per node
+    conductance: Vec<Vec<f64>>, // symmetric node-to-node W/°C
+    to_ambient: Vec<f64>,       // node-to-ambient W/°C
+    temps: Vec<f64>,            // current temperature per node, °C
     ambient_c: f64,
     max_stable_dt: f64,
 }
@@ -100,6 +100,7 @@ impl ThermalModelBuilder {
         // Stability: forward Euler on dT/dt = (P - G_total (T - ...)) / C
         // requires dt < min C_i / (sum_j G_ij + G_amb,i).
         let mut max_dt = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)] // row index pairs with to_ambient
         for i in 0..n {
             let gsum: f64 = g[i].iter().sum::<f64>() + self.to_ambient[i];
             if gsum > 0.0 {
@@ -165,6 +166,23 @@ impl ThermalModel {
         self.ambient_c
     }
 
+    /// Changes the ambient temperature at runtime (a scenario event:
+    /// the phone moves from an air-conditioned room into sunlight).
+    /// Node temperatures are untouched; subsequent steps integrate
+    /// toward the new ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ambient_c` is not a finite plausible temperature
+    /// (−40 to 120 °C).
+    pub fn set_ambient_c(&mut self, ambient_c: f64) {
+        assert!(
+            ambient_c.is_finite() && (-40.0..=120.0).contains(&ambient_c),
+            "ambient {ambient_c} out of plausible range"
+        );
+        self.ambient_c = ambient_c;
+    }
+
     /// Advances the network by `dt` seconds with `power_w[i]` watts
     /// injected into node `i`, sub-stepping as needed for stability.
     ///
@@ -195,8 +213,8 @@ impl ThermalModel {
             q -= self.to_ambient[i] * (self.temps[i] - self.ambient_c);
             deriv[i] = q / self.capacitance[i];
         }
-        for i in 0..n {
-            self.temps[i] += h * deriv[i];
+        for (t, d) in self.temps.iter_mut().zip(&deriv) {
+            *t += h * d;
         }
     }
 
@@ -290,6 +308,28 @@ mod tests {
     }
 
     #[test]
+    fn ambient_change_moves_the_equilibrium() {
+        let mut m = toy();
+        m.step(10_000.0, &[0.0, 0.0]);
+        assert!((m.temp(0) - 25.0).abs() < 0.1);
+        // Scenario event: ambient jumps 15 C; the network re-equilibrates
+        // at the new ambient without touching node state directly.
+        m.set_ambient_c(40.0);
+        assert_eq!(m.ambient_c(), 40.0);
+        m.step(10_000.0, &[0.0, 0.0]);
+        assert!((m.temp(0) - 40.0).abs() < 0.1, "die {}", m.temp(0));
+        // Steady state under power shifts by the same offset.
+        let ss = m.steady_state(&[4.0, 0.0]);
+        assert!((ss[0] - 68.0).abs() < 1e-9, "die {}", ss[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "plausible")]
+    fn rejects_absurd_ambient() {
+        toy().set_ambient_c(500.0);
+    }
+
+    #[test]
     fn heating_is_monotone_under_constant_power() {
         let mut m = toy();
         let mut last = m.temp(0);
@@ -311,7 +351,10 @@ mod tests {
         m.step(2.5, &[4.0, 0.0]);
         let die_rise = m.temp(0) - 25.0;
         let board_rise = m.temp(1) - 25.0;
-        assert!(die_rise > 5.0 * board_rise, "die {die_rise} board {board_rise}");
+        assert!(
+            die_rise > 5.0 * board_rise,
+            "die {die_rise} board {board_rise}"
+        );
     }
 
     #[test]

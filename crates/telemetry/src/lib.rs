@@ -28,11 +28,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod plot;
+pub mod scenario;
 mod series;
 pub mod stats;
 pub mod summary;
 mod trace;
 
+pub use scenario::{scenario_table, ScenarioAppRun, ScenarioSummary};
 pub use series::{Sample, TimeSeries};
 pub use summary::RunSummary;
 pub use trace::Trace;

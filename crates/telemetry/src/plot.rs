@@ -31,7 +31,11 @@ pub fn ascii_chart(series: &TimeSeries, width: usize, height: usize, title: &str
     } else {
         vmax - vmin
     };
-    let tspan = if (t1 - t0).abs() < 1e-12 { 1.0 } else { t1 - t0 };
+    let tspan = if (t1 - t0).abs() < 1e-12 {
+        1.0
+    } else {
+        t1 - t0
+    };
 
     let mut grid = vec![vec![' '; width]; height];
     for s in series {

@@ -1,0 +1,254 @@
+//! Scenario-level summaries: the trajectory-level quantities a
+//! multi-application timeline produces — makespan, busy/idle split,
+//! per-app runs with queueing delay and deadline outcome, cumulative
+//! energy, worst-case temperature and reactive-trip counts — plus the
+//! side-by-side comparison table the scenario benchmarks print.
+//!
+//! One [`RunSummary`] describes one application run; one
+//! [`ScenarioSummary`] describes everything that happened between the
+//! first arrival and the last completion of a scenario, under one
+//! management approach.
+
+use crate::summary::RunSummary;
+use std::fmt;
+
+/// One application's run inside a scenario: the ordinary per-run metrics
+/// plus its position on the scenario timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioAppRun {
+    /// Per-run metrics (execution time measured from launch, not
+    /// arrival).
+    pub summary: RunSummary,
+    /// When the app arrived (entered the queue), seconds.
+    pub arrived_s: f64,
+    /// When it started executing, seconds.
+    pub started_s: f64,
+    /// When it completed, seconds.
+    pub completed_s: f64,
+    /// The deadline it was admitted with (`TREQ`), seconds of execution.
+    pub treq_s: f64,
+}
+
+impl ScenarioAppRun {
+    /// Queueing delay before launch, seconds.
+    pub fn wait_s(&self) -> f64 {
+        self.started_s - self.arrived_s
+    }
+
+    /// `true` when the run blew its execution-time requirement.
+    ///
+    /// A 10 % engine-resolution margin is allowed: the planner sizes the
+    /// GPU share to finish exactly at `TREQ`, so thermal stepping on the
+    /// CPU side legitimately lands a few percent past it.
+    pub fn missed_deadline(&self) -> bool {
+        self.summary.execution_time_s > self.treq_s * 1.10
+    }
+}
+
+/// Everything one scenario produced under one management approach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSummary {
+    /// Scenario name (e.g. `"back-to-back"`).
+    pub scenario: String,
+    /// Management approach (e.g. `"TEEM"`).
+    pub approach: String,
+    /// Time from scenario start to the last completion, seconds.
+    pub makespan_s: f64,
+    /// Time with an application executing, seconds.
+    pub busy_s: f64,
+    /// Time idling between arrivals, seconds.
+    pub idle_s: f64,
+    /// Total wall energy over the scenario, joules.
+    pub energy_j: f64,
+    /// Energy spent in idle gaps, joules (the rest is attributed to the
+    /// per-app runs).
+    pub idle_energy_j: f64,
+    /// Hottest sensor reading anywhere in the scenario, °C.
+    pub peak_temp_c: f64,
+    /// Mean of the hottest-sensor reading over the scenario, °C.
+    pub avg_temp_c: f64,
+    /// Temporal variance of the hottest-sensor reading, °C².
+    pub temp_variance: f64,
+    /// Reactive thermal-zone trips over the whole scenario.
+    pub zone_trips: u32,
+    /// Per-application runs in completion order.
+    pub apps: Vec<ScenarioAppRun>,
+}
+
+impl ScenarioSummary {
+    /// Number of completed application runs.
+    pub fn apps_completed(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Number of runs that blew their deadline.
+    pub fn deadline_misses(&self) -> u32 {
+        self.apps.iter().filter(|a| a.missed_deadline()).count() as u32
+    }
+
+    /// Energy attributed to application execution, joules.
+    pub fn app_energy_j(&self) -> f64 {
+        self.apps.iter().map(|a| a.summary.energy_j).sum()
+    }
+
+    /// Mean queueing delay across runs, seconds (0 when empty).
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.apps.is_empty() {
+            0.0
+        } else {
+            self.apps.iter().map(ScenarioAppRun::wait_s).sum::<f64>() / self.apps.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for ScenarioSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} apps in {:.1}s ({:.1}s busy) E={:.0}J peakT={:.1}C trips={} misses={}",
+            self.scenario,
+            self.approach,
+            self.apps_completed(),
+            self.makespan_s,
+            self.busy_s,
+            self.energy_j,
+            self.peak_temp_c,
+            self.zone_trips,
+            self.deadline_misses()
+        )
+    }
+}
+
+/// Formats scenario summaries as a fixed-width comparison table, grouped
+/// in input order — scenario-major with one row per approach reads like
+/// the paper's per-app bar charts lifted to whole timelines.
+pub fn scenario_table(rows: &[ScenarioSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<10} {:>4} {:>9} {:>9} {:>8} {:>8} {:>9} {:>6} {:>7}\n",
+        "scenario",
+        "approach",
+        "apps",
+        "span(s)",
+        "E(J)",
+        "avgT(C)",
+        "peakT(C)",
+        "varT(C2)",
+        "trips",
+        "misses"
+    ));
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    let mut last_scenario: Option<&str> = None;
+    for r in rows {
+        if last_scenario.is_some() && last_scenario != Some(r.scenario.as_str()) {
+            out.push('\n');
+        }
+        last_scenario = Some(r.scenario.as_str());
+        out.push_str(&format!(
+            "{:<22} {:<10} {:>4} {:>9.1} {:>9.1} {:>8.1} {:>8.1} {:>9.2} {:>6} {:>7}\n",
+            r.scenario,
+            r.approach,
+            r.apps_completed(),
+            r.makespan_s,
+            r.energy_j,
+            r.avg_temp_c,
+            r.peak_temp_c,
+            r.temp_variance,
+            r.zone_trips,
+            r.deadline_misses()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(app: &str, et: f64, treq: f64, arrived: f64, started: f64) -> ScenarioAppRun {
+        ScenarioAppRun {
+            summary: RunSummary {
+                app: app.into(),
+                approach: "TEEM".into(),
+                execution_time_s: et,
+                energy_j: 100.0,
+                avg_temp_c: 84.0,
+                peak_temp_c: 88.0,
+                temp_variance: 2.0,
+                avg_big_freq_mhz: 1600.0,
+            },
+            arrived_s: arrived,
+            started_s: started,
+            completed_s: started + et,
+            treq_s: treq,
+        }
+    }
+
+    fn summary() -> ScenarioSummary {
+        ScenarioSummary {
+            scenario: "back-to-back".into(),
+            approach: "TEEM".into(),
+            makespan_s: 100.0,
+            busy_s: 80.0,
+            idle_s: 20.0,
+            energy_j: 230.0,
+            idle_energy_j: 30.0,
+            peak_temp_c: 88.0,
+            avg_temp_c: 80.0,
+            temp_variance: 4.0,
+            zone_trips: 0,
+            apps: vec![
+                run("CV", 40.0, 42.0, 0.0, 0.0),
+                run("MV", 40.0, 30.0, 1.0, 40.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn wait_and_deadline_accounting() {
+        let s = summary();
+        assert_eq!(s.apps_completed(), 2);
+        // CV met (40 <= 42*1.1); MV blew it (40 > 33).
+        assert_eq!(s.deadline_misses(), 1);
+        assert!(!s.apps[0].missed_deadline());
+        assert!(s.apps[1].missed_deadline());
+        assert_eq!(s.apps[1].wait_s(), 39.0);
+        assert_eq!(s.mean_wait_s(), 19.5);
+        assert_eq!(s.app_energy_j(), 200.0);
+    }
+
+    #[test]
+    fn deadline_margin_is_ten_percent() {
+        let exact = run("CV", 40.0, 40.0, 0.0, 0.0);
+        assert!(!exact.missed_deadline());
+        let at_margin = run("CV", 43.9, 40.0, 0.0, 0.0);
+        assert!(!at_margin.missed_deadline());
+        let over = run("CV", 44.1, 40.0, 0.0, 0.0);
+        assert!(over.missed_deadline());
+    }
+
+    #[test]
+    fn table_contains_rows_and_blank_line_between_scenarios() {
+        let mut a = summary();
+        let mut b = summary();
+        b.scenario = "bursty".into();
+        b.approach = "ondemand".into();
+        a.apps.clear();
+        b.apps.clear();
+        let t = scenario_table(&[a, b]);
+        assert!(t.contains("back-to-back"));
+        assert!(t.contains("bursty"));
+        assert!(t.contains("trips"));
+        // Blank separator between scenario groups.
+        assert!(t.contains("\n\n"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let d = summary().to_string();
+        assert!(d.contains("back-to-back/TEEM"));
+        assert!(d.contains("trips=0"));
+        assert!(d.contains("misses=1"));
+    }
+}

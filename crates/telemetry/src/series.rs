@@ -58,7 +58,10 @@ impl TimeSeries {
     /// Panics if `t` is earlier than the previous sample's timestamp or
     /// either value is non-finite.
     pub fn push(&mut self, t: f64, v: f64) {
-        assert!(t.is_finite() && v.is_finite(), "non-finite sample ({t}, {v})");
+        assert!(
+            t.is_finite() && v.is_finite(),
+            "non-finite sample ({t}, {v})"
+        );
         if let Some(last) = self.samples.last() {
             assert!(
                 t >= last.t,

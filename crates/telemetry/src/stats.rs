@@ -194,7 +194,16 @@ mod tests {
 
     #[test]
     fn known_variance() {
-        let s = TimeSeries::from_pairs(&[(0.0, 2.0), (1.0, 4.0), (2.0, 4.0), (3.0, 4.0), (4.0, 5.0), (5.0, 5.0), (6.0, 7.0), (7.0, 9.0)]);
+        let s = TimeSeries::from_pairs(&[
+            (0.0, 2.0),
+            (1.0, 4.0),
+            (2.0, 4.0),
+            (3.0, 4.0),
+            (4.0, 5.0),
+            (5.0, 5.0),
+            (6.0, 7.0),
+            (7.0, 9.0),
+        ]);
         let st = SeriesStats::of(&s).unwrap();
         // mean = 5, pop variance = 4 (classic textbook sample).
         assert!((st.mean() - 5.0).abs() < 1e-12);
@@ -246,7 +255,10 @@ mod tests {
 
     #[test]
     fn percent_reduction_signs() {
-        assert_eq!(percent_reduction(530.0, 413.0).map(|v| v.round()), Some(22.0));
+        assert_eq!(
+            percent_reduction(530.0, 413.0).map(|v| v.round()),
+            Some(22.0)
+        );
         // Candidate worse than baseline -> negative reduction (overhead).
         assert!(percent_reduction(100.0, 119.0).unwrap() < 0.0);
         assert_eq!(percent_reduction(f64::NAN, 1.0), None);

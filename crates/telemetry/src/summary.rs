@@ -98,10 +98,7 @@ pub fn compare(baseline: &RunSummary, candidate: &RunSummary) -> Option<Comparis
             baseline.execution_time_s,
             candidate.execution_time_s,
         )?,
-        variance_reduction_pct: percent_reduction(
-            baseline.temp_variance,
-            candidate.temp_variance,
-        )?,
+        variance_reduction_pct: percent_reduction(baseline.temp_variance, candidate.temp_variance)?,
         peak_temp_delta_c: baseline.peak_temp_c - candidate.peak_temp_c,
     })
 }

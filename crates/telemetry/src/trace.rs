@@ -78,11 +78,7 @@ impl Trace {
     /// sampled by zero-order hold, with empty cells before a channel's
     /// first sample.
     pub fn to_csv(&self) -> String {
-        let mut grid: Vec<f64> = self
-            .channels
-            .values()
-            .flat_map(|s| s.times())
-            .collect();
+        let mut grid: Vec<f64> = self.channels.values().flat_map(|s| s.times()).collect();
         grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         grid.dedup();
 

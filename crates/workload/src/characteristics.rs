@@ -75,7 +75,8 @@ impl KernelCharacteristics {
         little_hz: f64,
         gpu_hz: f64,
     ) -> f64 {
-        let cpu = n_big as f64 * self.big.rate(big_hz) + n_little as f64 * self.little.rate(little_hz);
+        let cpu =
+            n_big as f64 * self.big.rate(big_hz) + n_little as f64 * self.little.rate(little_hz);
         let gpu = 6.0 * self.gpu.rate(gpu_hz);
         gpu / cpu
     }
@@ -244,7 +245,11 @@ mod tests {
         };
         assert!(aff("2D") > 1.5, "2D affinity {}", aff("2D"));
         assert!(aff("GE") > 1.5, "GE affinity {}", aff("GE"));
-        assert!(aff("CV") > 0.5 && aff("CV") < 1.6, "CV affinity {}", aff("CV"));
+        assert!(
+            aff("CV") > 0.5 && aff("CV") < 1.6,
+            "CV affinity {}",
+            aff("CV")
+        );
         assert!(aff("MV") < 1.3, "MV affinity {}", aff("MV"));
         assert!(aff("2D") > aff("CV"));
         assert!(aff("GE") > aff("SR"));

@@ -58,8 +58,9 @@ pub fn execute_partitioned(
 
     // Hand each chunk a disjoint window of the output buffer; the Kernel
     // contract indexes windows relative to the chunk start, so threads
-    // write with no synchronisation at all.
-    crossbeam::thread::scope(|scope| {
+    // write with no synchronisation at all. A worker panic propagates
+    // when the scope joins (a kernel contract violation).
+    std::thread::scope(|scope| {
         let mut rest: &mut [f64] = &mut out;
         let mut consumed = 0usize;
         for chunk in &chunks {
@@ -70,10 +71,9 @@ pub fn execute_partitioned(
             rest = tail;
             consumed = end;
             let chunk = chunk.clone();
-            scope.spawn(move |_| kernel.execute_range(chunk, mine));
+            scope.spawn(move || kernel.execute_range(chunk, mine));
         }
-    })
-    .expect("kernel worker panicked");
+    });
     out
 }
 

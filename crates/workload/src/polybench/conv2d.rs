@@ -59,10 +59,7 @@ impl Kernel for Conv2d {
 
     fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
         assert!(range.end <= self.h, "work-item range out of bounds");
-        assert!(
-            out.len() >= range.len() * self.w,
-            "output window too small"
-        );
+        assert!(out.len() >= range.len() * self.w, "output window too small");
         let start = range.start;
         for i in range {
             let row = &mut out[(i - start) * self.w..(i - start + 1) * self.w];
@@ -90,7 +87,9 @@ mod tests {
         // Naive recomputation at a few probe points.
         for &(i, j) in &[(0usize, 0usize), (3, 5), (k.height() - 1, k.width() - 1)] {
             let mut acc = 0.0;
+            #[allow(clippy::needless_range_loop)] // stencil offsets
             for di in 0..3 {
+                #[allow(clippy::needless_range_loop)] // stencil offsets
                 for dj in 0..3 {
                     acc += C[di][dj] * k.at(i + di, j + dj);
                 }
@@ -107,7 +106,10 @@ mod tests {
         let mut out = vec![f64::NAN; 2 * k.width() + 3];
         k.execute_range(2..4, &mut out);
         assert!(out[..2 * k.width()].iter().all(|v| v.is_finite()));
-        assert!(out[2 * k.width()..].iter().all(|v| v.is_nan()), "canary overwritten");
+        assert!(
+            out[2 * k.width()..].iter().all(|v| v.is_nan()),
+            "canary overwritten"
+        );
         // Window contents equal the matching slice of a full run.
         let full = k.execute_all();
         assert_eq!(&out[..2 * k.width()], &full[2 * k.width()..4 * k.width()]);

@@ -79,10 +79,7 @@ impl Kernel for Correlation {
 
     fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
         assert!(range.end <= self.m, "work-item range out of bounds");
-        assert!(
-            out.len() >= range.len() * self.m,
-            "output window too small"
-        );
+        assert!(out.len() >= range.len() * self.m, "output window too small");
         let start = range.start;
         for i in range {
             let row = &mut out[(i - start) * self.m..(i - start + 1) * self.m];

@@ -65,10 +65,7 @@ impl Kernel for Covariance {
 
     fn execute_range(&self, range: Range<usize>, out: &mut [f64]) {
         assert!(range.end <= self.m, "work-item range out of bounds");
-        assert!(
-            out.len() >= range.len() * self.m,
-            "output window too small"
-        );
+        assert!(out.len() >= range.len() * self.m, "output window too small");
         let denom = (self.n - 1) as f64;
         let start = range.start;
         for i in range {

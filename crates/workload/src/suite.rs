@@ -170,7 +170,10 @@ mod tests {
     fn paper_eight_are_distinct_and_ordered_like_fig5a() {
         let eight = App::paper_eight();
         let abbrevs: Vec<&str> = eight.iter().map(|a| a.abbrev()).collect();
-        assert_eq!(abbrevs, vec!["2D", "CV", "GE", "2M", "MV", "S2", "SR", "CR"]);
+        assert_eq!(
+            abbrevs,
+            vec!["2D", "CV", "GE", "2M", "MV", "S2", "SR", "CR"]
+        );
     }
 
     #[test]

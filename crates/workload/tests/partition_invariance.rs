@@ -3,9 +3,7 @@
 //! configuration, the output equals the serial reference bit-for-bit.
 
 use proptest::prelude::*;
-use teem_workload::{
-    execute_partitioned, execute_serial, App, ExecConfig, Partition, ProblemSize,
-};
+use teem_workload::{execute_partitioned, execute_serial, App, ExecConfig, Partition, ProblemSize};
 
 /// Serial references are computed once per kernel (they dominate runtime).
 fn reference(app: App) -> Vec<f64> {

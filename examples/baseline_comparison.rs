@@ -24,7 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let req = fig5_requirement(app, &profile);
         let mut bars = Vec::new();
         for approach in Approach::fig5() {
-            let r = run(app, approach, &req, Some(&profile), Some(fig5_mapping()), None);
+            let r = run(
+                app,
+                approach,
+                &req,
+                Some(&profile),
+                Some(fig5_mapping()),
+                None,
+            );
             bars.push((approach.name().to_string(), r.summary.energy_j));
             rows.push(r.summary);
         }
@@ -41,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-approach averages (the paper: TEEM saves 28.32% vs EEMP and
     // 13.97% vs RMP on energy; ~28%/24% on performance).
     let avg = |name: &str, f: &dyn Fn(&RunSummary) -> f64| -> f64 {
-        let v: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.approach == name)
-            .map(|r| f(r))
-            .collect();
+        let v: Vec<f64> = rows.iter().filter(|r| r.approach == name).map(f).collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     let (e_eemp, e_rmp, e_teem) = (

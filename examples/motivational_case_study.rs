@@ -31,7 +31,10 @@ fn main() {
     let mut sim = Simulation::new(Board::odroid_xu4(), case_study_spec());
     let teem = sim.run(&mut TeemGovernor::paper());
 
-    for (label, r) in [("(a) ondemand + 95C trip", &ondemand), ("(b) TEEM @ 85C", &teem)] {
+    for (label, r) in [
+        ("(a) ondemand + 95C trip", &ondemand),
+        ("(b) TEEM @ 85C", &teem),
+    ] {
         println!("=== {label} ===");
         println!("{}", r.summary);
         println!("trips: {}", r.zone_trips);
@@ -39,7 +42,10 @@ fn main() {
             println!("{}", ascii_chart(temp, 72, 10, "temperature (C)"));
         }
         if let Some(freq) = r.trace.channel("freq.big") {
-            println!("{}", ascii_chart(freq, 72, 8, "big-cluster frequency (MHz)"));
+            println!(
+                "{}",
+                ascii_chart(freq, 72, 8, "big-cluster frequency (MHz)")
+            );
         }
     }
 

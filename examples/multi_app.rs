@@ -30,15 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             peak = peak.max(r.summary.peak_temp_c);
             trips += r.zone_trips;
         }
-        println!(
-            "  TOTAL: {time:.1}s, {energy:.0}J, worst peak {peak:.1}C, {trips} trips\n"
-        );
+        println!("  TOTAL: {time:.1}s, {energy:.0}J, worst peak {peak:.1}C, {trips} trips\n");
         totals.push((approach, time, energy, peak, trips));
     }
 
     let (_, t0, e0, p0, _) = totals[0];
     let (_, t1, e1, p1, trips1) = totals[1];
-    println!("TEEM over the sequence: {:+.1}% time, {:+.1}% energy, {:+.1}C peak",
+    println!(
+        "TEEM over the sequence: {:+.1}% time, {:+.1}% energy, {:+.1}C peak",
         (t0 - t1) / t0 * 100.0,
         (e0 - e1) / e0 * 100.0,
         p0 - p1,

@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- Table II: log10(M) ~ AT + ET (outlier dropped) ---");
     let transformed = fit_transformed_model(&obs)?;
-    println!(
-        "(dropped observation #{})",
-        transformed.dropped_observation
-    );
+    println!("(dropped observation #{})", transformed.dropped_observation);
     println!("{}", Summary::new(&transformed.fit));
 
     // Build and persist the whole store: two items per application.

@@ -13,7 +13,8 @@
 //! | [`dse`] | Design-space enumeration (eq. 1/2), the 10 368-point sample, design-point evaluation |
 //! | [`linreg`] | OLS with R-style inference — the paper's R workflow (Tables I/II) |
 //! | [`core`] | TEEM itself: offline model fitting, online governor, EEMP/RMP baselines |
-//! | [`telemetry`] | Traces, thermal statistics, run summaries, terminal plots |
+//! | [`scenario`] | Event-driven multi-app workload scenarios and the parallel batch runner |
+//! | [`telemetry`] | Traces, thermal statistics, run/scenario summaries, terminal plots |
 //!
 //! This facade re-exports the full public API and provides a [`prelude`].
 //!
@@ -41,6 +42,7 @@ pub use teem_core as core;
 pub use teem_dse as dse;
 pub use teem_governors as governors;
 pub use teem_linreg as linreg;
+pub use teem_scenario as scenario;
 pub use teem_soc as soc;
 pub use teem_telemetry as telemetry;
 pub use teem_workload as workload;
@@ -54,11 +56,14 @@ pub mod prelude {
         plan, AppProfile, MappingModel, ProfileStore, TeemGovernor, TeemPlan, UserRequirement,
     };
     pub use teem_governors::{Conservative, Ondemand, Performance, Powersave, Userspace};
+    pub use teem_scenario::{
+        AppRequest, BatchRunner, Scenario, ScenarioEvent, ScenarioResult, ScenarioRunner,
+    };
     pub use teem_soc::{
         Board, ClusterFreqs, CpuMapping, MHz, Manager, RunResult, RunSpec, SimConfig, Simulation,
         SocControl, SocView, ThermalZone,
     };
-    pub use teem_telemetry::{RunSummary, TimeSeries, Trace};
+    pub use teem_telemetry::{RunSummary, ScenarioSummary, TimeSeries, Trace};
     pub use teem_workload::{App, Kernel, Partition, ProblemSize};
 }
 

@@ -30,12 +30,20 @@ fn fig1_ondemand_vs_teem_shape() {
 
     // Reactive baseline reaches the 95 C limit and throttles (Fig. 1a).
     assert!(od.zone_trips >= 1, "ondemand never tripped");
-    assert!(od.summary.peak_temp_c >= 95.0, "peak {}", od.summary.peak_temp_c);
+    assert!(
+        od.summary.peak_temp_c >= 95.0,
+        "peak {}",
+        od.summary.peak_temp_c
+    );
 
     // TEEM stays within its 85 C band: no trips, peak well below the
     // limit (paper: 90 C), average near the threshold (paper: 85.8 C).
     assert_eq!(tm.zone_trips, 0, "TEEM tripped the reactive zone");
-    assert!(tm.summary.peak_temp_c < 94.0, "peak {}", tm.summary.peak_temp_c);
+    assert!(
+        tm.summary.peak_temp_c < 94.0,
+        "peak {}",
+        tm.summary.peak_temp_c
+    );
     assert!(
         (tm.summary.avg_temp_c - 85.0).abs() < 3.0,
         "avg {} not riding the threshold",

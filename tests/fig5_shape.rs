@@ -11,7 +11,14 @@ fn summaries_for(app: App) -> (RunSummary, RunSummary, RunSummary) {
     let req = fig5_requirement(app, &profile);
     let mut out = Vec::new();
     for approach in Approach::fig5() {
-        let r = run(app, approach, &req, Some(&profile), Some(fig5_mapping()), None);
+        let r = run(
+            app,
+            approach,
+            &req,
+            Some(&profile),
+            Some(fig5_mapping()),
+            None,
+        );
         assert!(!r.timed_out, "{approach} timed out on {app}");
         out.push(r.summary);
     }

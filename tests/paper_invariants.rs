@@ -2,10 +2,10 @@
 //! design-space arithmetic of §III-A.1, the §V-D memory accounting, and
 //! the eq. (9) partitioning identities.
 
-use teem::prelude::*;
 use teem::core::memory::MemoryComparison;
 use teem::core::partition::{gpu_share_et, partition_for};
 use teem::dse::{enumerate, sample};
+use teem::prelude::*;
 
 #[test]
 fn design_space_counts_match_section_3a1() {
