@@ -1,7 +1,8 @@
 //! Scenario-engine benchmarks: timeline construction, one full
-//! multi-app scenario execution under TEEM, and the parallel batch
-//! matrix — the wall-clock cost of the trajectory-level evaluation the
-//! scenario subsystem adds.
+//! multi-app scenario execution under TEEM, the parallel batch matrix,
+//! and a thresholds × ambients grid sweep over the builtin suite — the
+//! thousands-of-scenario parameter-grid shape the zero-allocation hot
+//! path exists for.
 
 use std::hint::black_box;
 use teem_bench::microbench::Runner;
@@ -10,6 +11,25 @@ use teem_core::runner::Approach;
 use teem_scenario::{BatchRunner, Scenario, ScenarioRunner};
 use teem_soc::Board;
 use teem_workload::App;
+
+/// Grid variants of the builtin suite: every scenario re-planned under
+/// each default threshold and started at each ambient.
+fn grid(thresholds: &[f64], ambients: &[f64]) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for &thr in thresholds {
+        for &amb in ambients {
+            for sc in Scenario::builtin_suite() {
+                let name = format!("{}@thr{thr}/amb{amb}", sc.name());
+                out.push(
+                    sc.with_name(name)
+                        .with_initial_threshold(thr)
+                        .with_initial_ambient(amb),
+                );
+            }
+        }
+    }
+    out
+}
 
 fn main() {
     let mut r = Runner::from_args();
@@ -36,6 +56,20 @@ fn main() {
             .run_matrix(black_box(&scenarios), &Approach::all())
             .expect("runs")
             .len()
+    });
+
+    // The scenario-scale shape: a thresholds × ambients parameter grid
+    // over the whole builtin suite (2 × 2 × 5 = 20 cells) fanned out by
+    // the batch runner under TEEM. This is the workload the per-step
+    // allocation removal targets; per-cell cost is this time / 20.
+    let sweep = grid(&[82.0, 85.0], &[20.0, 30.0]);
+    let cells = sweep.len();
+    r.bench_heavy("grid_sweep_20_scenarios_teem", 1, move || {
+        let results = BatchRunner::new()
+            .run_matrix(black_box(&sweep), &[Approach::Teem])
+            .expect("runs");
+        assert_eq!(results.len(), cells);
+        results.len()
     });
 
     r.finish();

@@ -1,9 +1,15 @@
 //! Thermal-network integration throughput — the engine's hottest loop —
-//! plus steady-state solves.
+//! plus the in-place power model and the combined physics step kernel
+//! (power + integration), i.e. exactly what one `dt` of simulated time
+//! costs. The `it/s` column is the steps/sec throughput figure.
 
 use std::hint::black_box;
 use teem_bench::microbench::Runner;
-use teem_soc::Board;
+use teem_soc::{
+    idle_node_powers_into, node_powers_for, node_powers_into, Board, ClusterFreqs, CpuMapping, MHz,
+    StepScratch,
+};
+use teem_workload::App;
 
 fn main() {
     let mut r = Runner::from_args();
@@ -22,6 +28,73 @@ fn main() {
 
     r.bench("thermal_steady_state_solve", || {
         board.thermal.steady_state(black_box(&powers))
+    });
+
+    // The power model alone: allocating wrapper vs in-place — the
+    // delta the zero-allocation refactor buys per step.
+    let freqs = ClusterFreqs {
+        big: MHz(1600),
+        little: MHz(1400),
+        gpu: MHz(600),
+    };
+    let mapping = CpuMapping::new(2, 3);
+    let activity = App::Covariance.characteristics().activity;
+    let temps = vec![83.0, 61.0, 74.0, 46.0];
+    r.bench("node_powers_alloc", || {
+        node_powers_for(
+            black_box(&board),
+            mapping,
+            freqs,
+            true,
+            true,
+            activity,
+            black_box(&temps),
+        )
+    });
+    let mut scratch = StepScratch::for_board(&board);
+    r.bench("node_powers_into", || {
+        node_powers_into(
+            black_box(&board),
+            mapping,
+            freqs,
+            true,
+            true,
+            activity,
+            black_box(&temps),
+            &mut scratch.power,
+        )
+    });
+
+    // The full physics step kernel as the engines run it every dt:
+    // busy power from live temperatures, then one Euler step. The it/s
+    // column is simulation steps per second.
+    let mut sim_board = Board::odroid_xu4_ideal();
+    let mut scratch = StepScratch::for_board(&sim_board);
+    r.bench("physics_step_kernel_busy", || {
+        node_powers_into(
+            &sim_board,
+            mapping,
+            freqs,
+            true,
+            true,
+            activity,
+            sim_board.thermal.temps(),
+            &mut scratch.power,
+        );
+        sim_board.thermal.step(black_box(0.01), &scratch.power)
+    });
+
+    let mut idle_board = Board::odroid_xu4_ideal();
+    let idle_freqs = ClusterFreqs::min_of(&idle_board);
+    let mut scratch = StepScratch::for_board(&idle_board);
+    r.bench("physics_step_kernel_idle", || {
+        idle_node_powers_into(
+            &idle_board,
+            idle_freqs,
+            idle_board.thermal.temps(),
+            &mut scratch.power,
+        );
+        idle_board.thermal.step(black_box(0.01), &scratch.power)
     });
 
     r.finish();

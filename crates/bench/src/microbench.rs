@@ -33,23 +33,45 @@ pub struct BenchResult {
     pub batch_iters: u64,
 }
 
+impl BenchResult {
+    /// Best-case throughput, iterations per second — the steps/sec
+    /// figure for the step-kernel benches.
+    pub fn best_per_sec(&self) -> f64 {
+        if self.best_ns > 0.0 {
+            1e9 / self.best_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// Collects and prints benchmark timings; constructed from the CLI
 /// arguments Cargo forwards after `--` (used as substring filters).
+///
+/// Passing `--smoke` (or setting `TEEM_BENCH_SMOKE=1`) switches to
+/// smoke mode: every selected benchmark executes exactly once, with no
+/// warm-up or batch calibration. CI uses this to keep the perf path
+/// compiled *and exercised* on every push without paying measurement-
+/// quality iteration counts.
 #[derive(Debug, Default)]
 pub struct Runner {
     filters: Vec<String>,
+    smoke: bool,
     results: Vec<BenchResult>,
 }
 
 impl Runner {
     /// A runner honouring CLI substring filters (Cargo's own flags such
-    /// as `--bench` are ignored).
+    /// as `--bench` are ignored) and the `--smoke` /
+    /// `TEEM_BENCH_SMOKE=1` one-iteration mode.
     pub fn from_args() -> Self {
         Runner {
             filters: std::env::args()
                 .skip(1)
                 .filter(|a| !a.starts_with('-'))
                 .collect(),
+            smoke: std::env::args().skip(1).any(|a| a == "--smoke")
+                || std::env::var("TEEM_BENCH_SMOKE").is_ok_and(|v| v == "1"),
             results: Vec::new(),
         }
     }
@@ -61,6 +83,10 @@ impl Runner {
     /// Times `f`, auto-scaling the batch size to [`BATCH_TARGET`].
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
         if !self.selected(name) {
+            return;
+        }
+        if self.smoke {
+            self.timed(name, 1, f);
             return;
         }
         // Warm-up and batch-size calibration: double until one batch
@@ -88,13 +114,18 @@ impl Runner {
         if !self.selected(name) {
             return;
         }
+        if self.smoke {
+            self.timed(name, 1, f);
+            return;
+        }
         black_box(f()); // warm-up
         self.timed(name, iters_per_batch.max(1), f);
     }
 
     fn timed<T>(&mut self, name: &str, iters: u64, mut f: impl FnMut() -> T) {
-        let mut batch_ns = Vec::with_capacity(BATCHES as usize);
-        for _ in 0..BATCHES {
+        let batches = if self.smoke { 1 } else { BATCHES };
+        let mut batch_ns = Vec::with_capacity(batches as usize);
+        for _ in 0..batches {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(f());
@@ -110,10 +141,11 @@ impl Runner {
             batch_iters: iters,
         };
         println!(
-            "{:<44} best {:>12}  mean {:>12}  ({} it/batch)",
+            "{:<44} best {:>12}  mean {:>12}  {:>14}  ({} it/batch)",
             result.name,
             fmt_ns(result.best_ns),
             fmt_ns(result.mean_ns),
+            fmt_rate(result.best_per_sec()),
             result.batch_iters
         );
         self.results.push(result);
@@ -127,6 +159,17 @@ impl Runner {
     /// Prints the closing summary line.
     pub fn finish(&self) {
         println!("{} benchmark(s) run", self.results.len());
+    }
+}
+
+/// Formats an iterations-per-second throughput with an adaptive unit.
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2} M it/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} k it/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} it/s")
     }
 }
 
@@ -165,6 +208,7 @@ mod tests {
     fn filters_skip_unmatched_names() {
         let mut r = Runner {
             filters: vec!["thermal".into()],
+            smoke: false,
             results: Vec::new(),
         };
         r.bench("regression_fit", || 1);
@@ -179,5 +223,36 @@ mod tests {
         assert!(fmt_ns(12_300.0).contains("us"));
         assert!(fmt_ns(12_300_000.0).contains("ms"));
         assert!(fmt_ns(2.3e9).contains('s'));
+        assert!(fmt_rate(25.0e6).contains("M it/s"));
+        assert!(fmt_rate(8_000.0).contains("k it/s"));
+        assert!(fmt_rate(7.5).contains("it/s"));
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_bench_exactly_once() {
+        let mut r = Runner {
+            filters: Vec::new(),
+            smoke: true,
+            results: Vec::new(),
+        };
+        let mut light = 0u64;
+        r.bench("light", || light += 1);
+        let mut heavy = 0u64;
+        r.bench_heavy("heavy", 50, || heavy += 1);
+        assert_eq!(light, 1, "smoke bench must execute once");
+        assert_eq!(heavy, 1, "smoke bench_heavy must skip warm-up too");
+        assert_eq!(r.results().len(), 2);
+        assert_eq!(r.results()[0].batch_iters, 1);
+    }
+
+    #[test]
+    fn throughput_is_inverse_of_best_time() {
+        let res = BenchResult {
+            name: "x".into(),
+            best_ns: 100.0,
+            mean_ns: 120.0,
+            batch_iters: 1,
+        };
+        assert!((res.best_per_sec() - 1e7).abs() < 1e-6);
     }
 }

@@ -73,6 +73,14 @@ impl ProfileStore {
         self.len() * AppProfile::STORED_BYTES
     }
 
+    /// Freezes the store behind an [`Arc`](std::sync::Arc) for
+    /// read-only sharing across a batch fan-out: every scenario worker
+    /// borrows the same store by reference instead of cloning it per
+    /// matrix cell.
+    pub fn into_shared(self) -> std::sync::Arc<ProfileStore> {
+        std::sync::Arc::new(self)
+    }
+
     /// Serialises to the compact on-flash format: a 4-byte magic, a u16
     /// count, then per app a 2-byte tag and four little-endian `f64`s.
     pub fn to_bytes(&self) -> Vec<u8> {

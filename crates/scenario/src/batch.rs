@@ -8,16 +8,17 @@
 //! plain data). Results come back in deterministic scenario-major order
 //! regardless of worker scheduling.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::exec::{ScenarioResult, ScenarioRunner};
 use crate::scenario::Scenario;
 use teem_core::offline::build_profile_store;
 use teem_core::runner::Approach;
-use teem_core::ProfileStore;
 use teem_soc::{Board, SimConfig};
 use teem_telemetry::{scenario_table, ScenarioSummary};
+use teem_workload::App;
 
 /// Runs scenario × approach matrices in parallel.
 #[derive(Debug, Clone)]
@@ -78,17 +79,13 @@ impl BatchRunner {
             return Ok(Vec::new());
         }
 
-        // Profile every app once, up front, on the ideal board — shared
-        // by all workers instead of recomputed per cell.
-        let mut apps = Vec::new();
-        for sc in scenarios {
-            for app in sc.apps() {
-                if !apps.contains(&app) {
-                    apps.push(app);
-                }
-            }
-        }
-        let profiles: ProfileStore = build_profile_store(&Board::odroid_xu4_ideal(), apps)?;
+        // Profile every app once, up front, on the ideal board. The set
+        // dedups across scenarios in O(n log n) (App is `Ord`; insertion
+        // order is irrelevant because the store itself is keyed), and
+        // the finished store is shared with every worker by `Arc` — one
+        // store for the whole matrix, not a clone per cell.
+        let apps: BTreeSet<App> = scenarios.iter().flat_map(Scenario::apps).collect();
+        let profiles = build_profile_store(&Board::odroid_xu4_ideal(), apps)?.into_shared();
 
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Result<ScenarioResult, teem_linreg::LinregError>>>> =
@@ -104,7 +101,8 @@ impl BatchRunner {
                     }
                     let scenario = &scenarios[idx / approaches.len()];
                     let approach = approaches[idx % approaches.len()];
-                    let mut runner = ScenarioRunner::with_profiles(approach, profiles.clone());
+                    let mut runner =
+                        ScenarioRunner::with_shared_profiles(approach, Arc::clone(&profiles));
                     if let Some(cfg) = self.config {
                         runner = runner.with_config(cfg);
                     }

@@ -14,10 +14,14 @@
 //!   threshold and management approach can change mid-scenario.
 //!
 //! Physics is shared with the single-run engine through
-//! [`teem_soc::node_powers_for`] / [`teem_soc::read_sensors_for`], so a
-//! scenario step is bit-identical to the equivalent single-run step.
+//! [`teem_soc::node_powers_into`] / [`teem_soc::read_sensors_for`], so a
+//! scenario step is bit-identical to the equivalent single-run step —
+//! a property pinned by the golden-digest tests — and the step loop
+//! reuses one [`teem_soc::StepScratch`] so the steady-state path
+//! allocates nothing.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::event::ScenarioEvent;
 use crate::scenario::{Scenario, DEFAULT_THRESHOLD_C};
@@ -26,8 +30,9 @@ use teem_core::runner::{prepare, Approach, PreparedRun};
 use teem_core::{ProfileStore, UserRequirement};
 use teem_soc::perf::{cpu_rate, gpu_rate};
 use teem_soc::{
-    clamp_freqs, idle_node_powers, node_powers_for, read_sensors_for, Board, ClusterFreqs,
-    CpuMapping, SensorBank, SensorReadings, SimConfig, SocControl, SocView, ThermalZone,
+    clamp_freqs, idle_node_powers, idle_node_powers_into, node_powers_for, node_powers_into,
+    read_sensors_for, Board, ClusterFreqs, CpuMapping, SensorBank, SensorReadings, SimConfig,
+    SocControl, SocView, StepScratch, ThermalZone,
 };
 use teem_telemetry::{RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
 use teem_workload::{App, KernelCharacteristics, Partition};
@@ -48,14 +53,18 @@ pub struct ScenarioResult {
 /// Executes scenarios under one management approach.
 ///
 /// Profiles are computed on demand (once per app, on the ideal board —
-/// the same offline pipeline as [`teem_core::runner::run`]) and cached;
-/// pre-populate with [`ScenarioRunner::with_profiles`] to share a store
-/// across runners, as the batch runner does.
+/// the same offline pipeline as [`teem_core::runner::run`]) and cached.
+/// Pre-populated stores are held behind an [`Arc`] so a batch fan-out
+/// shares one store across every worker by reference
+/// ([`ScenarioRunner::with_shared_profiles`]) instead of cloning it per
+/// matrix cell; on-demand profiles for apps missing from the shared
+/// store land in a runner-local overflow cache.
 #[derive(Debug)]
 pub struct ScenarioRunner {
     approach: Approach,
     config: SimConfig,
-    profiles: ProfileStore,
+    shared_profiles: Arc<ProfileStore>,
+    local_profiles: ProfileStore,
 }
 
 impl ScenarioRunner {
@@ -75,19 +84,25 @@ impl ScenarioRunner {
 impl ScenarioRunner {
     /// A runner for `approach` with an empty profile cache.
     pub fn new(approach: Approach) -> Self {
-        ScenarioRunner {
-            approach,
-            config: ScenarioRunner::default_config(),
-            profiles: ProfileStore::new(),
-        }
+        ScenarioRunner::with_shared_profiles(approach, Arc::new(ProfileStore::new()))
     }
 
-    /// A runner with a pre-built profile store.
+    /// A runner with a pre-built profile store (takes ownership; see
+    /// [`ScenarioRunner::with_shared_profiles`] to share one store
+    /// across runners without cloning it).
     pub fn with_profiles(approach: Approach, profiles: ProfileStore) -> Self {
+        ScenarioRunner::with_shared_profiles(approach, Arc::new(profiles))
+    }
+
+    /// A runner borrowing a shared, read-only profile store — the batch
+    /// runner hands every worker the same [`Arc`] so a thousand-cell
+    /// matrix holds one store, not a thousand copies.
+    pub fn with_shared_profiles(approach: Approach, profiles: Arc<ProfileStore>) -> Self {
         ScenarioRunner {
             approach,
             config: ScenarioRunner::default_config(),
-            profiles,
+            shared_profiles: profiles,
+            local_profiles: ProfileStore::new(),
         }
     }
 
@@ -177,11 +192,14 @@ impl ScenarioRunner {
     }
 
     fn profile_for(&mut self, app: App) -> Result<teem_core::AppProfile, teem_linreg::LinregError> {
-        if let Some(p) = self.profiles.get(app) {
+        if let Some(p) = self.shared_profiles.get(app) {
+            return Ok(*p);
+        }
+        if let Some(p) = self.local_profiles.get(app) {
             return Ok(*p);
         }
         let p = profile_app(&Board::odroid_xu4_ideal(), app)?;
-        self.profiles.insert(app, p);
+        self.local_profiles.insert(app, p);
         Ok(p)
     }
 
@@ -223,7 +241,11 @@ impl ScenarioRunner {
         let mut next_sample = 0.0_f64;
         let mut desired = idle_freqs;
         let mut effective = desired;
-        let mut trace = Trace::new();
+        // Reusable step buffers and pre-created trace channels: the loop
+        // below is the batch sweep's hot path and must not allocate on
+        // its steady-state path.
+        let mut scratch = StepScratch::for_board(&board);
+        let mut trace = Trace::with_channels(SCENARIO_TRACE_CHANNELS);
         let mut busy_s = 0.0_f64;
         let mut idle_s = 0.0_f64;
         let mut energy_j = 0.0_f64;
@@ -375,21 +397,27 @@ impl ScenarioRunner {
                 }
             }
 
-            // --- Power & thermal (shared model) ---
-            let temps = board.thermal.temps().to_vec();
-            let p = match &active {
-                Some(j) => node_powers_for(
+            // --- Power & thermal (shared model, in place: temps
+            //     borrowed, power into the reusable scratch) ---
+            match &active {
+                Some(j) => node_powers_into(
                     &board,
                     j.mapping,
                     effective,
                     !j.cpu_done(),
                     !j.gpu_done(),
                     j.chars.activity,
-                    &temps,
+                    board.thermal.temps(),
+                    &mut scratch.power,
                 ),
-                None => idle_node_powers(&board, effective, &temps),
+                None => idle_node_powers_into(
+                    &board,
+                    effective,
+                    board.thermal.temps(),
+                    &mut scratch.power,
+                ),
             };
-            let total: f64 = p.iter().sum();
+            let total: f64 = scratch.power.iter().sum();
             energy_j += total * dt;
             match &mut active {
                 Some(j) => {
@@ -402,7 +430,7 @@ impl ScenarioRunner {
                 }
             }
             last_total_w = total;
-            board.thermal.step(dt, &p);
+            board.thermal.step(dt, &scratch.power);
             t += dt;
 
             // --- Completion: free the board, drop to the idle floor ---
@@ -441,6 +469,21 @@ impl ScenarioRunner {
         })
     }
 }
+
+/// The trace channels a scenario run records — the single-run set plus
+/// `ambient` and `queue.depth` — pre-created so the sampling path never
+/// inserts (and so never allocates a key) mid-run.
+const SCENARIO_TRACE_CHANNELS: &[&str] = &[
+    "temp.max",
+    "temp.big",
+    "temp.gpu",
+    "freq.big",
+    "freq.little",
+    "freq.gpu",
+    "power.total",
+    "ambient",
+    "queue.depth",
+];
 
 /// An arrival that has been planned but not yet launched.
 struct QueuedJob {
@@ -645,6 +688,37 @@ mod tests {
         // Queue depth peaked at 2.
         let depth = r.trace.stats("queue.depth").expect("recorded");
         assert_eq!(depth.max(), 2.0);
+    }
+
+    #[test]
+    fn shared_profile_store_matches_owned() {
+        let sc = Scenario::new("s").arrive(0.0, App::Mvt, 0.9);
+        let store = teem_core::offline::build_profile_store(&Board::odroid_xu4_ideal(), sc.apps())
+            .expect("profiles fit");
+        let mut owned = ScenarioRunner::with_profiles(Approach::Teem, store.clone());
+        let mut shared = ScenarioRunner::with_shared_profiles(Approach::Teem, store.into_shared());
+        let a = owned.run(&sc).expect("runs");
+        let b = shared.run(&sc).expect("runs");
+        assert_eq!(
+            a.trace.digest(),
+            b.trace.digest(),
+            "profile sharing is transparent"
+        );
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn missing_profiles_fall_back_to_local_cache() {
+        // A shared store without the arriving app: the runner computes
+        // the profile on demand into its local overflow cache and still
+        // produces the same physics as a fully pre-populated runner.
+        let sc = Scenario::new("s").arrive(0.0, App::Syrk, 0.9);
+        let mut empty_shared =
+            ScenarioRunner::with_shared_profiles(Approach::Teem, ProfileStore::new().into_shared());
+        let mut prepopulated = ScenarioRunner::new(Approach::Teem);
+        let a = empty_shared.run(&sc).expect("runs");
+        let b = prepopulated.run(&sc).expect("runs");
+        assert_eq!(a.trace.digest(), b.trace.digest());
     }
 
     #[test]

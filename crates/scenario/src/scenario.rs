@@ -47,6 +47,48 @@ impl Scenario {
         self
     }
 
+    /// Replaces the scenario's name — used by parameter sweeps to tag
+    /// grid variants of a base scenario (`"bursty@thr82/amb30"`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Prepends a default-threshold change at `t = 0`, before every
+    /// other event, so all arrivals — including ones at `t = 0` — plan
+    /// against `threshold_c` unless they carry a per-app override. This
+    /// is the threshold axis of a grid sweep.
+    ///
+    /// An existing leading `t = 0` threshold change is replaced, so
+    /// repeated calls follow builder semantics: the last one wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_c` is not a finite plausible silicon
+    /// threshold (40 to 120 °C).
+    pub fn with_initial_threshold(mut self, threshold_c: f64) -> Self {
+        assert!(
+            threshold_c.is_finite() && (40.0..=120.0).contains(&threshold_c),
+            "threshold {threshold_c} out of plausible range"
+        );
+        if let Some(first) = self.events.first_mut() {
+            if first.at_s == 0.0 {
+                if let ScenarioEvent::ThresholdChange { threshold_c: t } = &mut first.event {
+                    *t = threshold_c;
+                    return self;
+                }
+            }
+        }
+        self.events.insert(
+            0,
+            TimedEvent {
+                at_s: 0.0,
+                event: ScenarioEvent::ThresholdChange { threshold_c },
+            },
+        );
+        self
+    }
+
     /// Adds an event at `at_s` seconds.
     ///
     /// # Panics
@@ -377,6 +419,51 @@ mod tests {
         for s in &suite {
             assert!(s.arrivals() >= 3, "{} too small", s.name());
         }
+    }
+
+    #[test]
+    fn initial_threshold_precedes_simultaneous_arrivals() {
+        let s = Scenario::new("g")
+            .arrive(0.0, App::Covariance, 0.9)
+            .with_initial_threshold(82.0);
+        let evs = s.sorted_events();
+        // The threshold event sorts (stably) ahead of the t = 0 arrival
+        // even though it was attached afterwards.
+        assert!(matches!(
+            evs[0].event,
+            ScenarioEvent::ThresholdChange { threshold_c } if threshold_c == 82.0
+        ));
+        assert!(matches!(evs[1].event, ScenarioEvent::Arrival(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "plausible")]
+    fn initial_threshold_rejects_absurd_values() {
+        let _ = Scenario::new("g").with_initial_threshold(500.0);
+    }
+
+    #[test]
+    fn repeated_initial_threshold_last_call_wins() {
+        let s = Scenario::new("g")
+            .arrive(0.0, App::Covariance, 0.9)
+            .with_initial_threshold(82.0)
+            .with_initial_threshold(90.0);
+        let thresholds: Vec<f64> = s
+            .sorted_events()
+            .iter()
+            .filter_map(|e| match e.event {
+                ScenarioEvent::ThresholdChange { threshold_c } => Some(threshold_c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(thresholds, vec![90.0], "override replaces, not stacks");
+    }
+
+    #[test]
+    fn with_name_renames_for_grid_variants() {
+        let s = Scenario::periodic("base", App::Syrk, 45.0, 3, 0.85).with_name("base@thr82");
+        assert_eq!(s.name(), "base@thr82");
+        assert_eq!(s.arrivals(), 3);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Bit-identity golden tests for the scenario engine's physics.
+//!
+//! The hot-path refactor (flattened thermal network, in-place power
+//! model, reusable step scratch) is required to be a pure
+//! mechanical-sympathy change: every trace it produces must be
+//! bit-identical to the allocating implementation it replaced. These
+//! tests pin that property two ways:
+//!
+//! 1. a **golden digest** of a builtin-suite scenario trace, recorded
+//!    from the pre-refactor engine — any change to operation order,
+//!    buffering or sensor-noise consumption changes the digest;
+//! 2. an **A/B determinism check** between the in-place power-model
+//!    entry points and the (test-only) allocating wrappers.
+
+use teem_core::runner::Approach;
+use teem_scenario::{Scenario, ScenarioRunner};
+use teem_soc::{
+    idle_node_powers, idle_node_powers_into, node_powers_for, node_powers_into, Board,
+    ClusterFreqs, CpuMapping, MHz,
+};
+use teem_workload::App;
+
+/// Digest of the `back-to-back` builtin scenario under TEEM. The trace
+/// bits were verified unchanged against the seed (pre-refactor,
+/// per-step-allocating) engine when the zero-allocation hot path
+/// landed; future refactors must not move a single bit either.
+const GOLDEN_BACK_TO_BACK_TEEM: u64 = 0x3aa2_96a2_80e8_e4dc;
+
+/// Digest of the `ambient-staircase` builtin scenario under ondemand —
+/// exercises mid-timeline ambient changes and the reactive zone on a
+/// second approach's control path.
+const GOLDEN_STAIRCASE_ONDEMAND: u64 = 0x9fef_fb31_5427_8203;
+
+fn builtin(name: &str) -> Scenario {
+    Scenario::builtin_suite()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("builtin scenario {name} missing"))
+}
+
+#[test]
+fn back_to_back_trace_digest_is_pinned() {
+    let mut runner = ScenarioRunner::new(Approach::Teem);
+    let r = runner.run(&builtin("back-to-back")).expect("runs");
+    assert!(!r.timed_out);
+    assert_eq!(
+        r.trace.digest(),
+        GOLDEN_BACK_TO_BACK_TEEM,
+        "back-to-back/TEEM trace changed bits; hot-path refactors must be \
+         physics-preserving (got {:#018x})",
+        r.trace.digest()
+    );
+}
+
+#[test]
+fn staircase_trace_digest_is_pinned() {
+    let mut runner = ScenarioRunner::new(Approach::Ondemand);
+    let r = runner.run(&builtin("ambient-staircase")).expect("runs");
+    assert!(!r.timed_out);
+    assert_eq!(
+        r.trace.digest(),
+        GOLDEN_STAIRCASE_ONDEMAND,
+        "ambient-staircase/ondemand trace changed bits (got {:#018x})",
+        r.trace.digest()
+    );
+}
+
+#[test]
+fn digest_is_reproducible_within_a_build() {
+    let run = || {
+        let mut runner = ScenarioRunner::new(Approach::Teem);
+        runner.run(&builtin("back-to-back")).expect("runs")
+    };
+    assert_eq!(run().trace.digest(), run().trace.digest());
+}
+
+/// The allocating wrappers and the in-place entry points must agree to
+/// the bit on every node, for busy and idle boards alike, across the
+/// frequency range.
+#[test]
+fn in_place_power_model_matches_allocating_path() {
+    let board = Board::odroid_xu4_ideal();
+    let chars = App::Covariance.characteristics();
+    let temps = [83.25, 61.5, 74.125, 46.0625];
+    assert_eq!(temps.len(), board.thermal.len());
+    let mut out = vec![0.0; board.thermal.len()];
+
+    for &(big, little, gpu) in &[(2000, 1400, 600), (1400, 1000, 420), (200, 200, 177)] {
+        let freqs = ClusterFreqs {
+            big: MHz(big),
+            little: MHz(little),
+            gpu: MHz(gpu),
+        };
+        for &(cpu_busy, gpu_busy) in &[(true, true), (true, false), (false, true), (false, false)] {
+            let alloc = node_powers_for(
+                &board,
+                CpuMapping::new(2, 3),
+                freqs,
+                cpu_busy,
+                gpu_busy,
+                chars.activity,
+                &temps,
+            );
+            node_powers_into(
+                &board,
+                CpuMapping::new(2, 3),
+                freqs,
+                cpu_busy,
+                gpu_busy,
+                chars.activity,
+                &temps,
+                &mut out,
+            );
+            assert_eq!(alloc, out, "busy=({cpu_busy},{gpu_busy}) freqs={freqs:?}");
+        }
+
+        let alloc_idle = idle_node_powers(&board, freqs, &temps);
+        idle_node_powers_into(&board, freqs, &temps, &mut out);
+        assert_eq!(alloc_idle, out, "idle freqs={freqs:?}");
+    }
+}

@@ -44,6 +44,13 @@ pub struct Board {
     pub little_power: PowerParams,
     /// GPU power parameters.
     pub gpu_power: PowerParams,
+    /// Shader cores the GPU schedules work on (6 on the XU4's Mali-T628
+    /// MP6). The power model drives this many cores when the GPU share
+    /// runs — a board spec, not a hard-coded constant, so boards with a
+    /// different shader count model correctly. Must not exceed
+    /// [`Board::gpu_power`]'s `cores` (the power-domain size); the
+    /// power model asserts this.
+    pub gpu_shaders: u32,
     /// Constant board overhead, watts.
     pub board_base_w: f64,
     /// The RC thermal network.
@@ -105,6 +112,7 @@ impl Board {
             big_power: exynos5422::big(),
             little_power: exynos5422::little(),
             gpu_power: exynos5422::gpu(),
+            gpu_shaders: exynos5422::gpu().cores,
             board_base_w: exynos5422::BOARD_BASE_W,
             thermal,
             nodes: ThermalNodes {

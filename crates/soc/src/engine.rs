@@ -237,14 +237,30 @@ impl Simulation {
         let mut desired = clamp_freqs(&self.board, self.spec.initial);
         let mut effective = desired;
 
+        // Reusable step buffers: the loop below runs millions of times per
+        // batch sweep and must not allocate on its steady-state path.
+        let mut scratch = StepScratch::for_board(&self.board);
+
         // Warm start: pre-heat to a fraction of the initial load's steady
         // state (back-to-back measurement protocol), clamped to a
         // thermally-managed ceiling — whatever ran before was itself kept
         // below the trip, so no silicon starts beyond ~80 °C.
-        let p0 = self.node_powers(&chars, effective, cpu_items > 0.0, gpu_items > 0.0, 70.0);
+        scratch.temps.fill(70.0);
+        node_powers_into(
+            &self.board,
+            self.spec.mapping,
+            effective,
+            cpu_items > 0.0,
+            gpu_items > 0.0,
+            chars.activity,
+            &scratch.temps,
+            &mut scratch.power,
+        );
         let frac = self.config.warm_start_fraction;
-        let scaled: Vec<f64> = p0.iter().map(|p| p * frac).collect();
-        self.board.thermal.warm_start(&scaled);
+        for p in &mut scratch.power {
+            *p *= frac;
+        }
+        self.board.thermal.warm_start(&scratch.power);
         const WARM_START_CEILING_C: f64 = 80.0;
         for i in 0..self.board.thermal.len() {
             let t = self.board.thermal.temp(i);
@@ -252,7 +268,7 @@ impl Simulation {
         }
 
         let mut meter = crate::meter::SmartPowerMeter::new();
-        let mut trace = Trace::new();
+        let mut trace = Trace::with_channels(TRACE_CHANNELS);
         let mut zone_trips = 0u32;
         let mut zone_was_tripped = false;
         let mut next_sample = 0.0_f64;
@@ -342,9 +358,19 @@ impl Simulation {
                 gpu_done_items += gpu_rate(&chars, effective.gpu) * dt;
             }
 
-            // --- Power & thermal ---
-            let temps_board = self.board.thermal.temps().to_vec();
-            let p = self.node_powers_at(&chars, effective, !cpu_done, !gpu_done, &temps_board);
+            // --- Power & thermal (in place: temps borrowed, power into
+            //     the reusable scratch, no per-step allocation) ---
+            node_powers_into(
+                &self.board,
+                self.spec.mapping,
+                effective,
+                !cpu_done,
+                !gpu_done,
+                chars.activity,
+                self.board.thermal.temps(),
+                &mut scratch.power,
+            );
+            let p = &scratch.power;
             energy_breakdown.0 += p[self.board.nodes.big] * dt;
             energy_breakdown.1 += p[self.board.nodes.little] * dt;
             energy_breakdown.2 += p[self.board.nodes.gpu] * dt;
@@ -352,7 +378,7 @@ impl Simulation {
             let total: f64 = p.iter().sum();
             meter.observe(t, dt, total);
             last_total_w = total;
-            self.board.thermal.step(dt, &p);
+            self.board.thermal.step(dt, &scratch.power);
 
             t += dt;
         }
@@ -402,56 +428,68 @@ impl Simulation {
             activity,
         )
     }
+}
 
-    /// Node power vector with every cluster at a given uniform silicon
-    /// temperature (used for warm start before temperatures exist).
-    fn node_powers(
-        &self,
-        chars: &teem_workload::KernelCharacteristics,
-        freqs: ClusterFreqs,
-        cpu_busy: bool,
-        gpu_busy: bool,
-        assumed_temp_c: f64,
-    ) -> Vec<f64> {
-        let temps = vec![assumed_temp_c; self.board.thermal.len()];
-        self.node_powers_at(chars, freqs, cpu_busy, gpu_busy, &temps)
-    }
+/// The trace channels a single run records, pre-created so the sampling
+/// path never inserts (and so never allocates a key) mid-run.
+const TRACE_CHANNELS: &[&str] = &[
+    "temp.max",
+    "temp.big",
+    "temp.gpu",
+    "freq.big",
+    "freq.little",
+    "freq.gpu",
+    "power.total",
+];
 
-    fn node_powers_at(
-        &self,
-        chars: &teem_workload::KernelCharacteristics,
-        freqs: ClusterFreqs,
-        cpu_busy: bool,
-        gpu_busy: bool,
-        temps: &[f64],
-    ) -> Vec<f64> {
-        node_powers_for(
-            &self.board,
-            self.spec.mapping,
-            freqs,
-            cpu_busy,
-            gpu_busy,
-            chars.activity,
-            temps,
-        )
+/// Reusable per-step physics buffers: the node power vector the engines
+/// rebuild every integration step, plus a general node-temperature
+/// buffer for warm-start style evaluations at an assumed uniform
+/// temperature.
+///
+/// Both [`Simulation`] and the scenario executor drive their step loops
+/// through one `StepScratch`, so the steady-state simulation path
+/// allocates nothing per step. (Sensor readings need no buffer —
+/// [`SensorReadings`] is a plain `Copy` value.)
+#[derive(Debug, Clone, Default)]
+pub struct StepScratch {
+    /// Node power vector, watts, indexed as [`Board::nodes`].
+    pub power: Vec<f64>,
+    /// Node temperature buffer, °C — for evaluating the power model at
+    /// an assumed uniform temperature before real temperatures exist.
+    pub temps: Vec<f64>,
+}
+
+impl StepScratch {
+    /// Scratch sized for `board`'s thermal network.
+    pub fn for_board(board: &Board) -> Self {
+        let n = board.thermal.len();
+        StepScratch {
+            power: vec![0.0; n],
+            temps: vec![0.0; n],
+        }
     }
 }
 
-/// Node power vector for `board` with an application mapped on `mapping`
-/// at frequencies `freqs` and per-node silicon temperatures `temps`
-/// (indexed as [`Board::nodes`]). `cpu_busy`/`gpu_busy` select busy
-/// versus near-idle utilisation per device; `activity` is the workload's
-/// switching-activity factor
+/// Writes the node power vector for `board` into `out`, with an
+/// application mapped on `mapping` at frequencies `freqs` and per-node
+/// silicon temperatures `temps` (indexed as [`Board::nodes`]).
+/// `cpu_busy`/`gpu_busy` select busy versus near-idle utilisation per
+/// device; `activity` is the workload's switching-activity factor
 /// ([`KernelCharacteristics::activity`](teem_workload::KernelCharacteristics)).
 ///
 /// This is the single power model shared by [`Simulation`] and the
 /// scenario engine, so multi-app scenario physics stays bit-identical to
-/// single-run physics.
+/// single-run physics. The engines call it with a [`StepScratch`] buffer
+/// every step; [`node_powers_for`] is the allocating convenience wrapper
+/// for one-off evaluations and A/B tests.
 ///
 /// # Panics
 ///
-/// Panics if `temps.len() != board.thermal.len()`.
-pub fn node_powers_for(
+/// Panics if `temps.len()` or `out.len()` differ from
+/// `board.thermal.len()`.
+#[allow(clippy::too_many_arguments)] // mirrors the physics: one knob per device
+pub fn node_powers_into(
     board: &Board,
     mapping: CpuMapping,
     freqs: ClusterFreqs,
@@ -459,14 +497,15 @@ pub fn node_powers_for(
     gpu_busy: bool,
     activity: f64,
     temps: &[f64],
-) -> Vec<f64> {
+    out: &mut [f64],
+) {
     assert_eq!(
         temps.len(),
         board.thermal.len(),
         "temperature vector length"
     );
-    let n = board.thermal.len();
-    let mut p = vec![0.0; n];
+    assert_eq!(out.len(), board.thermal.len(), "power vector length");
+    out.fill(0.0);
 
     // Big cluster: active cores per the mapping; idle once done.
     let big_active = mapping.big;
@@ -475,7 +514,7 @@ pub fn node_powers_for(
     } else {
         0.03
     };
-    p[board.nodes.big] = board.big_power.total_w(
+    out[board.nodes.big] = board.big_power.total_w(
         board.big_opps.volts_at(freqs.big),
         freqs.big.as_hz(),
         big_active,
@@ -492,7 +531,7 @@ pub fn node_powers_for(
     } else {
         0.08
     };
-    p[board.nodes.little] = board.little_power.total_w(
+    out[board.nodes.little] = board.little_power.total_w(
         board.little_opps.volts_at(freqs.little),
         freqs.little.as_hz(),
         little_active,
@@ -501,30 +540,61 @@ pub fn node_powers_for(
         temps[board.nodes.little],
     );
 
-    // GPU: all 6 shaders while its share runs, near-idle after.
+    // GPU: every shader the board has while its share runs, near-idle
+    // after. The shader count is a board spec and must fit inside the
+    // GPU power domain, or leakage gating would silently exceed 1.
+    assert!(
+        board.gpu_shaders <= board.gpu_power.cores,
+        "board.gpu_shaders ({}) exceeds the GPU power domain's cores ({})",
+        board.gpu_shaders,
+        board.gpu_power.cores
+    );
     let gpu_util = if gpu_busy { 1.0 } else { 0.02 };
-    p[board.nodes.gpu] = board.gpu_power.total_w(
+    out[board.nodes.gpu] = board.gpu_power.total_w(
         board.gpu_opps.volts_at(freqs.gpu),
         freqs.gpu.as_hz(),
-        6,
+        board.gpu_shaders,
         gpu_util,
         activity,
         temps[board.nodes.gpu],
     );
 
-    p[board.nodes.board] = board.board_base_w;
-    p
+    out[board.nodes.board] = board.board_base_w;
 }
 
-/// Node power vector for an idle board (no application mapped, every
-/// device at its near-idle utilisation floor) — what a scenario's
-/// between-arrivals gaps dissipate.
+/// Allocating wrapper around [`node_powers_into`] for one-off
+/// evaluations (warm starts, calibration, tests). Step loops use the
+/// in-place variant with a [`StepScratch`].
 ///
 /// # Panics
 ///
 /// Panics if `temps.len() != board.thermal.len()`.
-pub fn idle_node_powers(board: &Board, freqs: ClusterFreqs, temps: &[f64]) -> Vec<f64> {
-    node_powers_for(
+pub fn node_powers_for(
+    board: &Board,
+    mapping: CpuMapping,
+    freqs: ClusterFreqs,
+    cpu_busy: bool,
+    gpu_busy: bool,
+    activity: f64,
+    temps: &[f64],
+) -> Vec<f64> {
+    let mut p = vec![0.0; board.thermal.len()];
+    node_powers_into(
+        board, mapping, freqs, cpu_busy, gpu_busy, activity, temps, &mut p,
+    );
+    p
+}
+
+/// Writes the node power vector for an idle board (no application
+/// mapped, every device at its near-idle utilisation floor) into `out`
+/// — what a scenario's between-arrivals gaps dissipate.
+///
+/// # Panics
+///
+/// Panics if `temps.len()` or `out.len()` differ from
+/// `board.thermal.len()`.
+pub fn idle_node_powers_into(board: &Board, freqs: ClusterFreqs, temps: &[f64], out: &mut [f64]) {
+    node_powers_into(
         board,
         CpuMapping::new(0, 0),
         freqs,
@@ -532,7 +602,20 @@ pub fn idle_node_powers(board: &Board, freqs: ClusterFreqs, temps: &[f64]) -> Ve
         false,
         1.0,
         temps,
-    )
+        out,
+    );
+}
+
+/// Allocating wrapper around [`idle_node_powers_into`] for one-off
+/// evaluations and tests.
+///
+/// # Panics
+///
+/// Panics if `temps.len() != board.thermal.len()`.
+pub fn idle_node_powers(board: &Board, freqs: ClusterFreqs, temps: &[f64]) -> Vec<f64> {
+    let mut p = vec![0.0; board.thermal.len()];
+    idle_node_powers_into(board, freqs, temps, &mut p);
+    p
 }
 
 /// Reads the sensor bank including per-core hotspot contributions for

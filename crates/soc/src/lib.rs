@@ -66,8 +66,9 @@ mod thermal_zone;
 
 pub use board::{Board, ThermalNodes};
 pub use engine::{
-    clamp_freqs, idle_node_powers, node_powers_for, read_sensors_for, ClusterFreqs, Manager,
-    RunResult, RunSpec, SimConfig, Simulation, SocControl, SocView,
+    clamp_freqs, idle_node_powers, idle_node_powers_into, node_powers_for, node_powers_into,
+    read_sensors_for, ClusterFreqs, Manager, RunResult, RunSpec, SimConfig, Simulation, SocControl,
+    SocView, StepScratch,
 };
 pub use freq::{MHz, Opp, OppTable};
 pub use perf::CpuMapping;

@@ -16,13 +16,20 @@ use teem_linreg::{solve::lu_solve, Matrix};
 pub type NodeId = usize;
 
 /// A lumped RC thermal network.
+///
+/// The conductance matrix is stored row-major in one flat allocation
+/// (`conductance[i * n + j]`) and the Euler integrator keeps a
+/// persistent derivative scratch buffer, so [`ThermalModel::step`] —
+/// the simulation engines' hottest call — touches one contiguous cache
+/// line per node and allocates nothing.
 #[derive(Debug, Clone)]
 pub struct ThermalModel {
     names: Vec<String>,
-    capacitance: Vec<f64>,      // J/°C per node
-    conductance: Vec<Vec<f64>>, // symmetric node-to-node W/°C
-    to_ambient: Vec<f64>,       // node-to-ambient W/°C
-    temps: Vec<f64>,            // current temperature per node, °C
+    capacitance: Vec<f64>, // J/°C per node
+    conductance: Vec<f64>, // symmetric node-to-node W/°C, row-major n×n
+    to_ambient: Vec<f64>,  // node-to-ambient W/°C
+    temps: Vec<f64>,       // current temperature per node, °C
+    deriv: Vec<f64>,       // Euler scratch, reused across sub-steps
     ambient_c: f64,
     max_stable_dt: f64,
 }
@@ -92,17 +99,16 @@ impl ThermalModelBuilder {
     pub fn build(&self) -> ThermalModel {
         let n = self.names.len();
         assert!(n > 0, "thermal model needs at least one node");
-        let mut g = vec![vec![0.0; n]; n];
+        let mut g = vec![0.0; n * n];
         for &(a, b, c) in &self.edges {
-            g[a][b] += c;
-            g[b][a] += c;
+            g[a * n + b] += c;
+            g[b * n + a] += c;
         }
         // Stability: forward Euler on dT/dt = (P - G_total (T - ...)) / C
         // requires dt < min C_i / (sum_j G_ij + G_amb,i).
         let mut max_dt = f64::INFINITY;
-        #[allow(clippy::needless_range_loop)] // row index pairs with to_ambient
         for i in 0..n {
-            let gsum: f64 = g[i].iter().sum::<f64>() + self.to_ambient[i];
+            let gsum: f64 = g[i * n..(i + 1) * n].iter().sum::<f64>() + self.to_ambient[i];
             if gsum > 0.0 {
                 max_dt = max_dt.min(self.capacitance[i] / gsum);
             }
@@ -119,6 +125,7 @@ impl ThermalModelBuilder {
             conductance: g,
             to_ambient: self.to_ambient.clone(),
             temps: self.initial_c.clone(),
+            deriv: vec![0.0; n],
             ambient_c: self.ambient_c,
             max_stable_dt,
         }
@@ -185,35 +192,54 @@ impl ThermalModel {
 
     /// Advances the network by `dt` seconds with `power_w[i]` watts
     /// injected into node `i`, sub-stepping as needed for stability.
+    /// Returns the number of Euler sub-steps taken.
+    ///
+    /// Allocation-free: the derivative buffer is persistent model state.
+    /// A relative epsilon (`dt × 1e-9`) terminates the sub-step loop so
+    /// that float residue from repeated `remaining -= h` subtraction
+    /// cannot schedule a physically-meaningless denormal extra sub-step
+    /// when `dt` is a near-multiple of [`ThermalModel::max_stable_dt`].
     ///
     /// # Panics
     ///
     /// Panics if `power_w.len() != self.len()` or `dt < 0`.
-    pub fn step(&mut self, dt: f64, power_w: &[f64]) {
+    pub fn step(&mut self, dt: f64, power_w: &[f64]) -> u32 {
         assert_eq!(power_w.len(), self.len(), "power vector length mismatch");
         assert!(dt >= 0.0, "negative dt");
+        let eps = dt * 1e-9;
         let mut remaining = dt;
-        while remaining > 0.0 {
+        let mut substeps = 0u32;
+        while remaining > eps {
             let h = remaining.min(self.max_stable_dt);
             self.euler_step(h, power_w);
             remaining -= h;
+            substeps += 1;
         }
+        substeps
     }
 
     fn euler_step(&mut self, h: f64, power_w: &[f64]) {
         let n = self.len();
-        let mut deriv = vec![0.0; n];
-        for i in 0..n {
-            let mut q = power_w[i];
-            for j in 0..n {
-                if i != j {
-                    q -= self.conductance[i][j] * (self.temps[i] - self.temps[j]);
-                }
+        let ambient = self.ambient_c;
+        // The diagonal is structurally zero (the builder rejects
+        // self-loops), so the `j == i` term contributes exactly `+0.0`
+        // and the inner loop runs branch-free over one contiguous row.
+        for ((((row, d), &ti), &p), (&g_amb, &c)) in self
+            .conductance
+            .chunks_exact(n)
+            .zip(&mut self.deriv)
+            .zip(&self.temps)
+            .zip(power_w)
+            .zip(self.to_ambient.iter().zip(&self.capacitance))
+        {
+            let mut q = p;
+            for (&g, &tj) in row.iter().zip(&self.temps) {
+                q -= g * (ti - tj);
             }
-            q -= self.to_ambient[i] * (self.temps[i] - self.ambient_c);
-            deriv[i] = q / self.capacitance[i];
+            q -= g_amb * (ti - ambient);
+            *d = q / c;
         }
-        for (t, d) in self.temps.iter_mut().zip(&deriv) {
+        for (t, d) in self.temps.iter_mut().zip(&self.deriv) {
             *t += h * d;
         }
     }
@@ -234,8 +260,9 @@ impl ThermalModel {
             let mut diag = self.to_ambient[i];
             for j in 0..n {
                 if i != j {
-                    a[(i, j)] = -self.conductance[i][j];
-                    diag += self.conductance[i][j];
+                    let g = self.conductance[i * n + j];
+                    a[(i, j)] = -g;
+                    diag += g;
                 }
             }
             a[(i, i)] = diag;
@@ -253,6 +280,18 @@ impl ThermalModel {
     /// Largest Euler step the network tolerates (informational).
     pub fn max_stable_dt(&self) -> f64 {
         self.max_stable_dt
+    }
+
+    /// Node-to-node conductance, W/°C (0 for unconnected pairs and the
+    /// diagonal) — reads the flattened row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn conductance_w_per_c(&self, a: NodeId, b: NodeId) -> f64 {
+        let n = self.len();
+        assert!(a < n && b < n, "unknown node");
+        self.conductance[a * n + b]
     }
 }
 
@@ -370,6 +409,44 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn wrong_power_vector_length() {
         toy().step(1.0, &[1.0]);
+    }
+
+    #[test]
+    fn substep_count_has_no_float_residue_extra_step() {
+        let mut m = toy();
+        let h = m.max_stable_dt();
+        // dt an exact multiple of the stable step takes exactly that many
+        // sub-steps — accumulated `remaining -= h` residue must not
+        // schedule a denormal trailing step.
+        for k in [1u32, 2, 3, 7, 10, 100, 1000] {
+            let dt = h * f64::from(k);
+            assert_eq!(m.step(dt, &[0.0, 0.0]), k, "dt = {k} stable steps");
+        }
+        // Near-multiples with sub-epsilon residue likewise.
+        let dt = h * 5.0 * (1.0 + 1e-13);
+        assert_eq!(m.step(dt, &[0.0, 0.0]), 5);
+        // A genuine partial step still runs.
+        assert_eq!(m.step(h * 2.5, &[0.0, 0.0]), 3);
+        assert_eq!(m.step(h * 0.1, &[0.0, 0.0]), 1);
+        // Zero dt is a no-op.
+        assert_eq!(m.step(0.0, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn flattened_conductance_is_symmetric_and_queryable() {
+        let mut b = ThermalModelBuilder::new(25.0);
+        let n0 = b.node("a", 1.0, 0.1, 25.0);
+        let n1 = b.node("b", 1.0, 0.1, 25.0);
+        let n2 = b.node("c", 1.0, 0.1, 25.0);
+        b.connect(n0, n1, 0.5);
+        b.connect(n1, n2, 0.25);
+        b.connect(n0, n1, 0.125); // parallel paths accumulate
+        let m = b.build();
+        assert_eq!(m.conductance_w_per_c(n0, n1), 0.625);
+        assert_eq!(m.conductance_w_per_c(n1, n0), 0.625);
+        assert_eq!(m.conductance_w_per_c(n1, n2), 0.25);
+        assert_eq!(m.conductance_w_per_c(n0, n2), 0.0);
+        assert_eq!(m.conductance_w_per_c(n2, n2), 0.0);
     }
 
     #[test]

@@ -34,17 +34,39 @@ impl Trace {
         Trace::default()
     }
 
+    /// Creates a trace with the given channels pre-created (empty).
+    ///
+    /// Simulation engines know their channel set up front; pre-creating
+    /// it means [`Trace::record`] takes the existing-channel fast path
+    /// from the first sample on and the recording hot loop never
+    /// allocates a channel key.
+    pub fn with_channels(names: &[&str]) -> Self {
+        let mut tr = Trace::new();
+        for &name in names {
+            tr.channels.entry(name.to_string()).or_default();
+        }
+        tr
+    }
+
     /// Appends a sample to the named channel, creating it on first use.
+    ///
+    /// Recording into an existing channel is allocation-free on the key:
+    /// the map is probed by `&str` and only a genuinely new channel
+    /// copies the name.
     ///
     /// # Panics
     ///
     /// Panics if `t` precedes the channel's last timestamp (see
     /// [`TimeSeries::push`]).
     pub fn record(&mut self, channel: &str, t: f64, v: f64) {
-        self.channels
-            .entry(channel.to_string())
-            .or_default()
-            .push(t, v);
+        match self.channels.get_mut(channel) {
+            Some(series) => series.push(t, v),
+            None => self
+                .channels
+                .entry(channel.to_string())
+                .or_default()
+                .push(t, v),
+        }
     }
 
     /// Looks up a channel by name.
@@ -70,6 +92,39 @@ impl Trace {
     /// Statistics for one channel, if present and non-empty.
     pub fn stats(&self, name: &str) -> Option<SeriesStats> {
         self.channels.get(name).and_then(SeriesStats::of)
+    }
+
+    /// A 64-bit FNV-1a digest over every channel name and the raw IEEE-754
+    /// bits of every `(t, v)` sample, in deterministic (name-sorted,
+    /// time-ordered) iteration order.
+    ///
+    /// Two traces share a digest iff they are bit-identical — the property
+    /// the physics golden tests pin across hot-path refactors: any change
+    /// to operation order, buffering or sensor state in the simulation
+    /// engines shows up here immediately.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        for (name, series) in &self.channels {
+            // Frame each channel with its name length and sample count
+            // so distinct traces cannot collide by re-partitioning the
+            // concatenated byte stream ("ab"+"c" vs "a"+"bc").
+            h = eat(h, &(name.len() as u64).to_le_bytes());
+            h = eat(h, name.as_bytes());
+            h = eat(h, &(series.len() as u64).to_le_bytes());
+            for s in series.iter() {
+                h = eat(h, &s.t.to_bits().to_le_bytes());
+                h = eat(h, &s.v.to_bits().to_le_bytes());
+            }
+        }
+        h
     }
 
     /// Exports all channels as a single CSV with a shared time column.
@@ -150,6 +205,32 @@ mod tests {
         let st = tr.stats("temp").unwrap();
         assert_eq!(st.max(), 90.0);
         assert!(tr.stats("none").is_none());
+    }
+
+    #[test]
+    fn digest_distinguishes_content_and_framing() {
+        let mut a = Trace::new();
+        a.record("temp", 0.0, 80.0);
+        let mut b = Trace::new();
+        b.record("temp", 0.0, 80.0);
+        assert_eq!(a.digest(), b.digest());
+        b.record("temp", 1.0, 80.0);
+        assert_ne!(a.digest(), b.digest(), "extra sample must change bits");
+        let mut c = Trace::new();
+        c.record("temp", 0.0, 80.5);
+        assert_ne!(a.digest(), c.digest(), "value change must change bits");
+        // Channel-name framing: re-partitioning names cannot collide.
+        let ab_c = Trace::with_channels(&["ab", "c"]);
+        let a_bc = Trace::with_channels(&["a", "bc"]);
+        assert_ne!(ab_c.digest(), a_bc.digest());
+    }
+
+    #[test]
+    fn with_channels_precreates_empty_channels() {
+        let tr = Trace::with_channels(&["x", "y"]);
+        assert_eq!(tr.len(), 2);
+        assert!(tr.channel("x").unwrap().is_empty());
+        assert!(tr.stats("x").is_none(), "empty channel has no stats");
     }
 
     #[test]

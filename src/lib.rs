@@ -60,8 +60,8 @@ pub mod prelude {
         AppRequest, BatchRunner, Scenario, ScenarioEvent, ScenarioResult, ScenarioRunner,
     };
     pub use teem_soc::{
-        Board, ClusterFreqs, CpuMapping, MHz, Manager, RunResult, RunSpec, SimConfig, Simulation,
-        SocControl, SocView, ThermalZone,
+        node_powers_into, Board, ClusterFreqs, CpuMapping, MHz, Manager, RunResult, RunSpec,
+        SimConfig, Simulation, SocControl, SocView, StepScratch, ThermalZone,
     };
     pub use teem_telemetry::{RunSummary, ScenarioSummary, TimeSeries, Trace};
     pub use teem_workload::{App, Kernel, Partition, ProblemSize};
