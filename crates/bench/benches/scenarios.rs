@@ -1,14 +1,15 @@
 //! Scenario-engine benchmarks: timeline construction, one full
-//! multi-app scenario execution under TEEM, the parallel batch matrix,
-//! and a thresholds × ambients grid sweep over the builtin suite — the
-//! thousands-of-scenario parameter-grid shape the zero-allocation hot
-//! path exists for.
+//! multi-app scenario execution under TEEM, a three-app co-run under
+//! the shared contention policy (the N-app power-superposition path),
+//! the parallel batch matrix, and a thresholds × ambients grid sweep
+//! over the builtin suite — the thousands-of-scenario parameter-grid
+//! shape the zero-allocation hot path exists for.
 
 use std::hint::black_box;
 use teem_bench::microbench::Runner;
 use teem_core::offline::build_profile_store;
 use teem_core::runner::Approach;
-use teem_scenario::{BatchRunner, Scenario, ScenarioRunner};
+use teem_scenario::{BatchRunner, ContentionPolicy, Scenario, ScenarioRunner};
 use teem_soc::Board;
 use teem_workload::App;
 
@@ -45,6 +46,21 @@ fn main() {
     r.bench_heavy("scenario_3apps_teem", 2, move || {
         let mut runner = ScenarioRunner::with_profiles(Approach::Teem, p.clone());
         runner.run(black_box(&sc)).expect("runs")
+    });
+
+    // Co-running: three simultaneous arrivals under the shared policy —
+    // keeps the N-app aggregation path (per-domain power superposition
+    // in co_run_node_powers_into, bandwidth-slowdown progress, frequency
+    // arbitration) perf-exercised alongside the serial path above.
+    let co = Scenario::new("bench-corun")
+        .arrive(0.0, App::Mvt, 0.9)
+        .arrive(0.0, App::Syrk, 0.9)
+        .arrive(0.0, App::Gesummv, 0.9);
+    let p = profiles.clone();
+    r.bench_heavy("scenario_corun_shared_teem", 2, move || {
+        let mut runner = ScenarioRunner::with_profiles(Approach::Teem, p.clone())
+            .with_contention(ContentionPolicy::Shared { max_apps: 3 });
+        runner.run(black_box(&co)).expect("runs")
     });
 
     let scenarios = vec![

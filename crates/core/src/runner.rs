@@ -120,6 +120,24 @@ impl std::fmt::Debug for PreparedRun {
     }
 }
 
+/// The launch-time *resource* decisions for one application — the
+/// planning half of [`prepare`], without the online manager.
+///
+/// Splitting the plan from the manager ([`manager_for`]) lets the
+/// scenario engine's mapping arbiter re-plan a co-running app onto a
+/// restricted resource set (fewer big cores, or one device exclusively)
+/// while the app keeps its own requirement, and defer manager
+/// construction to the actual launch instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchPlan {
+    /// CPU cores assigned to the CPU share.
+    pub mapping: CpuMapping,
+    /// Work-item split between CPU and GPU.
+    pub partition: Partition,
+    /// Frequencies the run launches at.
+    pub initial: ClusterFreqs,
+}
+
 /// Plans `app` under `approach` for requirement `req` without running
 /// it: the launch-time half of [`run`], reused by the scenario engine
 /// for every arrival in a multi-app timeline.
@@ -127,7 +145,105 @@ impl std::fmt::Debug for PreparedRun {
 /// For TEEM the profile is required (mapping via the eq. 6 model
 /// inversion, partition via eq. 9). A fixed
 /// `mapping_override`/`partition_override` can replace the planned
-/// values — the paper's Fig. 5 fixes the mapping across approaches.
+/// values — the paper's Fig. 5 fixes the mapping across approaches, and
+/// the scenario engine's contention policies restrict co-running apps
+/// to arbitrated resource slices.
+///
+/// # Panics
+///
+/// Panics if `approach` is [`Approach::Teem`] and `profile` is `None`.
+pub fn plan_launch(
+    app: App,
+    approach: Approach,
+    req: &UserRequirement,
+    profile: Option<&AppProfile>,
+    mapping_override: Option<CpuMapping>,
+    partition_override: Option<Partition>,
+) -> LaunchPlan {
+    let max = ClusterFreqs {
+        big: MHz(2000),
+        little: MHz(1400),
+        gpu: MHz(600),
+    };
+    match approach {
+        Approach::Teem => {
+            let profile = profile.expect("TEEM requires a profile");
+            let planned = plan(profile, req);
+            LaunchPlan {
+                mapping: mapping_override.unwrap_or(planned.mapping),
+                partition: partition_override.unwrap_or(planned.partition),
+                initial: max,
+            }
+        }
+        Approach::Eemp => {
+            let eemp = Eemp::build(&Board::odroid_xu4_ideal(), app);
+            let dp = match mapping_override {
+                Some(m) => eemp.plan_with_mapping(req.treq_s, m),
+                None => eemp.plan(req.treq_s),
+            };
+            // The EEMP table has no zero-core entries, so an empty
+            // mapping override (device-exclusive GPU side) falls back to
+            // some table entry; the override must still win.
+            LaunchPlan {
+                mapping: mapping_override.unwrap_or(dp.mapping),
+                partition: partition_override.unwrap_or(dp.partition),
+                initial: dp.freqs,
+            }
+        }
+        Approach::Rmp => {
+            let rmp = Rmp::build_with_mapping(
+                &Board::odroid_xu4_ideal(),
+                app,
+                req.treq_s,
+                mapping_override,
+            );
+            let dp = rmp.plan();
+            let mapping = mapping_override.unwrap_or(dp.mapping);
+            let partition = partition_override.unwrap_or(dp.partition);
+            // RMP's GPU-only shortcut ignores the mapping (by design —
+            // Fig. 5 keeps it even with a fixed mapping) and plans the
+            // big cluster at its 200 MHz idle floor. If an override puts
+            // work back on the CPU, those frequencies would starve it;
+            // launch at maximum V/f like the rest of RMP's search space.
+            let initial = if partition.cpu_fraction() > 0.0 && dp.partition.is_gpu_only() {
+                max
+            } else {
+                dp.freqs
+            };
+            LaunchPlan {
+                mapping,
+                partition,
+                initial,
+            }
+        }
+        Approach::Ondemand => LaunchPlan {
+            mapping: mapping_override.unwrap_or(CpuMapping::new(2, 3)),
+            partition: partition_override.unwrap_or(Partition::even()),
+            initial: max,
+        },
+    }
+}
+
+/// Builds the online manager that will drive a planned run — the
+/// actuation half of [`prepare`]. TEEM gets its governor at the
+/// requirement's threshold; EEMP and RMP pin the plan's frequencies;
+/// ondemand is the stock governor.
+pub fn manager_for(
+    approach: Approach,
+    req: &UserRequirement,
+    plan: &LaunchPlan,
+) -> Box<dyn Manager + Send> {
+    match approach {
+        Approach::Teem => Box::new(TeemGovernor::with_threshold(req.avg_temp_c)),
+        Approach::Eemp => Box::new(Userspace::named(plan.initial, "EEMP")),
+        Approach::Rmp => Box::new(Userspace::named(plan.initial, "RMP")),
+        Approach::Ondemand => Box::new(Ondemand::xu4()),
+    }
+}
+
+/// Plans `app` and builds its manager in one call —
+/// [`plan_launch`] + [`manager_for`]. See those for the split the
+/// scenario engine's co-run arbiter uses.
 ///
 /// # Panics
 ///
@@ -140,56 +256,19 @@ pub fn prepare(
     mapping_override: Option<CpuMapping>,
     partition_override: Option<Partition>,
 ) -> PreparedRun {
-    let max = ClusterFreqs {
-        big: MHz(2000),
-        little: MHz(1400),
-        gpu: MHz(600),
-    };
-    match approach {
-        Approach::Teem => {
-            let profile = profile.expect("TEEM requires a profile");
-            let planned = plan(profile, req);
-            PreparedRun {
-                mapping: mapping_override.unwrap_or(planned.mapping),
-                partition: partition_override.unwrap_or(planned.partition),
-                initial: max,
-                manager: Box::new(TeemGovernor::with_threshold(req.avg_temp_c)),
-            }
-        }
-        Approach::Eemp => {
-            let eemp = Eemp::build(&Board::odroid_xu4_ideal(), app);
-            let dp = match mapping_override {
-                Some(m) => eemp.plan_with_mapping(req.treq_s, m),
-                None => eemp.plan(req.treq_s),
-            };
-            PreparedRun {
-                mapping: dp.mapping,
-                partition: partition_override.unwrap_or(dp.partition),
-                initial: dp.freqs,
-                manager: Box::new(Userspace::named(dp.freqs, "EEMP")),
-            }
-        }
-        Approach::Rmp => {
-            let rmp = Rmp::build_with_mapping(
-                &Board::odroid_xu4_ideal(),
-                app,
-                req.treq_s,
-                mapping_override,
-            );
-            let dp = rmp.plan();
-            PreparedRun {
-                mapping: dp.mapping,
-                partition: dp.partition,
-                initial: dp.freqs,
-                manager: Box::new(Userspace::named(dp.freqs, "RMP")),
-            }
-        }
-        Approach::Ondemand => PreparedRun {
-            mapping: mapping_override.unwrap_or(CpuMapping::new(2, 3)),
-            partition: partition_override.unwrap_or(Partition::even()),
-            initial: max,
-            manager: Box::new(Ondemand::xu4()),
-        },
+    let plan = plan_launch(
+        app,
+        approach,
+        req,
+        profile,
+        mapping_override,
+        partition_override,
+    );
+    PreparedRun {
+        mapping: plan.mapping,
+        partition: plan.partition,
+        initial: plan.initial,
+        manager: manager_for(approach, req, &plan),
     }
 }
 
@@ -292,6 +371,53 @@ mod tests {
         assert_eq!(rmp.manager.name(), "RMP");
         // Debug formatting surfaces the plan, not the manager internals.
         assert!(format!("{teem:?}").contains("TEEM"));
+    }
+
+    #[test]
+    fn plan_plus_manager_equals_prepare() {
+        let board = Board::odroid_xu4_ideal();
+        let profile = profile_app(&board, App::Syrk).unwrap();
+        let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.8);
+        for approach in Approach::all() {
+            let p = Some(&profile);
+            let plan = plan_launch(App::Syrk, approach, &req, p, None, None);
+            let prepared = prepare(App::Syrk, approach, &req, p, None, None);
+            assert_eq!(plan.mapping, prepared.mapping, "{approach}");
+            assert_eq!(plan.partition, prepared.partition, "{approach}");
+            assert_eq!(plan.initial, prepared.initial, "{approach}");
+            let mgr = manager_for(approach, &req, &plan);
+            assert_eq!(mgr.name(), prepared.manager.name(), "{approach}");
+        }
+    }
+
+    #[test]
+    fn replanning_onto_one_device_is_pure() {
+        // The co-run arbiter's device-exclusive overrides: a GPU-only
+        // re-plan must release every core, a CPU-only one must keep the
+        // whole work on the CPU side.
+        let board = Board::odroid_xu4_ideal();
+        let profile = profile_app(&board, App::Covariance).unwrap();
+        let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.8);
+        let gpu_side = plan_launch(
+            App::Covariance,
+            Approach::Teem,
+            &req,
+            Some(&profile),
+            Some(CpuMapping::new(0, 0)),
+            Some(Partition::all_gpu()),
+        );
+        assert!(gpu_side.mapping.is_empty());
+        assert!(gpu_side.partition.is_gpu_only());
+        let cpu_side = plan_launch(
+            App::Covariance,
+            Approach::Rmp,
+            &req,
+            Some(&profile),
+            Some(CpuMapping::new(2, 3)),
+            Some(Partition::all_cpu()),
+        );
+        assert_eq!(cpu_side.mapping, CpuMapping::new(2, 3));
+        assert!(cpu_side.partition.is_cpu_only());
     }
 
     #[test]

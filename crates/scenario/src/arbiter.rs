@@ -1,0 +1,424 @@
+//! The mapping arbiter: who runs concurrently, and on which resources.
+//!
+//! The paper's usage model serialises applications (one at a time, FIFO
+//! — [`ContentionPolicy::Serial`]), but a real CPU-GPU MPSoC co-runs
+//! workloads that contend for the shared clusters and the shared memory
+//! system. The [`MappingArbiter`] generalises launch: given what the
+//! active set already occupies, it decides whether the next queued app
+//! launches now, on what core slice, and with what partition.
+//!
+//! Two co-running policies are provided:
+//!
+//! * [`ContentionPolicy::ClusterExclusive`] — device-exclusive
+//!   co-scheduling: one app owns the CPU complex (its work re-planned
+//!   CPU-only), another owns the GPU (re-planned GPU-only). No compute
+//!   resource is shared, so the only coupling left is the
+//!   shared-memory-bandwidth slowdown and the shared thermal budget —
+//!   the configuration under which TEEM's proactive threshold must keep
+//!   holding its zero-reactive-trip guarantee.
+//! * [`ContentionPolicy::Shared`] — every app keeps its planned
+//!   CPU+GPU partition; the arbiter splits the big and LITTLE clusters
+//!   between apps (a later arrival is clamped to whatever cores remain)
+//!   and the GPU is time-shared. Maximum queueing relief, maximum
+//!   contention.
+//!
+//! Launch order stays strictly FIFO under every policy: a queued app
+//! that cannot be placed blocks the apps behind it, which keeps
+//! scenarios deterministic and the queueing-delay metric meaningful.
+
+use teem_soc::CpuMapping;
+use teem_workload::Partition;
+
+/// How co-arriving applications share the board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentionPolicy {
+    /// One app at a time, FIFO — the paper's usage model and the
+    /// default. Bit-identical to the pre-contention executor (pinned by
+    /// the golden-digest tests).
+    #[default]
+    Serial,
+    /// Two apps co-run with exclusive devices: one on the CPU complex,
+    /// one on the GPU, both re-planned onto their device at launch.
+    ClusterExclusive,
+    /// Up to `max_apps` co-run with their planned partitions; CPU cores
+    /// are split by the arbiter and the GPU is time-shared.
+    Shared {
+        /// Maximum concurrently-active applications (≥ 1).
+        max_apps: usize,
+    },
+}
+
+impl ContentionPolicy {
+    /// The shared policy at its default width (two co-running apps).
+    pub fn shared() -> ContentionPolicy {
+        ContentionPolicy::Shared { max_apps: 2 }
+    }
+
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContentionPolicy::Serial => "serial",
+            ContentionPolicy::ClusterExclusive => "cluster-exclusive",
+            ContentionPolicy::Shared { .. } => "shared",
+        }
+    }
+}
+
+/// What an active application currently occupies — the arbiter's view of
+/// one member of the active set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceClaim {
+    /// The cores the app was granted at launch.
+    pub mapping: CpuMapping,
+    /// The CPU fraction of the partition it launched with.
+    pub cpu_fraction: f64,
+}
+
+/// The arbiter's decision for the next queued application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Launch now with the given resources, keeping the original plan's
+    /// partition, initial frequencies and manager.
+    Launch {
+        /// The (possibly clamped) core grant.
+        mapping: CpuMapping,
+    },
+    /// Re-plan the app onto these overrides (fresh initial frequencies
+    /// and manager for the overridden plan), then launch.
+    Replan {
+        /// Core override for the re-plan.
+        mapping: CpuMapping,
+        /// Partition override for the re-plan.
+        partition: Partition,
+    },
+    /// Stay queued until a slot (or a device) frees up.
+    Defer,
+}
+
+/// Decides, per launch attempt, whether and how the next FIFO-queued app
+/// joins the active set. Stateless: every decision is a pure function of
+/// the policy, the active claims and the candidate's plan, which keeps
+/// scenario execution deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MappingArbiter {
+    policy: ContentionPolicy,
+}
+
+impl MappingArbiter {
+    /// An arbiter enforcing `policy`.
+    pub fn new(policy: ContentionPolicy) -> Self {
+        MappingArbiter { policy }
+    }
+
+    /// The policy this arbiter enforces.
+    pub fn policy(&self) -> ContentionPolicy {
+        self.policy
+    }
+
+    /// Upper bound on concurrently-active applications under this
+    /// policy.
+    pub fn capacity(&self) -> usize {
+        match self.policy {
+            ContentionPolicy::Serial => 1,
+            ContentionPolicy::ClusterExclusive => 2,
+            ContentionPolicy::Shared { max_apps } => max_apps.max(1),
+        }
+    }
+
+    /// Decides how a candidate with planned `mapping`/`partition` joins
+    /// an active set currently holding `active` claims, on a board whose
+    /// clusters offer `cluster_cores` (LITTLE, big — the executor passes
+    /// the board's per-domain core counts, so the arbiter never oversells
+    /// a board that isn't the stock 4+4 Exynos).
+    pub fn admit(
+        &self,
+        active: &[ResourceClaim],
+        mapping: CpuMapping,
+        partition: Partition,
+        cluster_cores: CpuMapping,
+    ) -> Admission {
+        if active.len() >= self.capacity() {
+            return Admission::Defer;
+        }
+        match self.policy {
+            ContentionPolicy::Serial => Admission::Launch { mapping },
+            ContentionPolicy::ClusterExclusive => {
+                self.admit_cluster_exclusive(active, mapping, partition, cluster_cores)
+            }
+            ContentionPolicy::Shared { .. } => {
+                self.admit_shared(active, mapping, partition, cluster_cores)
+            }
+        }
+    }
+
+    /// Device-exclusive co-scheduling: the first app takes the side its
+    /// plan leans toward, the second takes whichever device is free.
+    fn admit_cluster_exclusive(
+        &self,
+        active: &[ResourceClaim],
+        mapping: CpuMapping,
+        partition: Partition,
+        cluster_cores: CpuMapping,
+    ) -> Admission {
+        let cpu_taken = active.iter().any(|c| c.cpu_fraction > 0.0);
+        let gpu_taken = active.iter().any(|c| c.cpu_fraction < 1.0);
+        let cpu_side = match (cpu_taken, gpu_taken) {
+            (true, true) => return Admission::Defer,
+            (true, false) => false,
+            (false, true) => true,
+            // Alone: take the device the plan leans toward.
+            (false, false) => partition.cpu_fraction() >= 0.5,
+        };
+        if cpu_side {
+            // A plan that was GPU-only carries no cores; grant the
+            // paper's default CPU complex (clamped to what this board
+            // actually has) instead.
+            let m = if mapping.is_empty() {
+                CpuMapping::new(2.min(cluster_cores.little), 3.min(cluster_cores.big))
+            } else {
+                mapping
+            };
+            Admission::Replan {
+                mapping: m,
+                partition: Partition::all_cpu(),
+            }
+        } else {
+            Admission::Replan {
+                mapping: CpuMapping::new(0, 0),
+                partition: Partition::all_gpu(),
+            }
+        }
+    }
+
+    /// Shared clusters: clamp the candidate's core request to whatever
+    /// the active set left over; defer if its CPU share would get no
+    /// core at all.
+    fn admit_shared(
+        &self,
+        active: &[ResourceClaim],
+        mapping: CpuMapping,
+        partition: Partition,
+        cluster_cores: CpuMapping,
+    ) -> Admission {
+        let used_big: u32 = active.iter().map(|c| c.mapping.big).sum();
+        let used_little: u32 = active.iter().map(|c| c.mapping.little).sum();
+        let granted = CpuMapping::new(
+            mapping
+                .little
+                .min(cluster_cores.little.saturating_sub(used_little)),
+            mapping.big.min(cluster_cores.big.saturating_sub(used_big)),
+        );
+        // A plan with a CPU share needs at least one core to make
+        // progress; head-of-line blocks until a co-runner completes.
+        if granted.is_empty() && partition.cpu_fraction() > 0.0 {
+            return Admission::Defer;
+        }
+        Admission::Launch { mapping: granted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claim(mapping: CpuMapping, cpu_fraction: f64) -> ResourceClaim {
+        ResourceClaim {
+            mapping,
+            cpu_fraction,
+        }
+    }
+
+    /// The stock Exynos 5422 cluster sizes.
+    fn xu4() -> CpuMapping {
+        CpuMapping::new(4, 4)
+    }
+
+    #[test]
+    fn serial_admits_one_at_a_time_unchanged() {
+        let a = MappingArbiter::new(ContentionPolicy::Serial);
+        assert_eq!(a.capacity(), 1);
+        let m = CpuMapping::new(2, 3);
+        assert_eq!(
+            a.admit(&[], m, Partition::even(), xu4()),
+            Admission::Launch { mapping: m }
+        );
+        assert_eq!(
+            a.admit(&[claim(m, 0.5)], m, Partition::even(), xu4()),
+            Admission::Defer
+        );
+    }
+
+    #[test]
+    fn cluster_exclusive_splits_devices() {
+        let a = MappingArbiter::new(ContentionPolicy::ClusterExclusive);
+        assert_eq!(a.capacity(), 2);
+        // First app leans CPU: takes the CPU complex.
+        let first = a.admit(
+            &[],
+            CpuMapping::new(2, 3),
+            Partition::from_cpu_fraction(0.6),
+            xu4(),
+        );
+        assert_eq!(
+            first,
+            Admission::Replan {
+                mapping: CpuMapping::new(2, 3),
+                partition: Partition::all_cpu()
+            }
+        );
+        // Second app must take the GPU, whatever its plan preferred.
+        let second = a.admit(
+            &[claim(CpuMapping::new(2, 3), 1.0)],
+            CpuMapping::new(2, 3),
+            Partition::from_cpu_fraction(0.9),
+            xu4(),
+        );
+        assert_eq!(
+            second,
+            Admission::Replan {
+                mapping: CpuMapping::new(0, 0),
+                partition: Partition::all_gpu()
+            }
+        );
+        // Both devices taken: defer.
+        let third = a.admit(
+            &[
+                claim(CpuMapping::new(2, 3), 1.0),
+                claim(CpuMapping::new(0, 0), 0.0),
+            ],
+            CpuMapping::new(2, 3),
+            Partition::even(),
+            xu4(),
+        );
+        assert_eq!(third, Admission::Defer);
+    }
+
+    #[test]
+    fn cluster_exclusive_gpu_leaning_first_app_takes_gpu() {
+        let a = MappingArbiter::new(ContentionPolicy::ClusterExclusive);
+        let first = a.admit(&[], CpuMapping::new(0, 0), Partition::all_gpu(), xu4());
+        assert_eq!(
+            first,
+            Admission::Replan {
+                mapping: CpuMapping::new(0, 0),
+                partition: Partition::all_gpu()
+            }
+        );
+        // The next one is forced onto the CPU; an empty planned mapping
+        // falls back to the paper's 2L+3B.
+        let second = a.admit(
+            &[claim(CpuMapping::new(0, 0), 0.0)],
+            CpuMapping::new(0, 0),
+            Partition::all_gpu(),
+            xu4(),
+        );
+        assert_eq!(
+            second,
+            Admission::Replan {
+                mapping: CpuMapping::new(2, 3),
+                partition: Partition::all_cpu()
+            }
+        );
+    }
+
+    #[test]
+    fn shared_clamps_to_leftover_cores() {
+        let a = MappingArbiter::new(ContentionPolicy::shared());
+        assert_eq!(a.capacity(), 2);
+        // Active app holds 2L+3B; a 2L+3B candidate gets the remainder.
+        let got = a.admit(
+            &[claim(CpuMapping::new(2, 3), 0.5)],
+            CpuMapping::new(2, 3),
+            Partition::even(),
+            xu4(),
+        );
+        assert_eq!(
+            got,
+            Admission::Launch {
+                mapping: CpuMapping::new(2, 1)
+            }
+        );
+        // No big cores left and the candidate needs CPU: defer.
+        let blocked = a.admit(
+            &[claim(CpuMapping::new(4, 4), 0.5)],
+            CpuMapping::new(2, 3),
+            Partition::even(),
+            xu4(),
+        );
+        assert_eq!(blocked, Admission::Defer);
+        // A GPU-only candidate sails through regardless.
+        let gpu_only = a.admit(
+            &[claim(CpuMapping::new(4, 4), 0.5)],
+            CpuMapping::new(0, 0),
+            Partition::all_gpu(),
+            xu4(),
+        );
+        assert_eq!(
+            gpu_only,
+            Admission::Launch {
+                mapping: CpuMapping::new(0, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn shared_capacity_is_configurable_with_a_floor_of_one() {
+        assert_eq!(
+            MappingArbiter::new(ContentionPolicy::Shared { max_apps: 4 }).capacity(),
+            4
+        );
+        assert_eq!(
+            MappingArbiter::new(ContentionPolicy::Shared { max_apps: 0 }).capacity(),
+            1
+        );
+    }
+
+    #[test]
+    fn cluster_cores_come_from_the_board_not_a_constant() {
+        // `CpuMapping` itself caps at the 4+4 type maximum, so the case
+        // that matters is a board with *fewer* cores than that maximum:
+        // the arbiter must never oversell it.
+        let a = MappingArbiter::new(ContentionPolicy::shared());
+        // A 2-big-core board: the first app's leftover is zero big cores
+        // and one LITTLE, never an oversold grant.
+        let tight = a.admit(
+            &[claim(CpuMapping::new(1, 2), 0.5)],
+            CpuMapping::new(2, 3),
+            Partition::even(),
+            CpuMapping::new(2, 2),
+        );
+        assert_eq!(
+            tight,
+            Admission::Launch {
+                mapping: CpuMapping::new(1, 0)
+            }
+        );
+        // Device-exclusive on a tiny board: the empty-mapping CPU-side
+        // fallback clamps the paper's 2L+3B to what exists.
+        let ce = MappingArbiter::new(ContentionPolicy::ClusterExclusive);
+        let second = ce.admit(
+            &[claim(CpuMapping::new(0, 0), 0.0)],
+            CpuMapping::new(0, 0),
+            Partition::all_gpu(),
+            CpuMapping::new(1, 2),
+        );
+        assert_eq!(
+            second,
+            Admission::Replan {
+                mapping: CpuMapping::new(1, 2),
+                partition: Partition::all_cpu()
+            }
+        );
+    }
+
+    #[test]
+    fn policy_names_for_reports() {
+        assert_eq!(ContentionPolicy::Serial.name(), "serial");
+        assert_eq!(
+            ContentionPolicy::ClusterExclusive.name(),
+            "cluster-exclusive"
+        );
+        assert_eq!(ContentionPolicy::shared().name(), "shared");
+        assert_eq!(ContentionPolicy::default(), ContentionPolicy::Serial);
+    }
+}

@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::arbiter::ContentionPolicy;
 use crate::exec::{ScenarioResult, ScenarioRunner};
 use crate::scenario::Scenario;
 use teem_core::offline::build_profile_store;
@@ -25,6 +26,7 @@ use teem_workload::App;
 pub struct BatchRunner {
     threads: usize,
     config: Option<SimConfig>,
+    contention: ContentionPolicy,
 }
 
 impl Default for BatchRunner {
@@ -41,6 +43,7 @@ impl BatchRunner {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             config: None,
+            contention: ContentionPolicy::Serial,
         }
     }
 
@@ -59,6 +62,14 @@ impl BatchRunner {
     /// Overrides the executor configuration for every run.
     pub fn with_config(mut self, config: SimConfig) -> Self {
         self.config = Some(config);
+        self
+    }
+
+    /// Sets the contention policy every cell runs under (default:
+    /// [`ContentionPolicy::Serial`], the paper's one-app-at-a-time
+    /// model).
+    pub fn with_contention(mut self, policy: ContentionPolicy) -> Self {
+        self.contention = policy;
         self
     }
 
@@ -102,7 +113,8 @@ impl BatchRunner {
                     let scenario = &scenarios[idx / approaches.len()];
                     let approach = approaches[idx % approaches.len()];
                     let mut runner =
-                        ScenarioRunner::with_shared_profiles(approach, Arc::clone(&profiles));
+                        ScenarioRunner::with_shared_profiles(approach, Arc::clone(&profiles))
+                            .with_contention(self.contention);
                     if let Some(cfg) = self.config {
                         runner = runner.with_config(cfg);
                     }

@@ -1,0 +1,237 @@
+//! Arrival traces from files: build a [`Scenario`] from a recorded
+//! `t, app, treq_factor` timeline instead of a synthetic generator.
+//!
+//! The format is the simplest thing a phone-usage logger produces — one
+//! arrival per line, comma-separated:
+//!
+//! ```csv
+//! # seconds, app (abbreviation or full name), deadline factor
+//! 0.0,  CV, 0.85
+//! 12.5, MVT, 0.90
+//! ```
+//!
+//! Blank lines and `#` comments are skipped, an optional
+//! `t,app,treq_factor` header line is tolerated, and parse errors carry
+//! the 1-based line number plus what was expected.
+
+use crate::scenario::Scenario;
+use std::fmt;
+use std::path::Path;
+use teem_workload::App;
+
+/// Error from parsing an arrival-trace file.
+#[derive(Debug)]
+pub enum TraceParseError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// A line failed to parse; `line` is 1-based.
+    Line {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong, including the offending text.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::Io(e) => write!(f, "cannot read arrival trace: {e}"),
+            TraceParseError::Line { line, message } => {
+                write!(f, "arrival trace line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceParseError::Io(e) => Some(e),
+            TraceParseError::Line { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceParseError {
+    fn from(e: std::io::Error) -> Self {
+        TraceParseError::Io(e)
+    }
+}
+
+impl Scenario {
+    /// Builds a scenario from an arrival-trace file of
+    /// `t, app, treq_factor` lines (see the [module docs](self) for the
+    /// format). The scenario is named after the file stem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError::Io`] if the file cannot be read and
+    /// [`TraceParseError::Line`] (with a 1-based line number) for a
+    /// malformed line.
+    pub fn from_csv(path: impl AsRef<Path>) -> Result<Scenario, TraceParseError> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
+            .to_string();
+        let content = std::fs::read_to_string(path)?;
+        Scenario::from_csv_str(name, &content)
+    }
+
+    /// Builds a scenario named `name` from arrival-trace text — the
+    /// parsing core of [`Scenario::from_csv`], usable without touching
+    /// the filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError::Line`] for a malformed line.
+    pub fn from_csv_str(
+        name: impl Into<String>,
+        content: &str,
+    ) -> Result<Scenario, TraceParseError> {
+        let mut scenario = Scenario::new(name);
+        for (idx, raw) in content.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != 3 {
+                return Err(err_at(
+                    line_no,
+                    format!(
+                        "expected 3 comma-separated fields `t, app, treq_factor`, got {} in {raw:?}",
+                        fields.len()
+                    ),
+                ));
+            }
+            // Tolerate one header row (`t,app,treq_factor` in any case).
+            if fields[0].eq_ignore_ascii_case("t") {
+                continue;
+            }
+            let at_s: f64 = fields[0].parse().map_err(|_| {
+                err_at(
+                    line_no,
+                    format!("arrival time {:?} is not a number of seconds", fields[0]),
+                )
+            })?;
+            if !at_s.is_finite() || at_s < 0.0 {
+                return Err(err_at(
+                    line_no,
+                    format!("arrival time {at_s} must be finite and non-negative"),
+                ));
+            }
+            let app: App = fields[1].parse().map_err(|e| {
+                err_at(
+                    line_no,
+                    format!("{e} (use an abbreviation like CV or a name like COVARIANCE)"),
+                )
+            })?;
+            let factor: f64 = fields[2].parse().map_err(|_| {
+                err_at(
+                    line_no,
+                    format!("deadline factor {:?} is not a number", fields[2]),
+                )
+            })?;
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(err_at(
+                    line_no,
+                    format!("deadline factor {factor} must be finite and positive"),
+                ));
+            }
+            scenario = scenario.arrive(at_s, app, factor);
+        }
+        Ok(scenario)
+    }
+}
+
+fn err_at(line: usize, message: String) -> TraceParseError {
+    TraceParseError::Line { line, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ScenarioEvent;
+
+    #[test]
+    fn parses_comments_blanks_and_header() {
+        let text = "\
+# recorded on a Tuesday
+t, app, treq_factor
+
+0.0,  CV, 0.85
+12.5, MVT, 0.90
+ 30 , sr , 1.0
+";
+        let s = Scenario::from_csv_str("day", text).expect("parses");
+        assert_eq!(s.name(), "day");
+        assert_eq!(s.arrivals(), 3);
+        let arrivals: Vec<(f64, App, f64)> = s
+            .sorted_events()
+            .iter()
+            .filter_map(|e| match e.event {
+                ScenarioEvent::Arrival(r) => Some((e.at_s, r.app, r.treq_factor)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            arrivals,
+            vec![
+                (0.0, App::Covariance, 0.85),
+                (12.5, App::Mvt, 0.90),
+                (30.0, App::Syrk, 1.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_and_context() {
+        let e = Scenario::from_csv_str("x", "0.0, CV\n").unwrap_err();
+        assert!(matches!(e, TraceParseError::Line { line: 1, .. }));
+        assert!(e.to_string().contains("3 comma-separated fields"), "{e}");
+
+        let e = Scenario::from_csv_str("x", "# ok\nnope, CV, 0.9\n").unwrap_err();
+        assert!(matches!(e, TraceParseError::Line { line: 2, .. }));
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(e.to_string().contains("nope"), "{e}");
+
+        let e = Scenario::from_csv_str("x", "0.0, WHATAPP, 0.9\n").unwrap_err();
+        assert!(e.to_string().contains("WHATAPP"), "{e}");
+        assert!(e.to_string().contains("abbreviation"), "{e}");
+
+        let e = Scenario::from_csv_str("x", "0.0, CV, -1\n").unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
+
+        let e = Scenario::from_csv_str("x", "-5, CV, 0.9\n").unwrap_err();
+        assert!(e.to_string().contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join("teem-csv-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("morning.csv");
+        std::fs::write(&path, "0, GE, 0.9\n5, BC, 0.8\n").expect("write");
+        let s = Scenario::from_csv(&path).expect("parses");
+        assert_eq!(s.name(), "morning", "named after the file stem");
+        assert_eq!(s.arrivals(), 2);
+        let missing = Scenario::from_csv(dir.join("absent.csv")).unwrap_err();
+        assert!(matches!(missing, TraceParseError::Io(_)));
+        assert!(missing.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn the_shipped_sample_trace_parses() {
+        let sample = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/traces/phone_day.csv"
+        );
+        let s = Scenario::from_csv(sample).expect("sample trace stays valid");
+        assert_eq!(s.name(), "phone_day");
+        assert!(s.arrivals() >= 5, "sample should be non-trivial");
+    }
+}

@@ -4,38 +4,49 @@
 //!
 //! Differences from the single-run engine, all driven by the timeline:
 //!
-//! * **Multi-app queueing** — arrivals join a FIFO queue; one
-//!   application executes at a time (the paper's usage model), later
-//!   arrivals wait and their queueing delay is reported.
+//! * **Multi-app co-running** — arrivals join a FIFO queue and a
+//!   [`MappingArbiter`] decides how many execute concurrently and on
+//!   which resources ([`ContentionPolicy`]: serial one-at-a-time as the
+//!   paper measures, device-exclusive co-scheduling, or fully shared
+//!   clusters). Co-running apps performance-couple through the
+//!   shared-memory-bandwidth slowdown model
+//!   ([`teem_workload::bandwidth_slowdown`]) and a time-shared GPU;
+//!   queueing delay and contention delay are reported separately.
 //! * **Idle-gap stepping** — between a completion and the next arrival
 //!   the board idles at minimum frequencies and *cools*; the thermal
-//!   state carries across runs instead of being re-warm-started.
+//!   state carries across runs instead of being re-warm-started. A
+//!   [`teem_soc::IdlePolicy`] can power-collapse the clusters after an
+//!   idle timeout.
 //! * **Runtime environment changes** — ambient temperature, default
 //!   threshold and management approach can change mid-scenario.
 //!
 //! Physics is shared with the single-run engine through
-//! [`teem_soc::node_powers_into`] / [`teem_soc::read_sensors_for`], so a
-//! scenario step is bit-identical to the equivalent single-run step —
-//! a property pinned by the golden-digest tests — and the step loop
-//! reuses one [`teem_soc::StepScratch`] so the steady-state path
-//! allocates nothing.
+//! [`teem_soc::co_run_node_powers_into`] /
+//! [`teem_soc::read_sensors_for`]; with a single active app the co-run
+//! power model delegates to the single-app one, so a serial-policy
+//! scenario step is bit-identical to the equivalent single-run step — a
+//! property pinned by the golden-digest tests — and the step loop reuses
+//! one [`teem_soc::StepScratch`] (plus pre-sized share/claim buffers) so
+//! the steady-state path allocates nothing.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use crate::arbiter::{Admission, ContentionPolicy, MappingArbiter, ResourceClaim};
 use crate::event::ScenarioEvent;
 use crate::scenario::{Scenario, DEFAULT_THRESHOLD_C};
 use teem_core::offline::profile_app;
-use teem_core::runner::{prepare, Approach, PreparedRun};
-use teem_core::{ProfileStore, UserRequirement};
+use teem_core::runner::{manager_for, plan_launch, Approach, LaunchPlan};
+use teem_core::{AppProfile, ProfileStore, UserRequirement};
 use teem_soc::perf::{cpu_rate, gpu_rate};
 use teem_soc::{
-    clamp_freqs, idle_node_powers, idle_node_powers_into, node_powers_for, node_powers_into,
-    read_sensors_for, Board, ClusterFreqs, CpuMapping, SensorBank, SensorReadings, SimConfig,
-    SocControl, SocView, StepScratch, ThermalZone,
+    clamp_freqs, co_run_dynamic_weights, co_run_node_powers_into, collapsed_node_powers_into,
+    idle_node_powers, idle_node_powers_into, node_powers_for, read_sensors_for, Board,
+    ClusterFreqs, CoRunShare, CpuMapping, SensorBank, SensorReadings, SimConfig, SocControl,
+    SocView, StepScratch, ThermalZone,
 };
 use teem_telemetry::{RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
-use teem_workload::{App, KernelCharacteristics, Partition};
+use teem_workload::{bandwidth_slowdown, App, KernelCharacteristics, Partition};
 
 /// Everything one scenario execution produced.
 #[derive(Debug, Clone)]
@@ -63,6 +74,7 @@ pub struct ScenarioResult {
 pub struct ScenarioRunner {
     approach: Approach,
     config: SimConfig,
+    arbiter: MappingArbiter,
     shared_profiles: Arc<ProfileStore>,
     local_profiles: ProfileStore,
 }
@@ -101,6 +113,7 @@ impl ScenarioRunner {
         ScenarioRunner {
             approach,
             config: ScenarioRunner::default_config(),
+            arbiter: MappingArbiter::new(ContentionPolicy::Serial),
             shared_profiles: profiles,
             local_profiles: ProfileStore::new(),
         }
@@ -114,9 +127,22 @@ impl ScenarioRunner {
         self
     }
 
+    /// Sets how co-arriving applications share the board. The default
+    /// [`ContentionPolicy::Serial`] reproduces the paper's
+    /// one-app-at-a-time usage model bit-for-bit.
+    pub fn with_contention(mut self, policy: ContentionPolicy) -> Self {
+        self.arbiter = MappingArbiter::new(policy);
+        self
+    }
+
     /// The approach this runner manages with.
     pub fn approach(&self) -> Approach {
         self.approach
+    }
+
+    /// The contention policy this runner co-schedules under.
+    pub fn contention(&self) -> ContentionPolicy {
+        self.arbiter.policy()
     }
 
     /// Pre-heats the board toward the first arrival's busy steady state
@@ -159,14 +185,14 @@ impl ScenarioRunner {
                 let ureq = UserRequirement::new(treq_s, thr);
                 // The plan is deterministic; the arrival event re-derives
                 // the identical one when it fires.
-                let prepared = prepare(req.app, approach, &ureq, Some(&profile), None, None);
+                let plan = plan_launch(req.app, approach, &ureq, Some(&profile), None, None);
                 let chars = req.app.characteristics();
-                let initial = clamp_freqs(board, prepared.initial);
-                let cpu_share = prepared.partition.cpu_fraction() > 0.0;
+                let initial = clamp_freqs(board, plan.initial);
+                let cpu_share = plan.partition.cpu_fraction() > 0.0;
                 let frac = self.config.warm_start_fraction;
                 node_powers_for(
                     board,
-                    prepared.mapping,
+                    plan.mapping,
                     initial,
                     cpu_share,
                     true,
@@ -231,22 +257,31 @@ impl ScenarioRunner {
             .map_or(0, |i| i + 1);
         let mut next_ev = 0usize;
         let mut queue: VecDeque<QueuedJob> = VecDeque::new();
-        let mut active: Option<ActiveJob> = None;
+        let capacity = self.arbiter.capacity();
+        let mut active: Vec<ActiveJob> = Vec::with_capacity(capacity);
         let mut zone = ThermalZone::stock_xu4();
         let mut zone_was_tripped = false;
         let mut zone_trips = 0u32;
 
         let dt = self.config.dt_s;
+        let idle_timeout_s = self.config.idle_policy.timeout_s();
         let mut t = 0.0_f64;
         let mut next_sample = 0.0_f64;
-        let mut desired = idle_freqs;
-        let mut effective = desired;
+        let mut effective = idle_freqs;
+        let mut idle_gap_start = 0.0_f64;
         // Reusable step buffers and pre-created trace channels: the loop
         // below is the batch sweep's hot path and must not allocate on
-        // its steady-state path.
+        // its steady-state path (the share/claim buffers are pre-sized
+        // to the arbiter's capacity).
         let mut scratch = StepScratch::for_board(&board);
+        let mut shares: Vec<CoRunShare> = Vec::with_capacity(capacity);
+        let mut claims: Vec<ResourceClaim> = Vec::with_capacity(capacity);
+        let mut weights: Vec<f64> = Vec::with_capacity(capacity);
+        // What the arbiter may hand out: this board's cluster sizes.
+        let cluster_cores = CpuMapping::new(board.little_power.cores, board.big_power.cores);
         let mut trace = Trace::with_channels(SCENARIO_TRACE_CHANNELS);
         let mut busy_s = 0.0_f64;
+        let mut overlap_s = 0.0_f64;
         let mut idle_s = 0.0_f64;
         let mut energy_j = 0.0_f64;
         let mut idle_energy_j = 0.0_f64;
@@ -268,13 +303,16 @@ impl ScenarioRunner {
                         let treq_s = req.treq_factor * profile.et_gpu_s;
                         let thr = req.threshold_c.unwrap_or(threshold_c);
                         let ureq = UserRequirement::new(treq_s, thr);
-                        let prepared =
-                            prepare(req.app, approach, &ureq, Some(&profile), None, None);
+                        let plan =
+                            plan_launch(req.app, approach, &ureq, Some(&profile), None, None);
                         queue.push_back(QueuedJob {
                             app: req.app,
                             arrived_s: ev.at_s,
                             treq_s,
-                            prepared,
+                            approach,
+                            ureq,
+                            profile,
+                            plan,
                         });
                     }
                     ScenarioEvent::AmbientChange { ambient_c } => {
@@ -290,16 +328,58 @@ impl ScenarioRunner {
                 next_ev += 1;
             }
 
-            // --- Launch the next queued app when the board is free ---
-            if active.is_none() {
-                if let Some(q) = queue.pop_front() {
-                    desired = clamp_freqs(&board, q.prepared.initial);
-                    active = Some(ActiveJob::launch(q, t, &readings, desired));
+            // --- Launch queued apps onto free resources (arbiter) ---
+            while active.len() < capacity {
+                let Some(front) = queue.front() else { break };
+                claims.clear();
+                claims.extend(active.iter().map(|j| ResourceClaim {
+                    mapping: j.mapping,
+                    cpu_fraction: j.partition.cpu_fraction(),
+                }));
+                let admission = self.arbiter.admit(
+                    &claims,
+                    front.plan.mapping,
+                    front.plan.partition,
+                    cluster_cores,
+                );
+                match admission {
+                    Admission::Defer => break,
+                    Admission::Launch { mapping } => {
+                        let q = queue.pop_front().expect("front exists");
+                        let manager = manager_for(q.approach, &q.ureq, &q.plan);
+                        let initial = clamp_freqs(&board, q.plan.initial);
+                        let partition = q.plan.partition;
+                        active.push(ActiveJob::launch(
+                            q, mapping, partition, initial, manager, t, &readings,
+                        ));
+                    }
+                    Admission::Replan { mapping, partition } => {
+                        let q = queue.pop_front().expect("front exists");
+                        let plan = plan_launch(
+                            q.app,
+                            q.approach,
+                            &q.ureq,
+                            Some(&q.profile),
+                            Some(mapping),
+                            Some(partition),
+                        );
+                        let manager = manager_for(q.approach, &q.ureq, &plan);
+                        let initial = clamp_freqs(&board, plan.initial);
+                        active.push(ActiveJob::launch(
+                            q,
+                            plan.mapping,
+                            plan.partition,
+                            initial,
+                            manager,
+                            t,
+                            &readings,
+                        ));
+                    }
                 }
             }
 
             // --- Termination: every arrival admitted and completed ---
-            if active.is_none() && queue.is_empty() && next_ev >= arrivals_end {
+            if active.is_empty() && queue.is_empty() && next_ev >= arrivals_end {
                 break;
             }
             if t >= self.config.timeout_s {
@@ -309,17 +389,19 @@ impl ScenarioRunner {
 
             // --- Sensing (trace cadence) ---
             if t + 1e-12 >= next_sample {
-                readings = match &active {
-                    Some(j) => read_sensors_for(
+                readings = if active.is_empty() {
+                    read_sensors_for(&mut board, CpuMapping::new(0, 0), effective, false, 1.0)
+                } else {
+                    read_sensors_for(
                         &mut board,
-                        j.mapping,
+                        combined_mapping(&active, cluster_cores),
                         effective,
-                        !j.cpu_done(),
-                        j.chars.activity,
-                    ),
-                    None => {
-                        read_sensors_for(&mut board, CpuMapping::new(0, 0), effective, false, 1.0)
-                    }
+                        active.iter().any(|j| !j.cpu_done()),
+                        active
+                            .iter()
+                            .map(|j| j.chars.activity)
+                            .fold(f64::MIN, f64::max),
+                    )
                 };
                 trace.record("temp.max", t, readings.max_c());
                 trace.record("temp.big", t, readings.big_max_c());
@@ -329,20 +411,16 @@ impl ScenarioRunner {
                 trace.record("freq.gpu", t, effective.gpu.0 as f64);
                 trace.record("power.total", t, last_total_w);
                 trace.record("ambient", t, board.thermal.ambient_c());
-                trace.record(
-                    "queue.depth",
-                    t,
-                    queue.len() as f64 + f64::from(active.is_some()),
-                );
-                if let Some(j) = &mut active {
+                trace.record("queue.depth", t, (queue.len() + active.len()) as f64);
+                for j in active.iter_mut() {
                     j.observe(&readings, effective);
                 }
                 next_sample += self.config.sample_period_s;
             }
 
-            // --- Manager control (only while an app runs; idle gaps are
-            //     governed by the race-to-idle minimum) ---
-            if let Some(j) = &mut active {
+            // --- Manager control (per app; idle gaps are governed by
+            //     the race-to-idle minimum or the collapse policy) ---
+            for j in active.iter_mut() {
                 if t + 1e-12 >= j.next_control {
                     let view = SocView {
                         time_s: t,
@@ -362,20 +440,23 @@ impl ScenarioRunner {
                     let mut ctl = SocControl::default();
                     j.manager.control(&view, &mut ctl);
                     if let Some(f) = ctl.big_request() {
-                        desired.big = board.big_opps.at_or_below(f).freq;
+                        j.desired.big = board.big_opps.at_or_below(f).freq;
                     }
                     if let Some(f) = ctl.little_request() {
-                        desired.little = board.little_opps.at_or_below(f).freq;
+                        j.desired.little = board.little_opps.at_or_below(f).freq;
                     }
                     if let Some(f) = ctl.gpu_request() {
-                        desired.gpu = board.gpu_opps.at_or_below(f).freq;
+                        j.desired.gpu = board.gpu_opps.at_or_below(f).freq;
                     }
                     j.next_control += j.manager.period_s();
                 }
             }
 
-            // --- Reactive thermal zone (kernel layer, always armed) ---
-            effective = desired;
+            // --- Board-wide actuation: one frequency per cluster,
+            //     arbitrated across the co-running apps' requests, with
+            //     the reactive thermal zone (kernel layer) always armed
+            //     on top ---
+            effective = arbitrate_freqs(&active, idle_freqs);
             if let Some(cap) = zone.update(t, readings.max_c()) {
                 if effective.big > cap {
                     effective.big = board.big_opps.at_or_below(cap).freq;
@@ -386,58 +467,104 @@ impl ScenarioRunner {
             }
             zone_was_tripped = zone.is_tripped();
 
-            // --- Workload progress ---
-            if let Some(j) = &mut active {
+            // --- Workload progress (slowed by shared-bandwidth
+            //     contention; the GPU is time-shared) ---
+            let total_pressure: f64 = active.iter().map(|j| j.chars.mem_sensitivity).sum();
+            let gpu_sharers = active.iter().filter(|j| !j.gpu_done()).count().max(1) as f64;
+            let co_running = active.len() >= 2;
+            for j in active.iter_mut() {
+                let s = bandwidth_slowdown(
+                    j.chars.mem_sensitivity,
+                    total_pressure - j.chars.mem_sensitivity,
+                );
                 if !j.cpu_done() && !j.mapping.is_empty() {
                     j.cpu_done_items +=
-                        cpu_rate(&j.chars, j.mapping, effective.big, effective.little) * dt;
+                        cpu_rate(&j.chars, j.mapping, effective.big, effective.little) * dt / s;
                 }
                 if !j.gpu_done() {
-                    j.gpu_done_items += gpu_rate(&j.chars, effective.gpu) * dt;
+                    j.gpu_done_items += gpu_rate(&j.chars, effective.gpu) * dt / (s * gpu_sharers);
+                }
+                if co_running {
+                    j.co_run_s += dt;
+                    j.contention_delay_s += dt * (1.0 - 1.0 / s);
                 }
             }
 
             // --- Power & thermal (shared model, in place: temps
-            //     borrowed, power into the reusable scratch) ---
-            match &active {
-                Some(j) => node_powers_into(
+            //     borrowed, power into the reusable scratch; N active
+            //     apps superposed per domain) ---
+            shares.clear();
+            shares.extend(active.iter().map(|j| CoRunShare {
+                mapping: j.mapping,
+                cpu_busy: !j.cpu_done(),
+                gpu_busy: !j.gpu_done(),
+                activity: j.chars.activity,
+            }));
+            if shares.is_empty()
+                && idle_timeout_s.is_some_and(|timeout| t - idle_gap_start >= timeout)
+            {
+                // Idle long enough: the clusters power-collapse.
+                collapsed_node_powers_into(&board, board.thermal.temps(), &mut scratch.power);
+            } else if shares.is_empty() {
+                idle_node_powers_into(&board, effective, board.thermal.temps(), &mut scratch.power);
+            } else {
+                co_run_node_powers_into(
                     &board,
-                    j.mapping,
+                    &shares,
                     effective,
-                    !j.cpu_done(),
-                    !j.gpu_done(),
-                    j.chars.activity,
                     board.thermal.temps(),
                     &mut scratch.power,
-                ),
-                None => idle_node_powers_into(
-                    &board,
-                    effective,
-                    board.thermal.temps(),
-                    &mut scratch.power,
-                ),
-            };
+                );
+            }
             let total: f64 = scratch.power.iter().sum();
             energy_j += total * dt;
-            match &mut active {
-                Some(j) => {
-                    j.energy_j += total * dt;
-                    busy_s += dt;
+            if active.is_empty() {
+                idle_energy_j += total * dt;
+                idle_s += dt;
+            } else if co_running {
+                busy_s += dt;
+                overlap_s += dt;
+                // Attribute this step's energy by each app's dynamic-power
+                // weight — the draw it causes — rather than an equal split
+                // that would overcharge a stalled memory-bound app for its
+                // compute-heavy co-runner. Shared overheads (leakage,
+                // uncore, board) follow the weights proportionally.
+                co_run_dynamic_weights(&board, &shares, effective, &mut weights);
+                let wsum: f64 = weights.iter().sum();
+                if wsum > 0.0 {
+                    let step_j = total * dt;
+                    for (j, w) in active.iter_mut().zip(weights.iter()) {
+                        j.energy_j += step_j * w / wsum;
+                    }
+                } else {
+                    // Every share idle on every device: nothing to key on.
+                    let share_j = total * dt / active.len() as f64;
+                    for j in active.iter_mut() {
+                        j.energy_j += share_j;
+                    }
                 }
-                None => {
-                    idle_energy_j += total * dt;
-                    idle_s += dt;
-                }
+            } else {
+                busy_s += dt;
+                active[0].energy_j += total * dt;
             }
             last_total_w = total;
             board.thermal.step(dt, &scratch.power);
             t += dt;
 
-            // --- Completion: free the board, drop to the idle floor ---
-            if active.as_ref().is_some_and(ActiveJob::done) {
-                let job = active.take().expect("checked above");
-                completed.push(job.finish(t));
-                desired = ClusterFreqs::min_of(&board);
+            // --- Completions: free the resources, in completion order ---
+            if active.iter().any(ActiveJob::done) {
+                let mut i = 0;
+                while i < active.len() {
+                    if active[i].done() {
+                        let job = active.remove(i);
+                        completed.push(job.finish(t));
+                    } else {
+                        i += 1;
+                    }
+                }
+                if active.is_empty() {
+                    idle_gap_start = t;
+                }
             }
         }
 
@@ -453,6 +580,7 @@ impl ScenarioRunner {
             approach: self.approach.name().to_string(),
             makespan_s: t,
             busy_s,
+            overlap_s,
             idle_s,
             energy_j,
             idle_energy_j,
@@ -485,21 +613,83 @@ const SCENARIO_TRACE_CHANNELS: &[&str] = &[
     "queue.depth",
 ];
 
-/// An arrival that has been planned but not yet launched.
+/// The union of the active apps' core grants (the arbiter keeps them
+/// disjoint, so the sums cannot exceed the clusters), for board-global
+/// sensing.
+fn combined_mapping(active: &[ActiveJob], cluster_cores: CpuMapping) -> CpuMapping {
+    CpuMapping::new(
+        active
+            .iter()
+            .map(|j| j.mapping.little)
+            .sum::<u32>()
+            .min(cluster_cores.little),
+        active
+            .iter()
+            .map(|j| j.mapping.big)
+            .sum::<u32>()
+            .min(cluster_cores.big),
+    )
+}
+
+/// Board-wide frequency arbitration: each cluster runs at the highest
+/// frequency requested by an app that has work on it (a stakeholder);
+/// clusters nobody is using follow the highest request anyway (matching
+/// the single-app engine, where the lone app's governor drives every
+/// cluster); an empty active set races to the idle floor.
+fn arbitrate_freqs(active: &[ActiveJob], idle: ClusterFreqs) -> ClusterFreqs {
+    if active.is_empty() {
+        return idle;
+    }
+    let max_or = |picked: Option<teem_soc::MHz>, all: fn(&ActiveJob) -> teem_soc::MHz| match picked
+    {
+        Some(f) => f,
+        None => active.iter().map(all).max().expect("non-empty"),
+    };
+    let big = active
+        .iter()
+        .filter(|j| j.mapping.big > 0 && !j.cpu_done())
+        .map(|j| j.desired.big)
+        .max();
+    let little = active
+        .iter()
+        .filter(|j| j.mapping.little > 0 && !j.cpu_done())
+        .map(|j| j.desired.little)
+        .max();
+    let gpu = active
+        .iter()
+        .filter(|j| j.gpu_items > 0.0 && !j.gpu_done())
+        .map(|j| j.desired.gpu)
+        .max();
+    ClusterFreqs {
+        big: max_or(big, |j| j.desired.big),
+        little: max_or(little, |j| j.desired.little),
+        gpu: max_or(gpu, |j| j.desired.gpu),
+    }
+}
+
+/// An arrival that has been planned but not yet launched. The planning
+/// inputs (approach, requirement, profile) ride along so the arbiter can
+/// re-plan the app onto an arbitrated resource slice at launch.
 struct QueuedJob {
     app: App,
     arrived_s: f64,
     treq_s: f64,
-    prepared: PreparedRun,
+    approach: Approach,
+    ureq: UserRequirement,
+    profile: AppProfile,
+    plan: LaunchPlan,
 }
 
-/// The application currently executing.
+/// An application currently executing (a member of the active set).
 struct ActiveJob {
     app: App,
     chars: KernelCharacteristics,
     mapping: CpuMapping,
     partition: Partition,
     manager: Box<dyn teem_soc::Manager + Send>,
+    /// This app's latest frequency requests; the executor arbitrates one
+    /// board-wide setting from the active set's requests each step.
+    desired: ClusterFreqs,
     cpu_items: f64,
     gpu_items: f64,
     cpu_done_items: f64,
@@ -508,22 +698,33 @@ struct ActiveJob {
     started_s: f64,
     treq_s: f64,
     energy_j: f64,
+    co_run_s: f64,
+    contention_delay_s: f64,
     next_control: f64,
     temp: Welford,
     freq: Welford,
 }
 
 impl ActiveJob {
-    fn launch(q: QueuedJob, t: f64, readings: &SensorReadings, initial: ClusterFreqs) -> Self {
+    fn launch(
+        q: QueuedJob,
+        mapping: CpuMapping,
+        partition: Partition,
+        initial: ClusterFreqs,
+        manager: Box<dyn teem_soc::Manager + Send>,
+        t: f64,
+        readings: &SensorReadings,
+    ) -> Self {
         let chars = q.app.characteristics();
         let items = chars.items as f64;
-        let cpu_items = q.prepared.partition.cpu_fraction() * items;
+        let cpu_items = partition.cpu_fraction() * items;
         let mut job = ActiveJob {
             app: q.app,
             chars,
-            mapping: q.prepared.mapping,
-            partition: q.prepared.partition,
-            manager: q.prepared.manager,
+            mapping,
+            partition,
+            manager,
+            desired: initial,
             cpu_items,
             gpu_items: items - cpu_items,
             cpu_done_items: 0.0,
@@ -532,6 +733,8 @@ impl ActiveJob {
             started_s: t,
             treq_s: q.treq_s,
             energy_j: 0.0,
+            co_run_s: 0.0,
+            contention_delay_s: 0.0,
             next_control: t,
             temp: Welford::new(),
             freq: Welford::new(),
@@ -576,6 +779,8 @@ impl ActiveJob {
             started_s: self.started_s,
             completed_s: t,
             treq_s: self.treq_s,
+            co_run_s: self.co_run_s,
+            contention_delay_s: self.contention_delay_s,
         }
     }
 }
@@ -669,8 +874,11 @@ mod tests {
         assert!(app.summary.execution_time_s > 5.0);
         assert_eq!(app.wait_s(), 0.0);
         assert_eq!(r.summary.zone_trips, 0, "TEEM must not trip");
-        // All busy time belongs to the single app.
+        // All busy time belongs to the single app; nothing overlapped.
         assert!((r.summary.busy_s - app.summary.execution_time_s).abs() < 0.02);
+        assert_eq!(r.summary.overlap_s, 0.0);
+        assert_eq!(app.co_run_s, 0.0);
+        assert_eq!(app.slowdown_vs_solo(), 1.0);
     }
 
     #[test]
@@ -688,6 +896,28 @@ mod tests {
         // Queue depth peaked at 2.
         let depth = r.trace.stats("queue.depth").expect("recorded");
         assert_eq!(depth.max(), 2.0);
+    }
+
+    #[test]
+    fn shared_policy_overlaps_simultaneous_arrivals() {
+        let sc = Scenario::new("co")
+            .arrive(0.0, App::Mvt, 0.9)
+            .arrive(0.0, App::Syrk, 0.9);
+        let mut runner =
+            ScenarioRunner::new(Approach::Teem).with_contention(ContentionPolicy::shared());
+        let r = runner.run(&sc).expect("runs");
+        assert!(!r.timed_out);
+        assert_eq!(r.summary.apps_completed(), 2);
+        assert!(
+            r.summary.overlap_s > 0.0,
+            "simultaneous arrivals must co-run under the shared policy"
+        );
+        // Neither waited: both launched at t = 0.
+        for app in &r.summary.apps {
+            assert_eq!(app.wait_s(), 0.0, "{}", app.summary.app);
+            assert!(app.co_run_s > 0.0, "{}", app.summary.app);
+            assert!(app.slowdown_vs_solo() >= 1.0);
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   the board idles and cools between runs, and the thermal state
 //!   carries across the whole timeline — physics shared function-level
 //!   with the single-run engine;
+//! * a [`MappingArbiter`] decides how co-arriving apps share the board
+//!   ([`ContentionPolicy`]): serialised as the paper measures,
+//!   device-exclusive co-scheduling (one app on the CPU complex, one on
+//!   the GPU), or fully shared clusters with the big cluster split
+//!   between apps — co-runners slowed by the shared-memory-bandwidth
+//!   model in [`teem_workload::contention`];
+//! * [`Scenario::from_csv`] loads recorded arrival timelines
+//!   (`t, app, treq_factor` lines) so real usage traces can drive the
+//!   evaluation instead of synthetic generators;
 //! * a [`BatchRunner`] fans a scenario × approach matrix across
 //!   `std::thread` workers and aggregates
 //!   [`ScenarioSummary`](teem_telemetry::ScenarioSummary)s into a
@@ -54,12 +63,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod arbiter;
 mod batch;
+mod csv;
 mod event;
 mod exec;
 mod scenario;
 
+pub use arbiter::{Admission, ContentionPolicy, MappingArbiter, ResourceClaim};
 pub use batch::BatchRunner;
+pub use csv::TraceParseError;
 pub use event::{AppRequest, ScenarioEvent, TimedEvent};
 pub use exec::{ScenarioResult, ScenarioRunner};
 pub use scenario::{Scenario, DEFAULT_THRESHOLD_C};

@@ -13,7 +13,7 @@
 //!    entry points and the (test-only) allocating wrappers.
 
 use teem_core::runner::Approach;
-use teem_scenario::{Scenario, ScenarioRunner};
+use teem_scenario::{ContentionPolicy, Scenario, ScenarioRunner};
 use teem_soc::{
     idle_node_powers, idle_node_powers_into, node_powers_for, node_powers_into, Board,
     ClusterFreqs, CpuMapping, MHz,
@@ -61,6 +61,35 @@ fn staircase_trace_digest_is_pinned() {
         r.trace.digest(),
         GOLDEN_STAIRCASE_ONDEMAND,
         "ambient-staircase/ondemand trace changed bits (got {:#018x})",
+        r.trace.digest()
+    );
+}
+
+/// The multi-app refactor's compatibility contract: an executor built
+/// with an explicit `ContentionPolicy::Serial` (not just the default)
+/// reproduces the pre-refactor one-app-at-a-time executor
+/// byte-for-byte, on the same seeds the original digests were recorded
+/// from.
+#[test]
+fn explicit_serial_policy_reproduces_pre_refactor_executor() {
+    let mut teem = ScenarioRunner::new(Approach::Teem).with_contention(ContentionPolicy::Serial);
+    let r = teem.run(&builtin("back-to-back")).expect("runs");
+    assert_eq!(
+        r.trace.digest(),
+        GOLDEN_BACK_TO_BACK_TEEM,
+        "serial-policy co-run executor diverged from the pre-refactor \
+         single-active-slot executor (got {:#018x})",
+        r.trace.digest()
+    );
+
+    let mut ondemand =
+        ScenarioRunner::new(Approach::Ondemand).with_contention(ContentionPolicy::Serial);
+    let r = ondemand.run(&builtin("ambient-staircase")).expect("runs");
+    assert_eq!(
+        r.trace.digest(),
+        GOLDEN_STAIRCASE_ONDEMAND,
+        "serial-policy co-run executor diverged on the staircase seed \
+         (got {:#018x})",
         r.trace.digest()
     );
 }

@@ -156,6 +156,39 @@ pub struct RunResult {
     pub energy_breakdown_j: (f64, f64, f64, f64),
 }
 
+/// How a board spends its idle gaps (no application mapped).
+///
+/// Single runs never idle, so this only matters to the multi-app
+/// scenario executor; [`Simulation`] ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdlePolicy {
+    /// Race to the minimum OPPs and stay there — every cluster keeps its
+    /// clock (and leakage + uncore overhead) while idle. The measured
+    /// idle floor of the stock board, and the default.
+    #[default]
+    RaceToIdle,
+    /// Race to the minimum OPPs, then power-collapse the clusters after
+    /// a continuous-idle timeout: dynamic and uncore power drop to zero
+    /// and leakage falls to the gated floor
+    /// ([`collapsed_node_powers_into`]). Models `cpuidle` deep states /
+    /// GPU runtime-PM with a governor-style promotion timeout.
+    TimeoutCollapse {
+        /// Continuous idle time before the collapse kicks in,
+        /// milliseconds.
+        timeout_ms: u32,
+    },
+}
+
+impl IdlePolicy {
+    /// The collapse timeout in seconds, if this policy has one.
+    pub fn timeout_s(self) -> Option<f64> {
+        match self {
+            IdlePolicy::RaceToIdle => None,
+            IdlePolicy::TimeoutCollapse { timeout_ms } => Some(f64::from(timeout_ms) * 1e-3),
+        }
+    }
+}
+
 /// Engine options.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -169,6 +202,9 @@ pub struct SimConfig {
     /// (the paper's runs start warm from back-to-back measurements —
     /// Fig. 1 starts at ~80 °C).
     pub warm_start_fraction: f64,
+    /// What the board does in idle gaps (scenario executor only;
+    /// single runs have no idle gaps).
+    pub idle_policy: IdlePolicy,
 }
 
 impl Default for SimConfig {
@@ -178,6 +214,7 @@ impl Default for SimConfig {
             sample_period_s: 0.1,
             timeout_s: 1_000.0,
             warm_start_fraction: 0.93,
+            idle_policy: IdlePolicy::RaceToIdle,
         }
     }
 }
@@ -618,6 +655,275 @@ pub fn idle_node_powers(board: &Board, freqs: ClusterFreqs, temps: &[f64]) -> Ve
     p
 }
 
+/// One co-running application's contribution to the board's power draw
+/// at an instant — the per-app slice of what [`node_powers_into`] takes
+/// as scalars for a single app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoRunShare {
+    /// CPU cores the arbiter granted this app.
+    pub mapping: CpuMapping,
+    /// `true` while the app's CPU share is still executing.
+    pub cpu_busy: bool,
+    /// `true` while the app's GPU share is still executing.
+    pub gpu_busy: bool,
+    /// The app's switching-activity factor.
+    pub activity: f64,
+}
+
+/// Writes the node power vector for `board` running N concurrent
+/// applications into `out` — the co-running generalisation of
+/// [`node_powers_into`], and like it allocation-free (the scenario
+/// executor calls it every step with a reusable [`StepScratch`]).
+///
+/// Superposition per domain: each app contributes the dynamic power of
+/// its own granted cores at its own utilisation and activity, while
+/// leakage and uncore overhead — properties of the domain, not of an
+/// app — are charged once for the union of active cores. The GPU is a
+/// single time-shared device: its shaders draw busy power while *any*
+/// app's GPU share runs (activity averaged over the sharers).
+///
+/// With zero shares this is [`idle_node_powers_into`]; with exactly one
+/// it delegates to [`node_powers_into`] unchanged, which keeps
+/// single-app scenario physics bit-identical to the single-run engine —
+/// the property the golden-digest tests pin.
+///
+/// # Panics
+///
+/// Panics if `temps.len()` or `out.len()` differ from
+/// `board.thermal.len()`, or (debug) if the shares' mappings together
+/// exceed the clusters — the arbiter must hand out disjoint core sets.
+pub fn co_run_node_powers_into(
+    board: &Board,
+    shares: &[CoRunShare],
+    freqs: ClusterFreqs,
+    temps: &[f64],
+    out: &mut [f64],
+) {
+    match shares {
+        [] => return idle_node_powers_into(board, freqs, temps, out),
+        [s] => {
+            return node_powers_into(
+                board, s.mapping, freqs, s.cpu_busy, s.gpu_busy, s.activity, temps, out,
+            )
+        }
+        _ => {}
+    }
+    assert_eq!(
+        temps.len(),
+        board.thermal.len(),
+        "temperature vector length"
+    );
+    assert_eq!(out.len(), board.thermal.len(), "power vector length");
+    out.fill(0.0);
+
+    // Big cluster: per-app dynamic power on each app's granted cores,
+    // leakage + uncore once for the union.
+    let total_big: u32 = shares.iter().map(|s| s.mapping.big).sum();
+    debug_assert!(total_big <= board.big_power.cores, "big cluster oversold");
+    let big_volts = board.big_opps.volts_at(freqs.big);
+    let big_hz = freqs.big.as_hz();
+    out[board.nodes.big] = if total_big == 0 {
+        board
+            .big_power
+            .total_w(big_volts, big_hz, 0, 0.03, 1.0, temps[board.nodes.big])
+    } else {
+        let mut w = board
+            .big_power
+            .leakage_w(big_volts, temps[board.nodes.big], total_big)
+            + board.big_power.uncore_power_w(total_big);
+        for s in shares {
+            let util = if s.cpu_busy && s.mapping.big > 0 {
+                1.0
+            } else {
+                0.03
+            };
+            w += board
+                .big_power
+                .dynamic_w(big_volts, big_hz, s.mapping.big, util, s.activity);
+        }
+        w
+    };
+
+    // LITTLE cluster: same superposition; the OS keeps one core online
+    // even when no app maps any.
+    let total_little: u32 = shares.iter().map(|s| s.mapping.little).sum();
+    debug_assert!(
+        total_little <= board.little_power.cores,
+        "LITTLE cluster oversold"
+    );
+    let little_volts = board.little_opps.volts_at(freqs.little);
+    let little_hz = freqs.little.as_hz();
+    out[board.nodes.little] = if total_little == 0 {
+        board.little_power.total_w(
+            little_volts,
+            little_hz,
+            1,
+            0.08,
+            1.0,
+            temps[board.nodes.little],
+        )
+    } else {
+        let mut w =
+            board
+                .little_power
+                .leakage_w(little_volts, temps[board.nodes.little], total_little)
+                + board.little_power.uncore_power_w(total_little);
+        for s in shares {
+            let util = if s.cpu_busy && s.mapping.little > 0 {
+                1.0
+            } else {
+                0.08
+            };
+            w += board.little_power.dynamic_w(
+                little_volts,
+                little_hz,
+                s.mapping.little,
+                util,
+                s.activity,
+            );
+        }
+        w
+    };
+
+    // GPU: one time-shared device — busy while any app's GPU share runs,
+    // at the sharers' mean activity.
+    assert!(
+        board.gpu_shaders <= board.gpu_power.cores,
+        "board.gpu_shaders ({}) exceeds the GPU power domain's cores ({})",
+        board.gpu_shaders,
+        board.gpu_power.cores
+    );
+    let gpu_users = shares.iter().filter(|s| s.gpu_busy).count();
+    let (gpu_util, gpu_activity) = if gpu_users > 0 {
+        let mean = shares
+            .iter()
+            .filter(|s| s.gpu_busy)
+            .map(|s| s.activity)
+            .sum::<f64>()
+            / gpu_users as f64;
+        (1.0, mean)
+    } else {
+        let mean = shares.iter().map(|s| s.activity).sum::<f64>() / shares.len() as f64;
+        (0.02, mean)
+    };
+    out[board.nodes.gpu] = board.gpu_power.total_w(
+        board.gpu_opps.volts_at(freqs.gpu),
+        freqs.gpu.as_hz(),
+        board.gpu_shaders,
+        gpu_util,
+        gpu_activity,
+        temps[board.nodes.gpu],
+    );
+
+    out[board.nodes.board] = board.board_base_w;
+}
+
+/// Writes each co-running share's attributable *dynamic* power draw,
+/// watts, into `out` (cleared and refilled to `shares.len()`; reuse one
+/// buffer with reserved capacity to keep the caller's step loop
+/// allocation-free).
+///
+/// This is the attribution key for splitting a co-run step's total
+/// energy between the active apps: dynamic power is the part of the
+/// draw an individual app *causes* (its cores, its utilisation, its
+/// switching activity — the GPU's dynamic draw divided evenly among the
+/// apps time-sharing it), while leakage, uncore and board overhead are
+/// domain properties no single app owns and follow the dynamic weights
+/// proportionally. Weights can legitimately all be zero (every share
+/// idle on every device); callers should fall back to an equal split.
+pub fn co_run_dynamic_weights(
+    board: &Board,
+    shares: &[CoRunShare],
+    freqs: ClusterFreqs,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let big_volts = board.big_opps.volts_at(freqs.big);
+    let big_hz = freqs.big.as_hz();
+    let little_volts = board.little_opps.volts_at(freqs.little);
+    let little_hz = freqs.little.as_hz();
+    let gpu_volts = board.gpu_opps.volts_at(freqs.gpu);
+    let gpu_hz = freqs.gpu.as_hz();
+    let gpu_users = shares.iter().filter(|s| s.gpu_busy).count();
+    for s in shares {
+        let big_util = if s.cpu_busy && s.mapping.big > 0 {
+            1.0
+        } else {
+            0.03
+        };
+        let little_util = if s.cpu_busy && s.mapping.little > 0 {
+            1.0
+        } else {
+            0.08
+        };
+        let mut w =
+            board
+                .big_power
+                .dynamic_w(big_volts, big_hz, s.mapping.big, big_util, s.activity)
+                + board.little_power.dynamic_w(
+                    little_volts,
+                    little_hz,
+                    s.mapping.little,
+                    little_util,
+                    s.activity,
+                );
+        if s.gpu_busy {
+            w += board
+                .gpu_power
+                .dynamic_w(gpu_volts, gpu_hz, board.gpu_shaders, 1.0, s.activity)
+                / gpu_users as f64;
+        }
+        out.push(w);
+    }
+}
+
+/// Writes the node power vector for a power-collapsed board into `out`:
+/// every cluster gated (no dynamic or uncore power, leakage at the
+/// fully-gated floor at the minimum-OPP voltage), only the board-level
+/// overhead still drawn. What [`IdlePolicy::TimeoutCollapse`] dissipates
+/// once its timeout fires.
+///
+/// # Panics
+///
+/// Panics if `temps.len()` or `out.len()` differ from
+/// `board.thermal.len()`.
+pub fn collapsed_node_powers_into(board: &Board, temps: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        temps.len(),
+        board.thermal.len(),
+        "temperature vector length"
+    );
+    assert_eq!(out.len(), board.thermal.len(), "power vector length");
+    out.fill(0.0);
+    let f = ClusterFreqs::min_of(board);
+    out[board.nodes.big] =
+        board
+            .big_power
+            .leakage_w(board.big_opps.volts_at(f.big), temps[board.nodes.big], 0);
+    out[board.nodes.little] = board.little_power.leakage_w(
+        board.little_opps.volts_at(f.little),
+        temps[board.nodes.little],
+        0,
+    );
+    out[board.nodes.gpu] =
+        board
+            .gpu_power
+            .leakage_w(board.gpu_opps.volts_at(f.gpu), temps[board.nodes.gpu], 0);
+    out[board.nodes.board] = board.board_base_w;
+}
+
+/// Allocating wrapper around [`collapsed_node_powers_into`] for one-off
+/// evaluations and tests.
+///
+/// # Panics
+///
+/// Panics if `temps.len() != board.thermal.len()`.
+pub fn collapsed_node_powers(board: &Board, temps: &[f64]) -> Vec<f64> {
+    let mut p = vec![0.0; board.thermal.len()];
+    collapsed_node_powers_into(board, temps, &mut p);
+    p
+}
+
 /// Reads the sensor bank including per-core hotspot contributions for
 /// the big cores active under `mapping` — shared by [`Simulation`] and
 /// the scenario engine (`&mut` because TMU-style banks advance their
@@ -844,6 +1150,199 @@ mod tests {
         assert!(busy[board.nodes.gpu] > idle[board.nodes.gpu] * 3.0);
         // Board overhead is load-independent.
         assert_eq!(busy[board.nodes.board], idle[board.nodes.board]);
+    }
+
+    #[test]
+    fn co_run_with_one_share_is_bit_identical_to_single_app() {
+        let board = Board::odroid_xu4_ideal();
+        let chars = App::Covariance.characteristics();
+        let freqs = ClusterFreqs {
+            big: MHz(1800),
+            little: MHz(1400),
+            gpu: MHz(543),
+        };
+        let temps = [81.5, 60.25, 72.125, 45.0];
+        let mut a = vec![0.0; board.thermal.len()];
+        let mut b = vec![0.0; board.thermal.len()];
+        for &(cpu_busy, gpu_busy) in &[(true, true), (true, false), (false, true), (false, false)] {
+            node_powers_into(
+                &board,
+                CpuMapping::new(2, 3),
+                freqs,
+                cpu_busy,
+                gpu_busy,
+                chars.activity,
+                &temps,
+                &mut a,
+            );
+            co_run_node_powers_into(
+                &board,
+                &[CoRunShare {
+                    mapping: CpuMapping::new(2, 3),
+                    cpu_busy,
+                    gpu_busy,
+                    activity: chars.activity,
+                }],
+                freqs,
+                &temps,
+                &mut b,
+            );
+            assert_eq!(a, b, "single-share delegation busy=({cpu_busy},{gpu_busy})");
+        }
+        // Zero shares: the idle model.
+        idle_node_powers_into(&board, freqs, &temps, &mut a);
+        co_run_node_powers_into(&board, &[], freqs, &temps, &mut b);
+        assert_eq!(a, b, "empty-share delegation");
+    }
+
+    #[test]
+    fn co_run_superposition_is_bounded_by_solo_runs() {
+        // Two apps on disjoint big cores draw more than either alone but
+        // less than the sum of their solo draws (leakage, uncore and the
+        // GPU are shared, not duplicated).
+        let board = Board::odroid_xu4_ideal();
+        let freqs = ClusterFreqs {
+            big: MHz(2000),
+            little: MHz(1400),
+            gpu: MHz(600),
+        };
+        let temps = vec![75.0; board.thermal.len()];
+        let a = CoRunShare {
+            mapping: CpuMapping::new(2, 2),
+            cpu_busy: true,
+            gpu_busy: true,
+            activity: 1.0,
+        };
+        let b = CoRunShare {
+            mapping: CpuMapping::new(2, 2),
+            cpu_busy: true,
+            gpu_busy: true,
+            activity: 0.65,
+        };
+        let mut solo_a = vec![0.0; board.thermal.len()];
+        let mut solo_b = vec![0.0; board.thermal.len()];
+        let mut both = vec![0.0; board.thermal.len()];
+        co_run_node_powers_into(&board, &[a], freqs, &temps, &mut solo_a);
+        co_run_node_powers_into(&board, &[b], freqs, &temps, &mut solo_b);
+        co_run_node_powers_into(&board, &[a, b], freqs, &temps, &mut both);
+        let (sa, sb, sc): (f64, f64, f64) =
+            (solo_a.iter().sum(), solo_b.iter().sum(), both.iter().sum());
+        assert!(sc > sa && sc > sb, "co-run draws more than either solo");
+        assert!(sc < sa + sb, "shared leakage/uncore/GPU not double-charged");
+        // The big-domain dynamic power superposes: 4 busy cores' worth.
+        let mut four = vec![0.0; board.thermal.len()];
+        co_run_node_powers_into(
+            &board,
+            &[CoRunShare {
+                mapping: CpuMapping::new(4, 4),
+                cpu_busy: true,
+                gpu_busy: true,
+                activity: 1.0,
+            }],
+            freqs,
+            &temps,
+            &mut four,
+        );
+        assert!(both[board.nodes.big] <= four[board.nodes.big] + 1e-9);
+    }
+
+    #[test]
+    fn co_run_dynamic_weights_track_cause_not_headcount() {
+        let board = Board::odroid_xu4_ideal();
+        let freqs = ClusterFreqs {
+            big: MHz(1800),
+            little: MHz(1400),
+            gpu: MHz(543),
+        };
+        let share = |big: u32, gpu_busy: bool, activity: f64| CoRunShare {
+            mapping: CpuMapping::new(1, big),
+            cpu_busy: true,
+            gpu_busy,
+            activity,
+        };
+        let mut w = Vec::new();
+
+        // Same cores, higher activity: strictly heavier weight.
+        co_run_dynamic_weights(
+            &board,
+            &[share(2, false, 1.0), share(2, false, 0.65)],
+            freqs,
+            &mut w,
+        );
+        assert_eq!(w.len(), 2);
+        assert!(w[0] > w[1], "activity 1.0 must outweigh 0.65: {w:?}");
+
+        // The GPU's dynamic draw splits evenly across its sharers.
+        co_run_dynamic_weights(
+            &board,
+            &[share(0, true, 1.0), share(0, true, 1.0)],
+            freqs,
+            &mut w,
+        );
+        assert!((w[0] - w[1]).abs() < 1e-12, "equal sharers, equal weight");
+        let both = w[0];
+        co_run_dynamic_weights(
+            &board,
+            &[share(0, true, 1.0), share(0, false, 1.0)],
+            freqs,
+            &mut w,
+        );
+        assert!(
+            w[0] > both,
+            "a lone GPU user owns the whole device's dynamic draw"
+        );
+
+        // All-idle shares: weights collapse to (near) zero on the CPU
+        // side only via the util floors — a fully coreless idle share is
+        // exactly zero, the caller's equal-split fallback case.
+        co_run_dynamic_weights(
+            &board,
+            &[
+                CoRunShare {
+                    mapping: CpuMapping::new(0, 0),
+                    cpu_busy: false,
+                    gpu_busy: false,
+                    activity: 1.0,
+                },
+                CoRunShare {
+                    mapping: CpuMapping::new(0, 0),
+                    cpu_busy: false,
+                    gpu_busy: false,
+                    activity: 1.0,
+                },
+            ],
+            freqs,
+            &mut w,
+        );
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn collapsed_board_draws_less_than_race_to_idle() {
+        let board = Board::odroid_xu4_ideal();
+        let temps = vec![40.0; board.thermal.len()];
+        let idle = idle_node_powers(&board, ClusterFreqs::min_of(&board), &temps);
+        let collapsed = collapsed_node_powers(&board, &temps);
+        let (pi, pc): (f64, f64) = (idle.iter().sum(), collapsed.iter().sum());
+        assert!(pc < pi, "collapse must save power: {pc} vs {pi}");
+        // Board overhead survives the collapse. The big cluster is
+        // already fully gated when idle (no app maps it), so the savings
+        // come from the LITTLE housekeeping core and the GPU's near-idle
+        // clocking.
+        assert_eq!(collapsed[board.nodes.board], board.board_base_w);
+        assert_eq!(collapsed[board.nodes.big], idle[board.nodes.big]);
+        assert!(collapsed[board.nodes.little] < idle[board.nodes.little]);
+        assert!(collapsed[board.nodes.gpu] < idle[board.nodes.gpu]);
+    }
+
+    #[test]
+    fn idle_policy_timeout_conversion() {
+        assert_eq!(IdlePolicy::RaceToIdle.timeout_s(), None);
+        assert_eq!(
+            IdlePolicy::TimeoutCollapse { timeout_ms: 2500 }.timeout_s(),
+            Some(2.5)
+        );
+        assert_eq!(SimConfig::default().idle_policy, IdlePolicy::RaceToIdle);
     }
 
     #[test]

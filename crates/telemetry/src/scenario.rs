@@ -27,12 +27,35 @@ pub struct ScenarioAppRun {
     pub completed_s: f64,
     /// The deadline it was admitted with (`TREQ`), seconds of execution.
     pub treq_s: f64,
+    /// Execution time spent alongside at least one co-running app,
+    /// seconds. Zero under the serial contention policy.
+    pub co_run_s: f64,
+    /// Execution time lost to shared-memory-bandwidth contention,
+    /// seconds: the integral of `dt · (1 − 1/s)` over the run, where `s`
+    /// is the instantaneous bandwidth slowdown. Together with
+    /// [`ScenarioAppRun::wait_s`] this splits the app's total delay into
+    /// its queueing and contention components.
+    pub contention_delay_s: f64,
 }
 
 impl ScenarioAppRun {
     /// Queueing delay before launch, seconds.
     pub fn wait_s(&self) -> f64 {
         self.started_s - self.arrived_s
+    }
+
+    /// Measured bandwidth slowdown versus an uncontended run of the same
+    /// plan: `ET / (ET − contention_delay)`, ≥ 1, exactly 1 when the app
+    /// never shared the memory system. (Capacity effects — fewer
+    /// arbitrated cores, a time-shared GPU — show up in the execution
+    /// time itself, not here.)
+    pub fn slowdown_vs_solo(&self) -> f64 {
+        let et = self.summary.execution_time_s;
+        if et <= 0.0 || self.contention_delay_s <= 0.0 {
+            1.0
+        } else {
+            et / (et - self.contention_delay_s).max(f64::MIN_POSITIVE)
+        }
     }
 
     /// `true` when the run blew its execution-time requirement.
@@ -54,8 +77,11 @@ pub struct ScenarioSummary {
     pub approach: String,
     /// Time from scenario start to the last completion, seconds.
     pub makespan_s: f64,
-    /// Time with an application executing, seconds.
+    /// Time with at least one application executing, seconds.
     pub busy_s: f64,
+    /// Time with two or more applications co-running, seconds. Zero
+    /// under the serial contention policy.
+    pub overlap_s: f64,
     /// Time idling between arrivals, seconds.
     pub idle_s: f64,
     /// Total wall energy over the scenario, joules.
@@ -99,18 +125,44 @@ impl ScenarioSummary {
             self.apps.iter().map(ScenarioAppRun::wait_s).sum::<f64>() / self.apps.len() as f64
         }
     }
+
+    /// Fraction of the busy time spent with two or more apps co-running,
+    /// in `[0, 1]` (0 when the scenario never ran anything — or never
+    /// overlapped, as under the serial policy).
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.busy_s <= 0.0 {
+            0.0
+        } else {
+            self.overlap_s / self.busy_s
+        }
+    }
+
+    /// Mean measured bandwidth slowdown across runs (1.0 when empty or
+    /// uncontended).
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.apps.is_empty() {
+            1.0
+        } else {
+            self.apps
+                .iter()
+                .map(ScenarioAppRun::slowdown_vs_solo)
+                .sum::<f64>()
+                / self.apps.len() as f64
+        }
+    }
 }
 
 impl fmt::Display for ScenarioSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{}: {} apps in {:.1}s ({:.1}s busy) E={:.0}J peakT={:.1}C trips={} misses={}",
+            "{}/{}: {} apps in {:.1}s ({:.1}s busy, {:.0}% overlap) E={:.0}J peakT={:.1}C trips={} misses={}",
             self.scenario,
             self.approach,
             self.apps_completed(),
             self.makespan_s,
             self.busy_s,
+            self.overlap_ratio() * 100.0,
             self.energy_j,
             self.peak_temp_c,
             self.zone_trips,
@@ -125,7 +177,7 @@ impl fmt::Display for ScenarioSummary {
 pub fn scenario_table(rows: &[ScenarioSummary]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:<10} {:>4} {:>9} {:>9} {:>8} {:>8} {:>9} {:>6} {:>7}\n",
+        "{:<22} {:<10} {:>4} {:>9} {:>9} {:>8} {:>8} {:>9} {:>6} {:>7} {:>6} {:>6}\n",
         "scenario",
         "approach",
         "apps",
@@ -135,9 +187,11 @@ pub fn scenario_table(rows: &[ScenarioSummary]) -> String {
         "peakT(C)",
         "varT(C2)",
         "trips",
-        "misses"
+        "misses",
+        "ovl%",
+        "slow"
     ));
-    out.push_str(&"-".repeat(100));
+    out.push_str(&"-".repeat(114));
     out.push('\n');
     let mut last_scenario: Option<&str> = None;
     for r in rows {
@@ -146,7 +200,7 @@ pub fn scenario_table(rows: &[ScenarioSummary]) -> String {
         }
         last_scenario = Some(r.scenario.as_str());
         out.push_str(&format!(
-            "{:<22} {:<10} {:>4} {:>9.1} {:>9.1} {:>8.1} {:>8.1} {:>9.2} {:>6} {:>7}\n",
+            "{:<22} {:<10} {:>4} {:>9.1} {:>9.1} {:>8.1} {:>8.1} {:>9.2} {:>6} {:>7} {:>6.0} {:>6.2}\n",
             r.scenario,
             r.approach,
             r.apps_completed(),
@@ -156,7 +210,9 @@ pub fn scenario_table(rows: &[ScenarioSummary]) -> String {
             r.peak_temp_c,
             r.temp_variance,
             r.zone_trips,
-            r.deadline_misses()
+            r.deadline_misses(),
+            r.overlap_ratio() * 100.0,
+            r.mean_slowdown()
         ));
     }
     out
@@ -182,6 +238,8 @@ mod tests {
             started_s: started,
             completed_s: started + et,
             treq_s: treq,
+            co_run_s: 0.0,
+            contention_delay_s: 0.0,
         }
     }
 
@@ -191,6 +249,7 @@ mod tests {
             approach: "TEEM".into(),
             makespan_s: 100.0,
             busy_s: 80.0,
+            overlap_s: 0.0,
             idle_s: 20.0,
             energy_j: 230.0,
             idle_energy_j: 30.0,
@@ -242,6 +301,45 @@ mod tests {
         assert!(t.contains("trips"));
         // Blank separator between scenario groups.
         assert!(t.contains("\n\n"));
+    }
+
+    #[test]
+    fn co_run_metrics_default_to_uncontended() {
+        let s = summary();
+        assert_eq!(s.overlap_ratio(), 0.0);
+        assert_eq!(s.mean_slowdown(), 1.0);
+        assert_eq!(s.apps[0].slowdown_vs_solo(), 1.0);
+    }
+
+    #[test]
+    fn slowdown_and_overlap_accounting() {
+        let mut s = summary();
+        s.overlap_s = 40.0;
+        assert!((s.overlap_ratio() - 0.5).abs() < 1e-12);
+        // 40 s run that lost 10 s to bandwidth stalls: ran at 4/3 the
+        // solo pace.
+        s.apps[0].co_run_s = 20.0;
+        s.apps[0].contention_delay_s = 10.0;
+        let slow = s.apps[0].slowdown_vs_solo();
+        assert!((slow - 40.0 / 30.0).abs() < 1e-12, "got {slow}");
+        assert!(s.mean_slowdown() > 1.0);
+        // Queueing-vs-contention split stays independent.
+        assert_eq!(s.apps[0].wait_s(), 0.0);
+        assert_eq!(s.apps[1].wait_s(), 39.0);
+        // Empty busy time cannot divide by zero.
+        s.busy_s = 0.0;
+        assert_eq!(s.overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn table_has_co_run_columns() {
+        let mut s = summary();
+        s.overlap_s = 40.0;
+        s.apps[0].contention_delay_s = 10.0;
+        let t = scenario_table(&[s]);
+        assert!(t.contains("ovl%"));
+        assert!(t.contains("slow"));
+        assert!(t.contains("50"), "overlap percent rendered");
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub struct KernelCharacteristics {
     /// Switching-activity factor for dynamic power (1.0 = fully busy
     /// pipeline; memory-bound kernels stall more and switch less).
     pub activity: f64,
+    /// Shared-memory-bandwidth sensitivity in `[0, 1]`: the fraction of
+    /// this kernel's execution exposed to DRAM bandwidth (0 = pure
+    /// compute, 1 = fully bandwidth-bound). It doubles as the bandwidth
+    /// *pressure* the kernel puts on co-runners — both sides of the
+    /// [`crate::contention`] slowdown model. Roughly the memory share of
+    /// `item_time` on a big core at 2 GHz.
+    pub mem_sensitivity: f64,
 }
 
 impl KernelCharacteristics {
@@ -103,6 +110,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(380_000.0, 9.0),
             gpu: dc(22_000.0, 5.0),
             activity: 0.95,
+            mem_sensitivity: 0.10,
         },
         // COVARIANCE: the Fig. 1 case-study app; mixed affinity with a
         // modest GPU edge.
@@ -113,6 +121,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(1_500_000.0, 16.0),
             gpu: dc(120_000.0, 20.0),
             activity: 1.0,
+            mem_sensitivity: 0.05,
         },
         // CORRELATION: like covariance plus normalisation; slightly more
         // divergent control flow hurts the GPU a little.
@@ -123,6 +132,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(1_020_000.0, 16.0),
             gpu: dc(150_000.0, 22.0),
             activity: 1.0,
+            mem_sensitivity: 0.08,
         },
         // GEMM: dense regular compute, strongly GPU-affine.
         "GE" | "GM" => KernelCharacteristics {
@@ -132,6 +142,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(760_000.0, 12.0),
             gpu: dc(45_000.0, 7.0),
             activity: 1.05,
+            mem_sensitivity: 0.10,
         },
         // 2MM: two chained GEMMs; heavier per item, GPU moderately ahead.
         "2M" => KernelCharacteristics {
@@ -141,6 +152,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(1_500_000.0, 20.0),
             gpu: dc(170_000.0, 18.0),
             activity: 1.05,
+            mem_sensitivity: 0.06,
         },
         // MVT: memory-bound; the mem term dominates so neither DVFS nor
         // the GPU helps much.
@@ -151,6 +163,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(190_000.0, 170.0),
             gpu: dc(60_000.0, 160.0),
             activity: 0.65,
+            mem_sensitivity: 0.75,
         },
         // SYR2K: rank-2k update; balanced affinity where a CPU+GPU
         // partition clearly beats either device alone.
@@ -161,6 +174,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(1_150_000.0, 15.0),
             gpu: dc(210_000.0, 24.0),
             activity: 1.0,
+            mem_sensitivity: 0.08,
         },
         // SYRK: rank-k update; mildly GPU-affine, big TEEM-vs-RMP energy
         // delta in the paper (47.28% saving).
@@ -171,6 +185,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(1_060_000.0, 15.0),
             gpu: dc(190_000.0, 22.0),
             activity: 1.0,
+            mem_sensitivity: 0.08,
         },
         // GESUMMV (extension): two fused MV products, mildly memory-bound.
         "GS" => KernelCharacteristics {
@@ -180,6 +195,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(280_000.0, 120.0),
             gpu: dc(80_000.0, 100.0),
             activity: 0.7,
+            mem_sensitivity: 0.60,
         },
         // BICG (extension): A'x and Ax together; like MVT but slightly
         // more compute.
@@ -190,6 +206,7 @@ pub fn characteristics_for(abbrev: &str) -> Option<KernelCharacteristics> {
             little: dc(240_000.0, 150.0),
             gpu: dc(70_000.0, 135.0),
             activity: 0.7,
+            mem_sensitivity: 0.70,
         },
         _ => return None,
     };

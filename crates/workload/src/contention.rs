@@ -1,0 +1,129 @@
+//! Shared-memory-bandwidth contention between co-running kernels.
+//!
+//! On an integrated CPU-GPU MPSoC every device sits behind one DRAM
+//! controller, so co-running applications performance-couple through
+//! memory bandwidth even when they share no compute resource (Dev et
+//! al., "Implications of Integrated CPU-GPU Processors on Thermal and
+//! Power Management Techniques"). The model here is deliberately simple
+//! and measurable: each kernel carries a
+//! [`mem_sensitivity`](crate::KernelCharacteristics::mem_sensitivity)
+//! in `[0, 1]` that is both how much of its own execution is exposed to
+//! bandwidth *and* how much pressure it puts on the shared controller.
+//! A kernel co-running against aggregate pressure `P` (the sum of its
+//! co-runners' sensitivities) slows down by
+//!
+//! ```text
+//! s = 1 + sensitivity × P        (s ≥ 1, s = 1 when solo)
+//! ```
+//!
+//! which the scenario executor applies as a divisor on progress rates.
+//! Two memory-bound kernels (MVT, sensitivity 0.75) co-running slow each
+//! other by ~1.56×; two compute-bound kernels (COVARIANCE, 0.05) barely
+//! notice each other — the asymmetry the integrated-MPSoC studies
+//! report.
+
+use crate::characteristics::KernelCharacteristics;
+
+/// Multiplicative slowdown (≥ 1) experienced by a kernel with
+/// `sensitivity` against total co-runner bandwidth pressure
+/// `co_pressure` (a sum of the co-runners' sensitivities).
+///
+/// Solo execution (`co_pressure == 0`) returns exactly `1.0`, so
+/// dividing a progress rate by the result is a bit-exact no-op for a
+/// lone application — the property that keeps the serial contention
+/// policy identical to the pre-contention executor.
+pub fn bandwidth_slowdown(sensitivity: f64, co_pressure: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&sensitivity),
+        "sensitivity {sensitivity} outside [0, 1]"
+    );
+    debug_assert!(co_pressure >= 0.0, "negative pressure {co_pressure}");
+    1.0 + sensitivity * co_pressure
+}
+
+/// The bandwidth pressure a set of co-runners exerts on one of their
+/// members: the sum of every *other* member's sensitivity.
+///
+/// `own_index` selects the member being slowed; the remaining entries
+/// are its co-runners.
+pub fn co_pressure_on(members: &[&KernelCharacteristics], own_index: usize) -> f64 {
+    members
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != own_index)
+        .map(|(_, c)| c.mem_sensitivity)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::App;
+
+    #[test]
+    fn solo_slowdown_is_exactly_one() {
+        for app in App::all() {
+            let c = app.characteristics();
+            assert_eq!(bandwidth_slowdown(c.mem_sensitivity, 0.0), 1.0, "{app}");
+        }
+    }
+
+    #[test]
+    fn slowdown_is_at_least_one_and_monotone_in_pressure() {
+        for app in App::all() {
+            let c = app.characteristics();
+            let s1 = bandwidth_slowdown(c.mem_sensitivity, c.mem_sensitivity);
+            let s2 = bandwidth_slowdown(c.mem_sensitivity, 2.0 * c.mem_sensitivity);
+            assert!(s1 >= 1.0, "{app}: {s1}");
+            assert!(s2 >= s1, "{app}: more pressure must not speed up");
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernels_hurt_each_other_most() {
+        let mv = App::Mvt.characteristics();
+        let cv = App::Covariance.characteristics();
+        let mv_vs_mv = bandwidth_slowdown(mv.mem_sensitivity, mv.mem_sensitivity);
+        let cv_vs_cv = bandwidth_slowdown(cv.mem_sensitivity, cv.mem_sensitivity);
+        assert!(mv_vs_mv > 1.4, "two MVTs must contend hard, got {mv_vs_mv}");
+        assert!(
+            cv_vs_cv < 1.05,
+            "two COVARIANCEs barely contend, got {cv_vs_cv}"
+        );
+        // Against the same partner, the memory-bound side suffers more.
+        let gs = App::Gesummv.characteristics();
+        let mv_vs_gs = bandwidth_slowdown(mv.mem_sensitivity, gs.mem_sensitivity);
+        let cv_vs_gs = bandwidth_slowdown(cv.mem_sensitivity, gs.mem_sensitivity);
+        assert!(mv_vs_gs > cv_vs_gs, "memory-bound side suffers more");
+        assert!(mv_vs_gs < mv_vs_mv, "a lighter partner contends less");
+    }
+
+    #[test]
+    fn sensitivities_are_plausible_for_the_whole_suite() {
+        for app in App::all() {
+            let s = app.characteristics().mem_sensitivity;
+            assert!((0.0..=1.0).contains(&s), "{app}: sensitivity {s}");
+        }
+        // The DVFS-insensitive kernels are the bandwidth-hungry ones.
+        let sens = |a: App| a.characteristics().mem_sensitivity;
+        assert!(sens(App::Mvt) > sens(App::Gesummv));
+        assert!(sens(App::Gesummv) > sens(App::Covariance));
+        assert!(sens(App::Bicg) > 0.5);
+        assert!(sens(App::Gemm) < 0.2);
+    }
+
+    #[test]
+    fn co_pressure_sums_everyone_else() {
+        let mv = App::Mvt.characteristics();
+        let gs = App::Gesummv.characteristics();
+        let cv = App::Covariance.characteristics();
+        let members = [&mv, &gs, &cv];
+        let p = co_pressure_on(&members, 0);
+        assert!((p - (gs.mem_sensitivity + cv.mem_sensitivity)).abs() < 1e-12);
+        assert_eq!(
+            co_pressure_on(&members[..1], 0),
+            0.0,
+            "solo has no pressure"
+        );
+    }
+}

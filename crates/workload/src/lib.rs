@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod characteristics;
+pub mod contention;
 mod executor;
 mod kernel;
 mod partition;
@@ -38,6 +39,7 @@ pub mod polybench;
 mod suite;
 
 pub use characteristics::{DeviceCost, KernelCharacteristics};
+pub use contention::{bandwidth_slowdown, co_pressure_on};
 pub use executor::{execute_partitioned, execute_serial, ExecConfig};
 pub use kernel::{init_matrix, init_value, init_vector, weighted_checksum, Kernel, ProblemSize};
 pub use partition::{chunk_range, Partition};

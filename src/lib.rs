@@ -57,11 +57,12 @@ pub mod prelude {
     };
     pub use teem_governors::{Conservative, Ondemand, Performance, Powersave, Userspace};
     pub use teem_scenario::{
-        AppRequest, BatchRunner, Scenario, ScenarioEvent, ScenarioResult, ScenarioRunner,
+        AppRequest, BatchRunner, ContentionPolicy, MappingArbiter, Scenario, ScenarioEvent,
+        ScenarioResult, ScenarioRunner,
     };
     pub use teem_soc::{
-        node_powers_into, Board, ClusterFreqs, CpuMapping, MHz, Manager, RunResult, RunSpec,
-        SimConfig, Simulation, SocControl, SocView, StepScratch, ThermalZone,
+        node_powers_into, Board, ClusterFreqs, CpuMapping, IdlePolicy, MHz, Manager, RunResult,
+        RunSpec, SimConfig, Simulation, SocControl, SocView, StepScratch, ThermalZone,
     };
     pub use teem_telemetry::{RunSummary, ScenarioSummary, TimeSeries, Trace};
     pub use teem_workload::{App, Kernel, Partition, ProblemSize};
