@@ -9,28 +9,12 @@ use std::hint::black_box;
 use teem_bench::microbench::Runner;
 use teem_core::offline::build_profile_store;
 use teem_core::runner::Approach;
-use teem_scenario::{BatchRunner, ContentionPolicy, Scenario, ScenarioRunner};
+use teem_scenario::{
+    BatchRunner, ContentionPolicy, Scenario, ScenarioRunner, SweepEvent, SweepSpec,
+};
 use teem_soc::Board;
+use teem_telemetry::SweepAggregator;
 use teem_workload::App;
-
-/// Grid variants of the builtin suite: every scenario re-planned under
-/// each default threshold and started at each ambient.
-fn grid(thresholds: &[f64], ambients: &[f64]) -> Vec<Scenario> {
-    let mut out = Vec::new();
-    for &thr in thresholds {
-        for &amb in ambients {
-            for sc in Scenario::builtin_suite() {
-                let name = format!("{}@thr{thr}/amb{amb}", sc.name());
-                out.push(
-                    sc.with_name(name)
-                        .with_initial_threshold(thr)
-                        .with_initial_ambient(amb),
-                );
-            }
-        }
-    }
-    out
-}
 
 fn main() {
     let mut r = Runner::from_args();
@@ -75,17 +59,28 @@ fn main() {
     });
 
     // The scenario-scale shape: a thresholds × ambients parameter grid
-    // over the whole builtin suite (2 × 2 × 5 = 20 cells) fanned out by
-    // the batch runner under TEEM. This is the workload the per-step
-    // allocation removal targets; per-cell cost is this time / 20.
-    let sweep = grid(&[82.0, 85.0], &[20.0, 30.0]);
-    let cells = sweep.len();
+    // over the whole builtin suite (2 × 2 × 5 = 20 cells) — expressed
+    // as sweep axes and executed by the streaming work-stealing engine,
+    // aggregated online (nothing buffered). This is the workload the
+    // per-step allocation removal targets; per-cell cost is this
+    // time / 20.
+    let spec = SweepSpec::over(Scenario::builtin_suite())
+        .approaches(&[Approach::Teem])
+        .thresholds_c(&[82.0, 85.0])
+        .ambients_c(&[20.0, 30.0]);
+    let cells = spec.cells();
+    assert_eq!(cells, 20);
     r.bench_heavy("grid_sweep_20_scenarios_teem", 1, move || {
-        let results = BatchRunner::new()
-            .run_matrix(black_box(&sweep), &[Approach::Teem])
+        let mut agg = SweepAggregator::new();
+        let stats = black_box(&spec)
+            .run_streaming(|ev| {
+                if let SweepEvent::CellDone { result, .. } = ev {
+                    agg.record(&result.summary);
+                }
+            })
             .expect("runs");
-        assert_eq!(results.len(), cells);
-        results.len()
+        assert_eq!(stats.completed, cells);
+        agg.cells()
     });
 
     r.finish();

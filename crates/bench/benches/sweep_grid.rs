@@ -1,0 +1,86 @@
+//! Streaming sweep-engine benchmarks: the thousands-of-cell grid shape
+//! the engine exists for, measured end to end and reported as **cells
+//! per second** (the number that matters for design-space exploration
+//! throughput).
+//!
+//! * `sweep_grid_500_cells_stream` — the acceptance-scale 3-axis grid:
+//!   5 one-arrival scenarios × 10 thresholds × 10 ambients = 500 cells,
+//!   streamed through the work-stealing executor and aggregated online
+//!   (peak resident results O(workers)).
+//! * `sweep_knob_grid_27_tunables` — the δ × floor × threshold TEEM
+//!   knob grid of the ablation experiment, as a sweep axis.
+
+use std::hint::black_box;
+use teem_bench::experiments::ablation;
+use teem_bench::microbench::Runner;
+use teem_core::runner::Approach;
+use teem_scenario::{Scenario, SweepEvent, SweepSpec};
+use teem_telemetry::SweepAggregator;
+use teem_workload::App;
+
+fn one_arrival_suite() -> Vec<Scenario> {
+    vec![
+        Scenario::new("g-mvt").arrive(0.0, App::Mvt, 0.9),
+        Scenario::new("g-gesummv").arrive(0.0, App::Gesummv, 0.9),
+        Scenario::new("g-syrk").arrive(0.0, App::Syrk, 0.9),
+        Scenario::new("g-covariance").arrive(0.0, App::Covariance, 0.9),
+        Scenario::new("g-mvt-tight").arrive(0.0, App::Mvt, 0.7),
+    ]
+}
+
+/// Streams `spec`, aggregating online; returns the cell count as the
+/// benchmark's observable result.
+fn stream(spec: &SweepSpec) -> usize {
+    let mut agg = SweepAggregator::new();
+    let stats = spec
+        .run_streaming(|ev| {
+            if let SweepEvent::CellDone { result, .. } = ev {
+                agg.record(&result.summary);
+            }
+        })
+        .expect("sweep runs");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(agg.cells(), stats.cells);
+    agg.cells()
+}
+
+fn main() {
+    let mut r = Runner::from_args();
+
+    let thresholds: Vec<f64> = (0..10).map(|i| 80.0 + f64::from(i)).collect();
+    let ambients: Vec<f64> = (0..10).map(|i| 15.0 + 2.0 * f64::from(i)).collect();
+    let grid = SweepSpec::over(one_arrival_suite())
+        .approaches(&[Approach::Teem])
+        .thresholds_c(&thresholds)
+        .ambients_c(&ambients);
+    let grid_cells = grid.cells();
+    assert_eq!(grid_cells, 500);
+    r.bench_heavy("sweep_grid_500_cells_stream", 1, move || {
+        stream(black_box(&grid))
+    });
+
+    // The ablation experiment's canonical knob grid and case scenario.
+    let knob_grid = SweepSpec::over([ablation::case_scenario()])
+        .approaches(&[Approach::Teem])
+        .tunables(&ablation::knob_grid());
+    let knob_cells = knob_grid.cells();
+    r.bench_heavy("sweep_knob_grid_27_tunables", 1, move || {
+        stream(black_box(&knob_grid))
+    });
+
+    // Cells-per-second throughput, derived from the best batch — the
+    // DSE-facing figure of merit.
+    for (name, cells) in [
+        ("sweep_grid_500_cells_stream", grid_cells),
+        ("sweep_knob_grid_27_tunables", knob_cells),
+    ] {
+        if let Some(res) = r.results().iter().find(|b| b.name == name) {
+            println!(
+                "{name:<44} {:>10.1} cells/s",
+                cells as f64 * 1e9 / res.best_ns
+            );
+        }
+    }
+
+    r.finish();
+}

@@ -80,7 +80,8 @@ impl Runner {
         self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
     }
 
-    /// Times `f`, auto-scaling the batch size to [`BATCH_TARGET`].
+    /// Times `f`, auto-scaling the batch size to the target batch
+    /// duration (`BATCH_TARGET`).
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
         if !self.selected(name) {
             return;

@@ -56,6 +56,6 @@ mod requirements;
 pub mod runner;
 
 pub use model::{mapping_with_cores, MappingModel};
-pub use online::{plan, TeemGovernor, TeemPlan};
+pub use online::{plan, TeemGovernor, TeemPlan, TeemTunables};
 pub use profile::{AppProfile, ProfileStore};
 pub use requirements::UserRequirement;

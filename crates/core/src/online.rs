@@ -56,6 +56,118 @@ impl TeemGovernor {
     }
 }
 
+/// TEEM's run-time knobs, bundled so parameter sweeps can vary what the
+/// paper fixes: the δ frequency step, the stepping floor, and optionally
+/// the thermal threshold itself.
+///
+/// The paper evaluates one configuration (δ = 200 MHz, floor =
+/// 1400 MHz, threshold 85 °C) chosen from its own characterisation;
+/// [`TeemTunables::paper`] reproduces it exactly and is the `Default`.
+/// The scenario sweep engine threads a `TeemTunables` through
+/// [`plan_launch`](crate::runner::plan_launch) and
+/// [`manager_for`](crate::runner::manager_for), so a knob grid
+/// (δ × floor × threshold) becomes one more cartesian axis of a
+/// scenario sweep instead of a recompile.
+///
+/// `threshold_c = None` keeps the per-app requirement's threshold (the
+/// scenario default or a per-arrival override); `Some(t)` overrides it
+/// for both launch planning (eq. 6 mapping inversion) and the online
+/// stepper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeemTunables {
+    /// Frequency step δ, MHz (paper: 200 MHz).
+    pub delta_mhz: u32,
+    /// Stepping floor, MHz (paper: 1400 MHz).
+    pub floor: MHz,
+    /// Thermal-threshold override, °C. `None` uses the requirement's
+    /// threshold.
+    pub threshold_c: Option<f64>,
+}
+
+impl Default for TeemTunables {
+    fn default() -> Self {
+        TeemTunables::paper()
+    }
+}
+
+impl TeemTunables {
+    /// The paper's configuration: δ = 200 MHz, floor = 1400 MHz, the
+    /// requirement's own threshold.
+    pub fn paper() -> Self {
+        TeemTunables {
+            delta_mhz: 200,
+            floor: MHz(1400),
+            threshold_c: None,
+        }
+    }
+
+    /// Sets the δ frequency step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_mhz` is zero (the stepper would never move).
+    pub fn with_delta(mut self, delta_mhz: u32) -> Self {
+        assert!(delta_mhz > 0, "delta must be positive");
+        self.delta_mhz = delta_mhz;
+        self
+    }
+
+    /// Sets the stepping floor.
+    pub fn with_floor(mut self, floor: MHz) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Overrides the thermal threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_c` is not a plausible silicon threshold
+    /// (40 to 120 °C).
+    pub fn with_threshold(mut self, threshold_c: f64) -> Self {
+        assert!(
+            threshold_c.is_finite() && (40.0..=120.0).contains(&threshold_c),
+            "threshold {threshold_c} out of plausible range"
+        );
+        self.threshold_c = Some(threshold_c);
+        self
+    }
+
+    /// `true` when this is exactly the paper's configuration — the
+    /// bit-identity contract of the default sweep axis.
+    pub fn is_paper(&self) -> bool {
+        *self == TeemTunables::paper()
+    }
+
+    /// The requirement with this knob set's threshold override applied —
+    /// what TEEM's launch planning and online stepper actually see.
+    pub fn resolve(&self, req: &UserRequirement) -> UserRequirement {
+        match self.threshold_c {
+            Some(t) => UserRequirement::new(req.treq_s, t),
+            None => *req,
+        }
+    }
+
+    /// Builds the online governor for a resolved requirement: the
+    /// paper's stepper with this knob set's δ, floor and threshold.
+    pub fn governor(&self, req: &UserRequirement) -> TeemGovernor {
+        let resolved = self.resolve(req);
+        let mut g = TeemGovernor::with_threshold(resolved.avg_temp_c);
+        g.delta_mhz = self.delta_mhz;
+        g.floor = self.floor;
+        g
+    }
+
+    /// Compact knob tag for sweep-cell names and reports:
+    /// `"d200/f1400"`, plus `"/t82"` when the threshold is overridden.
+    pub fn label(&self) -> String {
+        match self.threshold_c {
+            Some(t) => format!("d{}/f{}/t{t:.0}", self.delta_mhz, self.floor.0),
+            None => format!("d{}/f{}", self.delta_mhz, self.floor.0),
+        }
+    }
+}
+
 impl Manager for TeemGovernor {
     fn name(&self) -> &str {
         "TEEM"
@@ -157,6 +269,46 @@ mod tests {
         let mut ctl = SocControl::default();
         g.control(&view_at(84.0, MHz(1400)), &mut ctl);
         assert_eq!(ctl.big_request(), Some(MHz(2000)));
+    }
+
+    #[test]
+    fn paper_tunables_reproduce_paper_governor() {
+        let req = UserRequirement::new(30.0, 85.0);
+        let g = TeemTunables::paper().governor(&req);
+        let p = TeemGovernor::with_threshold(85.0);
+        assert_eq!(g.threshold_c, p.threshold_c);
+        assert_eq!(g.delta_mhz, p.delta_mhz);
+        assert_eq!(g.floor, p.floor);
+        assert!(TeemTunables::default().is_paper());
+        assert_eq!(TeemTunables::paper().label(), "d200/f1400");
+    }
+
+    #[test]
+    fn tunables_override_delta_floor_and_threshold() {
+        let req = UserRequirement::new(30.0, 85.0);
+        let t = TeemTunables::paper()
+            .with_delta(100)
+            .with_floor(MHz(1000))
+            .with_threshold(82.0);
+        assert!(!t.is_paper());
+        assert_eq!(t.label(), "d100/f1000/t82");
+        let g = t.governor(&req);
+        assert_eq!(g.delta_mhz, 100);
+        assert_eq!(g.floor, MHz(1000));
+        assert_eq!(g.threshold_c, 82.0);
+        // The resolved requirement carries the overridden threshold into
+        // launch planning; TREQ is untouched.
+        let r = t.resolve(&req);
+        assert_eq!(r.avg_temp_c, 82.0);
+        assert_eq!(r.treq_s, 30.0);
+        // No override resolves to the requirement unchanged.
+        assert_eq!(TeemTunables::paper().resolve(&req), req);
+    }
+
+    #[test]
+    #[should_panic(expected = "plausible")]
+    fn tunables_reject_absurd_threshold() {
+        let _ = TeemTunables::paper().with_threshold(500.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! experiments.
 
 use crate::baselines::{Eemp, Rmp};
-use crate::online::{plan, TeemGovernor};
+use crate::online::{plan, TeemTunables};
 use crate::profile::AppProfile;
 use crate::requirements::UserRequirement;
 use teem_governors::{Ondemand, Userspace};
@@ -143,7 +143,11 @@ pub struct LaunchPlan {
 /// for every arrival in a multi-app timeline.
 ///
 /// For TEEM the profile is required (mapping via the eq. 6 model
-/// inversion, partition via eq. 9). A fixed
+/// inversion, partition via eq. 9) and `tunables` steers the knobs the
+/// paper fixes — a threshold override in the tunables replaces the
+/// requirement's threshold before planning, so a sweep cell's knob set
+/// and its launch plan always agree. The other approaches ignore the
+/// tunables (they have no δ/floor/threshold). A fixed
 /// `mapping_override`/`partition_override` can replace the planned
 /// values — the paper's Fig. 5 fixes the mapping across approaches, and
 /// the scenario engine's contention policies restrict co-running apps
@@ -159,6 +163,7 @@ pub fn plan_launch(
     profile: Option<&AppProfile>,
     mapping_override: Option<CpuMapping>,
     partition_override: Option<Partition>,
+    tunables: &TeemTunables,
 ) -> LaunchPlan {
     let max = ClusterFreqs {
         big: MHz(2000),
@@ -168,7 +173,7 @@ pub fn plan_launch(
     match approach {
         Approach::Teem => {
             let profile = profile.expect("TEEM requires a profile");
-            let planned = plan(profile, req);
+            let planned = plan(profile, &tunables.resolve(req));
             LaunchPlan {
                 mapping: mapping_override.unwrap_or(planned.mapping),
                 partition: partition_override.unwrap_or(planned.partition),
@@ -225,16 +230,19 @@ pub fn plan_launch(
 }
 
 /// Builds the online manager that will drive a planned run — the
-/// actuation half of [`prepare`]. TEEM gets its governor at the
-/// requirement's threshold; EEMP and RMP pin the plan's frequencies;
-/// ondemand is the stock governor.
+/// actuation half of [`prepare`]. TEEM gets its governor from the
+/// tunables (δ, floor, and the requirement's threshold unless the
+/// tunables override it — the same resolution [`plan_launch`] applied,
+/// so plan and stepper never disagree); EEMP and RMP pin the plan's
+/// frequencies; ondemand is the stock governor.
 pub fn manager_for(
     approach: Approach,
     req: &UserRequirement,
     plan: &LaunchPlan,
+    tunables: &TeemTunables,
 ) -> Box<dyn Manager + Send> {
     match approach {
-        Approach::Teem => Box::new(TeemGovernor::with_threshold(req.avg_temp_c)),
+        Approach::Teem => Box::new(tunables.governor(req)),
         Approach::Eemp => Box::new(Userspace::named(plan.initial, "EEMP")),
         Approach::Rmp => Box::new(Userspace::named(plan.initial, "RMP")),
         Approach::Ondemand => Box::new(Ondemand::xu4()),
@@ -242,8 +250,10 @@ pub fn manager_for(
 }
 
 /// Plans `app` and builds its manager in one call —
-/// [`plan_launch`] + [`manager_for`]. See those for the split the
-/// scenario engine's co-run arbiter uses.
+/// [`plan_launch`] + [`manager_for`] at the paper's
+/// [`TeemTunables`] (δ = 200 MHz, floor = 1400 MHz, the requirement's
+/// threshold). See those for the split the scenario engine's co-run
+/// arbiter and the sweep engine's knob axis use.
 ///
 /// # Panics
 ///
@@ -256,6 +266,7 @@ pub fn prepare(
     mapping_override: Option<CpuMapping>,
     partition_override: Option<Partition>,
 ) -> PreparedRun {
+    let tunables = TeemTunables::paper();
     let plan = plan_launch(
         app,
         approach,
@@ -263,12 +274,13 @@ pub fn prepare(
         profile,
         mapping_override,
         partition_override,
+        &tunables,
     );
     PreparedRun {
         mapping: plan.mapping,
         partition: plan.partition,
         initial: plan.initial,
-        manager: manager_for(approach, req, &plan),
+        manager: manager_for(approach, req, &plan, &tunables),
     }
 }
 
@@ -378,16 +390,55 @@ mod tests {
         let board = Board::odroid_xu4_ideal();
         let profile = profile_app(&board, App::Syrk).unwrap();
         let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.8);
+        let tunables = TeemTunables::paper();
         for approach in Approach::all() {
             let p = Some(&profile);
-            let plan = plan_launch(App::Syrk, approach, &req, p, None, None);
+            let plan = plan_launch(App::Syrk, approach, &req, p, None, None, &tunables);
             let prepared = prepare(App::Syrk, approach, &req, p, None, None);
             assert_eq!(plan.mapping, prepared.mapping, "{approach}");
             assert_eq!(plan.partition, prepared.partition, "{approach}");
             assert_eq!(plan.initial, prepared.initial, "{approach}");
-            let mgr = manager_for(approach, &req, &plan);
+            let mgr = manager_for(approach, &req, &plan, &tunables);
             assert_eq!(mgr.name(), prepared.manager.name(), "{approach}");
         }
+    }
+
+    #[test]
+    fn tunable_threshold_reshapes_the_teem_plan() {
+        // The knob axis contract: a threshold override flows into the
+        // eq. 6 mapping inversion, not just the online stepper — the
+        // same resolution for plan and governor.
+        let board = Board::odroid_xu4_ideal();
+        let profile = profile_app(&board, App::Covariance).unwrap();
+        let req = UserRequirement::with_paper_threshold(profile.et_gpu_s * 0.8);
+        let p = Some(&profile);
+        let paper = plan_launch(
+            App::Covariance,
+            Approach::Teem,
+            &req,
+            p,
+            None,
+            None,
+            &TeemTunables::paper(),
+        );
+        // A colder threshold raises the predicted mapping requirement
+        // (the Table II AT coefficient is negative), so the inversion
+        // grants more cores.
+        let cold = TeemTunables::paper().with_threshold(45.0);
+        let replanned = plan_launch(App::Covariance, Approach::Teem, &req, p, None, None, &cold);
+        // An explicit override equal to the requirement is a no-op.
+        let same = TeemTunables::paper().with_threshold(req.avg_temp_c);
+        let identical = plan_launch(App::Covariance, Approach::Teem, &req, p, None, None, &same);
+        assert_eq!(identical.mapping, paper.mapping);
+        assert_eq!(identical.partition, paper.partition);
+        assert_ne!(
+            replanned.mapping, paper.mapping,
+            "45C vs 85C must invert to different mappings"
+        );
+        assert!(replanned.mapping.total_cores() > paper.mapping.total_cores());
+        // The partition (eq. 9) depends only on TREQ/ET_GPU, never on
+        // the threshold.
+        assert_eq!(replanned.partition, paper.partition);
     }
 
     #[test]
@@ -405,6 +456,7 @@ mod tests {
             Some(&profile),
             Some(CpuMapping::new(0, 0)),
             Some(Partition::all_gpu()),
+            &TeemTunables::paper(),
         );
         assert!(gpu_side.mapping.is_empty());
         assert!(gpu_side.partition.is_gpu_only());
@@ -415,6 +467,7 @@ mod tests {
             Some(&profile),
             Some(CpuMapping::new(2, 3)),
             Some(Partition::all_cpu()),
+            &TeemTunables::paper(),
         );
         assert_eq!(cpu_side.mapping, CpuMapping::new(2, 3));
         assert!(cpu_side.partition.is_cpu_only());

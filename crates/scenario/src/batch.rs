@@ -1,31 +1,30 @@
 //! The parallel batch runner: fan a scenario × approach matrix across
-//! `std::thread` workers and aggregate the per-run summaries into one
-//! comparison table.
+//! workers and aggregate the per-run summaries into one comparison
+//! table.
 //!
-//! Every cell of the matrix is an independent simulation on its own
-//! fresh board, so the fan-out is embarrassingly parallel; profiles are
-//! computed once up front and shared (an [`teem_core::AppProfile`] is
-//! plain data). Results come back in deterministic scenario-major order
-//! regardless of worker scheduling.
-
-use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+//! Since the streaming refactor this is a thin collect-and-reorder
+//! wrapper over the [`SweepSpec`] engine: the matrix is expressed as a
+//! two-axis sweep (scenarios outermost, approaches innermost), executed
+//! by the work-stealing streaming executor, and the streamed cells are
+//! buffered back into deterministic scenario-major order. Running a
+//! matrix through the wrapper is bit-identical to the pre-streaming
+//! fan-out (pinned by the golden-digest tests); grids that are too big
+//! to buffer should use [`SweepSpec::run_streaming`] directly.
 
 use crate::arbiter::ContentionPolicy;
-use crate::exec::{ScenarioResult, ScenarioRunner};
+use crate::exec::ScenarioResult;
 use crate::scenario::Scenario;
-use teem_core::offline::build_profile_store;
+use crate::sweep::{ConfigPatch, SweepError, SweepSpec};
 use teem_core::runner::Approach;
-use teem_soc::{Board, SimConfig};
+use teem_soc::SimConfig;
 use teem_telemetry::{scenario_table, ScenarioSummary};
-use teem_workload::App;
 
 /// Runs scenario × approach matrices in parallel.
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
     threads: usize,
     config: Option<SimConfig>,
+    patch: ConfigPatch,
     contention: ContentionPolicy,
 }
 
@@ -43,6 +42,7 @@ impl BatchRunner {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             config: None,
+            patch: ConfigPatch::default(),
             contention: ContentionPolicy::Serial,
         }
     }
@@ -59,9 +59,22 @@ impl BatchRunner {
         self
     }
 
-    /// Overrides the executor configuration for every run.
+    /// Overrides the executor configuration for every run — wholesale,
+    /// including the timeout. Prefer [`BatchRunner::with_config_patch`],
+    /// which starts from the scenario-scale defaults instead of
+    /// whatever the caller zeroed.
     pub fn with_config(mut self, config: SimConfig) -> Self {
         self.config = Some(config);
+        self
+    }
+
+    /// Overrides configuration fields on top of
+    /// [`crate::ScenarioRunner::default_config`] (so the 10 000 s
+    /// scenario timeout survives unless the patch itself names
+    /// `timeout_s`). Applied on top of [`BatchRunner::with_config`] if
+    /// both are set.
+    pub fn with_config_patch(mut self, patch: ConfigPatch) -> Self {
+        self.patch = patch;
         self
     }
 
@@ -73,63 +86,42 @@ impl BatchRunner {
         self
     }
 
+    /// The two-axis [`SweepSpec`] this matrix is executed as.
+    fn spec(&self, scenarios: &[Scenario], approaches: &[Approach]) -> SweepSpec {
+        let mut spec = SweepSpec::over(scenarios.to_vec())
+            .approaches(approaches)
+            .contentions(&[self.contention])
+            .patch_config(self.patch)
+            .threads(self.threads);
+        if let Some(config) = self.config {
+            spec = spec.config(config);
+        }
+        spec
+    }
+
     /// Executes every `scenario` under every `approach` and returns the
-    /// results scenario-major (`scenarios[0]` under each approach first).
+    /// results scenario-major (`scenarios[0]` under each approach
+    /// first), regardless of worker scheduling.
+    ///
+    /// A panicking cell no longer takes the whole matrix down (the PR 1
+    /// behaviour poisoned the result buffer): the panic is caught on
+    /// its worker, every other cell still runs, and the error names the
+    /// failed cell.
     ///
     /// # Errors
     ///
-    /// Propagates a profiling failure for any app appearing in the
-    /// scenarios.
+    /// [`SweepError::Profiling`] for a profiling failure of any app
+    /// appearing in the scenarios; [`SweepError::Cell`] naming the
+    /// failed cell if one errored or panicked.
     pub fn run_matrix(
         &self,
         scenarios: &[Scenario],
         approaches: &[Approach],
-    ) -> Result<Vec<ScenarioResult>, teem_linreg::LinregError> {
-        let total = scenarios.len() * approaches.len();
-        if total == 0 {
+    ) -> Result<Vec<ScenarioResult>, SweepError> {
+        if scenarios.is_empty() || approaches.is_empty() {
             return Ok(Vec::new());
         }
-
-        // Profile every app once, up front, on the ideal board. The set
-        // dedups across scenarios in O(n log n) (App is `Ord`; insertion
-        // order is irrelevant because the store itself is keyed), and
-        // the finished store is shared with every worker by `Arc` — one
-        // store for the whole matrix, not a clone per cell.
-        let apps: BTreeSet<App> = scenarios.iter().flat_map(Scenario::apps).collect();
-        let profiles = build_profile_store(&Board::odroid_xu4_ideal(), apps)?.into_shared();
-
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<ScenarioResult, teem_linreg::LinregError>>>> =
-            Mutex::new((0..total).map(|_| None).collect());
-        let workers = self.threads.min(total);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= total {
-                        break;
-                    }
-                    let scenario = &scenarios[idx / approaches.len()];
-                    let approach = approaches[idx % approaches.len()];
-                    let mut runner =
-                        ScenarioRunner::with_shared_profiles(approach, Arc::clone(&profiles))
-                            .with_contention(self.contention);
-                    if let Some(cfg) = self.config {
-                        runner = runner.with_config(cfg);
-                    }
-                    let result = runner.run(scenario);
-                    slots.lock().expect("no poisoned worker")[idx] = Some(result);
-                });
-            }
-        });
-
-        slots
-            .into_inner()
-            .expect("workers joined")
-            .into_iter()
-            .map(|r| r.expect("every cell filled"))
-            .collect()
+        self.spec(scenarios, approaches).run_collect()
     }
 
     /// Convenience: run the matrix and format the summaries as a
@@ -137,12 +129,12 @@ impl BatchRunner {
     ///
     /// # Errors
     ///
-    /// Propagates a profiling failure, as [`BatchRunner::run_matrix`].
+    /// Propagates failures as [`BatchRunner::run_matrix`].
     pub fn comparison_table(
         &self,
         scenarios: &[Scenario],
         approaches: &[Approach],
-    ) -> Result<(Vec<ScenarioResult>, String), teem_linreg::LinregError> {
+    ) -> Result<(Vec<ScenarioResult>, String), SweepError> {
         let results = self.run_matrix(scenarios, approaches)?;
         let summaries: Vec<ScenarioSummary> = results.iter().map(|r| r.summary.clone()).collect();
         Ok((results, scenario_table(&summaries)))
@@ -152,6 +144,7 @@ impl BatchRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{AppRequest, ScenarioEvent};
     use teem_workload::App;
 
     #[test]
@@ -202,5 +195,53 @@ mod tests {
             .run_matrix(&[], &[Approach::Teem])
             .expect("trivially");
         assert!(results.is_empty());
+        let results = BatchRunner::new()
+            .run_matrix(&[Scenario::new("x")], &[])
+            .expect("trivially");
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn panicking_cell_yields_an_error_naming_it_not_a_poisoned_crash() {
+        // PR 1's runner crashed the *caller* with a poisoned-mutex
+        // expect when any worker panicked; now the panic is contained,
+        // the sibling cells complete, and the error names the cell.
+        let poison = Scenario::new("poison-cell").at(
+            0.0,
+            ScenarioEvent::Arrival(AppRequest::new(App::Mvt, 0.9).with_threshold(500.0)),
+        );
+        let good = Scenario::new("good").arrive(0.0, App::Gesummv, 0.9);
+        let err = BatchRunner::new()
+            .run_matrix(&[poison, good], &[Approach::Teem])
+            .expect_err("the poisoned cell must surface as an error");
+        let msg = err.to_string();
+        assert!(msg.contains("poison-cell"), "names the cell: {msg}");
+        assert!(msg.contains("panicked"), "says what happened: {msg}");
+    }
+
+    #[test]
+    fn config_patch_keeps_scenario_scale_timeout() {
+        // The PR 1 footgun: with_config(SimConfig::default()) silently
+        // clamps the scenario timeout to the single-run 1 000 s. The
+        // patch path starts from default_config() instead.
+        let scenarios = vec![Scenario::new("a").arrive(0.0, App::Mvt, 0.9)];
+        let patched = BatchRunner::new()
+            .with_config_patch(ConfigPatch {
+                sample_period_s: Some(0.2),
+                ..ConfigPatch::default()
+            })
+            .run_matrix(&scenarios, &[Approach::Teem])
+            .expect("runs");
+        assert!(!patched[0].timed_out);
+        // Same patch on top of an explicit full config: patch wins for
+        // the fields it names.
+        let spec = BatchRunner::new()
+            .with_config(crate::ScenarioRunner::default_config())
+            .with_config_patch(ConfigPatch {
+                timeout_s: Some(123.0),
+                ..ConfigPatch::default()
+            })
+            .spec(&scenarios, &[Approach::Teem]);
+        assert_eq!(spec.resolved_config().timeout_s, 123.0);
     }
 }

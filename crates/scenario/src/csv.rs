@@ -61,8 +61,8 @@ impl From<std::io::Error> for TraceParseError {
 
 impl Scenario {
     /// Builds a scenario from an arrival-trace file of
-    /// `t, app, treq_factor` lines (see the [module docs](self) for the
-    /// format). The scenario is named after the file stem.
+    /// `t, app, treq_factor` lines (see [`Scenario::from_csv_str`] for
+    /// the format). The scenario is named after the file stem.
     ///
     /// # Errors
     ///

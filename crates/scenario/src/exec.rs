@@ -37,7 +37,7 @@ use crate::event::ScenarioEvent;
 use crate::scenario::{Scenario, DEFAULT_THRESHOLD_C};
 use teem_core::offline::profile_app;
 use teem_core::runner::{manager_for, plan_launch, Approach, LaunchPlan};
-use teem_core::{AppProfile, ProfileStore, UserRequirement};
+use teem_core::{AppProfile, ProfileStore, TeemTunables, UserRequirement};
 use teem_soc::perf::{cpu_rate, gpu_rate};
 use teem_soc::{
     clamp_freqs, co_run_dynamic_weights, co_run_node_powers_into, collapsed_node_powers_into,
@@ -75,6 +75,7 @@ pub struct ScenarioRunner {
     approach: Approach,
     config: SimConfig,
     arbiter: MappingArbiter,
+    tunables: TeemTunables,
     shared_profiles: Arc<ProfileStore>,
     local_profiles: ProfileStore,
 }
@@ -114,6 +115,7 @@ impl ScenarioRunner {
             approach,
             config: ScenarioRunner::default_config(),
             arbiter: MappingArbiter::new(ContentionPolicy::Serial),
+            tunables: TeemTunables::paper(),
             shared_profiles: profiles,
             local_profiles: ProfileStore::new(),
         }
@@ -133,6 +135,20 @@ impl ScenarioRunner {
     pub fn with_contention(mut self, policy: ContentionPolicy) -> Self {
         self.arbiter = MappingArbiter::new(policy);
         self
+    }
+
+    /// Sets TEEM's run-time knobs (δ step, floor, threshold override)
+    /// for every launch this runner plans — the sweep engine's knob
+    /// axis. The default [`TeemTunables::paper`] is bit-identical to the
+    /// pre-knob executor; the other approaches ignore the tunables.
+    pub fn with_tunables(mut self, tunables: TeemTunables) -> Self {
+        self.tunables = tunables;
+        self
+    }
+
+    /// The TEEM knob set this runner plans launches with.
+    pub fn tunables(&self) -> TeemTunables {
+        self.tunables
     }
 
     /// The approach this runner manages with.
@@ -185,7 +201,15 @@ impl ScenarioRunner {
                 let ureq = UserRequirement::new(treq_s, thr);
                 // The plan is deterministic; the arrival event re-derives
                 // the identical one when it fires.
-                let plan = plan_launch(req.app, approach, &ureq, Some(&profile), None, None);
+                let plan = plan_launch(
+                    req.app,
+                    approach,
+                    &ureq,
+                    Some(&profile),
+                    None,
+                    None,
+                    &self.tunables,
+                );
                 let chars = req.app.characteristics();
                 let initial = clamp_freqs(board, plan.initial);
                 let cpu_share = plan.partition.cpu_fraction() > 0.0;
@@ -303,8 +327,15 @@ impl ScenarioRunner {
                         let treq_s = req.treq_factor * profile.et_gpu_s;
                         let thr = req.threshold_c.unwrap_or(threshold_c);
                         let ureq = UserRequirement::new(treq_s, thr);
-                        let plan =
-                            plan_launch(req.app, approach, &ureq, Some(&profile), None, None);
+                        let plan = plan_launch(
+                            req.app,
+                            approach,
+                            &ureq,
+                            Some(&profile),
+                            None,
+                            None,
+                            &self.tunables,
+                        );
                         queue.push_back(QueuedJob {
                             app: req.app,
                             arrived_s: ev.at_s,
@@ -346,7 +377,7 @@ impl ScenarioRunner {
                     Admission::Defer => break,
                     Admission::Launch { mapping } => {
                         let q = queue.pop_front().expect("front exists");
-                        let manager = manager_for(q.approach, &q.ureq, &q.plan);
+                        let manager = manager_for(q.approach, &q.ureq, &q.plan, &self.tunables);
                         let initial = clamp_freqs(&board, q.plan.initial);
                         let partition = q.plan.partition;
                         active.push(ActiveJob::launch(
@@ -362,8 +393,9 @@ impl ScenarioRunner {
                             Some(&q.profile),
                             Some(mapping),
                             Some(partition),
+                            &self.tunables,
                         );
-                        let manager = manager_for(q.approach, &q.ureq, &plan);
+                        let manager = manager_for(q.approach, &q.ureq, &plan, &self.tunables);
                         let initial = clamp_freqs(&board, plan.initial);
                         active.push(ActiveJob::launch(
                             q,

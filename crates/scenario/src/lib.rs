@@ -28,10 +28,18 @@
 //! * [`Scenario::from_csv`] loads recorded arrival timelines
 //!   (`t, app, treq_factor` lines) so real usage traces can drive the
 //!   evaluation instead of synthetic generators;
-//! * a [`BatchRunner`] fans a scenario × approach matrix across
-//!   `std::thread` workers and aggregates
-//!   [`ScenarioSummary`](teem_telemetry::ScenarioSummary)s into a
-//!   comparison table.
+//! * a [`SweepSpec`] names cartesian axes — scenarios × approaches ×
+//!   [`ContentionPolicy`] × initial threshold × ambient ×
+//!   [`TeemTunables`](teem_core::TeemTunables) knob sets ×
+//!   [`IdlePolicy`](teem_soc::IdlePolicy) — and a work-stealing
+//!   executor streams every finished cell as a [`SweepEvent`], so
+//!   thousands-of-cell grids aggregate online in O(workers) memory
+//!   (pair it with
+//!   [`SweepAggregator`](teem_telemetry::SweepAggregator));
+//! * a [`BatchRunner`] — now a thin collect-and-reorder wrapper over
+//!   the sweep engine — fans a scenario × approach matrix out and
+//!   aggregates [`ScenarioSummary`](teem_telemetry::ScenarioSummary)s
+//!   into a comparison table in deterministic scenario-major order.
 //!
 //! Everything is deterministic: the same scenario under the same
 //! approach produces an identical trace, run to run and thread to
@@ -69,6 +77,7 @@ mod csv;
 mod event;
 mod exec;
 mod scenario;
+mod sweep;
 
 pub use arbiter::{Admission, ContentionPolicy, MappingArbiter, ResourceClaim};
 pub use batch::BatchRunner;
@@ -76,3 +85,4 @@ pub use csv::TraceParseError;
 pub use event::{AppRequest, ScenarioEvent, TimedEvent};
 pub use exec::{ScenarioResult, ScenarioRunner};
 pub use scenario::{Scenario, DEFAULT_THRESHOLD_C};
+pub use sweep::{ConfigPatch, SweepCell, SweepError, SweepEvent, SweepRunStats, SweepSpec};

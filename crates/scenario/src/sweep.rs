@@ -1,0 +1,1179 @@
+//! The streaming sweep engine: cartesian scenario × knob grids executed
+//! by a work-stealing thread pool that **streams** results as cells
+//! finish, instead of buffering a whole matrix.
+//!
+//! A [`SweepSpec`] names the axes — scenarios × approaches ×
+//! [`ContentionPolicy`] × initial threshold × ambient ×
+//! [`TeemTunables`] × [`IdlePolicy`] — and enumerates their cartesian
+//! product *lazily*: a cell is materialised (scenario cloned, knobs
+//! applied) only on the worker that executes it, so a ten-thousand-cell
+//! grid costs ten-thousand-cell memory **never** — the engine's resident
+//! state is O(workers), and whoever consumes the [`SweepEvent`] stream
+//! decides what to keep.
+//!
+//! Execution is a work-stealing pool over [`std::thread::scope`]: cells
+//! are split into chunks on a shared injector queue; each worker drains
+//! its claimed chunk cell by cell, refills from the injector, and when
+//! that runs dry steals the back half of the fullest sibling's claim —
+//! so one pathologically slow scenario cannot strand the rest of its
+//! chunk behind it. Every finished cell is sent through an
+//! [`mpsc`](std::sync::mpsc) channel and handed to the caller's event
+//! sink *on the calling thread*, in completion order.
+//!
+//! A panicking cell (satellite of the PR 1 poisoned-mutex fix) is
+//! caught on the worker, reported as [`SweepEvent::CellFailed`] naming
+//! the cell, and the sweep **keeps draining** the remaining cells —
+//! one bad cell costs one cell, not the grid.
+//!
+//! [`BatchRunner`](crate::BatchRunner) is a thin collect-and-reorder
+//! wrapper over this engine, and keeps its deterministic scenario-major
+//! output (pinned bit-identical by the golden-digest tests).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use crate::arbiter::ContentionPolicy;
+use crate::exec::{ScenarioResult, ScenarioRunner};
+use crate::scenario::Scenario;
+use teem_core::offline::build_profile_store;
+use teem_core::runner::Approach;
+use teem_core::{ProfileStore, TeemTunables};
+use teem_soc::{Board, IdlePolicy, SimConfig};
+use teem_workload::App;
+
+/// Everything that can go wrong in a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Offline profiling failed before any cell ran.
+    Profiling(teem_linreg::LinregError),
+    /// One cell failed (an in-cell error or a caught panic). The sweep
+    /// drained every other cell before reporting this.
+    Cell {
+        /// The failed cell's name (scenario name with knob tags plus
+        /// the approach).
+        cell: String,
+        /// What happened.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Profiling(e) => write!(f, "sweep profiling failed: {e}"),
+            SweepError::Cell { cell, message } => {
+                write!(f, "sweep cell `{cell}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Profiling(e) => Some(e),
+            SweepError::Cell { .. } => None,
+        }
+    }
+}
+
+impl From<teem_linreg::LinregError> for SweepError {
+    fn from(e: teem_linreg::LinregError) -> Self {
+        SweepError::Profiling(e)
+    }
+}
+
+/// Field-wise overrides applied on top of
+/// [`ScenarioRunner::default_config`] — the safe way to customise the
+/// executor configuration.
+///
+/// [`ScenarioRunner::with_config`] replaces the configuration
+/// *wholesale*, so a caller building a [`SimConfig`] from scratch
+/// silently loses the scenario-scale 10 000 s timeout (the PR 1
+/// footgun). A patch starts from the right defaults and overrides only
+/// what it names:
+///
+/// ```
+/// use teem_scenario::ConfigPatch;
+///
+/// let cfg = ConfigPatch {
+///     sample_period_s: Some(0.2),
+///     ..ConfigPatch::default()
+/// }
+/// .onto_default();
+/// assert_eq!(cfg.sample_period_s, 0.2);
+/// assert_eq!(cfg.timeout_s, 10_000.0, "scenario timeout survives");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConfigPatch {
+    /// Integration step override, seconds.
+    pub dt_s: Option<f64>,
+    /// Sampling-period override, seconds.
+    pub sample_period_s: Option<f64>,
+    /// Timeout override, seconds.
+    pub timeout_s: Option<f64>,
+    /// Warm-start fraction override.
+    pub warm_start_fraction: Option<f64>,
+    /// Idle-policy override (an explicit [`SweepSpec::idle_policies`]
+    /// axis wins over this).
+    pub idle_policy: Option<IdlePolicy>,
+}
+
+impl ConfigPatch {
+    /// Applies the overrides on top of `base`.
+    pub fn apply(self, mut base: SimConfig) -> SimConfig {
+        if let Some(v) = self.dt_s {
+            base.dt_s = v;
+        }
+        if let Some(v) = self.sample_period_s {
+            base.sample_period_s = v;
+        }
+        if let Some(v) = self.timeout_s {
+            base.timeout_s = v;
+        }
+        if let Some(v) = self.warm_start_fraction {
+            base.warm_start_fraction = v;
+        }
+        if let Some(v) = self.idle_policy {
+            base.idle_policy = v;
+        }
+        base
+    }
+
+    /// Applies the overrides on top of the scenario-scale defaults
+    /// ([`ScenarioRunner::default_config`]) — never on a zeroed
+    /// [`SimConfig`].
+    pub fn onto_default(self) -> SimConfig {
+        self.apply(ScenarioRunner::default_config())
+    }
+
+    /// `true` when the patch overrides nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == ConfigPatch::default()
+    }
+}
+
+/// One cell of the sweep grid: a scenario under one approach with one
+/// setting picked from every knob axis.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Linear cell index — the deterministic position in the grid
+    /// (scenario-major: the scenario is the outermost axis, the
+    /// approach the innermost).
+    pub index: usize,
+    /// The materialised scenario name: the base name plus a tag per
+    /// knob axis the spec set (e.g. `"bursty@thr82/amb30/d100/f1400"`).
+    pub name: String,
+    /// Management approach.
+    pub approach: Approach,
+    /// Contention policy the cell co-schedules under.
+    pub contention: ContentionPolicy,
+    /// Initial default threshold, °C (`None` keeps the scenario's own
+    /// timeline).
+    pub threshold_c: Option<f64>,
+    /// Initial ambient override, °C.
+    pub ambient_c: Option<f64>,
+    /// TEEM knob set (δ / floor / threshold override).
+    pub tunables: TeemTunables,
+    /// Idle-policy override.
+    pub idle_policy: Option<IdlePolicy>,
+    scenario_index: usize,
+}
+
+/// One event on the sweep stream.
+#[derive(Debug)]
+pub enum SweepEvent {
+    /// A worker picked up a cell.
+    CellStarted {
+        /// Linear cell index.
+        index: usize,
+        /// Materialised cell name.
+        name: String,
+        /// The cell's approach.
+        approach: Approach,
+    },
+    /// A cell finished; this event owns its full result — the engine
+    /// keeps nothing.
+    CellDone {
+        /// Which cell.
+        cell: SweepCell,
+        /// Its complete result (summary, trace, timeout flag).
+        result: Box<ScenarioResult>,
+    },
+    /// A cell failed (in-cell error or caught panic); the sweep keeps
+    /// draining the remaining cells.
+    CellFailed {
+        /// Linear cell index.
+        index: usize,
+        /// Materialised cell name.
+        name: String,
+        /// Failure description (panic payload or error display).
+        message: String,
+    },
+    /// The sweep is complete; always the last event.
+    Finished {
+        /// Total cells in the grid.
+        cells: usize,
+        /// How many failed.
+        failed: usize,
+    },
+}
+
+/// What a finished sweep reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunStats {
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Cells that completed with a result.
+    pub completed: usize,
+    /// Cells that failed (error or panic).
+    pub failed: usize,
+}
+
+/// A cartesian sweep specification: which scenarios, under which
+/// approaches, across which knob grids.
+///
+/// Axes not set stay at their single default value (the approaches
+/// default to TEEM alone, the contention to the paper's serial model,
+/// thresholds/ambients/tunables/idle policy to "whatever the scenario
+/// and configuration already say"), so the smallest spec is exactly the
+/// old scenario × approach matrix — and with no extra axes the cell
+/// scenarios run *unrenamed and untouched*, which is how
+/// [`BatchRunner`](crate::BatchRunner) keeps its golden digests
+/// bit-identical on top of this engine.
+///
+/// # Streaming thousands of cells in O(workers) memory
+///
+/// The idiom for big grids: aggregate online, keep nothing.
+///
+/// ```
+/// use teem_core::runner::Approach;
+/// use teem_scenario::{Scenario, SweepEvent, SweepSpec};
+/// use teem_telemetry::SweepAggregator;
+/// use teem_workload::App;
+///
+/// # fn main() -> Result<(), teem_scenario::SweepError> {
+/// // scenarios × thresholds × ambients — add axes to taste; the cell
+/// // count is the product, the memory stays O(workers).
+/// let spec = SweepSpec::over([
+///     Scenario::new("spike").arrive(0.0, App::Mvt, 0.9),
+///     Scenario::new("pair").arrive(0.0, App::Gesummv, 0.9),
+/// ])
+/// .approaches(&[Approach::Teem])
+/// .thresholds_c(&[82.0, 85.0])
+/// .ambients_c(&[25.0]);
+///
+/// let mut agg = SweepAggregator::new();
+/// let stats = spec.run_streaming(|ev| {
+///     if let SweepEvent::CellDone { result, .. } = ev {
+///         agg.record(&result.summary); // result dropped right here
+///     }
+/// })?;
+/// assert_eq!(stats.cells, 4);
+/// assert_eq!(agg.cells(), 4);
+/// assert_eq!(agg.trips_total(), 0); // TEEM: proactive, trip-free
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    scenarios: Vec<Scenario>,
+    approaches: Vec<Approach>,
+    contentions: Vec<ContentionPolicy>,
+    thresholds_c: Option<Vec<f64>>,
+    ambients_c: Option<Vec<f64>>,
+    tunables: Option<Vec<TeemTunables>>,
+    idle_policies: Option<Vec<IdlePolicy>>,
+    base_config: Option<SimConfig>,
+    patch: ConfigPatch,
+    threads: usize,
+    chunk: Option<usize>,
+}
+
+impl SweepSpec {
+    /// A sweep over `scenarios`, under TEEM, serial contention, and the
+    /// paper's knobs — extend with the axis builders.
+    pub fn over(scenarios: impl IntoIterator<Item = Scenario>) -> Self {
+        SweepSpec {
+            scenarios: scenarios.into_iter().collect(),
+            approaches: vec![Approach::Teem],
+            contentions: vec![ContentionPolicy::Serial],
+            thresholds_c: None,
+            ambients_c: None,
+            tunables: None,
+            idle_policies: None,
+            base_config: None,
+            patch: ConfigPatch::default(),
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            chunk: None,
+        }
+    }
+
+    /// Sets the approach axis (empty ⇒ zero cells).
+    pub fn approaches(mut self, approaches: &[Approach]) -> Self {
+        self.approaches = approaches.to_vec();
+        self
+    }
+
+    /// Sets the contention-policy axis. With more than one policy the
+    /// cell names carry a policy tag.
+    pub fn contentions(mut self, policies: &[ContentionPolicy]) -> Self {
+        self.contentions = policies.to_vec();
+        self
+    }
+
+    /// Adds an initial-threshold axis: every cell scenario is re-based
+    /// on the given default threshold
+    /// ([`Scenario::with_initial_threshold`]), which flows into each
+    /// arrival's requirement. Note that a [`TeemTunables`] knob set
+    /// carrying its own `threshold_c` override takes precedence over
+    /// this axis (and over per-arrival overrides) for TEEM cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a threshold is not a plausible silicon threshold
+    /// (40 to 120 °C) — validated here, on the caller's thread, rather
+    /// than as a worker panic mid-sweep — or if the combination with an
+    /// already-set knob axis makes this axis dead (see
+    /// [`SweepSpec::tunables`]).
+    pub fn thresholds_c(mut self, thresholds_c: &[f64]) -> Self {
+        for &t in thresholds_c {
+            assert!(
+                t.is_finite() && (40.0..=120.0).contains(&t),
+                "threshold {t} out of plausible range"
+            );
+        }
+        self.thresholds_c = Some(thresholds_c.to_vec());
+        self.assert_threshold_axis_alive();
+        self
+    }
+
+    /// Adds an initial-ambient axis ([`Scenario::with_initial_ambient`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ambient is outside −40 to 120 °C.
+    pub fn ambients_c(mut self, ambients_c: &[f64]) -> Self {
+        for &a in ambients_c {
+            assert!(
+                a.is_finite() && (-40.0..=120.0).contains(&a),
+                "ambient {a} out of plausible range"
+            );
+        }
+        self.ambients_c = Some(ambients_c.to_vec());
+        self
+    }
+
+    /// Adds a TEEM knob axis (δ / floor / threshold override per cell;
+    /// see [`TeemTunables`]). A knob set with `threshold_c: Some(_)`
+    /// overrides the scenario's threshold wholesale for TEEM cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if combined with a [`SweepSpec::thresholds_c`] axis while
+    /// *every* knob set overrides the threshold: the threshold axis
+    /// would then only multiply the grid with duplicate-physics cells
+    /// under different names.
+    pub fn tunables(mut self, tunables: &[TeemTunables]) -> Self {
+        self.tunables = Some(tunables.to_vec());
+        self.assert_threshold_axis_alive();
+        self
+    }
+
+    /// Rejects grids whose thresholds axis is provably inert because
+    /// every TEEM knob set carries its own threshold override.
+    fn assert_threshold_axis_alive(&self) {
+        if let (Some(thresholds), Some(tunables)) = (&self.thresholds_c, &self.tunables) {
+            let axis_dead = !thresholds.is_empty()
+                && !tunables.is_empty()
+                && tunables.iter().all(|t| t.threshold_c.is_some());
+            assert!(
+                !axis_dead,
+                "every TeemTunables in the knob axis overrides the threshold, so the \
+                 thresholds_c axis would only duplicate physics under different cell \
+                 names; drop one of the two threshold sources"
+            );
+        }
+    }
+
+    /// Adds an idle-policy axis (overrides the configuration's policy
+    /// per cell).
+    pub fn idle_policies(mut self, policies: &[IdlePolicy]) -> Self {
+        self.idle_policies = Some(policies.to_vec());
+        self
+    }
+
+    /// Replaces the base executor configuration wholesale (the patch,
+    /// if any, still applies on top). Prefer [`SweepSpec::patch_config`]
+    /// unless you really mean every field.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.base_config = Some(config);
+        self
+    }
+
+    /// Overrides configuration fields on top of
+    /// [`ScenarioRunner::default_config`] — the footgun-free
+    /// customisation path.
+    pub fn patch_config(mut self, patch: ConfigPatch) -> Self {
+        self.patch = patch;
+        self
+    }
+
+    /// Caps the worker count (1 ⇒ fully sequential in cell-index order,
+    /// useful for determinism A/B tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the injector chunk size (cells claimed per grab). Defaults
+    /// to a size that gives every worker several claims, capped so the
+    /// tail stays stealable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk must be at least one cell");
+        self.chunk = Some(chunk);
+        self
+    }
+
+    /// Total number of cells in the grid (the product of every axis).
+    pub fn cells(&self) -> usize {
+        self.scenarios.len()
+            * self.approaches.len()
+            * self.contentions.len()
+            * self.thresholds_c.as_ref().map_or(1, Vec::len)
+            * self.ambients_c.as_ref().map_or(1, Vec::len)
+            * self.tunables.as_ref().map_or(1, Vec::len)
+            * self.idle_policies.as_ref().map_or(1, Vec::len)
+    }
+
+    /// Materialises the cell at `index` (lazy: nothing about a cell
+    /// exists until this is called). Axis nesting, outermost to
+    /// innermost: scenario, threshold, ambient, contention, idle
+    /// policy, tunables, approach — so a plain scenario × approach
+    /// sweep is scenario-major with approaches adjacent, exactly the
+    /// pre-refactor matrix order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.cells()`.
+    pub fn cell(&self, index: usize) -> SweepCell {
+        assert!(index < self.cells(), "cell {index} out of range");
+        let mut rest = index;
+        let pick = |rest: &mut usize, n: usize| {
+            let i = *rest % n;
+            *rest /= n;
+            i
+        };
+        let approach = self.approaches[pick(&mut rest, self.approaches.len())];
+        let tunables = match &self.tunables {
+            Some(ts) => ts[pick(&mut rest, ts.len())],
+            None => TeemTunables::paper(),
+        };
+        let idle_policy = self
+            .idle_policies
+            .as_ref()
+            .map(|ps| ps[pick(&mut rest, ps.len())]);
+        let contention = self.contentions[pick(&mut rest, self.contentions.len())];
+        let ambient_c = self
+            .ambients_c
+            .as_ref()
+            .map(|a| a[pick(&mut rest, a.len())]);
+        let threshold_c = self
+            .thresholds_c
+            .as_ref()
+            .map(|t| t[pick(&mut rest, t.len())]);
+        let scenario_index = rest;
+
+        let mut tags: Vec<String> = Vec::new();
+        if let Some(t) = threshold_c {
+            tags.push(format!("thr{t}"));
+        }
+        if let Some(a) = ambient_c {
+            tags.push(format!("amb{a}"));
+        }
+        if self.contentions.len() > 1 {
+            tags.push(contention.name().to_string());
+        }
+        if let Some(p) = idle_policy {
+            tags.push(match p {
+                IdlePolicy::RaceToIdle => "race".to_string(),
+                IdlePolicy::TimeoutCollapse { timeout_ms } => {
+                    format!("collapse{timeout_ms}ms")
+                }
+            });
+        }
+        if self.tunables.is_some() {
+            tags.push(tunables.label());
+        }
+        let base = self.scenarios[scenario_index].name();
+        let name = if tags.is_empty() {
+            base.to_string()
+        } else {
+            format!("{base}@{}", tags.join("/"))
+        };
+
+        SweepCell {
+            index,
+            name,
+            approach,
+            contention,
+            threshold_c,
+            ambient_c,
+            tunables,
+            idle_policy,
+            scenario_index,
+        }
+    }
+
+    /// The configuration every cell starts from: the base (default:
+    /// [`ScenarioRunner::default_config`]) with the patch applied. A
+    /// cell's idle-policy axis value overrides this per cell.
+    pub fn resolved_config(&self) -> SimConfig {
+        self.patch.apply(
+            self.base_config
+                .unwrap_or_else(ScenarioRunner::default_config),
+        )
+    }
+
+    /// Runs the whole grid, handing every [`SweepEvent`] to `sink` on
+    /// the calling thread as cells finish — completion order, not grid
+    /// order. The engine retains no results, and the event channel is
+    /// **bounded** (2 × workers): a sink slower than the workers blocks
+    /// them instead of queueing results, so peak resident result state
+    /// stays O(workers) no matter the grid or consumer speed.
+    ///
+    /// Cell failures (including caught panics) become
+    /// [`SweepEvent::CellFailed`] and the sweep drains the remaining
+    /// cells; the terminal [`SweepEvent::Finished`] carries the failure
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Profiling`] if an app in the grid cannot be
+    /// profiled — detected up front, before any cell runs.
+    pub fn run_streaming(
+        &self,
+        mut sink: impl FnMut(SweepEvent),
+    ) -> Result<SweepRunStats, SweepError> {
+        let total = self.cells();
+        if total == 0 {
+            sink(SweepEvent::Finished {
+                cells: 0,
+                failed: 0,
+            });
+            return Ok(SweepRunStats {
+                cells: 0,
+                completed: 0,
+                failed: 0,
+            });
+        }
+
+        // Profile every app once, up front, shared with every worker.
+        let apps: BTreeSet<App> = self.scenarios.iter().flat_map(Scenario::apps).collect();
+        let profiles = build_profile_store(&Board::odroid_xu4_ideal(), apps)?.into_shared();
+        let config = self.resolved_config();
+        let workers = self.threads.min(total);
+
+        let mut completed = 0usize;
+        let mut failed = 0usize;
+
+        if workers <= 1 {
+            // Sequential: cell-index order, same failure handling.
+            for index in 0..total {
+                let cell = self.cell(index);
+                sink(SweepEvent::CellStarted {
+                    index,
+                    name: cell.name.clone(),
+                    approach: cell.approach,
+                });
+                match self.run_cell(&cell, &profiles, config) {
+                    Ok(result) => {
+                        completed += 1;
+                        sink(SweepEvent::CellDone {
+                            cell,
+                            result: Box::new(result),
+                        });
+                    }
+                    Err(message) => {
+                        failed += 1;
+                        sink(SweepEvent::CellFailed {
+                            index,
+                            name: cell.name,
+                            message,
+                        });
+                    }
+                }
+            }
+        } else {
+            // Work-stealing pool: a shared injector of chunks, one
+            // claimed (start, end) range per worker, thieves take the
+            // back half of the fullest claim. No lock is ever held
+            // while a cell runs, and no two range locks are held at
+            // once, so a panicking cell cannot poison shared state.
+            let chunk = self
+                .chunk
+                .unwrap_or_else(|| total.div_ceil(workers * 4).clamp(1, 32));
+            let injector: Mutex<VecDeque<(usize, usize)>> = Mutex::new(
+                (0..total)
+                    .step_by(chunk)
+                    .map(|s| (s, (s + chunk).min(total)))
+                    .collect(),
+            );
+            let claims: Vec<Mutex<(usize, usize)>> =
+                (0..workers).map(|_| Mutex::new((0, 0))).collect();
+            let claimed = std::sync::atomic::AtomicUsize::new(0);
+            // Bounded channel = backpressure: when the sink is slower
+            // than the workers, producers block on `send` instead of
+            // queueing results, so the O(workers) resident-result
+            // guarantee holds no matter how slow the consumer is (2×
+            // workers leaves each worker one slot of slack before it
+            // parks). The sink loop below never blocks on the workers,
+            // so the bound cannot deadlock.
+            let (tx, rx) = mpsc::sync_channel::<SweepEvent>(workers * 2);
+
+            std::thread::scope(|scope| {
+                for me in 0..workers {
+                    let tx = tx.clone();
+                    let injector = &injector;
+                    let claims = &claims;
+                    let claimed = &claimed;
+                    let profiles = &profiles;
+                    scope.spawn(move || {
+                        while let Some(index) = next_cell(me, injector, claims, claimed, total) {
+                            let cell = self.cell(index);
+                            // A failed send means the receiver is gone —
+                            // the sink panicked mid-sweep. Stop claiming
+                            // cells instead of silently simulating the
+                            // rest of the grid into a closed channel.
+                            let started = tx.send(SweepEvent::CellStarted {
+                                index,
+                                name: cell.name.clone(),
+                                approach: cell.approach,
+                            });
+                            if started.is_err() {
+                                break;
+                            }
+                            let event = match self.run_cell(&cell, profiles, config) {
+                                Ok(result) => SweepEvent::CellDone {
+                                    cell,
+                                    result: Box::new(result),
+                                },
+                                Err(message) => SweepEvent::CellFailed {
+                                    index,
+                                    name: cell.name,
+                                    message,
+                                },
+                            };
+                            if tx.send(event).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx); // the receiver loop ends when every worker has
+                for event in rx {
+                    match &event {
+                        SweepEvent::CellDone { .. } => completed += 1,
+                        SweepEvent::CellFailed { .. } => failed += 1,
+                        _ => {}
+                    }
+                    sink(event);
+                }
+            });
+        }
+
+        sink(SweepEvent::Finished {
+            cells: total,
+            failed,
+        });
+        Ok(SweepRunStats {
+            cells: total,
+            completed,
+            failed,
+        })
+    }
+
+    /// Convenience for small grids: runs the sweep and returns every
+    /// result **buffered in cell-index order** — O(cells) memory by
+    /// construction; big grids should stream instead.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Profiling`] as [`SweepSpec::run_streaming`], or
+    /// [`SweepError::Cell`] naming the first failed cell (the sweep
+    /// still drained the others first).
+    pub fn run_collect(&self) -> Result<Vec<ScenarioResult>, SweepError> {
+        let mut slots: Vec<Option<ScenarioResult>> = (0..self.cells()).map(|_| None).collect();
+        let mut failure: Option<SweepError> = None;
+        self.run_streaming(|event| match event {
+            SweepEvent::CellDone { cell, result } => slots[cell.index] = Some(*result),
+            SweepEvent::CellFailed { name, message, .. } if failure.is_none() => {
+                failure = Some(SweepError::Cell {
+                    cell: name,
+                    message,
+                });
+            }
+            _ => {}
+        })?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every cell streamed exactly once"))
+            .collect())
+    }
+
+    /// Executes one cell: materialise the scenario, build its runner,
+    /// run it with the panic caught on this worker.
+    fn run_cell(
+        &self,
+        cell: &SweepCell,
+        profiles: &Arc<ProfileStore>,
+        config: SimConfig,
+    ) -> Result<ScenarioResult, String> {
+        let mut scenario = self.scenarios[cell.scenario_index].clone();
+        if cell.name != scenario.name() {
+            scenario = scenario.with_name(cell.name.clone());
+        }
+        if let Some(t) = cell.threshold_c {
+            scenario = scenario.with_initial_threshold(t);
+        }
+        if let Some(a) = cell.ambient_c {
+            scenario = scenario.with_initial_ambient(a);
+        }
+        let mut cfg = config;
+        if let Some(p) = cell.idle_policy {
+            cfg.idle_policy = p;
+        }
+        let mut runner = ScenarioRunner::with_shared_profiles(cell.approach, Arc::clone(profiles))
+            .with_contention(cell.contention)
+            .with_tunables(cell.tunables)
+            .with_config(cfg);
+        match std::panic::catch_unwind(AssertUnwindSafe(|| runner.run(&scenario))) {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(format!("panicked: {}", panic_message(&payload))),
+        }
+    }
+}
+
+/// Claims the next cell for worker `me`: own range first, then a fresh
+/// injector chunk, then steal the back half of the fullest sibling
+/// claim. Returns `None` only once every cell has been claimed
+/// (`claimed == total`), so a worker can never exit while a sibling
+/// still holds unclaimed cells in a transient unpublished window — it
+/// yields and rescans instead.
+///
+/// Lock discipline: the injector is only ever locked *under* the
+/// worker's own claim lock (so a popped chunk is never invisible to
+/// thieves), the steal path locks the victim and the thief's own claim
+/// strictly one after the other, and no lock is held while a cell
+/// runs — deadlock-free, and a cell panic cannot poison the claim
+/// structure.
+fn next_cell(
+    me: usize,
+    injector: &Mutex<VecDeque<(usize, usize)>>,
+    claims: &[Mutex<(usize, usize)>],
+    claimed: &std::sync::atomic::AtomicUsize,
+    total: usize,
+) -> Option<usize> {
+    use std::sync::atomic::Ordering;
+    let take = || claimed.fetch_add(1, Ordering::Relaxed);
+    loop {
+        // 1. Own claim, refilled from the injector while still held:
+        //    a chunk moves atomically (to observers) from the injector
+        //    into this claim, so thieves scanning claims after finding
+        //    the injector empty cannot miss it.
+        {
+            let mut own = claims[me].lock().expect("no cell runs under this lock");
+            if own.0 < own.1 {
+                let i = own.0;
+                own.0 += 1;
+                take();
+                return Some(i);
+            }
+            let fresh = injector
+                .lock()
+                .expect("no cell runs under this lock")
+                .pop_front();
+            if let Some((start, end)) = fresh {
+                *own = (start + 1, end);
+                take();
+                return Some(start);
+            }
+        }
+        // 2. Steal: scan for the fullest sibling claim, take its back
+        //    half.
+        let mut victim: Option<(usize, usize)> = None; // (worker, len)
+        for (w, claim) in claims.iter().enumerate() {
+            if w == me {
+                continue;
+            }
+            let r = claim.lock().expect("no cell runs under this lock");
+            let len = r.1 - r.0;
+            if len > victim.map_or(0, |(_, l)| l) {
+                victim = Some((w, len));
+            }
+        }
+        if let Some((w, _)) = victim {
+            let stolen = {
+                let mut r = claims[w].lock().expect("no cell runs under this lock");
+                let len = r.1 - r.0;
+                if len == 0 {
+                    continue; // raced with the victim; rescan
+                }
+                let keep = len / 2;
+                let stolen = (r.0 + keep, r.1);
+                r.1 = stolen.0;
+                stolen
+            };
+            let mut own = claims[me].lock().expect("no cell runs under this lock");
+            *own = (stolen.0 + 1, stolen.1);
+            take();
+            return Some(stolen.0);
+        }
+        // 3. Nothing visible. Exit only when every cell has been
+        //    claimed; otherwise a thief is mid-publish — yield and
+        //    rescan.
+        if claimed.load(Ordering::Relaxed) >= total {
+            return None;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AppRequest, ScenarioEvent};
+    use teem_soc::MHz;
+
+    fn two_scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario::new("a").arrive(0.0, App::Mvt, 0.9),
+            Scenario::new("b").arrive(0.0, App::Gesummv, 0.9),
+        ]
+    }
+
+    #[test]
+    fn cell_count_is_the_axis_product() {
+        let spec = SweepSpec::over(two_scenarios())
+            .approaches(&[Approach::Teem, Approach::Ondemand])
+            .thresholds_c(&[80.0, 85.0, 90.0])
+            .ambients_c(&[20.0, 30.0]);
+        assert_eq!(spec.cells(), 2 * 2 * 3 * 2);
+    }
+
+    #[test]
+    fn enumeration_is_scenario_major_with_approach_innermost() {
+        let spec =
+            SweepSpec::over(two_scenarios()).approaches(&[Approach::Teem, Approach::Ondemand]);
+        assert_eq!(spec.cells(), 4);
+        let names: Vec<(String, Approach)> = (0..4)
+            .map(|i| {
+                let c = spec.cell(i);
+                (c.name, c.approach)
+            })
+            .collect();
+        assert_eq!(names[0], ("a".to_string(), Approach::Teem));
+        assert_eq!(names[1], ("a".to_string(), Approach::Ondemand));
+        assert_eq!(names[2], ("b".to_string(), Approach::Teem));
+        assert_eq!(names[3], ("b".to_string(), Approach::Ondemand));
+    }
+
+    #[test]
+    fn no_extra_axes_means_untouched_scenario_names() {
+        let spec = SweepSpec::over(two_scenarios());
+        assert_eq!(spec.cell(0).name, "a", "no knob tags without knob axes");
+        assert_eq!(spec.cell(0).tunables, TeemTunables::paper());
+        assert_eq!(spec.cell(0).threshold_c, None);
+    }
+
+    #[test]
+    fn knob_axes_tag_the_cell_names() {
+        let spec = SweepSpec::over(two_scenarios())
+            .thresholds_c(&[82.0])
+            .ambients_c(&[30.0])
+            .tunables(&[TeemTunables::paper().with_delta(100).with_floor(MHz(1000))]);
+        let c = spec.cell(0);
+        assert_eq!(c.name, "a@thr82/amb30/d100/f1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "plausible")]
+    fn threshold_axis_is_validated_up_front() {
+        let _ = SweepSpec::over(two_scenarios()).thresholds_c(&[500.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate physics")]
+    fn dead_threshold_axis_is_rejected() {
+        // Every knob set overrides the threshold, so the thresholds
+        // axis could only clone cells under different names.
+        let _ = SweepSpec::over(two_scenarios())
+            .thresholds_c(&[80.0, 85.0])
+            .tunables(&[
+                TeemTunables::paper().with_threshold(82.0),
+                TeemTunables::paper().with_threshold(88.0),
+            ]);
+    }
+
+    #[test]
+    fn threshold_axis_with_partially_overriding_knobs_is_allowed() {
+        // One knob set keeps the requirement's threshold, so the axis
+        // still changes physics for those cells.
+        let spec = SweepSpec::over(two_scenarios())
+            .thresholds_c(&[80.0, 85.0])
+            .tunables(&[
+                TeemTunables::paper(),
+                TeemTunables::paper().with_threshold(82.0),
+            ]);
+        assert_eq!(spec.cells(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn panicking_sink_stops_the_workers_early() {
+        // A sink panic drops the receiver; workers must stop claiming
+        // cells instead of simulating the rest of the grid into a
+        // closed channel.
+        let spec = SweepSpec::over(two_scenarios())
+            .approaches(&[Approach::Teem, Approach::Ondemand])
+            .thresholds_c(&[80.0, 82.0, 84.0, 86.0])
+            .threads(2)
+            .chunk(1);
+        let spec_ref = &spec;
+        let ran = std::sync::Mutex::new(0usize);
+        let ran_ref = &ran;
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            spec_ref
+                .run_streaming(|ev| {
+                    if let SweepEvent::CellDone { .. } = ev {
+                        *ran_ref.lock().unwrap() += 1;
+                        panic!("sink gave up");
+                    }
+                })
+                .expect("profiling fine")
+        }));
+        assert!(result.is_err(), "the sink panic must propagate");
+        // The panic unwound on the first completed cell; the workers
+        // cannot have streamed the whole 16-cell grid afterwards (at
+        // most the cells already in flight or queued drain).
+        assert!(*ran.lock().unwrap() <= 1, "sink ran after its own panic");
+    }
+
+    #[test]
+    fn empty_grid_finishes_immediately() {
+        let spec = SweepSpec::over([]);
+        let mut events = 0;
+        let stats = spec
+            .run_streaming(|ev| {
+                events += 1;
+                assert!(matches!(
+                    ev,
+                    SweepEvent::Finished {
+                        cells: 0,
+                        failed: 0
+                    }
+                ));
+            })
+            .expect("empty grid");
+        assert_eq!(events, 1);
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn stream_pairs_started_and_done_and_ends_with_finished() {
+        let spec = SweepSpec::over(two_scenarios()).threads(2);
+        let mut started = vec![false; spec.cells()];
+        let mut done = vec![false; spec.cells()];
+        let mut finished = false;
+        let stats = spec
+            .run_streaming(|ev| {
+                assert!(!finished, "nothing after Finished");
+                match ev {
+                    SweepEvent::CellStarted { index, .. } => started[index] = true,
+                    SweepEvent::CellDone { cell, result } => {
+                        assert!(started[cell.index], "Started precedes Done");
+                        assert!(!result.timed_out);
+                        done[cell.index] = true;
+                    }
+                    SweepEvent::CellFailed { .. } => panic!("no cell should fail"),
+                    SweepEvent::Finished { cells, failed } => {
+                        assert_eq!(cells, 2);
+                        assert_eq!(failed, 0);
+                        finished = true;
+                    }
+                }
+            })
+            .expect("runs");
+        assert!(finished);
+        assert!(done.iter().all(|&d| d));
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn collect_orders_by_cell_index_across_thread_counts() {
+        let spec =
+            SweepSpec::over(two_scenarios()).approaches(&[Approach::Teem, Approach::Ondemand]);
+        let seq = spec.clone().threads(1).run_collect().expect("runs");
+        let par = spec.threads(4).run_collect().expect("runs");
+        assert_eq!(seq.len(), 4);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.summary, b.summary);
+            assert_eq!(a.trace.digest(), b.trace.digest());
+        }
+    }
+
+    #[test]
+    fn panicking_cell_fails_alone_and_the_rest_drain() {
+        // A per-app threshold override far outside the plausible range
+        // panics inside the worker (UserRequirement's validation) — the
+        // engine must convert it to CellFailed and still run the other
+        // cells.
+        let poison = Scenario::new("poison").at(
+            0.0,
+            ScenarioEvent::Arrival(AppRequest::new(App::Mvt, 0.9).with_threshold(500.0)),
+        );
+        let good = Scenario::new("good").arrive(0.0, App::Mvt, 0.9);
+        let spec = SweepSpec::over([poison, good]).threads(2);
+        let mut failed_names = Vec::new();
+        let mut done_names = Vec::new();
+        let stats = spec
+            .run_streaming(|ev| match ev {
+                SweepEvent::CellFailed { name, message, .. } => {
+                    assert!(message.contains("panicked"), "{message}");
+                    failed_names.push(name);
+                }
+                SweepEvent::CellDone { cell, .. } => done_names.push(cell.name),
+                _ => {}
+            })
+            .expect("profiling still fine");
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(failed_names, vec!["poison".to_string()]);
+        assert_eq!(done_names, vec!["good".to_string()]);
+
+        // run_collect surfaces the failure as an error naming the cell.
+        let err = spec.run_collect().expect_err("poison cell fails");
+        let msg = err.to_string();
+        assert!(msg.contains("poison"), "{msg}");
+    }
+
+    #[test]
+    fn config_patch_rides_on_scenario_defaults() {
+        let cfg = SweepSpec::over(two_scenarios())
+            .patch_config(ConfigPatch {
+                sample_period_s: Some(0.25),
+                ..ConfigPatch::default()
+            })
+            .resolved_config();
+        assert_eq!(cfg.sample_period_s, 0.25);
+        assert_eq!(
+            cfg.timeout_s, 10_000.0,
+            "patch must not lose the scenario-scale timeout"
+        );
+        assert!(ConfigPatch::default().is_noop());
+    }
+
+    #[test]
+    fn work_stealing_claims_cover_every_cell_exactly_once() {
+        // Pure scheduling check on the claim structure, no simulations:
+        // tiny chunks + more workers than chunks forces refills and
+        // steals, and every worker stays live until the last cell is
+        // claimed (the claimed-counter termination rule).
+        let total = 103;
+        let chunk = 4;
+        let workers = 8;
+        let injector: Mutex<VecDeque<(usize, usize)>> = Mutex::new(
+            (0..total)
+                .step_by(chunk)
+                .map(|s| (s, (s + chunk).min(total)))
+                .collect(),
+        );
+        let claims: Vec<Mutex<(usize, usize)>> = (0..workers).map(|_| Mutex::new((0, 0))).collect();
+        let claimed = std::sync::atomic::AtomicUsize::new(0);
+        let seen = Mutex::new(vec![0u32; total]);
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let injector = &injector;
+                let claims = &claims;
+                let claimed = &claimed;
+                let seen = &seen;
+                scope.spawn(move || {
+                    while let Some(i) = next_cell(me, injector, claims, claimed, total) {
+                        seen.lock().unwrap()[i] += 1;
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+        assert_eq!(claimed.load(std::sync::atomic::Ordering::Relaxed), total);
+    }
+
+    #[test]
+    fn single_big_chunk_still_feeds_every_worker() {
+        // Review finding: with one giant injector chunk, thieves used
+        // to race the popping worker, see an empty world, and exit —
+        // leaving the whole chunk single-threaded. The claimed-counter
+        // termination keeps them alive until every cell is claimed, so
+        // steals must now spread the chunk.
+        let total = 64;
+        let workers = 4;
+        let injector: Mutex<VecDeque<(usize, usize)>> =
+            Mutex::new(std::iter::once((0, total)).collect());
+        let claims: Vec<Mutex<(usize, usize)>> = (0..workers).map(|_| Mutex::new((0, 0))).collect();
+        let claimed = std::sync::atomic::AtomicUsize::new(0);
+        let per_worker = Mutex::new(vec![0usize; workers]);
+        let seen = Mutex::new(vec![0u32; total]);
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let injector = &injector;
+                let claims = &claims;
+                let claimed = &claimed;
+                let per_worker = &per_worker;
+                let seen = &seen;
+                scope.spawn(move || {
+                    while let Some(i) = next_cell(me, injector, claims, claimed, total) {
+                        per_worker.lock().unwrap()[me] += 1;
+                        seen.lock().unwrap()[i] += 1;
+                        // Simulate a cell long enough for thieves to act.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                });
+            }
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+        let shares = per_worker.lock().unwrap();
+        assert!(
+            shares.iter().filter(|&&n| n > 0).count() >= 2,
+            "steals must spread a single chunk across workers: {shares:?}"
+        );
+    }
+}

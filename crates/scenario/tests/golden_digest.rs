@@ -94,6 +94,52 @@ fn explicit_serial_policy_reproduces_pre_refactor_executor() {
     );
 }
 
+/// The streaming-sweep refactor's compatibility contract: a 2×2
+/// scenario × approach grid with an explicit `ContentionPolicy::Serial`
+/// axis, executed by the work-stealing streaming engine, reproduces the
+/// pre-refactor blocking matrix bit for bit — the cells on the golden
+/// seeds must still hit the pinned digests, through the whole new
+/// stack (SweepSpec enumeration → work-stealing workers → event
+/// stream → collect-and-reorder).
+#[test]
+fn streaming_sweep_reproduces_pre_refactor_matrix_digests() {
+    use teem_scenario::SweepSpec;
+
+    let results = SweepSpec::over([builtin("back-to-back"), builtin("ambient-staircase")])
+        .approaches(&[Approach::Teem, Approach::Ondemand])
+        .contentions(&[ContentionPolicy::Serial])
+        .run_collect()
+        .expect("sweep runs");
+    assert_eq!(results.len(), 4, "2 scenarios x 2 approaches");
+    // Scenario-major, approach-innermost: [b2b/TEEM, b2b/ondemand,
+    // staircase/TEEM, staircase/ondemand].
+    assert_eq!(
+        results[0].trace.digest(),
+        GOLDEN_BACK_TO_BACK_TEEM,
+        "sweep cell back-to-back/TEEM diverged from the pre-refactor \
+         matrix (got {:#018x})",
+        results[0].trace.digest()
+    );
+    assert_eq!(
+        results[3].trace.digest(),
+        GOLDEN_STAIRCASE_ONDEMAND,
+        "sweep cell ambient-staircase/ondemand diverged from the \
+         pre-refactor matrix (got {:#018x})",
+        results[3].trace.digest()
+    );
+    // And the wrapper agrees with the engine cell for cell.
+    let matrix = teem_scenario::BatchRunner::new()
+        .run_matrix(
+            &[builtin("back-to-back"), builtin("ambient-staircase")],
+            &[Approach::Teem, Approach::Ondemand],
+        )
+        .expect("matrix runs");
+    for (cell, wrapped) in results.iter().zip(matrix.iter()) {
+        assert_eq!(cell.trace.digest(), wrapped.trace.digest());
+        assert_eq!(cell.summary, wrapped.summary);
+    }
+}
+
 #[test]
 fn digest_is_reproducible_within_a_build() {
     let run = || {

@@ -32,9 +32,13 @@ pub mod scenario;
 mod series;
 pub mod stats;
 pub mod summary;
+pub mod sweep;
 mod trace;
 
 pub use scenario::{scenario_table, ScenarioAppRun, ScenarioSummary};
 pub use series::{Sample, TimeSeries};
 pub use summary::RunSummary;
+pub use sweep::{
+    sweep_csv_header, sweep_csv_row, BestCell, Extremes, ParetoPoint, SweepAggregator,
+};
 pub use trace::Trace;

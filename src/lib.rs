@@ -53,18 +53,19 @@ pub mod prelude {
     pub use teem_core::offline;
     pub use teem_core::runner::{run, Approach};
     pub use teem_core::{
-        plan, AppProfile, MappingModel, ProfileStore, TeemGovernor, TeemPlan, UserRequirement,
+        plan, AppProfile, MappingModel, ProfileStore, TeemGovernor, TeemPlan, TeemTunables,
+        UserRequirement,
     };
     pub use teem_governors::{Conservative, Ondemand, Performance, Powersave, Userspace};
     pub use teem_scenario::{
-        AppRequest, BatchRunner, ContentionPolicy, MappingArbiter, Scenario, ScenarioEvent,
-        ScenarioResult, ScenarioRunner,
+        AppRequest, BatchRunner, ConfigPatch, ContentionPolicy, MappingArbiter, Scenario,
+        ScenarioEvent, ScenarioResult, ScenarioRunner, SweepEvent, SweepSpec,
     };
     pub use teem_soc::{
         node_powers_into, Board, ClusterFreqs, CpuMapping, IdlePolicy, MHz, Manager, RunResult,
         RunSpec, SimConfig, Simulation, SocControl, SocView, StepScratch, ThermalZone,
     };
-    pub use teem_telemetry::{RunSummary, ScenarioSummary, TimeSeries, Trace};
+    pub use teem_telemetry::{RunSummary, ScenarioSummary, SweepAggregator, TimeSeries, Trace};
     pub use teem_workload::{App, Kernel, Partition, ProblemSize};
 }
 
