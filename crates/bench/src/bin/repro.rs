@@ -8,13 +8,14 @@
 //! repro fig5a fig5b fig5c
 //! repro mem            # section V-D memory accounting
 //! repro ablation       # threshold / delta / floor sweeps
+//! repro resume         # crash-safe sweep resume (persisted journal)
 //! ```
 
-use teem_bench::experiments::{ablation, fig1, fig3_fig4, fig5, memory, tables};
+use teem_bench::experiments::{ablation, fig1, fig3_fig4, fig5, memory, resume, tables};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [all|fig1|table1|table2|fig3|fig4|fig5a|fig5b|fig5c|fig5|mem|ablation]..."
+        "usage: repro [all|fig1|table1|table2|fig3|fig4|fig5a|fig5b|fig5c|fig5|mem|ablation|resume]..."
     );
     std::process::exit(2);
 }
@@ -46,6 +47,7 @@ fn main() {
                 println!("{}", fig5::report_c(&f));
                 println!("{}", memory::report(&memory::run()));
                 println!("{}", ablation::default_report());
+                println!("{}", resume::report(&resume::run()));
             }
             "fig1" => println!("{}", fig1::report(&fig1::run())),
             "table1" => println!("{}", tables::report_table1(&tables::table1())),
@@ -63,6 +65,7 @@ fn main() {
             "fig5c" => println!("{}", fig5::report_c(&fig5_data(&mut fig5_cache))),
             "mem" | "memory" => println!("{}", memory::report(&memory::run())),
             "ablation" => println!("{}", ablation::default_report()),
+            "resume" => println!("{}", resume::report(&resume::run())),
             _ => usage(),
         }
     }

@@ -1,0 +1,155 @@
+//! Crash-safe sweep resume, smoke-sized: the `repro resume` artefact.
+//!
+//! The full-size story (500 cells, interrupted at 200) lives in the
+//! `sweep_resume` example and the `journal_invariants` acceptance
+//! test; this experiment runs the same machinery on a small knob grid
+//! so `repro resume` finishes in well under a second and prints the
+//! accounting a reviewer needs to trust a resumed campaign:
+//!
+//! * how many cells the interrupted run journalled,
+//! * how many the resume skipped vs executed (no re-execution),
+//! * the order-invariant journal digest of the merged run vs an
+//!   uninterrupted reference, and
+//! * the cell-by-cell diff (empty ⇔ identical).
+
+use std::fmt::Write as _;
+
+use teem_core::runner::Approach;
+use teem_scenario::{
+    journal_digest, run_interrupted, ConfigPatch, LoadedJournal, Scenario, SweepEvent,
+    SweepJournal, SweepSpec,
+};
+use teem_telemetry::{sweep_diff, CellRecord, SweepAggregator};
+use teem_workload::App;
+
+/// What the demo measured.
+#[derive(Debug, Clone)]
+pub struct ResumeDemo {
+    /// Grid size.
+    pub cells: usize,
+    /// Cells journalled before the injected crash.
+    pub interrupted_at: usize,
+    /// Cells the resumed run skipped (== `interrupted_at`).
+    pub skipped: usize,
+    /// Cells the resumed run executed.
+    pub executed: usize,
+    /// Order-invariant digest of the merged journal.
+    pub merged_digest: u64,
+    /// Digest of the uninterrupted reference run.
+    pub reference_digest: u64,
+    /// `true` when the cell-by-cell diff is empty.
+    pub diff_empty: bool,
+    /// The replayed aggregate report.
+    pub report: String,
+}
+
+/// The smoke grid: 2 scenarios × 3 thresholds × 2 approaches = 12
+/// cells, each capped at 2 s of simulated time.
+fn smoke_spec() -> SweepSpec {
+    SweepSpec::over([
+        Scenario::new("mvt").arrive(0.0, App::Mvt, 0.9),
+        Scenario::new("syrk").arrive(0.0, App::Syrk, 0.85),
+    ])
+    .approaches(&[Approach::Teem, Approach::Ondemand])
+    .thresholds_c(&[80.0, 85.0, 90.0])
+    .patch_config(ConfigPatch {
+        timeout_s: Some(2.0),
+        ..ConfigPatch::default()
+    })
+    .threads(2)
+}
+
+/// Runs the interrupt → resume → verify pipeline on the smoke grid.
+///
+/// # Panics
+///
+/// Panics on journal I/O failure or if the resumed union is not
+/// identical to the uninterrupted run — this artefact *is* the check.
+pub fn run() -> ResumeDemo {
+    let path = std::env::temp_dir().join(format!("teem_repro_resume_{}.jsonl", std::process::id()));
+    let spec = smoke_spec();
+    let interrupt_after = spec.cells() / 2;
+
+    // Interrupted run: the sink journals each cell, then kills the
+    // pool after `interrupt_after` of them (panic = pool cancellation).
+    // `run_interrupted` silences the injected crash by *payload*, not
+    // by muting the process-global hook wholesale — other threads (e.g.
+    // concurrently running tests) keep their panic reporting.
+    let mut journal = SweepJournal::create(&path, &spec).expect("create journal");
+    run_interrupted(&spec, &mut journal, interrupt_after);
+    drop(journal);
+
+    // Resume from the journal; only the remainder executes.
+    let loaded = LoadedJournal::load(&path).expect("journal loads");
+    let resumed = spec.clone().resume_from(&loaded).expect("same grid");
+    let mut journal = SweepJournal::append_to(&path, &spec).expect("append");
+    let stats = resumed
+        .run_streaming(|ev| journal.observe(&ev).expect("journal write"))
+        .expect("resumed sweep runs");
+    drop(journal);
+
+    // Verify against an uninterrupted run.
+    let merged = LoadedJournal::load(&path).expect("merged journal loads");
+    let mut reference: Vec<CellRecord> = Vec::new();
+    spec.run_streaming(|ev| {
+        if let SweepEvent::CellDone { cell, result } = ev {
+            reference.push(CellRecord::from_summary(
+                cell.index,
+                &result.summary,
+                result.trace.digest(),
+            ));
+        }
+    })
+    .expect("reference sweep runs");
+    let diff = sweep_diff(&reference, &merged.records);
+    let demo = ResumeDemo {
+        cells: spec.cells(),
+        interrupted_at: loaded.records.len(),
+        skipped: stats.skipped,
+        executed: stats.cells,
+        merged_digest: journal_digest(&merged.records),
+        reference_digest: journal_digest(&reference),
+        diff_empty: diff.is_empty(),
+        report: SweepAggregator::replay(merged.records.iter()).report(),
+    };
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(demo.merged_digest, demo.reference_digest);
+    assert!(demo.diff_empty, "diff:\n{}", diff.report());
+    demo
+}
+
+/// Formats the demo as the `repro resume` report.
+pub fn report(d: &ResumeDemo) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== sweep resume (persisted journal) ==");
+    let _ = writeln!(
+        out,
+        "{} cells; crashed after {}; resume skipped {} and executed {}",
+        d.cells, d.interrupted_at, d.skipped, d.executed
+    );
+    let _ = writeln!(
+        out,
+        "merged journal digest {:016x} == uninterrupted {:016x}; diff empty: {}",
+        d.merged_digest, d.reference_digest, d.diff_empty
+    );
+    let _ = write!(out, "{}", d.report);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resume_demo_round_trips_and_reports() {
+        let d = run();
+        assert_eq!(d.cells, 12);
+        assert_eq!(d.skipped, d.interrupted_at);
+        assert_eq!(d.executed, d.cells - d.skipped);
+        assert_eq!(d.merged_digest, d.reference_digest);
+        assert!(d.diff_empty);
+        let r = report(&d);
+        assert!(r.contains("diff empty: true"), "{r}");
+        assert!(r.contains("12 cells"), "{r}");
+    }
+}

@@ -36,6 +36,15 @@
 //!   thousands-of-cell grids aggregate online in O(workers) memory
 //!   (pair it with
 //!   [`SweepAggregator`](teem_telemetry::SweepAggregator));
+//! * a [`SweepJournal`] spills the event stream to an append-only
+//!   JSONL journal (fsync-batched, torn-tail tolerant) so an
+//!   interrupted grid **resumes** from its last completed cell
+//!   ([`SweepSpec::resume_from`] — fingerprint-checked, skipping
+//!   journalled cells in the enumerator) and finished sweeps can be
+//!   diffed across commits
+//!   ([`sweep_diff`](teem_telemetry::sweep_diff)) or replayed into
+//!   reports offline
+//!   ([`SweepAggregator::replay`](teem_telemetry::SweepAggregator::replay));
 //! * a [`BatchRunner`] — now a thin collect-and-reorder wrapper over
 //!   the sweep engine — fans a scenario × approach matrix out and
 //!   aggregates [`ScenarioSummary`](teem_telemetry::ScenarioSummary)s
@@ -76,6 +85,7 @@ mod batch;
 mod csv;
 mod event;
 mod exec;
+mod journal;
 mod scenario;
 mod sweep;
 
@@ -84,5 +94,9 @@ pub use batch::BatchRunner;
 pub use csv::TraceParseError;
 pub use event::{AppRequest, ScenarioEvent, TimedEvent};
 pub use exec::{ScenarioResult, ScenarioRunner};
+pub use journal::{
+    journal_digest, run_interrupted, FailedCell, JournalError, LoadedJournal, SweepJournal,
+    JOURNAL_VERSION,
+};
 pub use scenario::{Scenario, DEFAULT_THRESHOLD_C};
 pub use sweep::{ConfigPatch, SweepCell, SweepError, SweepEvent, SweepRunStats, SweepSpec};

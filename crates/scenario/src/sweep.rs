@@ -41,6 +41,7 @@ use teem_core::offline::build_profile_store;
 use teem_core::runner::Approach;
 use teem_core::{ProfileStore, TeemTunables};
 use teem_soc::{Board, IdlePolicy, SimConfig};
+use teem_telemetry::Fnv;
 use teem_workload::App;
 
 /// Everything that can go wrong in a sweep.
@@ -214,7 +215,9 @@ pub enum SweepEvent {
     },
     /// The sweep is complete; always the last event.
     Finished {
-        /// Total cells in the grid.
+        /// Cells executed in this run: the full grid, minus any cells
+        /// skipped by a resume ([`SweepSpec::skip_cells`]) — so 0 when
+        /// resuming an already-complete journal.
         cells: usize,
         /// How many failed.
         failed: usize,
@@ -224,12 +227,15 @@ pub enum SweepEvent {
 /// What a finished sweep reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepRunStats {
-    /// Total cells in the grid.
+    /// Cells this run executed (the full grid minus skipped cells).
     pub cells: usize,
     /// Cells that completed with a result.
     pub completed: usize,
     /// Cells that failed (error or panic).
     pub failed: usize,
+    /// Cells skipped because a resumed journal already holds them
+    /// ([`SweepSpec::skip_cells`] / `SweepSpec::resume_from`).
+    pub skipped: usize,
 }
 
 /// A cartesian sweep specification: which scenarios, under which
@@ -290,6 +296,7 @@ pub struct SweepSpec {
     patch: ConfigPatch,
     threads: usize,
     chunk: Option<usize>,
+    skip: BTreeSet<usize>,
 }
 
 impl SweepSpec {
@@ -310,6 +317,7 @@ impl SweepSpec {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             chunk: None,
+            skip: BTreeSet::new(),
         }
     }
 
@@ -448,6 +456,152 @@ impl SweepSpec {
         self
     }
 
+    /// Marks cells (by linear grid index) to skip: the enumerator never
+    /// materialises or executes them, and they do not appear on the
+    /// event stream. This is the resume primitive —
+    /// [`SweepSpec::resume_from`] feeds it the indices a persisted
+    /// [`SweepJournal`](crate::SweepJournal) already holds.
+    /// Out-of-range indices are ignored; repeated calls accumulate.
+    pub fn skip_cells(mut self, indices: impl IntoIterator<Item = usize>) -> Self {
+        self.skip.extend(indices);
+        self
+    }
+
+    /// The skipped cell indices (what [`SweepSpec::skip_cells`] and
+    /// `resume_from` accumulated), in ascending order.
+    pub fn skipped_cells(&self) -> impl Iterator<Item = usize> + '_ {
+        let grid = self.cells();
+        self.skip.iter().copied().filter(move |&i| i < grid)
+    }
+
+    /// A stable 64-bit fingerprint of everything that determines the
+    /// grid's *physics*: every axis (scenarios with their full event
+    /// timelines, approaches, contention policies, thresholds,
+    /// ambients, tunables, idle policies) plus the resolved executor
+    /// configuration. Scheduling knobs (worker count, chunk size) and
+    /// the skip set are deliberately excluded — they change completion
+    /// order, never results.
+    ///
+    /// The persisted sweep journal stamps this into its header so a
+    /// resume can reject a journal recorded for a *different* grid,
+    /// and a cross-commit diff can tell "same grid, changed physics"
+    /// from "not the same experiment".
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str("teem-sweep-v1");
+        h.u64(self.scenarios.len() as u64);
+        for s in &self.scenarios {
+            h.str(s.name());
+            h.f64(s.initial_ambient_c());
+            let events = s.sorted_events();
+            h.u64(events.len() as u64);
+            for ev in &events {
+                h.f64(ev.at_s);
+                match ev.event {
+                    crate::event::ScenarioEvent::Arrival(req) => {
+                        // Exhaustive destructuring: a new physics field
+                        // must fail to compile here, not silently
+                        // escape the fingerprint.
+                        let crate::event::AppRequest {
+                            app,
+                            treq_factor,
+                            threshold_c,
+                        } = req;
+                        h.u64(0);
+                        h.u64(app as u64);
+                        h.f64(treq_factor);
+                        h.opt_f64(threshold_c);
+                    }
+                    crate::event::ScenarioEvent::AmbientChange { ambient_c } => {
+                        h.u64(1);
+                        h.f64(ambient_c);
+                    }
+                    crate::event::ScenarioEvent::ThresholdChange { threshold_c } => {
+                        h.u64(2);
+                        h.f64(threshold_c);
+                    }
+                    crate::event::ScenarioEvent::ApproachChange { approach } => {
+                        h.u64(3);
+                        h.u64(approach as u64);
+                    }
+                }
+            }
+        }
+        h.u64(self.approaches.len() as u64);
+        for a in &self.approaches {
+            h.u64(*a as u64);
+        }
+        h.u64(self.contentions.len() as u64);
+        for c in &self.contentions {
+            match c {
+                ContentionPolicy::Serial => h.u64(0),
+                ContentionPolicy::ClusterExclusive => h.u64(1),
+                ContentionPolicy::Shared { max_apps } => {
+                    h.u64(2);
+                    h.u64(*max_apps as u64);
+                }
+            }
+        }
+        let axis = |h: &mut Fnv, v: &Option<Vec<f64>>| match v {
+            Some(vals) => {
+                h.u64(1 + vals.len() as u64);
+                for &x in vals {
+                    h.f64(x);
+                }
+            }
+            None => h.u64(0),
+        };
+        axis(&mut h, &self.thresholds_c);
+        axis(&mut h, &self.ambients_c);
+        match &self.tunables {
+            Some(ts) => {
+                h.u64(1 + ts.len() as u64);
+                for t in ts {
+                    let TeemTunables {
+                        delta_mhz,
+                        floor,
+                        threshold_c,
+                    } = *t;
+                    h.u64(u64::from(delta_mhz));
+                    h.u64(u64::from(floor.0));
+                    h.opt_f64(threshold_c);
+                }
+            }
+            None => h.u64(0),
+        }
+        let idle = |h: &mut Fnv, p: IdlePolicy| match p {
+            IdlePolicy::RaceToIdle => h.u64(0),
+            IdlePolicy::TimeoutCollapse { timeout_ms } => {
+                h.u64(1);
+                h.u64(u64::from(timeout_ms));
+            }
+        };
+        match &self.idle_policies {
+            Some(ps) => {
+                h.u64(1 + ps.len() as u64);
+                for &p in ps {
+                    idle(&mut h, p);
+                }
+            }
+            None => h.u64(0),
+        }
+        // Exhaustive destructuring: adding a physics field to SimConfig
+        // breaks this line instead of silently escaping the fingerprint.
+        let SimConfig {
+            dt_s,
+            sample_period_s,
+            timeout_s,
+            warm_start_fraction,
+            idle_policy,
+        } = self.resolved_config();
+        h.f64(dt_s);
+        h.f64(sample_period_s);
+        h.f64(timeout_s);
+        h.f64(warm_start_fraction);
+        idle(&mut h, idle_policy);
+        h.finish()
+    }
+
     /// Total number of cells in the grid (the product of every axis).
     pub fn cells(&self) -> usize {
         self.scenarios.len()
@@ -568,7 +722,19 @@ impl SweepSpec {
         &self,
         mut sink: impl FnMut(SweepEvent),
     ) -> Result<SweepRunStats, SweepError> {
-        let total = self.cells();
+        let grid = self.cells();
+        // The work list: cell indices minus the skip set. The identity
+        // case (no skips — every non-resumed sweep) stays lazy and
+        // allocation-free; a resume holds one index per *remaining*
+        // cell, which is exactly the work it still owes.
+        let run_list: Option<Vec<usize>> = if self.skip.is_empty() {
+            None
+        } else {
+            Some((0..grid).filter(|i| !self.skip.contains(i)).collect())
+        };
+        let total = run_list.as_ref().map_or(grid, Vec::len);
+        let skipped = grid - total;
+        let to_index = |pos: usize| run_list.as_ref().map_or(pos, |l| l[pos]);
         if total == 0 {
             sink(SweepEvent::Finished {
                 cells: 0,
@@ -578,6 +744,7 @@ impl SweepSpec {
                 cells: 0,
                 completed: 0,
                 failed: 0,
+                skipped,
             });
         }
 
@@ -592,7 +759,8 @@ impl SweepSpec {
 
         if workers <= 1 {
             // Sequential: cell-index order, same failure handling.
-            for index in 0..total {
+            for pos in 0..total {
+                let index = to_index(pos);
                 let cell = self.cell(index);
                 sink(SweepEvent::CellStarted {
                     index,
@@ -651,8 +819,14 @@ impl SweepSpec {
                     let claims = &claims;
                     let claimed = &claimed;
                     let profiles = &profiles;
+                    let to_index = &to_index;
                     scope.spawn(move || {
-                        while let Some(index) = next_cell(me, injector, claims, claimed, total) {
+                        // The claim structure schedules work-list
+                        // *positions*; `to_index` maps a position to
+                        // its grid index (the identity unless cells
+                        // are skipped for a resume).
+                        while let Some(pos) = next_cell(me, injector, claims, claimed, total) {
+                            let index = to_index(pos);
                             let cell = self.cell(index);
                             // A failed send means the receiver is gone —
                             // the sink panicked mid-sweep. Stop claiming
@@ -703,12 +877,15 @@ impl SweepSpec {
             cells: total,
             completed,
             failed,
+            skipped,
         })
     }
 
     /// Convenience for small grids: runs the sweep and returns every
-    /// result **buffered in cell-index order** — O(cells) memory by
-    /// construction; big grids should stream instead.
+    /// executed result **buffered in cell-index order** — O(cells)
+    /// memory by construction; big grids should stream instead.
+    /// Skipped cells (a resumed spec) are simply absent from the
+    /// output.
     ///
     /// # Errors
     ///
@@ -733,7 +910,9 @@ impl SweepSpec {
         }
         Ok(slots
             .into_iter()
-            .map(|r| r.expect("every cell streamed exactly once"))
+            .enumerate()
+            .filter(|(i, _)| !self.skip.contains(i))
+            .map(|(_, r)| r.expect("every non-skipped cell streamed exactly once"))
             .collect())
     }
 

@@ -1,0 +1,377 @@
+//! Cell-by-cell comparison of two persisted sweeps.
+//!
+//! A sweep journal (the scenario crate's `SweepJournal`) turns a grid
+//! run into a durable list of [`CellRecord`]s keyed by grid index;
+//! [`sweep_diff`] compares two such lists — typically the same grid run
+//! at two commits — and reports what moved:
+//!
+//! * **coverage**: cells present on only one side (an interrupted run,
+//!   a grown grid);
+//! * **identity**: cells whose axes disagree at the same index
+//!   (renamed scenario / different approach — the grids are not the
+//!   same grid, which the journal fingerprint normally catches first);
+//! * **physics**: cells whose trace digest changed, split into metric
+//!   regressions (energy / makespan / trips / misses / peak worse on
+//!   the new side) and neutral-or-better changes;
+//! * **winners**: base scenarios whose best cell changed, computed by
+//!   replaying both sides through the [`SweepAggregator`].
+//!
+//! Two journals of the same commit diff **empty** — the engine is
+//! deterministic — so any non-empty diff is a real change, which makes
+//! the report a reviewable cross-commit artefact.
+
+use crate::sweep::{CellRecord, SweepAggregator};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One metric that changed on a cell, minimised quantities throughout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricChange {
+    /// Metric name (`"energy_j"`, `"makespan_s"`, `"zone_trips"`,
+    /// `"deadline_misses"`, `"peak_temp_c"`).
+    pub metric: &'static str,
+    /// Value on the base side.
+    pub base: f64,
+    /// Value on the new side.
+    pub new: f64,
+}
+
+impl MetricChange {
+    /// `true` when the new side is strictly worse (all diffed metrics
+    /// are minimised).
+    pub fn regressed(&self) -> bool {
+        self.new > self.base
+    }
+}
+
+/// One cell that differs between the two sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// Linear grid index.
+    pub index: usize,
+    /// Cell scenario name (base side).
+    pub cell: String,
+    /// Approach display name (base side).
+    pub approach: String,
+    /// `true` when the trace digests differ — the physics changed even
+    /// if every summary metric agrees.
+    pub digest_changed: bool,
+    /// Metrics whose values differ, in fixed report order.
+    pub changed: Vec<MetricChange>,
+}
+
+impl CellDelta {
+    /// `true` when at least one metric got strictly worse.
+    pub fn regressed(&self) -> bool {
+        self.changed.iter().any(MetricChange::regressed)
+    }
+}
+
+/// A base scenario whose winning cell changed between the two sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinnerChange {
+    /// The base scenario (knob tags stripped).
+    pub scenario: String,
+    /// `"cell/approach"` that won on the base side.
+    pub base_winner: String,
+    /// `"cell/approach"` that wins on the new side.
+    pub new_winner: String,
+}
+
+/// Everything [`sweep_diff`] found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepDiff {
+    /// Indices present only in the base sweep.
+    pub only_in_base: Vec<usize>,
+    /// Indices present only in the new sweep.
+    pub only_in_new: Vec<usize>,
+    /// Indices where the two sides disagree on the cell's identity
+    /// (scenario name or approach): `(index, base "cell/approach",
+    /// new "cell/approach")`.
+    pub identity_mismatch: Vec<(usize, String, String)>,
+    /// Cells whose physics or metrics changed, ordered by index.
+    pub changed: Vec<CellDelta>,
+    /// Base scenarios whose winner changed.
+    pub winner_changes: Vec<WinnerChange>,
+}
+
+impl SweepDiff {
+    /// `true` when the two sweeps are cell-for-cell identical.
+    pub fn is_empty(&self) -> bool {
+        self.only_in_base.is_empty()
+            && self.only_in_new.is_empty()
+            && self.identity_mismatch.is_empty()
+            && self.changed.is_empty()
+            && self.winner_changes.is_empty()
+    }
+
+    /// Cells on the new side that are strictly worse on at least one
+    /// metric.
+    pub fn regressions(&self) -> impl Iterator<Item = &CellDelta> {
+        self.changed.iter().filter(|d| d.regressed())
+    }
+
+    /// Human-readable report; `"sweeps identical"` when empty.
+    pub fn report(&self) -> String {
+        if self.is_empty() {
+            return "sweeps identical: every common cell matches digest-for-digest\n".to_string();
+        }
+        let mut out = String::new();
+        if !self.only_in_base.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} cell(s) only in base: {}",
+                self.only_in_base.len(),
+                index_list(&self.only_in_base)
+            );
+        }
+        if !self.only_in_new.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} cell(s) only in new: {}",
+                self.only_in_new.len(),
+                index_list(&self.only_in_new)
+            );
+        }
+        for (index, base, new) in &self.identity_mismatch {
+            let _ = writeln!(out, "cell {index}: identity mismatch {base} vs {new}");
+        }
+        let regressed = self.regressions().count();
+        if !self.changed.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} changed cell(s), {} regressed:",
+                self.changed.len(),
+                regressed
+            );
+            for d in &self.changed {
+                let tag = if d.regressed() {
+                    "REGRESSED"
+                } else if d.changed.is_empty() {
+                    "digest-only"
+                } else {
+                    "changed"
+                };
+                let _ = write!(out, "  cell {} {}/{} [{tag}]", d.index, d.cell, d.approach);
+                for m in &d.changed {
+                    let _ = write!(out, " {}: {} -> {}", m.metric, m.base, m.new);
+                }
+                out.push('\n');
+            }
+        }
+        if !self.winner_changes.is_empty() {
+            let _ = writeln!(out, "{} winner change(s):", self.winner_changes.len());
+            for w in &self.winner_changes {
+                let _ = writeln!(
+                    out,
+                    "  {}: {} -> {}",
+                    w.scenario, w.base_winner, w.new_winner
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Compares two persisted sweeps cell by cell (matched on the linear
+/// grid index — both sides may be in any order and need not be
+/// complete). Metric values compare **exactly**: the simulator is
+/// deterministic, so the same grid at the same commit is bit-identical
+/// and any difference is a genuine change.
+pub fn sweep_diff(base: &[CellRecord], new: &[CellRecord]) -> SweepDiff {
+    let base_by: BTreeMap<usize, &CellRecord> = base.iter().map(|r| (r.index, r)).collect();
+    let new_by: BTreeMap<usize, &CellRecord> = new.iter().map(|r| (r.index, r)).collect();
+
+    let mut diff = SweepDiff {
+        only_in_base: base_by
+            .keys()
+            .filter(|i| !new_by.contains_key(i))
+            .copied()
+            .collect(),
+        only_in_new: new_by
+            .keys()
+            .filter(|i| !base_by.contains_key(i))
+            .copied()
+            .collect(),
+        ..SweepDiff::default()
+    };
+
+    for (&index, b) in &base_by {
+        let Some(n) = new_by.get(&index) else {
+            continue;
+        };
+        if b.scenario != n.scenario || b.approach != n.approach {
+            diff.identity_mismatch.push((
+                index,
+                format!("{}/{}", b.scenario, b.approach),
+                format!("{}/{}", n.scenario, n.approach),
+            ));
+            continue;
+        }
+        let mut changed = Vec::new();
+        let mut push = |metric: &'static str, base: f64, new: f64| {
+            if base.to_bits() != new.to_bits() {
+                changed.push(MetricChange { metric, base, new });
+            }
+        };
+        push("energy_j", b.energy_j, n.energy_j);
+        push("makespan_s", b.makespan_s, n.makespan_s);
+        push(
+            "zone_trips",
+            f64::from(b.zone_trips),
+            f64::from(n.zone_trips),
+        );
+        push(
+            "deadline_misses",
+            f64::from(b.deadline_misses),
+            f64::from(n.deadline_misses),
+        );
+        push("peak_temp_c", b.peak_temp_c, n.peak_temp_c);
+        let digest_changed = b.trace_digest != n.trace_digest;
+        if digest_changed || !changed.is_empty() {
+            diff.changed.push(CellDelta {
+                index,
+                cell: b.scenario.clone(),
+                approach: b.approach.clone(),
+                digest_changed,
+                changed,
+            });
+        }
+    }
+
+    // Winner comparison: replay each side through the aggregator so the
+    // diff reports decision-level movement, not just per-cell noise.
+    let base_best = SweepAggregator::replay(base.iter());
+    let new_best = SweepAggregator::replay(new.iter());
+    for (scenario, b) in base_best.best_by_scenario() {
+        if let Some(n) = new_best.best_by_scenario().get(scenario) {
+            if b.cell != n.cell || b.approach != n.approach {
+                diff.winner_changes.push(WinnerChange {
+                    scenario: scenario.clone(),
+                    base_winner: format!("{}/{}", b.cell, b.approach),
+                    new_winner: format!("{}/{}", n.cell, n.approach),
+                });
+            }
+        }
+    }
+
+    diff
+}
+
+/// Compact index list for the report (`"0, 1, 2, … (+497)"`).
+fn index_list(indices: &[usize]) -> String {
+    const SHOW: usize = 8;
+    let shown: Vec<String> = indices.iter().take(SHOW).map(usize::to_string).collect();
+    if indices.len() > SHOW {
+        format!("{}, … (+{})", shown.join(", "), indices.len() - SHOW)
+    } else {
+        shown.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(index: usize, scenario: &str, approach: &str, energy: f64, digest: u64) -> CellRecord {
+        CellRecord {
+            index,
+            scenario: scenario.into(),
+            approach: approach.into(),
+            apps_completed: 1,
+            makespan_s: 50.0,
+            busy_s: 50.0,
+            overlap_s: 0.0,
+            idle_s: 0.0,
+            energy_j: energy,
+            idle_energy_j: 0.0,
+            peak_temp_c: 85.0,
+            avg_temp_c: 80.0,
+            temp_variance: 2.0,
+            zone_trips: 0,
+            deadline_misses: 0,
+            trace_digest: digest,
+        }
+    }
+
+    #[test]
+    fn identical_sweeps_diff_empty() {
+        let cells = vec![rec(0, "a", "TEEM", 100.0, 1), rec(1, "b", "TEEM", 90.0, 2)];
+        let d = sweep_diff(&cells, &cells);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(d.report().contains("identical"));
+    }
+
+    #[test]
+    fn one_perturbed_cell_reports_exactly_that_cell_and_metric() {
+        let base = vec![rec(0, "a", "TEEM", 100.0, 1), rec(1, "b", "TEEM", 90.0, 2)];
+        let mut new = base.clone();
+        new[1].energy_j = 95.0;
+        new[1].trace_digest = 3;
+        let d = sweep_diff(&base, &new);
+        assert!(!d.is_empty());
+        assert_eq!(d.changed.len(), 1, "exactly the perturbed cell");
+        assert_eq!(d.changed[0].index, 1);
+        assert!(d.changed[0].digest_changed);
+        assert_eq!(d.changed[0].changed.len(), 1, "exactly the one metric");
+        assert_eq!(d.changed[0].changed[0].metric, "energy_j");
+        assert!(d.changed[0].regressed(), "95 > 90 J is a regression");
+        assert_eq!(d.regressions().count(), 1);
+        assert!(d.only_in_base.is_empty() && d.only_in_new.is_empty());
+        assert!(d.report().contains("energy_j: 90 -> 95"), "{}", d.report());
+    }
+
+    #[test]
+    fn digest_only_change_is_still_a_change() {
+        // Same summary metrics, different physics: the digest is the
+        // tell (e.g. a refactor that reorders operations).
+        let base = vec![rec(0, "a", "TEEM", 100.0, 1)];
+        let mut new = base.clone();
+        new[0].trace_digest = 99;
+        let d = sweep_diff(&base, &new);
+        assert_eq!(d.changed.len(), 1);
+        assert!(d.changed[0].digest_changed);
+        assert!(d.changed[0].changed.is_empty());
+        assert!(!d.changed[0].regressed());
+        assert!(d.report().contains("digest-only"));
+    }
+
+    #[test]
+    fn coverage_gaps_are_reported_per_side() {
+        let base = vec![rec(0, "a", "TEEM", 100.0, 1), rec(1, "b", "TEEM", 90.0, 2)];
+        let new = vec![rec(1, "b", "TEEM", 90.0, 2), rec(2, "c", "TEEM", 80.0, 3)];
+        let d = sweep_diff(&base, &new);
+        assert_eq!(d.only_in_base, vec![0]);
+        assert_eq!(d.only_in_new, vec![2]);
+        assert!(d.changed.is_empty(), "the common cell matches");
+    }
+
+    #[test]
+    fn identity_mismatch_beats_metric_comparison() {
+        let base = vec![rec(0, "a", "TEEM", 100.0, 1)];
+        let new = vec![rec(0, "a", "ondemand", 90.0, 2)];
+        let d = sweep_diff(&base, &new);
+        assert_eq!(d.identity_mismatch.len(), 1);
+        assert!(d.changed.is_empty(), "no metric diff on mismatched cells");
+        assert!(d.report().contains("identity mismatch"));
+    }
+
+    #[test]
+    fn winner_change_is_reported_at_scenario_level() {
+        // Two knob cells of one base scenario; the perturbation flips
+        // which one wins.
+        let base = vec![
+            rec(0, "s@thr80", "TEEM", 100.0, 1),
+            rec(1, "s@thr85", "TEEM", 110.0, 2),
+        ];
+        let mut new = base.clone();
+        new[0].energy_j = 120.0; // old winner got worse
+        new[0].trace_digest = 9;
+        let d = sweep_diff(&base, &new);
+        assert_eq!(d.winner_changes.len(), 1);
+        assert_eq!(d.winner_changes[0].scenario, "s");
+        assert_eq!(d.winner_changes[0].base_winner, "s@thr80/TEEM");
+        assert_eq!(d.winner_changes[0].new_winner, "s@thr85/TEEM");
+        assert!(d.report().contains("winner change"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The workspace's one framed FNV-1a accumulator.
+//!
+//! Every content digest in the reproduction — [`Trace::digest`]
+//! (golden physics pins), the scenario crate's sweep-spec fingerprint
+//! and journal digest — folds with these constants. Keeping the
+//! implementation in one place keeps them *provably* the same
+//! constants; a drifted copy would silently unpin the golden digests.
+//!
+//! Inputs are **framed**: strings are hashed as length + bytes and
+//! floats as their IEEE bit patterns, so distinct structures cannot
+//! collide by re-partitioning a concatenated byte stream
+//! (`"ab" + "c"` vs `"a" + "bc"`).
+//!
+//! [`Trace::digest`]: crate::Trace::digest
+
+/// Framed FNV-1a (64-bit) accumulator.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// A fresh accumulator at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes (unframed — prefer the typed methods).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a float's IEEE-754 bit pattern — bit-identity, not
+    /// numeric equality (`-0.0 ≠ 0.0`, every NaN payload distinct).
+    pub fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Folds an optional float with a presence tag, so `None` and
+    /// `Some(0.0)` differ.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u64(1);
+                self.f64(x);
+            }
+            None => self.u64(0),
+        }
+    }
+
+    /// Folds a string framed by its byte length.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_prevents_repartition_collisions() {
+        let mut a = Fnv::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = Fnv::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn option_tagging_distinguishes_none_from_zero() {
+        let mut none = Fnv::new();
+        none.opt_f64(None);
+        let mut zero = Fnv::new();
+        zero.opt_f64(Some(0.0));
+        assert_ne!(none.finish(), zero.finish());
+    }
+
+    #[test]
+    fn matches_the_reference_fnv1a_vectors() {
+        // Classic FNV-1a test vectors over raw bytes.
+        let digest = |s: &str| {
+            let mut h = Fnv::new();
+            h.bytes(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+}

@@ -27,6 +27,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod diff;
+pub mod fnv;
 pub mod plot;
 pub mod scenario;
 mod series;
@@ -35,10 +37,12 @@ pub mod summary;
 pub mod sweep;
 mod trace;
 
+pub use diff::{sweep_diff, CellDelta, MetricChange, SweepDiff, WinnerChange};
+pub use fnv::Fnv;
 pub use scenario::{scenario_table, ScenarioAppRun, ScenarioSummary};
 pub use series::{Sample, TimeSeries};
 pub use summary::RunSummary;
 pub use sweep::{
-    sweep_csv_header, sweep_csv_row, BestCell, Extremes, ParetoPoint, SweepAggregator,
+    sweep_csv_header, sweep_csv_row, BestCell, CellRecord, Extremes, ParetoPoint, SweepAggregator,
 };
 pub use trace::Trace;

@@ -27,6 +27,90 @@ use crate::scenario::ScenarioSummary;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// One finished sweep cell as a flat, self-contained record: every
+/// scenario-level metric plus the trace digest, keyed by the cell's
+/// linear grid index.
+///
+/// This is the unit of the persisted sweep journal (the scenario
+/// crate's `SweepJournal` writes one of these per `CellDone` line) and
+/// of cross-run comparison ([`sweep_diff`](crate::sweep_diff)): unlike
+/// a [`ScenarioSummary`] it carries no per-app runs, so it can be
+/// round-tripped through a JSONL line losslessly — the derived
+/// quantities a summary computes (deadline misses, apps completed) are
+/// stored as plain counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Linear cell index in the sweep grid.
+    pub index: usize,
+    /// Materialised (knob-tagged) cell scenario name.
+    pub scenario: String,
+    /// Management-approach display name.
+    pub approach: String,
+    /// Completed application runs.
+    pub apps_completed: u32,
+    /// Makespan, seconds.
+    pub makespan_s: f64,
+    /// Busy time, seconds.
+    pub busy_s: f64,
+    /// Co-running overlap time, seconds.
+    pub overlap_s: f64,
+    /// Idle time, seconds.
+    pub idle_s: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Idle-gap energy, joules.
+    pub idle_energy_j: f64,
+    /// Peak temperature, °C.
+    pub peak_temp_c: f64,
+    /// Mean hottest-sensor temperature, °C.
+    pub avg_temp_c: f64,
+    /// Temporal thermal variance, °C².
+    pub temp_variance: f64,
+    /// Reactive thermal-zone trips.
+    pub zone_trips: u32,
+    /// Deadline misses.
+    pub deadline_misses: u32,
+    /// FNV-1a digest of the cell's full trace — bit-identity across
+    /// runs and commits.
+    pub trace_digest: u64,
+}
+
+impl CellRecord {
+    /// Flattens a finished cell: the summary's metrics plus the grid
+    /// index and the trace digest.
+    pub fn from_summary(index: usize, summary: &ScenarioSummary, trace_digest: u64) -> Self {
+        // The journal cannot express non-finite floats (JSON `null`,
+        // read back as NaN) — canonicalise to NaN here so a live-built
+        // record is bit-identical to its own journal round-trip under
+        // exact digest/diff comparison.
+        fn canon(v: f64) -> f64 {
+            if v.is_finite() {
+                v
+            } else {
+                f64::NAN
+            }
+        }
+        CellRecord {
+            index,
+            scenario: summary.scenario.clone(),
+            approach: summary.approach.clone(),
+            apps_completed: summary.apps_completed() as u32,
+            makespan_s: canon(summary.makespan_s),
+            busy_s: canon(summary.busy_s),
+            overlap_s: canon(summary.overlap_s),
+            idle_s: canon(summary.idle_s),
+            energy_j: canon(summary.energy_j),
+            idle_energy_j: canon(summary.idle_energy_j),
+            peak_temp_c: canon(summary.peak_temp_c),
+            avg_temp_c: canon(summary.avg_temp_c),
+            temp_variance: canon(summary.temp_variance),
+            zone_trips: summary.zone_trips,
+            deadline_misses: summary.deadline_misses(),
+            trace_digest,
+        }
+    }
+}
+
 /// Running min / mean / max of one observable.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Extremes {
@@ -167,28 +251,80 @@ impl SweepAggregator {
     /// underlying scenario (with the winning knob set readable off the
     /// winner's [`BestCell::cell`] name) instead of one row per cell.
     pub fn record(&mut self, summary: &ScenarioSummary) {
+        self.fold(
+            &summary.scenario,
+            &summary.approach,
+            summary.energy_j,
+            summary.makespan_s,
+            summary.peak_temp_c,
+            summary.zone_trips,
+            summary.deadline_misses(),
+        );
+    }
+
+    /// Folds one journalled cell into the aggregate state — the same
+    /// fold as [`SweepAggregator::record`], fed from a flat
+    /// [`CellRecord`] instead of a live [`ScenarioSummary`], so a
+    /// report can be rebuilt offline from a persisted journal alone.
+    pub fn record_cell(&mut self, record: &CellRecord) {
+        self.fold(
+            &record.scenario,
+            &record.approach,
+            record.energy_j,
+            record.makespan_s,
+            record.peak_temp_c,
+            record.zone_trips,
+            record.deadline_misses,
+        );
+    }
+
+    /// Rebuilds the aggregate state from a journal's records: an
+    /// aggregator that replayed a sweep's journal reports the same
+    /// winners, Pareto front and totals as one that consumed the live
+    /// stream (discrete outputs exactly; running means to rounding when
+    /// the orders differ — both pinned by the scenario crate's
+    /// journal-invariants tests).
+    pub fn replay<'a>(records: impl IntoIterator<Item = &'a CellRecord>) -> Self {
+        let mut agg = SweepAggregator::new();
+        for r in records {
+            agg.record_cell(r);
+        }
+        agg
+    }
+
+    /// The shared per-cell fold behind [`SweepAggregator::record`] and
+    /// [`SweepAggregator::record_cell`].
+    #[allow(clippy::too_many_arguments)]
+    fn fold(
+        &mut self,
+        scenario: &str,
+        approach: &str,
+        energy_j: f64,
+        makespan_s: f64,
+        peak_temp_c: f64,
+        zone_trips: u32,
+        misses: u32,
+    ) {
         self.cells += 1;
-        self.trips_total += u64::from(summary.zone_trips);
-        self.misses_total += u64::from(summary.deadline_misses());
-        self.energy
-            .get_or_insert_with(Online::new)
-            .push(summary.energy_j);
+        self.trips_total += u64::from(zone_trips);
+        self.misses_total += u64::from(misses);
+        self.energy.get_or_insert_with(Online::new).push(energy_j);
         self.makespan
             .get_or_insert_with(Online::new)
-            .push(summary.makespan_s);
+            .push(makespan_s);
         self.peak_temp
             .get_or_insert_with(Online::new)
-            .push(summary.peak_temp_c);
+            .push(peak_temp_c);
 
         let candidate = BestCell {
-            cell: summary.scenario.clone(),
-            approach: summary.approach.clone(),
-            zone_trips: summary.zone_trips,
-            misses: summary.deadline_misses(),
-            energy_j: summary.energy_j,
-            makespan_s: summary.makespan_s,
+            cell: scenario.to_string(),
+            approach: approach.to_string(),
+            zone_trips,
+            misses,
+            energy_j,
+            makespan_s,
         };
-        let base = base_scenario(&summary.scenario);
+        let base = base_scenario(scenario);
         match self.best.get_mut(base) {
             Some(incumbent) => {
                 if candidate.beats(incumbent) {
@@ -201,11 +337,11 @@ impl SweepAggregator {
         }
 
         let point = ParetoPoint {
-            scenario: summary.scenario.clone(),
-            approach: summary.approach.clone(),
-            energy_j: summary.energy_j,
-            makespan_s: summary.makespan_s,
-            zone_trips: summary.zone_trips,
+            scenario: scenario.to_string(),
+            approach: approach.to_string(),
+            energy_j,
+            makespan_s,
+            zone_trips,
         };
         if !self.pareto.iter().any(|q| q.dominates(&point)) {
             self.pareto.retain(|q| !point.dominates(q));
@@ -464,6 +600,59 @@ mod tests {
         let plain = sweep_csv_row(&cell("plain", "TEEM", 100.0, 50.0, 0));
         assert_eq!(plain.split(',').count(), header_cols);
         assert!(plain.contains(",100,"));
+    }
+
+    #[test]
+    fn record_cell_and_replay_match_live_record() {
+        let summaries = [
+            cell("a", "TEEM", 100.0, 50.0, 0),
+            cell("a", "ondemand", 90.0, 45.0, 3),
+            cell("b", "EEMP", 210.0, 75.0, 0),
+        ];
+        let mut live = SweepAggregator::new();
+        for s in &summaries {
+            live.record(s);
+        }
+        let records: Vec<CellRecord> = summaries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CellRecord::from_summary(i, s, 0xfeed + i as u64))
+            .collect();
+        let replayed = SweepAggregator::replay(records.iter());
+        assert_eq!(live.cells(), replayed.cells());
+        assert_eq!(live.trips_total(), replayed.trips_total());
+        assert_eq!(live.misses_total(), replayed.misses_total());
+        assert_eq!(live.best_by_scenario(), replayed.best_by_scenario());
+        assert_eq!(live.pareto_front(), replayed.pareto_front());
+        assert_eq!(live.energy_j().mean, replayed.energy_j().mean);
+        assert_eq!(live.peak_temp_c().max, replayed.peak_temp_c().max);
+    }
+
+    #[test]
+    fn cell_record_flattens_summary_fields() {
+        let s = cell("name", "TEEM", 123.0, 45.0, 2);
+        let r = CellRecord::from_summary(7, &s, 0xabcd);
+        assert_eq!(r.index, 7);
+        assert_eq!(r.scenario, "name");
+        assert_eq!(r.energy_j, 123.0);
+        assert_eq!(r.zone_trips, 2);
+        assert_eq!(r.deadline_misses, s.deadline_misses());
+        assert_eq!(r.apps_completed, s.apps_completed() as u32);
+        assert_eq!(r.trace_digest, 0xabcd);
+    }
+
+    #[test]
+    fn from_summary_canonicalises_non_finite_to_nan() {
+        // A journal round-trip turns non-finite into NaN (JSON null);
+        // from_summary must agree bit-for-bit so live-vs-loaded digest
+        // and diff comparisons never spuriously mismatch.
+        let mut s = cell("name", "TEEM", 123.0, 45.0, 0);
+        s.energy_j = f64::INFINITY;
+        s.temp_variance = f64::NEG_INFINITY;
+        let r = CellRecord::from_summary(0, &s, 1);
+        assert_eq!(r.energy_j.to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.temp_variance.to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.makespan_s, 45.0, "finite values pass through");
     }
 
     #[test]

@@ -103,28 +103,19 @@ impl Trace {
     /// to operation order, buffering or sensor state in the simulation
     /// engines shows up here immediately.
     pub fn digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
-            for &b in bytes {
-                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-            }
-            h
-        }
-        let mut h = OFFSET;
+        let mut h = crate::Fnv::new();
         for (name, series) in &self.channels {
-            // Frame each channel with its name length and sample count
-            // so distinct traces cannot collide by re-partitioning the
-            // concatenated byte stream ("ab"+"c" vs "a"+"bc").
-            h = eat(h, &(name.len() as u64).to_le_bytes());
-            h = eat(h, name.as_bytes());
-            h = eat(h, &(series.len() as u64).to_le_bytes());
+            // Framed (name length + bytes, sample count) so distinct
+            // traces cannot collide by re-partitioning the concatenated
+            // byte stream ("ab"+"c" vs "a"+"bc").
+            h.str(name);
+            h.u64(series.len() as u64);
             for s in series.iter() {
-                h = eat(h, &s.t.to_bits().to_le_bytes());
-                h = eat(h, &s.v.to_bits().to_le_bytes());
+                h.f64(s.t);
+                h.f64(s.v);
             }
         }
-        h
+        h.finish()
     }
 
     /// Exports all channels as a single CSV with a shared time column.
