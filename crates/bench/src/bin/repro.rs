@@ -9,15 +9,23 @@
 //! repro mem            # section V-D memory accounting
 //! repro ablation       # threshold / delta / floor sweeps
 //! repro resume         # crash-safe sweep resume (persisted journal)
+//! repro profile        # instrumented 500-cell sweep: metrics + kernel split
 //! ```
 
-use teem_bench::experiments::{ablation, fig1, fig3_fig4, fig5, memory, resume, tables};
+use teem_bench::experiments::{ablation, fig1, fig3_fig4, fig5, memory, profile, resume, tables};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [all|fig1|table1|table2|fig3|fig4|fig5a|fig5b|fig5c|fig5|mem|ablation|resume]..."
+        "usage: repro [all|fig1|table1|table2|fig3|fig4|fig5a|fig5b|fig5c|fig5|mem|ablation|resume|profile]..."
     );
     std::process::exit(2);
+}
+
+fn run_profile() -> String {
+    match profile::run() {
+        Ok(d) => profile::report(&d),
+        Err(e) => format!("profile failed: {e}"),
+    }
 }
 
 fn main() {
@@ -48,6 +56,7 @@ fn main() {
                 println!("{}", memory::report(&memory::run()));
                 println!("{}", ablation::default_report());
                 println!("{}", resume::report(&resume::run()));
+                println!("{}", run_profile());
             }
             "fig1" => println!("{}", fig1::report(&fig1::run())),
             "table1" => println!("{}", tables::report_table1(&tables::table1())),
@@ -66,6 +75,7 @@ fn main() {
             "mem" | "memory" => println!("{}", memory::report(&memory::run())),
             "ablation" => println!("{}", ablation::default_report()),
             "resume" => println!("{}", resume::report(&resume::run())),
+            "profile" => println!("{}", run_profile()),
             _ => usage(),
         }
     }

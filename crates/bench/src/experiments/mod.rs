@@ -6,5 +6,6 @@ pub mod fig1;
 pub mod fig3_fig4;
 pub mod fig5;
 pub mod memory;
+pub mod profile;
 pub mod resume;
 pub mod tables;

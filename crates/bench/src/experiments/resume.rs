@@ -33,6 +33,9 @@ pub struct ResumeDemo {
     pub skipped: usize,
     /// Cells the resumed run executed.
     pub executed: usize,
+    /// Resumed-run throughput from
+    /// [`SweepRunStats::cells_per_sec`](teem_scenario::SweepRunStats::cells_per_sec).
+    pub cells_per_sec: f64,
     /// Order-invariant digest of the merged journal.
     pub merged_digest: u64,
     /// Digest of the uninterrupted reference run.
@@ -107,6 +110,7 @@ pub fn run() -> ResumeDemo {
         interrupted_at: loaded.records.len(),
         skipped: stats.skipped,
         executed: stats.cells,
+        cells_per_sec: stats.cells_per_sec(),
         merged_digest: journal_digest(&merged.records),
         reference_digest: journal_digest(&reference),
         diff_empty: diff.is_empty(),
@@ -124,8 +128,8 @@ pub fn report(d: &ResumeDemo) -> String {
     let _ = writeln!(out, "== sweep resume (persisted journal) ==");
     let _ = writeln!(
         out,
-        "{} cells; crashed after {}; resume skipped {} and executed {}",
-        d.cells, d.interrupted_at, d.skipped, d.executed
+        "{} cells; crashed after {}; resume skipped {} and executed {} ({:.0} cells/s)",
+        d.cells, d.interrupted_at, d.skipped, d.executed, d.cells_per_sec
     );
     let _ = writeln!(
         out,

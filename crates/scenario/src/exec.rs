@@ -43,7 +43,7 @@ use teem_soc::{
     clamp_freqs, co_run_dynamic_weights, co_run_node_powers_into, collapsed_node_powers_into,
     idle_node_powers, idle_node_powers_into, node_powers_for, read_sensors_for, Board,
     ClusterFreqs, CoRunShare, CpuMapping, SensorBank, SensorReadings, SimConfig, SocControl,
-    SocView, StepScratch, ThermalZone,
+    SocView, StepObs, StepScratch, ThermalZone,
 };
 use teem_telemetry::{RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
 use teem_workload::{bandwidth_slowdown, App, KernelCharacteristics, Partition};
@@ -59,6 +59,11 @@ pub struct ScenarioResult {
     /// `true` if the scenario hit the executor timeout before the
     /// timeline completed.
     pub timed_out: bool,
+    /// Step-loop observability: step/sub-step counts (always collected)
+    /// and the power-vs-thermal wall-time split (zero unless the runner
+    /// was built [`ScenarioRunner::with_step_timing`]). Never feeds the
+    /// summary, trace or digests.
+    pub kernel: StepObs,
 }
 
 /// Executes scenarios under one management approach.
@@ -78,6 +83,7 @@ pub struct ScenarioRunner {
     tunables: TeemTunables,
     shared_profiles: Arc<ProfileStore>,
     local_profiles: ProfileStore,
+    step_timing: bool,
 }
 
 impl ScenarioRunner {
@@ -118,7 +124,18 @@ impl ScenarioRunner {
             tunables: TeemTunables::paper(),
             shared_profiles: profiles,
             local_profiles: ProfileStore::new(),
+            step_timing: false,
         }
+    }
+
+    /// Enables wall-clock timing of the step loop's power-model and
+    /// thermal-integration phases (reported in
+    /// [`ScenarioResult::kernel`]). Off by default: the uninstrumented
+    /// loop never reads the clock. This knob is runner state, not
+    /// [`SimConfig`], so it can never perturb sweep fingerprints.
+    pub fn with_step_timing(mut self, enabled: bool) -> Self {
+        self.step_timing = enabled;
+        self
     }
 
     /// Replaces the executor configuration wholesale — including the
@@ -298,6 +315,7 @@ impl ScenarioRunner {
         // its steady-state path (the share/claim buffers are pre-sized
         // to the arbiter's capacity).
         let mut scratch = StepScratch::for_board(&board);
+        scratch.obs.enabled = self.step_timing;
         let mut shares: Vec<CoRunShare> = Vec::with_capacity(capacity);
         let mut claims: Vec<ResourceClaim> = Vec::with_capacity(capacity);
         let mut weights: Vec<f64> = Vec::with_capacity(capacity);
@@ -525,6 +543,7 @@ impl ScenarioRunner {
             // --- Power & thermal (shared model, in place: temps
             //     borrowed, power into the reusable scratch; N active
             //     apps superposed per domain) ---
+            let obs_t0 = scratch.obs.clock();
             shares.clear();
             shares.extend(active.iter().map(|j| CoRunShare {
                 mapping: j.mapping,
@@ -548,6 +567,7 @@ impl ScenarioRunner {
                     &mut scratch.power,
                 );
             }
+            scratch.obs.lap_power(obs_t0);
             let total: f64 = scratch.power.iter().sum();
             energy_j += total * dt;
             if active.is_empty() {
@@ -580,7 +600,11 @@ impl ScenarioRunner {
                 active[0].energy_j += total * dt;
             }
             last_total_w = total;
-            board.thermal.step(dt, &scratch.power);
+            let obs_t0 = scratch.obs.clock();
+            let substeps = board.thermal.step(dt, &scratch.power);
+            scratch.obs.lap_thermal(obs_t0);
+            scratch.obs.steps += 1;
+            scratch.obs.substeps += u64::from(substeps);
             t += dt;
 
             // --- Completions: free the resources, in completion order ---
@@ -626,6 +650,7 @@ impl ScenarioRunner {
             summary,
             trace,
             timed_out,
+            kernel: scratch.obs,
         })
     }
 }

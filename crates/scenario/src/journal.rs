@@ -64,6 +64,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::sweep::{SweepEvent, SweepSpec};
+use teem_telemetry::json::{self, write_f64 as json_f64, write_string as json_string};
 use teem_telemetry::{CellRecord, Fnv};
 
 /// The journal format version this module writes.
@@ -183,6 +184,25 @@ pub struct SweepJournal {
     fsync_every: usize,
     pending: usize,
     written: usize,
+    bytes: u64,
+    fsyncs: u64,
+    torn_repairs: u64,
+}
+
+/// I/O counters a [`SweepJournal`] accumulates over its lifetime — the
+/// journal layer's contribution to a sweep's
+/// [`MetricsSnapshot`](teem_telemetry::MetricsSnapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalIoStats {
+    /// Records (`done` + `failed`) written through this handle.
+    pub records: u64,
+    /// Bytes written (record and header lines, newlines included).
+    pub bytes: u64,
+    /// fsync batches issued (`sync_data` calls — batch boundaries,
+    /// explicit syncs, and the final drop sync).
+    pub fsyncs: u64,
+    /// Torn final lines truncated when opening for append.
+    pub torn_tail_repairs: u64,
 }
 
 impl SweepJournal {
@@ -201,6 +221,9 @@ impl SweepJournal {
             fsync_every: DEFAULT_FSYNC_EVERY,
             pending: 0,
             written: 0,
+            bytes: 0,
+            fsyncs: 0,
+            torn_repairs: 0,
         };
         let mut line = String::new();
         let _ = write!(
@@ -248,9 +271,12 @@ impl SweepJournal {
         // is found by scanning backward from the end, not by reading
         // the file.
         let keep = position_after_last_newline(&mut file)?;
-        if keep < file.metadata()?.len() {
+        let torn_repairs = if keep < file.metadata()?.len() {
             file.set_len(keep)?;
-        }
+            1
+        } else {
+            0
+        };
         file.seek(io::SeekFrom::End(0))?;
 
         Ok(SweepJournal {
@@ -259,6 +285,9 @@ impl SweepJournal {
             fsync_every: DEFAULT_FSYNC_EVERY,
             pending: 0,
             written: 0,
+            bytes: 0,
+            fsyncs: 0,
+            torn_repairs,
         })
     }
 
@@ -282,6 +311,17 @@ impl SweepJournal {
     /// Records (`done` + `failed`) written through this handle.
     pub fn written(&self) -> usize {
         self.written
+    }
+
+    /// Lifetime I/O counters for this handle (records, bytes, fsync
+    /// batches, torn-tail repairs).
+    pub fn io_stats(&self) -> JournalIoStats {
+        JournalIoStats {
+            records: self.written as u64,
+            bytes: self.bytes,
+            fsyncs: self.fsyncs,
+            torn_tail_repairs: self.torn_repairs,
+        }
     }
 
     /// Feeds one sweep event to the journal: `CellDone` and
@@ -346,6 +386,7 @@ impl SweepJournal {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         self.pending = 0;
+        self.fsyncs += 1;
         Ok(())
     }
 
@@ -363,6 +404,7 @@ impl SweepJournal {
         debug_assert!(!line.contains('\n'), "journal lines are single lines");
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
+        self.bytes += line.len() as u64 + 1;
         Ok(())
     }
 }
@@ -785,35 +827,6 @@ fn parse_line(text: &str) -> Result<Line, String> {
     }
 }
 
-/// Writes `s` as a JSON string literal (quotes included).
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Writes a float in Rust's shortest round-trip decimal form; non-finite
-/// values (which valid JSON cannot express) become `null`.
-fn json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        let _ = write!(out, "{v}");
-    } else {
-        out.push_str("null");
-    }
-}
-
 /// A content digest over a set of done records, order-invariant
 /// (wrapping sum of per-record hashes — unlike an XOR fold, a repeated
 /// record does not cancel itself out): two journals hold the same
@@ -898,186 +911,6 @@ pub fn run_interrupted(spec: &SweepSpec, journal: &mut SweepJournal, k: usize) {
         crashed.is_err(),
         "grid finished ({done} cells) before the interrupt at {k}"
     );
-}
-
-// ---------------------------------------------------------------------
-// Minimal single-line JSON object parser
-// ---------------------------------------------------------------------
-
-/// Just enough JSON for the journal's flat one-object-per-line format:
-/// an object of string / number / bool / null fields. No nesting — a
-/// nested value is a parse error, which for a journal line is exactly
-/// right.
-mod json {
-    /// A parsed field value.
-    #[derive(Debug, PartialEq)]
-    pub enum Value {
-        /// JSON string.
-        Str(String),
-        /// JSON number.
-        Num(f64),
-        /// JSON true/false.
-        Bool(bool),
-        /// JSON null.
-        Null,
-    }
-
-    /// Parses one flat JSON object into (key, value) pairs in document
-    /// order. Duplicate keys are a parse error.
-    pub fn parse_object(text: &str) -> Result<Vec<(String, Value)>, String> {
-        let mut p = Parser {
-            chars: text.chars().collect(),
-            i: 0,
-        };
-        p.skip_ws();
-        p.expect('{')?;
-        let mut fields: Vec<(String, Value)> = Vec::new();
-        p.skip_ws();
-        if !p.eat('}') {
-            loop {
-                p.skip_ws();
-                let key = p.string()?;
-                if fields.iter().any(|(k, _)| *k == key) {
-                    return Err(format!("duplicate key `{key}`"));
-                }
-                p.skip_ws();
-                p.expect(':')?;
-                p.skip_ws();
-                let value = p.value()?;
-                fields.push((key, value));
-                p.skip_ws();
-                if p.eat(',') {
-                    continue;
-                }
-                p.expect('}')?;
-                break;
-            }
-        }
-        p.skip_ws();
-        if p.i < p.chars.len() {
-            return Err(format!(
-                "trailing characters after object at offset {}",
-                p.i
-            ));
-        }
-        Ok(fields)
-    }
-
-    struct Parser {
-        chars: Vec<char>,
-        i: usize,
-    }
-
-    impl Parser {
-        fn peek(&self) -> Option<char> {
-            self.chars.get(self.i).copied()
-        }
-
-        fn bump(&mut self) -> Option<char> {
-            let c = self.peek();
-            if c.is_some() {
-                self.i += 1;
-            }
-            c
-        }
-
-        fn skip_ws(&mut self) {
-            while matches!(self.peek(), Some(' ' | '\t' | '\r')) {
-                self.i += 1;
-            }
-        }
-
-        fn expect(&mut self, want: char) -> Result<(), String> {
-            match self.bump() {
-                Some(c) if c == want => Ok(()),
-                Some(c) => Err(format!(
-                    "expected `{want}`, found `{c}` at offset {}",
-                    self.i
-                )),
-                None => Err(format!("expected `{want}`, found end of line")),
-            }
-        }
-
-        fn eat(&mut self, want: char) -> bool {
-            if self.peek() == Some(want) {
-                self.i += 1;
-                true
-            } else {
-                false
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some('"') => Ok(Value::Str(self.string()?)),
-                Some('n') => self.literal("null", Value::Null),
-                Some('t') => self.literal("true", Value::Bool(true)),
-                Some('f') => self.literal("false", Value::Bool(false)),
-                Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
-                Some(c) => Err(format!("unexpected `{c}` at offset {}", self.i)),
-                None => Err("unexpected end of line".to_string()),
-            }
-        }
-
-        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
-            for want in word.chars() {
-                match self.bump() {
-                    Some(c) if c == want => {}
-                    _ => return Err(format!("malformed literal (expected `{word}`)")),
-                }
-            }
-            Ok(value)
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.i;
-            while matches!(self.peek(), Some('-' | '+' | '.' | 'e' | 'E' | '0'..='9')) {
-                self.i += 1;
-            }
-            let text: String = self.chars[start..self.i].iter().collect();
-            text.parse::<f64>()
-                .map(Value::Num)
-                .map_err(|e| format!("bad number `{text}`: {e}"))
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect('"')?;
-            let mut out = String::new();
-            loop {
-                match self.bump() {
-                    None => return Err("unterminated string".to_string()),
-                    Some('"') => return Ok(out),
-                    Some('\\') => match self.bump() {
-                        Some('"') => out.push('"'),
-                        Some('\\') => out.push('\\'),
-                        Some('/') => out.push('/'),
-                        Some('n') => out.push('\n'),
-                        Some('r') => out.push('\r'),
-                        Some('t') => out.push('\t'),
-                        Some('b') => out.push('\u{0008}'),
-                        Some('f') => out.push('\u{000c}'),
-                        Some('u') => {
-                            let mut code = 0u32;
-                            for _ in 0..4 {
-                                let d = self
-                                    .bump()
-                                    .and_then(|c| c.to_digit(16))
-                                    .ok_or("bad \\u escape")?;
-                                code = code * 16 + d;
-                            }
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or(format!("\\u{code:04x} is not a scalar value"))?,
-                            );
-                        }
-                        Some(c) => return Err(format!("unknown escape `\\{c}`")),
-                        None => return Err("unterminated escape".to_string()),
-                    },
-                    Some(c) => out.push(c),
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]

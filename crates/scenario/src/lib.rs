@@ -86,6 +86,7 @@ mod csv;
 mod event;
 mod exec;
 mod journal;
+mod obs;
 mod scenario;
 mod sweep;
 
@@ -95,8 +96,9 @@ pub use csv::TraceParseError;
 pub use event::{AppRequest, ScenarioEvent, TimedEvent};
 pub use exec::{ScenarioResult, ScenarioRunner};
 pub use journal::{
-    journal_digest, run_interrupted, FailedCell, JournalError, LoadedJournal, SweepJournal,
-    JOURNAL_VERSION,
+    journal_digest, run_interrupted, FailedCell, JournalError, JournalIoStats, LoadedJournal,
+    SweepJournal, JOURNAL_VERSION,
 };
+pub use obs::{PoolObs, ProgressReporter, SweepObsReport, WorkerObs};
 pub use scenario::{Scenario, DEFAULT_THRESHOLD_C};
 pub use sweep::{ConfigPatch, SweepCell, SweepError, SweepEvent, SweepRunStats, SweepSpec};

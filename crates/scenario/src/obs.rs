@@ -1,0 +1,445 @@
+//! Sweep-side observability: the per-worker collectors the
+//! work-stealing pool fills during an instrumented run, the
+//! [`SweepObsReport`] they fold into, and the [`ProgressReporter`] sink
+//! that turns the [`SweepEvent`] stream into a throttled live line.
+//!
+//! The split of responsibilities mirrors the pool's lock discipline:
+//! every worker owns its [`WorkerObs`] privately for the whole run (no
+//! lock, no atomic, no false sharing on the hot path) and pushes it
+//! into the shared collection vector exactly once, at exit. Assembly —
+//! merging histograms, naming tracks, computing utilization — happens
+//! after the pool has joined, on the calling thread.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use teem_soc::StepObs;
+use teem_telemetry::obs::{
+    ArgValue, LogHistogram, MetricsRegistry, MetricsSnapshot, ProgressModel, TraceEventLog,
+};
+use teem_telemetry::SweepAggregator;
+
+use crate::exec::ScenarioResult;
+use crate::journal::JournalIoStats;
+use crate::sweep::{SweepEvent, SweepRunStats};
+
+/// Saturating nanoseconds since `t0`.
+fn ns_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Work-stealing scheduler counters one worker accumulates inside the
+/// pool's `next_cell` claim loop: claim refills, steal traffic, and the
+/// injector depth / stolen-range-size distributions.
+#[derive(Debug, Default)]
+pub struct PoolObs {
+    /// Times the worker entered the steal scan (own claim and injector
+    /// both empty).
+    pub steal_attempts: u64,
+    /// Steals that actually took a range from a sibling.
+    pub steal_successes: u64,
+    /// Fresh chunks popped from the shared injector.
+    pub injector_refills: u64,
+    /// Size (cells) of each stolen back-half.
+    pub steal_sizes: LogHistogram,
+    /// Injector queue depth sampled at every refill attempt.
+    pub queue_depth: LogHistogram,
+}
+
+/// Everything one pool worker observes during an instrumented sweep:
+/// cell counts and wall-time histogram, busy/idle split, scheduler
+/// counters, the merged step-loop accumulator of every cell it ran, and
+/// its own Chrome-trace track.
+#[derive(Debug)]
+pub struct WorkerObs {
+    /// Worker index (also the trace track id).
+    pub worker: usize,
+    /// The run's shared trace epoch (trace timestamps are relative to
+    /// it).
+    epoch: Instant,
+    /// Cells this worker executed (completed + failed).
+    pub cells: u64,
+    /// Cells that failed on this worker.
+    pub failed: u64,
+    /// Nanoseconds spent executing cells.
+    pub busy_ns: u64,
+    /// Nanoseconds spent claiming/stealing/waiting for work.
+    pub idle_ns: u64,
+    /// Per-cell wall time, nanoseconds.
+    pub cell_wall: LogHistogram,
+    /// Scheduler counters (filled by `next_cell`).
+    pub pool: PoolObs,
+    /// Step-loop accumulator merged across every cell this worker ran.
+    pub kernel: StepObs,
+    /// This worker's trace track: one complete event per cell.
+    pub trace: TraceEventLog,
+}
+
+impl WorkerObs {
+    /// A fresh collector for `worker`, stamping trace timestamps
+    /// relative to `epoch`.
+    pub fn new(worker: usize, epoch: Instant) -> Self {
+        WorkerObs {
+            worker,
+            epoch,
+            cells: 0,
+            failed: 0,
+            busy_ns: 0,
+            idle_ns: 0,
+            cell_wall: LogHistogram::new(),
+            pool: PoolObs::default(),
+            kernel: StepObs::default(),
+            trace: TraceEventLog::new(),
+        }
+    }
+
+    /// Banks time spent looking for work (the `next_cell` call).
+    pub fn bank_idle(&mut self, t0: Instant) {
+        self.idle_ns = self.idle_ns.saturating_add(ns_since(t0));
+    }
+
+    /// Records one executed cell: wall time into the histogram and the
+    /// busy total, the kernel accumulator folded in, and a complete
+    /// trace event on this worker's track.
+    pub fn observe_cell(
+        &mut self,
+        name: &str,
+        index: usize,
+        started: Instant,
+        outcome: &Result<ScenarioResult, String>,
+    ) {
+        let wall_ns = ns_since(started);
+        self.cells += 1;
+        self.busy_ns = self.busy_ns.saturating_add(wall_ns);
+        self.cell_wall.record(wall_ns);
+        let status = match outcome {
+            Ok(result) => {
+                self.kernel.merge(&result.kernel);
+                "ok"
+            }
+            Err(_) => {
+                self.failed += 1;
+                "failed"
+            }
+        };
+        let ts_us = started.duration_since(self.epoch).as_secs_f64() * 1e6;
+        self.trace.complete(
+            name,
+            self.worker as u32,
+            ts_us,
+            wall_ns as f64 / 1e3,
+            vec![
+                ("index", ArgValue::Num(index as f64)),
+                ("status", ArgValue::Str(status.to_string())),
+            ],
+        );
+    }
+}
+
+/// The shared run-scope context an instrumented sweep threads through
+/// the pool: the trace epoch every worker stamps timestamps against,
+/// and the vector each worker pushes its [`WorkerObs`] into at exit.
+#[derive(Debug)]
+pub(crate) struct RunObs {
+    pub(crate) epoch: Instant,
+    pub(crate) collected: Mutex<Vec<WorkerObs>>,
+}
+
+impl RunObs {
+    pub(crate) fn new() -> Self {
+        RunObs {
+            epoch: Instant::now(),
+            collected: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes the collected per-worker observations, worker order.
+    pub(crate) fn into_workers(self) -> Vec<WorkerObs> {
+        let mut workers = self
+            .collected
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        workers.sort_by_key(|w| w.worker);
+        workers
+    }
+}
+
+/// What an instrumented sweep run
+/// ([`SweepSpec::run_instrumented`](crate::SweepSpec::run_instrumented))
+/// returns beside its [`SweepRunStats`]: the assembled metrics
+/// registry, the Chrome trace-event log (one track per worker), and the
+/// merged step-loop accumulator.
+#[derive(Debug)]
+pub struct SweepObsReport {
+    /// Every pool/engine metric, named; snapshot with
+    /// [`SweepObsReport::snapshot`].
+    pub registry: MetricsRegistry,
+    /// One track per worker, one complete event per cell — export with
+    /// [`SweepObsReport::write_trace`].
+    pub trace: TraceEventLog,
+    /// Workers the pool actually ran.
+    pub workers: usize,
+    /// Step-loop counters and power/thermal time split, merged across
+    /// every cell.
+    pub kernel: StepObs,
+    /// Total nanoseconds workers spent executing cells.
+    pub busy_ns: u64,
+}
+
+impl SweepObsReport {
+    /// Folds the per-worker collections into the named metrics and the
+    /// merged trace.
+    pub(crate) fn assemble(per_worker: Vec<WorkerObs>, stats: &SweepRunStats) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let mut trace = TraceEventLog::new();
+        let mut kernel = StepObs::default();
+        let mut busy_ns = 0u64;
+
+        registry.add_named("sweep.cells", stats.cells as u64);
+        registry.add_named("sweep.completed", stats.completed as u64);
+        registry.add_named("sweep.failed", stats.failed as u64);
+        registry.add_named("sweep.skipped", stats.skipped as u64);
+        registry.set_named("sweep.wall_s", stats.wall.as_secs_f64());
+        registry.set_named("sweep.cells_per_sec", stats.cells_per_sec());
+
+        for w in &per_worker {
+            let id = w.worker;
+            registry.add_named(&format!("worker.{id:02}.cells"), w.cells);
+            registry.add_named(&format!("worker.{id:02}.failed"), w.failed);
+            registry.add_named(
+                &format!("worker.{id:02}.steal_attempts"),
+                w.pool.steal_attempts,
+            );
+            registry.add_named(
+                &format!("worker.{id:02}.steal_successes"),
+                w.pool.steal_successes,
+            );
+            registry.add_named(
+                &format!("worker.{id:02}.injector_refills"),
+                w.pool.injector_refills,
+            );
+            let busy_s = w.busy_ns as f64 / 1e9;
+            let idle_s = w.idle_ns as f64 / 1e9;
+            registry.set_named(&format!("worker.{id:02}.busy_s"), busy_s);
+            registry.set_named(&format!("worker.{id:02}.idle_s"), idle_s);
+            let lifetime = busy_s + idle_s;
+            registry.set_named(
+                &format!("worker.{id:02}.utilization"),
+                if lifetime > 0.0 {
+                    busy_s / lifetime
+                } else {
+                    0.0
+                },
+            );
+            registry.merge_histogram("cell.wall_ns", &w.cell_wall);
+            registry.merge_histogram("pool.steal_size", &w.pool.steal_sizes);
+            registry.merge_histogram("pool.queue_depth", &w.pool.queue_depth);
+            kernel.merge(&w.kernel);
+            busy_ns = busy_ns.saturating_add(w.busy_ns);
+
+            trace.thread_name(id as u32, &format!("sweep worker {id}"));
+        }
+        registry.add_named("engine.steps", kernel.steps);
+        registry.add_named("engine.substeps", kernel.substeps);
+        registry.add_named("engine.power_ns", kernel.power_ns);
+        registry.add_named("engine.thermal_ns", kernel.thermal_ns);
+
+        let workers = per_worker.len();
+        for w in per_worker {
+            trace.extend(w.trace);
+        }
+        SweepObsReport {
+            registry,
+            trace,
+            workers,
+            kernel,
+            busy_ns,
+        }
+    }
+
+    /// Folds a [`SweepJournal`](crate::SweepJournal)'s I/O counters into
+    /// the registry (call before [`SweepObsReport::snapshot`] when the
+    /// sweep wrote a journal).
+    pub fn add_journal(&mut self, io: &JournalIoStats) {
+        self.registry.add_named("journal.records", io.records);
+        self.registry.add_named("journal.bytes", io.bytes);
+        self.registry.add_named("journal.fsyncs", io.fsyncs);
+        self.registry
+            .add_named("journal.torn_repairs", io.torn_tail_repairs);
+    }
+
+    /// The name-sorted metrics snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Writes the Chrome trace-event JSON to `path` (load it in
+    /// `chrome://tracing` or Perfetto).
+    ///
+    /// # Errors
+    ///
+    /// Any file I/O failure.
+    pub fn write_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.trace.to_json())
+    }
+
+    /// A terminal table splitting worker busy time between the power
+    /// model, the thermal integration and everything else the step loop
+    /// does (event handling, governors, sampling) — only meaningful
+    /// when the run timed (instrumented runs always do).
+    pub fn kernel_split(&self) -> String {
+        use std::fmt::Write as _;
+        let k = &self.kernel;
+        let busy = self.busy_ns.max(1) as f64;
+        let other_ns = self
+            .busy_ns
+            .saturating_sub(k.power_ns)
+            .saturating_sub(k.thermal_ns);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel time split ({} steps, {} thermal sub-steps):",
+            k.steps, k.substeps
+        );
+        for (label, ns) in [
+            ("power model", k.power_ns),
+            ("thermal integration", k.thermal_ns),
+            ("engine other", other_ns),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {label:<22} {:>10.1} ms  {:>5.1}%",
+                ns as f64 / 1e6,
+                100.0 * ns as f64 / busy
+            );
+        }
+        if k.substeps > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>10.0} ns",
+                "per thermal sub-step",
+                k.thermal_ns as f64 / k.substeps as f64
+            );
+        }
+        out
+    }
+}
+
+/// A [`SweepEvent`] sink producing a throttled live progress line:
+/// done/total, cells/s, ETA, failure count, Pareto-front size and
+/// worker utilization — the campaign-scale analogue of the paper's
+/// online telemetry loop.
+///
+/// Feed every event to [`ProgressReporter::observe`] and print whatever
+/// it returns; the terminal `Finished` event always yields a final
+/// line. The embedded [`SweepAggregator`] (for the Pareto-front size)
+/// is available afterwards via [`ProgressReporter::aggregator`], so a
+/// caller gets the live line *and* the end-of-run report from one sink.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    model: ProgressModel,
+    agg: SweepAggregator,
+}
+
+impl ProgressReporter {
+    /// A reporter for a sweep of `total` cells on `workers` workers
+    /// (threads actually used, e.g. [`SweepSpec::threads`] capped by
+    /// the grid — used only for the utilization denominator).
+    ///
+    /// [`SweepSpec::threads`]: crate::SweepSpec::threads
+    pub fn new(total: usize, workers: usize) -> Self {
+        ProgressReporter {
+            model: ProgressModel::new(total, workers),
+            agg: SweepAggregator::new(),
+        }
+    }
+
+    /// Overrides the line throttle (default 100 ms; zero emits on every
+    /// event).
+    pub fn with_min_interval(mut self, min_interval: std::time::Duration) -> Self {
+        self.model = self.model.with_min_interval(min_interval);
+        self
+    }
+
+    /// Folds one event; returns a progress line when one is due (always
+    /// on `Finished`).
+    pub fn observe(&mut self, event: &SweepEvent) -> Option<String> {
+        match event {
+            SweepEvent::CellStarted { .. } => {
+                self.model.started();
+                self.model.poll()
+            }
+            SweepEvent::CellDone { result, .. } => {
+                self.agg.record(&result.summary);
+                self.model.finished(false);
+                self.model.set_pareto(self.agg.pareto_front().len());
+                self.model.poll()
+            }
+            SweepEvent::CellFailed { .. } => {
+                self.model.finished(true);
+                self.model.poll()
+            }
+            SweepEvent::Finished { .. } => Some(self.model.line()),
+        }
+    }
+
+    /// Failures folded so far.
+    pub fn failed(&self) -> usize {
+        self.model.failed()
+    }
+
+    /// The aggregator fed by every `CellDone` — the end-of-run report.
+    pub fn aggregator(&self) -> &SweepAggregator {
+        &self.agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_obs_folds_cells_into_histogram_and_trace() {
+        let epoch = Instant::now();
+        let mut w = WorkerObs::new(3, epoch);
+        w.observe_cell("cell-a", 7, Instant::now(), &Err("boom".to_string()));
+        assert_eq!(w.cells, 1);
+        assert_eq!(w.failed, 1);
+        assert_eq!(w.cell_wall.count(), 1);
+        assert_eq!(w.trace.len(), 1);
+        assert_eq!(w.trace.events()[0].tid, 3);
+    }
+
+    #[test]
+    fn report_assembles_per_worker_sums_and_tracks() {
+        let epoch = Instant::now();
+        let mut a = WorkerObs::new(0, epoch);
+        a.observe_cell("c0", 0, Instant::now(), &Err("x".to_string()));
+        a.observe_cell("c1", 1, Instant::now(), &Err("x".to_string()));
+        let mut b = WorkerObs::new(1, epoch);
+        b.observe_cell("c2", 2, Instant::now(), &Err("x".to_string()));
+        let stats = SweepRunStats {
+            cells: 3,
+            completed: 0,
+            failed: 3,
+            skipped: 0,
+            wall: std::time::Duration::from_millis(5),
+        };
+        let mut report = SweepObsReport::assemble(vec![a, b], &stats);
+        report.add_journal(&JournalIoStats {
+            records: 3,
+            bytes: 600,
+            fsyncs: 1,
+            torn_tail_repairs: 0,
+        });
+        let snap = report.snapshot();
+        assert_eq!(snap.counter("worker.00.cells"), Some(2));
+        assert_eq!(snap.counter("worker.01.cells"), Some(1));
+        assert_eq!(snap.counter("sweep.cells"), Some(3));
+        assert_eq!(snap.counter("journal.bytes"), Some(600));
+        assert_eq!(snap.histogram("cell.wall_ns").unwrap().count, 3);
+        assert_eq!(report.trace.tracks().len(), 2);
+        teem_telemetry::TraceEventLog::validate(&report.trace.to_json()).expect("valid trace");
+        assert!(report.kernel_split().contains("power model"));
+    }
+}

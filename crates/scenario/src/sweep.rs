@@ -33,9 +33,11 @@ use std::collections::{BTreeSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::arbiter::ContentionPolicy;
 use crate::exec::{ScenarioResult, ScenarioRunner};
+use crate::obs::{PoolObs, RunObs, SweepObsReport, WorkerObs};
 use crate::scenario::Scenario;
 use teem_core::offline::build_profile_store;
 use teem_core::runner::Approach;
@@ -236,6 +238,23 @@ pub struct SweepRunStats {
     /// Cells skipped because a resumed journal already holds them
     /// ([`SweepSpec::skip_cells`] / `SweepSpec::resume_from`).
     pub skipped: usize,
+    /// Wall-clock time of the run, first claim to pool join — the one
+    /// denominator every cells/s figure in the workspace divides by.
+    pub wall: Duration,
+}
+
+impl SweepRunStats {
+    /// Executed cells per wall-clock second (0 for an instantaneous or
+    /// empty run) — the canonical throughput figure the benches,
+    /// examples and `repro` all report.
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cells as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A cartesian sweep specification: which scenarios, under which
@@ -718,10 +737,40 @@ impl SweepSpec {
     ///
     /// [`SweepError::Profiling`] if an app in the grid cannot be
     /// profiled — detected up front, before any cell runs.
-    pub fn run_streaming(
+    pub fn run_streaming(&self, sink: impl FnMut(SweepEvent)) -> Result<SweepRunStats, SweepError> {
+        self.run_inner(sink, None)
+    }
+
+    /// [`SweepSpec::run_streaming`] with the observability plane on:
+    /// every worker collects scheduler counters, a per-cell wall-time
+    /// histogram, busy/idle time and a Chrome-trace track, and every
+    /// cell runs with step-loop timing enabled
+    /// ([`ScenarioRunner::with_step_timing`]). Returns the stats plus a
+    /// [`SweepObsReport`] (metrics registry + trace-event log).
+    ///
+    /// Instrumentation is observation-only: cell results, digests and
+    /// journal records are bit-identical to an uninstrumented run (the
+    /// golden-digest tests pin this).
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepSpec::run_streaming`].
+    pub fn run_instrumented(
+        &self,
+        sink: impl FnMut(SweepEvent),
+    ) -> Result<(SweepRunStats, SweepObsReport), SweepError> {
+        let obs = RunObs::new();
+        let stats = self.run_inner(sink, Some(&obs))?;
+        let report = SweepObsReport::assemble(obs.into_workers(), &stats);
+        Ok((stats, report))
+    }
+
+    fn run_inner(
         &self,
         mut sink: impl FnMut(SweepEvent),
+        obs: Option<&RunObs>,
     ) -> Result<SweepRunStats, SweepError> {
+        let wall_t0 = Instant::now();
         let grid = self.cells();
         // The work list: cell indices minus the skip set. The identity
         // case (no skips — every non-resumed sweep) stays lazy and
@@ -745,6 +794,7 @@ impl SweepSpec {
                 completed: 0,
                 failed: 0,
                 skipped,
+                wall: wall_t0.elapsed(),
             });
         }
 
@@ -758,7 +808,9 @@ impl SweepSpec {
         let mut failed = 0usize;
 
         if workers <= 1 {
-            // Sequential: cell-index order, same failure handling.
+            // Sequential: cell-index order, same failure handling. The
+            // instrumented run collects into one pseudo-worker (track 0).
+            let mut wobs = obs.map(|o| WorkerObs::new(0, o.epoch));
             for pos in 0..total {
                 let index = to_index(pos);
                 let cell = self.cell(index);
@@ -767,7 +819,12 @@ impl SweepSpec {
                     name: cell.name.clone(),
                     approach: cell.approach,
                 });
-                match self.run_cell(&cell, &profiles, config) {
+                let busy_t0 = wobs.as_ref().map(|_| Instant::now());
+                let outcome = self.run_cell(&cell, &profiles, config, wobs.is_some());
+                if let (Some(w), Some(t0)) = (wobs.as_mut(), busy_t0) {
+                    w.observe_cell(&cell.name, index, t0, &outcome);
+                }
+                match outcome {
                     Ok(result) => {
                         completed += 1;
                         sink(SweepEvent::CellDone {
@@ -784,6 +841,12 @@ impl SweepSpec {
                         });
                     }
                 }
+            }
+            if let (Some(w), Some(o)) = (wobs, obs) {
+                o.collected
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(w);
             }
         } else {
             // Work-stealing pool: a shared injector of chunks, one
@@ -821,11 +884,25 @@ impl SweepSpec {
                     let profiles = &profiles;
                     let to_index = &to_index;
                     scope.spawn(move || {
+                        let mut wobs = obs.map(|o| WorkerObs::new(me, o.epoch));
                         // The claim structure schedules work-list
                         // *positions*; `to_index` maps a position to
                         // its grid index (the identity unless cells
                         // are skipped for a resume).
-                        while let Some(pos) = next_cell(me, injector, claims, claimed, total) {
+                        loop {
+                            let idle_t0 = wobs.as_ref().map(|_| Instant::now());
+                            let next = next_cell(
+                                me,
+                                injector,
+                                claims,
+                                claimed,
+                                total,
+                                wobs.as_mut().map(|w| &mut w.pool),
+                            );
+                            if let (Some(w), Some(t0)) = (wobs.as_mut(), idle_t0) {
+                                w.bank_idle(t0);
+                            }
+                            let Some(pos) = next else { break };
                             let index = to_index(pos);
                             let cell = self.cell(index);
                             // A failed send means the receiver is gone —
@@ -840,7 +917,12 @@ impl SweepSpec {
                             if started.is_err() {
                                 break;
                             }
-                            let event = match self.run_cell(&cell, profiles, config) {
+                            let busy_t0 = wobs.as_ref().map(|_| Instant::now());
+                            let outcome = self.run_cell(&cell, profiles, config, wobs.is_some());
+                            if let (Some(w), Some(t0)) = (wobs.as_mut(), busy_t0) {
+                                w.observe_cell(&cell.name, index, t0, &outcome);
+                            }
+                            let event = match outcome {
                                 Ok(result) => SweepEvent::CellDone {
                                     cell,
                                     result: Box::new(result),
@@ -854,6 +936,12 @@ impl SweepSpec {
                             if tx.send(event).is_err() {
                                 break;
                             }
+                        }
+                        if let (Some(w), Some(o)) = (wobs, obs) {
+                            o.collected
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push(w);
                         }
                     });
                 }
@@ -869,6 +957,7 @@ impl SweepSpec {
             });
         }
 
+        let wall = wall_t0.elapsed();
         sink(SweepEvent::Finished {
             cells: total,
             failed,
@@ -878,6 +967,7 @@ impl SweepSpec {
             completed,
             failed,
             skipped,
+            wall,
         })
     }
 
@@ -923,6 +1013,7 @@ impl SweepSpec {
         cell: &SweepCell,
         profiles: &Arc<ProfileStore>,
         config: SimConfig,
+        instrument: bool,
     ) -> Result<ScenarioResult, String> {
         let mut scenario = self.scenarios[cell.scenario_index].clone();
         if cell.name != scenario.name() {
@@ -941,11 +1032,14 @@ impl SweepSpec {
         let mut runner = ScenarioRunner::with_shared_profiles(cell.approach, Arc::clone(profiles))
             .with_contention(cell.contention)
             .with_tunables(cell.tunables)
-            .with_config(cfg);
+            .with_config(cfg)
+            .with_step_timing(instrument);
         match std::panic::catch_unwind(AssertUnwindSafe(|| runner.run(&scenario))) {
             Ok(Ok(result)) => Ok(result),
             Ok(Err(e)) => Err(e.to_string()),
-            Err(payload) => Err(format!("panicked: {}", panic_message(&payload))),
+            // `&*payload`, not `&payload`: coercing `&Box<dyn Any>`
+            // would downcast against the box itself and lose the text.
+            Err(payload) => Err(format!("panicked: {}", panic_message(&*payload))),
         }
     }
 }
@@ -969,6 +1063,7 @@ fn next_cell(
     claims: &[Mutex<(usize, usize)>],
     claimed: &std::sync::atomic::AtomicUsize,
     total: usize,
+    mut obs: Option<&mut PoolObs>,
 ) -> Option<usize> {
     use std::sync::atomic::Ordering;
     let take = || claimed.fetch_add(1, Ordering::Relaxed);
@@ -985,11 +1080,16 @@ fn next_cell(
                 take();
                 return Some(i);
             }
-            let fresh = injector
-                .lock()
-                .expect("no cell runs under this lock")
-                .pop_front();
+            let mut queue = injector.lock().expect("no cell runs under this lock");
+            if let Some(o) = obs.as_deref_mut() {
+                o.queue_depth.record(queue.len() as u64);
+            }
+            let fresh = queue.pop_front();
+            drop(queue);
             if let Some((start, end)) = fresh {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.injector_refills += 1;
+                }
                 *own = (start + 1, end);
                 take();
                 return Some(start);
@@ -997,6 +1097,9 @@ fn next_cell(
         }
         // 2. Steal: scan for the fullest sibling claim, take its back
         //    half.
+        if let Some(o) = obs.as_deref_mut() {
+            o.steal_attempts += 1;
+        }
         let mut victim: Option<(usize, usize)> = None; // (worker, len)
         for (w, claim) in claims.iter().enumerate() {
             if w == me {
@@ -1020,6 +1123,10 @@ fn next_cell(
                 r.1 = stolen.0;
                 stolen
             };
+            if let Some(o) = obs.as_deref_mut() {
+                o.steal_successes += 1;
+                o.steal_sizes.record((stolen.1 - stolen.0) as u64);
+            }
             let mut own = claims[me].lock().expect("no cell runs under this lock");
             *own = (stolen.0 + 1, stolen.1);
             take();
@@ -1035,14 +1142,22 @@ fn next_cell(
     }
 }
 
-/// Best-effort human-readable panic payload.
+/// Best-effort human-readable panic payload. `panic!` and most code
+/// produce `&'static str` or `String`; `panic_any` callers also throw
+/// `Box<str>` and `Cow<'static, str>`, so those are unwrapped too —
+/// anything else keeps its type name so the [`SweepEvent::CellFailed`]
+/// message is never an empty shrug.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(s) = payload.downcast_ref::<Box<str>>() {
+        s.to_string()
+    } else if let Some(s) = payload.downcast_ref::<std::borrow::Cow<'static, str>>() {
+        s.to_string()
     } else {
-        "non-string panic payload".to_string()
+        format!("non-string panic payload ({:?})", payload.type_id())
     }
 }
 
@@ -1247,6 +1362,12 @@ mod tests {
             .run_streaming(|ev| match ev {
                 SweepEvent::CellFailed { name, message, .. } => {
                     assert!(message.contains("panicked"), "{message}");
+                    // The actual panic payload — not a generic shrug —
+                    // must reach the event (observability contract).
+                    assert!(
+                        message.contains("out of plausible range"),
+                        "payload text lost: {message}"
+                    );
                     failed_names.push(name);
                 }
                 SweepEvent::CellDone { cell, .. } => done_names.push(cell.name),
@@ -1262,6 +1383,21 @@ mod tests {
         let err = spec.run_collect().expect_err("poison cell fails");
         let msg = err.to_string();
         assert!(msg.contains("poison"), "{msg}");
+    }
+
+    #[test]
+    fn panic_message_unwraps_common_payload_types() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(Box::<str>::from("boxed"));
+        assert_eq!(panic_message(s.as_ref()), "boxed");
+        let s: Box<dyn std::any::Any + Send> =
+            Box::new(std::borrow::Cow::<'static, str>::from("cowed"));
+        assert_eq!(panic_message(s.as_ref()), "cowed");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert!(panic_message(s.as_ref()).contains("non-string panic payload"));
     }
 
     #[test]
@@ -1305,7 +1441,7 @@ mod tests {
                 let claimed = &claimed;
                 let seen = &seen;
                 scope.spawn(move || {
-                    while let Some(i) = next_cell(me, injector, claims, claimed, total) {
+                    while let Some(i) = next_cell(me, injector, claims, claimed, total, None) {
                         seen.lock().unwrap()[i] += 1;
                         std::thread::yield_now();
                     }
@@ -1339,7 +1475,7 @@ mod tests {
                 let per_worker = &per_worker;
                 let seen = &seen;
                 scope.spawn(move || {
-                    while let Some(i) = next_cell(me, injector, claims, claimed, total) {
+                    while let Some(i) = next_cell(me, injector, claims, claimed, total, None) {
                         per_worker.lock().unwrap()[me] += 1;
                         seen.lock().unwrap()[i] += 1;
                         // Simulate a cell long enough for thieves to act.

@@ -140,6 +140,42 @@ fn streaming_sweep_reproduces_pre_refactor_matrix_digests() {
     }
 }
 
+/// The observability contract: running the same grid through
+/// `run_instrumented` — per-worker collectors on, step-loop timing on,
+/// trace events recorded — must not move a single bit of physics. The
+/// instrumented cells must still hit the pinned pre-instrumentation
+/// digests.
+#[test]
+fn instrumented_sweep_preserves_golden_digests() {
+    use teem_scenario::{SweepEvent, SweepSpec};
+
+    let spec = SweepSpec::over([builtin("back-to-back"), builtin("ambient-staircase")])
+        .approaches(&[Approach::Teem, Approach::Ondemand])
+        .contentions(&[ContentionPolicy::Serial]);
+    let mut digests = vec![None; spec.cells()];
+    let (stats, report) = spec
+        .run_instrumented(|ev| {
+            if let SweepEvent::CellDone { cell, result } = ev {
+                digests[cell.index] = Some(result.trace.digest());
+            }
+        })
+        .expect("instrumented sweep runs");
+    assert_eq!(stats.completed, 4);
+    assert_eq!(
+        digests[0],
+        Some(GOLDEN_BACK_TO_BACK_TEEM),
+        "instrumentation perturbed back-to-back/TEEM physics"
+    );
+    assert_eq!(
+        digests[3],
+        Some(GOLDEN_STAIRCASE_ONDEMAND),
+        "instrumentation perturbed ambient-staircase/ondemand physics"
+    );
+    // The run really was instrumented — the kernel timers saw the cells.
+    assert!(report.kernel.steps > 0);
+    assert!(report.kernel.power_ns > 0 && report.kernel.thermal_ns > 0);
+}
+
 #[test]
 fn digest_is_reproducible_within_a_build() {
     let run = || {

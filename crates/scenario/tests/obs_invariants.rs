@@ -1,0 +1,165 @@
+//! Acceptance-scale observability invariants: the instrumented 500-cell
+//! three-axis grid must account for itself exactly.
+//!
+//! * every cell the pool executed appears in exactly one worker's
+//!   counters — the per-worker `worker.NN.cells` counters sum to
+//!   `SweepRunStats::cells`;
+//! * the Chrome trace-event export validates (well-formed lines through
+//!   the journal's JSON parser, monotone timestamps per track) with one
+//!   track per pool worker and one complete event per cell;
+//! * journal I/O counters fold into the same snapshot and match the
+//!   journal's own record count;
+//! * the [`ProgressReporter`] sink's final line reports the finished
+//!   campaign.
+
+use teem_scenario::{ConfigPatch, ProgressReporter, Scenario, SweepJournal, SweepSpec};
+use teem_telemetry::TraceEventLog;
+use teem_workload::App;
+
+/// The acceptance grid: 5 scenarios × 10 thresholds × 10 ambients.
+fn spec_500() -> SweepSpec {
+    let scenarios = vec![
+        Scenario::new("o-mvt").arrive(0.0, App::Mvt, 0.9),
+        Scenario::new("o-gesummv").arrive(0.0, App::Gesummv, 0.9),
+        Scenario::new("o-syrk").arrive(0.0, App::Syrk, 0.9),
+        Scenario::new("o-mvt-tight").arrive(0.0, App::Mvt, 0.7),
+        Scenario::new("o-pair")
+            .arrive(0.0, App::Gesummv, 0.9)
+            .arrive(0.5, App::Mvt, 0.9),
+    ];
+    let thresholds: Vec<f64> = (0..10).map(|i| 80.0 + f64::from(i)).collect();
+    let ambients: Vec<f64> = (0..10).map(|i| 15.0 + 2.0 * f64::from(i)).collect();
+    SweepSpec::over(scenarios)
+        .thresholds_c(&thresholds)
+        .ambients_c(&ambients)
+        // Short cells: the invariants are about accounting, not the
+        // cells' length.
+        .patch_config(ConfigPatch {
+            timeout_s: Some(2.0),
+            ..ConfigPatch::default()
+        })
+        .threads(4)
+}
+
+#[test]
+fn instrumented_500_cell_sweep_accounts_for_every_cell() {
+    let path = std::env::temp_dir().join(format!("teem_obs_accept_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let spec = spec_500();
+    let total = spec.cells();
+    assert_eq!(total, 500, "three axes, 500 cells");
+
+    let mut journal = SweepJournal::create(&path, &spec).expect("create journal");
+    let mut reporter = ProgressReporter::new(total, 4);
+    let mut final_line = None;
+    let (stats, mut report) = spec
+        .run_instrumented(|ev| {
+            journal.observe(&ev).expect("journal write");
+            if let Some(line) = reporter.observe(&ev) {
+                final_line = Some(line);
+            }
+        })
+        .expect("instrumented sweep runs");
+    let io = journal.io_stats();
+    drop(journal);
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(stats.cells, total);
+    assert_eq!(stats.failed, 0);
+
+    // Per-worker cell counters sum to the run's cell count; per-worker
+    // failure counters sum to the run's failure count.
+    report.add_journal(&io);
+    let snap = report.snapshot();
+    assert!(report.workers >= 1 && report.workers <= 4);
+    let mut worker_cells = 0u64;
+    let mut worker_failed = 0u64;
+    for w in 0..report.workers {
+        worker_cells += snap
+            .counter(&format!("worker.{w:02}.cells"))
+            .unwrap_or_else(|| panic!("worker {w} has no cell counter"));
+        worker_failed += snap.counter(&format!("worker.{w:02}.failed")).unwrap();
+    }
+    assert_eq!(
+        worker_cells, stats.cells as u64,
+        "cells lost or counted twice"
+    );
+    assert_eq!(worker_failed, stats.failed as u64);
+    assert_eq!(snap.counter("sweep.cells"), Some(stats.cells as u64));
+    assert_eq!(
+        snap.counter("sweep.completed"),
+        Some(stats.completed as u64)
+    );
+
+    // The per-cell wall-time histogram saw every cell exactly once.
+    assert_eq!(
+        snap.histogram("cell.wall_ns").unwrap().count,
+        stats.cells as u64
+    );
+
+    // The kernel accumulator ran: steps counted and both timed sections
+    // observed (instrumented runs always time).
+    assert!(snap.counter("engine.steps").unwrap() > 0);
+    assert!(snap.counter("engine.substeps").unwrap() > 0);
+    assert!(snap.counter("engine.power_ns").unwrap() > 0);
+    assert!(snap.counter("engine.thermal_ns").unwrap() > 0);
+
+    // Journal I/O counters fold into the same snapshot and agree with
+    // the journal: one record per cell plus the header's accounting.
+    assert_eq!(snap.counter("journal.records"), Some(stats.cells as u64));
+    assert!(snap.counter("journal.bytes").unwrap() > 0);
+    assert!(snap.counter("journal.fsyncs").unwrap() > 0);
+    assert_eq!(snap.counter("journal.torn_repairs"), Some(0));
+
+    // The trace validates and has one track per worker, one complete
+    // event per cell.
+    let text = report.trace.to_json();
+    let v = TraceEventLog::validate(&text).expect("trace validates");
+    assert_eq!(v.tracks.len(), report.workers, "one track per worker");
+    assert_eq!(
+        v.complete_events, stats.cells,
+        "one complete event per cell"
+    );
+    assert_eq!(report.trace.tracks(), v.tracks);
+
+    // The progress sink's final line reports the finished campaign.
+    let line = final_line.expect("Finished always yields a line");
+    assert!(line.contains(&format!("{total}/{total}")), "{line}");
+    assert!(line.contains("0 failed"), "{line}");
+    assert!(line.contains("pareto"), "{line}");
+    assert_eq!(reporter.failed(), 0);
+    assert_eq!(reporter.aggregator().cells(), total);
+
+    // The snapshot JSON round-trips through the journal's parser.
+    let json_text = snap.to_json();
+    teem_telemetry::json::parse_object(&json_text).expect("snapshot JSON parses");
+
+    // And the kernel-split table renders its three rows.
+    let split = report.kernel_split();
+    for label in ["power model", "thermal integration", "engine other"] {
+        assert!(split.contains(label), "{split}");
+    }
+}
+
+/// The sequential path (`threads(1)`) is instrumented identically: one
+/// worker, one track, same accounting.
+#[test]
+fn sequential_instrumented_sweep_has_one_track() {
+    let spec = SweepSpec::over([
+        Scenario::new("seq-a").arrive(0.0, App::Mvt, 0.9),
+        Scenario::new("seq-b").arrive(0.0, App::Gesummv, 0.9),
+    ])
+    .patch_config(ConfigPatch {
+        timeout_s: Some(2.0),
+        ..ConfigPatch::default()
+    })
+    .threads(1);
+    let (stats, report) = spec.run_instrumented(|_| {}).expect("runs");
+    assert_eq!(stats.cells, 2);
+    assert_eq!(report.workers, 1);
+    let snap = report.snapshot();
+    assert_eq!(snap.counter("worker.00.cells"), Some(2));
+    let v = TraceEventLog::validate(&report.trace.to_json()).expect("valid");
+    assert_eq!(v.tracks.len(), 1);
+    assert_eq!(v.complete_events, 2);
+}

@@ -495,6 +495,9 @@ pub struct StepScratch {
     /// Node temperature buffer, °C — for evaluating the power model at
     /// an assumed uniform temperature before real temperatures exist.
     pub temps: Vec<f64>,
+    /// Step-loop observability accumulator (counters always on, timing
+    /// opt-in; see [`StepObs`]).
+    pub obs: StepObs,
 }
 
 impl StepScratch {
@@ -504,7 +507,88 @@ impl StepScratch {
         StepScratch {
             power: vec![0.0; n],
             temps: vec![0.0; n],
+            obs: StepObs::default(),
         }
+    }
+}
+
+/// Scratch-resident step-loop accumulator: per-run step/sub-step
+/// counters and the wall-time split between the power-model evaluation
+/// and the thermal integration.
+///
+/// Counters are unconditional (one integer add per step — cheaper than
+/// the branch that would gate them). Wall-clock timing is gated on the
+/// single `enabled` bool so the default, uninstrumented hot loop pays
+/// exactly one predictable branch per phase and never calls
+/// `Instant::now`. The accumulator lives in [`StepScratch`] so the step
+/// loop touches memory it already owns — no extra cache line, no
+/// shared state.
+///
+/// Timing never feeds back into the physics, fingerprints or digests:
+/// an instrumented run is bit-identical to a disabled one (pinned by
+/// the golden-digest tests in the scenario crate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepObs {
+    /// `true` ⇒ the step loop samples `Instant::now` around each phase.
+    pub enabled: bool,
+    /// Outer engine steps executed.
+    pub steps: u64,
+    /// Euler sub-steps the thermal integrator actually took.
+    pub substeps: u64,
+    /// Nanoseconds in the power-model evaluation (0 unless `enabled`).
+    pub power_ns: u64,
+    /// Nanoseconds in the thermal integration (0 unless `enabled`).
+    pub thermal_ns: u64,
+}
+
+impl StepObs {
+    /// An enabled (timing-on) accumulator.
+    pub fn enabled() -> Self {
+        StepObs {
+            enabled: true,
+            ..StepObs::default()
+        }
+    }
+
+    /// Starts a phase clock — `None` (and no syscall) unless enabled.
+    #[inline]
+    pub fn clock(&self) -> Option<std::time::Instant> {
+        if self.enabled {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Banks a power-model phase started at `t0`.
+    #[inline]
+    pub fn lap_power(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.power_ns = self
+                .power_ns
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Banks a thermal-integration phase started at `t0`.
+    #[inline]
+    pub fn lap_thermal(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.thermal_ns = self
+                .thermal_ns
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Folds another accumulator's counts and times into this one
+    /// (`enabled` ors, so a merged total remembers whether any part
+    /// timed).
+    pub fn merge(&mut self, other: &StepObs) {
+        self.enabled |= other.enabled;
+        self.steps += other.steps;
+        self.substeps += other.substeps;
+        self.power_ns = self.power_ns.saturating_add(other.power_ns);
+        self.thermal_ns = self.thermal_ns.saturating_add(other.thermal_ns);
     }
 }
 

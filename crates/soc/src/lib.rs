@@ -69,7 +69,7 @@ pub use engine::{
     clamp_freqs, co_run_dynamic_weights, co_run_node_powers_into, collapsed_node_powers,
     collapsed_node_powers_into, idle_node_powers, idle_node_powers_into, node_powers_for,
     node_powers_into, read_sensors_for, ClusterFreqs, CoRunShare, IdlePolicy, Manager, RunResult,
-    RunSpec, SimConfig, Simulation, SocControl, SocView, StepScratch,
+    RunSpec, SimConfig, Simulation, SocControl, SocView, StepObs, StepScratch,
 };
 pub use freq::{MHz, Opp, OppTable};
 pub use perf::CpuMapping;

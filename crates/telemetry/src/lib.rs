@@ -29,6 +29,8 @@
 
 pub mod diff;
 pub mod fnv;
+pub mod json;
+pub mod obs;
 pub mod plot;
 pub mod scenario;
 mod series;
@@ -39,6 +41,10 @@ mod trace;
 
 pub use diff::{sweep_diff, CellDelta, MetricChange, SweepDiff, WinnerChange};
 pub use fnv::Fnv;
+pub use obs::{
+    ArgValue, CounterId, GaugeId, HistogramId, HistogramSummary, LogHistogram, MetricsRegistry,
+    MetricsSnapshot, ProgressModel, Span, TraceEvent, TraceEventLog, TraceValidation,
+};
 pub use scenario::{scenario_table, ScenarioAppRun, ScenarioSummary};
 pub use series::{Sample, TimeSeries};
 pub use summary::RunSummary;

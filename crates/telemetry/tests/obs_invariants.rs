@@ -1,0 +1,211 @@
+//! Property tests for the observability substrate: log-bucketed
+//! histogram geometry (bounded relative error, exact merge
+//! associativity, quantile monotonicity) and the Chrome trace-event
+//! export (well-formed JSON round-tripping through the journal's own
+//! parser, per-track timestamp monotonicity).
+
+use proptest::prelude::*;
+use teem_telemetry::json;
+use teem_telemetry::{ArgValue, LogHistogram, TraceEventLog};
+
+/// Fingerprint a histogram through its public surface: totals plus a
+/// fixed quantile ladder. Two histograms agreeing here are
+/// observationally equal.
+fn fingerprint(h: &LogHistogram) -> (u64, u64, u64, u64, Vec<u64>) {
+    let qs = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+    (
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        qs.iter().map(|&q| h.quantile(q)).collect(),
+    )
+}
+
+fn of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Values spanning every octave the histogram can see: uniform draws
+/// of a bit-width, then uniform within it — tiny, mid and huge samples
+/// are all likely.
+fn any_sample() -> impl Strategy<Value = u64> {
+    (0u32..=63, 0u64..u64::MAX).prop_map(|(bits, raw)| {
+        if bits == 63 {
+            raw
+        } else {
+            raw & ((1u64 << (bits + 1)) - 1)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Bucket-boundary contract: a quantile never understates a sample
+    // and overstates it by at most one part in 32 (the 5-bit
+    // sub-bucket resolution). Exercised at the true quantile of the
+    // recorded set, across all octaves.
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width(
+        mut values in collection::vec(any_sample(), 1..64),
+        q in 0.001f64..=1.0,
+    ) {
+        let h = of(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        let got = h.quantile(q);
+        prop_assert!(got >= truth, "quantile understates: {got} < {truth}");
+        // Inclusive bucket upper bound: lower + 2^octave - 1 where
+        // truth >= 32 * 2^octave, i.e. at most truth/32 above — unless
+        // capped by the exact max first.
+        let slack = truth / 32;
+        prop_assert!(
+            got <= truth.saturating_add(slack),
+            "quantile overstates past bucket width: {got} > {truth} + {slack}"
+        );
+        prop_assert!(got <= h.max());
+    }
+
+    // A single recorded value is reported exactly at every quantile
+    // (the upper bound is capped by the exact max).
+    #[test]
+    fn singleton_histogram_is_exact(v in any_sample(), q in 0.0f64..=1.0) {
+        let h = of(&[v]);
+        prop_assert_eq!(h.quantile(q), v);
+        prop_assert_eq!(h.min(), v);
+        prop_assert_eq!(h.max(), v);
+    }
+
+    // Merge is exactly associative (bucket-wise addition): merging
+    // worker histograms in any grouping yields the same aggregate.
+    #[test]
+    fn merge_is_associative(
+        a in collection::vec(any_sample(), 0..32),
+        b in collection::vec(any_sample(), 0..32),
+        c in collection::vec(any_sample(), 0..32),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = of(&a);
+        left.merge(&of(&b));
+        left.merge(&of(&c));
+        // a ⊕ (b ⊕ c)
+        let mut bc = of(&b);
+        bc.merge(&of(&c));
+        let mut right = of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+        // Both equal recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&of(&all)));
+    }
+
+    // Quantiles are monotone in q.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in collection::vec(any_sample(), 1..64),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let h = of(&values);
+        prop_assert!(
+            h.quantile(lo) <= h.quantile(hi),
+            "quantile({lo}) = {} > quantile({hi}) = {}",
+            h.quantile(lo),
+            h.quantile(hi)
+        );
+    }
+
+    // Randomly generated logs serialise to trace JSON that validates:
+    // every line parses through the journal JSON parser, and per-track
+    // complete events (emitted in non-decreasing order per track, as
+    // a sweep worker does) keep monotone timestamps.
+    #[test]
+    fn trace_round_trips_and_validates(
+        per_track in collection::vec(
+            collection::vec((0.0f64..1e6, 0.0f64..1e4), 1..8),
+            1..4,
+        ),
+    ) {
+        let mut log = TraceEventLog::new();
+        for (tid, cells) in per_track.iter().enumerate() {
+            let tid = tid as u32;
+            log.thread_name(tid, &format!("worker {tid}"));
+            let mut ts = 0.0f64;
+            for (i, &(advance, dur)) in cells.iter().enumerate() {
+                ts += advance;
+                log.complete(
+                    format!("cell-{tid}-{i}"),
+                    tid,
+                    ts,
+                    dur,
+                    vec![
+                        ("index", ArgValue::Num(i as f64)),
+                        ("status", ArgValue::Str("ok".to_string())),
+                    ],
+                );
+            }
+        }
+        let text = log.to_json();
+        let v = TraceEventLog::validate(&text).expect("trace validates");
+        let completes: usize = per_track.iter().map(Vec::len).sum();
+        prop_assert_eq!(v.complete_events, completes);
+        prop_assert_eq!(v.events, completes + per_track.len());
+        prop_assert_eq!(v.tracks.len(), per_track.len());
+        prop_assert_eq!(v.tracks, log.tracks());
+
+        // Round trip: every event line is an object the journal parser
+        // accepts, and the parsed fields match the in-memory event.
+        let lines: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .take_while(|l| *l != "]}")
+            .collect();
+        prop_assert_eq!(lines.len(), log.len());
+        for (line, ev) in lines.iter().zip(log.events()) {
+            let body = line.strip_suffix(',').unwrap_or(line);
+            let fields = json::parse_object(body).expect("line parses");
+            let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            prop_assert_eq!(get("name").and_then(json::Value::as_str), Some(ev.name.as_str()));
+            prop_assert_eq!(
+                get("ph").and_then(json::Value::as_str),
+                Some(ev.ph.to_string().as_str())
+            );
+            prop_assert_eq!(
+                get("tid").and_then(json::Value::as_f64),
+                Some(f64::from(ev.tid))
+            );
+            prop_assert_eq!(get("ts").and_then(json::Value::as_f64), Some(ev.ts_us));
+            if ev.ph == 'X' {
+                prop_assert_eq!(get("dur").and_then(json::Value::as_f64), Some(ev.dur_us));
+            }
+        }
+    }
+}
+
+#[test]
+fn validate_rejects_backwards_track_timestamps() {
+    let mut log = TraceEventLog::new();
+    log.complete("a", 0, 100.0, 5.0, Vec::new());
+    log.complete("b", 0, 50.0, 5.0, Vec::new());
+    let err = TraceEventLog::validate(&log.to_json()).expect_err("must reject");
+    assert!(err.contains("went backwards"), "{err}");
+}
+
+#[test]
+fn validate_rejects_truncated_trace() {
+    let mut log = TraceEventLog::new();
+    log.complete("a", 0, 1.0, 1.0, Vec::new());
+    let text = log.to_json();
+    let truncated = text.trim_end_matches("]}\n");
+    let err = TraceEventLog::validate(truncated).expect_err("must reject");
+    assert!(err.contains("missing closing"), "{err}");
+}

@@ -20,7 +20,6 @@
 //! cargo run --release --example sweep_ablation
 //! ```
 
-use std::time::Instant;
 use teem_core::runner::Approach;
 use teem_core::TeemTunables;
 use teem_scenario::{Scenario, ScenarioEvent, SweepEvent, SweepSpec};
@@ -88,7 +87,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut agg = SweepAggregator::new();
     let mut echoed = 0usize;
-    let started = Instant::now();
     let stats = spec.run_streaming(|ev| {
         if let SweepEvent::CellDone { result, .. } = ev {
             if echoed < CSV_PREVIEW_ROWS {
@@ -99,15 +97,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // `result` dropped here — O(workers) resident, any grid size.
         }
     })?;
-    let elapsed = started.elapsed();
 
     println!();
     println!("{}", agg.report());
     println!(
         "{} cells in {:.2} s ({:.0} cells/s), {} failed",
         stats.cells,
-        elapsed.as_secs_f64(),
-        stats.cells as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.wall.as_secs_f64(),
+        stats.cells_per_sec(),
         stats.failed,
     );
 

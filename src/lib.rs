@@ -59,15 +59,16 @@ pub mod prelude {
     pub use teem_governors::{Conservative, Ondemand, Performance, Powersave, Userspace};
     pub use teem_scenario::{
         AppRequest, BatchRunner, ConfigPatch, ContentionPolicy, LoadedJournal, MappingArbiter,
-        Scenario, ScenarioEvent, ScenarioResult, ScenarioRunner, SweepEvent, SweepJournal,
-        SweepSpec,
+        ProgressReporter, Scenario, ScenarioEvent, ScenarioResult, ScenarioRunner, SweepEvent,
+        SweepJournal, SweepObsReport, SweepSpec,
     };
     pub use teem_soc::{
         node_powers_into, Board, ClusterFreqs, CpuMapping, IdlePolicy, MHz, Manager, RunResult,
         RunSpec, SimConfig, Simulation, SocControl, SocView, StepScratch, ThermalZone,
     };
     pub use teem_telemetry::{
-        sweep_diff, CellRecord, RunSummary, ScenarioSummary, SweepAggregator, TimeSeries, Trace,
+        sweep_diff, CellRecord, LogHistogram, MetricsRegistry, MetricsSnapshot, RunSummary,
+        ScenarioSummary, SweepAggregator, TimeSeries, Trace, TraceEventLog,
     };
     pub use teem_workload::{App, Kernel, Partition, ProblemSize};
 }
