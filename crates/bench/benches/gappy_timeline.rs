@@ -1,0 +1,127 @@
+//! Event-driven time-advance benchmarks: fixed-dt vs event-driven on
+//! the two timeline shapes that bracket the design space.
+//!
+//! * `dense_timeline_*` — a back-to-back arrival train with no idle
+//!   gaps: the event-driven mode must ride the identical active-phase
+//!   stepper, so the two clocks should land within noise of each other
+//!   (the parity half of the contract; bit-identity is pinned by the
+//!   `event_driven.rs` tests).
+//! * `gappy_timeline_*` — four short bursts separated by 500 s of
+//!   idle: the event-driven mode advances the gaps in closed form and
+//!   the speedup is the headline number, printed at the end together
+//!   with the simulated-seconds-per-wall-second rate of each clock.
+
+use std::cell::Cell;
+use std::hint::black_box;
+use teem_bench::microbench::Runner;
+use teem_core::runner::Approach;
+use teem_scenario::{ConfigPatch, Scenario, ScenarioRunner};
+use teem_soc::TimeAdvance;
+use teem_workload::App;
+
+/// No idle anywhere: arrivals land before the previous app finishes.
+fn dense() -> Scenario {
+    Scenario::new("bench-dense")
+        .arrive(0.0, App::Mvt, 0.9)
+        .arrive(2.0, App::Gesummv, 0.9)
+        .arrive(4.0, App::Syrk, 0.9)
+        .arrive(6.0, App::Mvt, 0.9)
+}
+
+/// ~85% idle: four ~52 s bursts spread 500 s apart.
+fn gappy() -> Scenario {
+    Scenario::new("bench-gappy")
+        .arrive(0.0, App::Mvt, 0.9)
+        .arrive(500.0, App::Mvt, 0.9)
+        .arrive(1_000.0, App::Mvt, 0.9)
+        .arrive(1_500.0, App::Mvt, 0.9)
+}
+
+/// Runs `scenario` under TEEM with the given clock; returns the
+/// simulated makespan (black-boxed work product).
+fn run(scenario: &Scenario, advance: TimeAdvance) -> f64 {
+    let r = ScenarioRunner::new(Approach::Teem)
+        .with_config(
+            ConfigPatch {
+                time_advance: Some(advance),
+                ..ConfigPatch::default()
+            }
+            .onto_default(),
+        )
+        .run(scenario)
+        .expect("scenario runs");
+    assert!(!r.timed_out);
+    r.summary.makespan_s
+}
+
+/// One (shape, clock) benchmark; returns (best wall s, makespan s).
+fn bench_mode(r: &mut Runner, name: &str, scenario: &Scenario, advance: TimeAdvance) -> (f64, f64) {
+    let best = Cell::new(f64::INFINITY);
+    let makespan = Cell::new(0.0f64);
+    r.bench_heavy(name, 1, || {
+        let t0 = std::time::Instant::now();
+        let m = run(black_box(scenario), advance);
+        best.set(best.get().min(t0.elapsed().as_secs_f64()));
+        makespan.set(m);
+        m
+    });
+    (best.get(), makespan.get())
+}
+
+fn main() {
+    let mut r = Runner::from_args();
+
+    let dense_scenario = dense();
+    let gappy_scenario = gappy();
+
+    let results = [
+        bench_mode(
+            &mut r,
+            "dense_timeline_fixed_dt",
+            &dense_scenario,
+            TimeAdvance::FixedDt,
+        ),
+        bench_mode(
+            &mut r,
+            "dense_timeline_event_driven",
+            &dense_scenario,
+            TimeAdvance::EventDriven,
+        ),
+        bench_mode(
+            &mut r,
+            "gappy_timeline_fixed_dt",
+            &gappy_scenario,
+            TimeAdvance::FixedDt,
+        ),
+        bench_mode(
+            &mut r,
+            "gappy_timeline_event_driven",
+            &gappy_scenario,
+            TimeAdvance::EventDriven,
+        ),
+    ];
+
+    // Derived report: simulated seconds per wall second for each
+    // clock, plus the gap-shape speedup (the headline).
+    if results.iter().all(|(wall, _)| wall.is_finite()) {
+        let names = [
+            "dense_timeline_fixed_dt",
+            "dense_timeline_event_driven",
+            "gappy_timeline_fixed_dt",
+            "gappy_timeline_event_driven",
+        ];
+        println!();
+        for (name, (wall, makespan)) in names.iter().zip(&results) {
+            println!(
+                "{name:<36} {:>12.2e} simulated s/s",
+                makespan / wall.max(1e-12)
+            );
+        }
+        let dense_ratio = results[0].0 / results[1].0.max(1e-12);
+        let gappy_ratio = results[2].0 / results[3].0.max(1e-12);
+        println!("dense speedup (event/fixed)          {dense_ratio:>11.2}x  (parity expected)");
+        println!("gappy speedup (event/fixed)          {gappy_ratio:>11.2}x");
+    }
+
+    r.finish();
+}

@@ -38,6 +38,7 @@
 
 pub mod corr;
 pub mod dist;
+pub mod eigen;
 mod error;
 mod matrix;
 pub mod ols;

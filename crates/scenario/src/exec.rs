@@ -39,13 +39,14 @@ use teem_core::offline::profile_app;
 use teem_core::runner::{manager_for, plan_launch, Approach, LaunchPlan};
 use teem_core::{AppProfile, ProfileStore, TeemTunables, UserRequirement};
 use teem_soc::perf::{cpu_rate, gpu_rate};
+use teem_soc::sensors::BIG_CORE_OFFSETS_C;
 use teem_soc::{
     clamp_freqs, co_run_dynamic_weights, co_run_node_powers_into, collapsed_node_powers_into,
-    idle_node_powers, idle_node_powers_into, node_powers_for, read_sensors_for, Board,
-    ClusterFreqs, CoRunShare, CpuMapping, SensorBank, SensorReadings, SimConfig, SocControl,
-    SocView, StepObs, StepScratch, ThermalZone,
+    fast_forward_gap, idle_node_powers, idle_node_powers_into, node_powers_for, read_sensors_for,
+    Board, ClusterFreqs, CoRunShare, CpuMapping, GapAdvance, GapPower, SensorBank, SensorReadings,
+    SimConfig, SocControl, SocView, StepObs, StepScratch, ThermalZone, TimeAdvance,
 };
-use teem_telemetry::{RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
+use teem_telemetry::{LogHistogram, RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
 use teem_workload::{bandwidth_slowdown, App, KernelCharacteristics, Partition};
 
 /// Everything one scenario execution produced.
@@ -64,6 +65,11 @@ pub struct ScenarioResult {
     /// was built [`ScenarioRunner::with_step_timing`]). Never feeds the
     /// summary, trace or digests.
     pub kernel: StepObs,
+    /// Lengths (milliseconds) of the idle gaps the event-driven mode
+    /// fast-forwarded — empty under [`TimeAdvance::FixedDt`]. Like
+    /// [`ScenarioResult::kernel`], pure observability: never feeds the
+    /// summary, trace or digests.
+    pub gap_len_ms: LogHistogram,
 }
 
 /// Executes scenarios under one management approach.
@@ -306,10 +312,19 @@ impl ScenarioRunner {
 
         let dt = self.config.dt_s;
         let idle_timeout_s = self.config.idle_policy.timeout_s();
+        let event_driven = self.config.time_advance == TimeAdvance::EventDriven;
+        // The clock is derived from the step index (`t = step_idx · dt`),
+        // never accumulated (`t += dt`), so week-long timelines cannot
+        // smear event boundaries or `TimeoutCollapse` firing instants
+        // with float-accumulation drift. Gap fast-forwards jump the
+        // index, keeping both modes on the same tick grid.
+        let mut step_idx: u64 = 0;
         let mut t = 0.0_f64;
         let mut next_sample = 0.0_f64;
         let mut effective = idle_freqs;
         let mut idle_gap_start = 0.0_f64;
+        let mut gap_hist = LogHistogram::new();
+        let mut gap_energy_scratch = vec![0.0_f64; board.thermal.len()];
         // Reusable step buffers and pre-created trace channels: the loop
         // below is the batch sweep's hot path and must not allocate on
         // its steady-state path (the share/claim buffers are pre-sized
@@ -468,6 +483,110 @@ impl ScenarioRunner {
                 next_sample += self.config.sample_period_s;
             }
 
+            // --- Gap fast-forward (event-driven mode only): the active
+            //     set and queue are empty, so nothing can change before
+            //     the next timeline event — advance the thermal network
+            //     across the whole gap in closed form instead of
+            //     stepping through it. `next_ev < events.len()` rather
+            //     than `< arrivals_end`: a gap can end at an
+            //     environment event as well as an arrival ---
+            if event_driven && active.is_empty() && queue.is_empty() && next_ev < events.len() {
+                let event_tick = first_tick_at_or_after(dt, events[next_ev].at_s, 1e-9);
+                let timeout_tick = first_tick_at_or_after(dt, self.config.timeout_s, 0.0);
+                let end_tick = event_tick.min(timeout_tick);
+                if end_tick > step_idx {
+                    // The fixed-dt loop races idle gaps to the idle
+                    // floor every tick; pin that before fast-forwarding
+                    // so the gap power and the post-gap samples see it.
+                    effective = idle_freqs;
+                    // Zone bookkeeping for the gap-start tick (a hot
+                    // board can trip the zone the instant it idles);
+                    // inside the gap temperatures only decay, so no
+                    // further trip is possible and the step-wise
+                    // release is caught up after the jump.
+                    if let Some(cap) = zone.update(t, gap_max_temp_estimate(&board)) {
+                        if effective.big > cap {
+                            effective.big = board.big_opps.at_or_below(cap).freq;
+                        }
+                    }
+                    if zone.is_tripped() && !zone_was_tripped {
+                        zone_trips += 1;
+                    }
+
+                    // `IdlePolicy::TimeoutCollapse` as an event, not a
+                    // per-step check: the collapse instant splits the
+                    // gap into an idle-floor span and a power-collapsed
+                    // span, each advanced in closed form.
+                    let collapse_tick = idle_timeout_s
+                        .map(|to| first_tick_at_or_after(dt, idle_gap_start + to, 0.0));
+                    let idle_end_tick =
+                        collapse_tick.map_or(end_tick, |c| c.clamp(step_idx, end_tick));
+                    let mut gap = GapAdvance::default();
+                    let ambient = board.thermal.ambient_c();
+                    if idle_end_tick > step_idx {
+                        let span = (idle_end_tick - step_idx) as f64 * dt;
+                        let adv = fast_forward_gap(
+                            &mut board,
+                            GapPower::Idle(effective),
+                            span,
+                            ambient,
+                            &mut scratch,
+                            &mut gap_energy_scratch,
+                        );
+                        gap.energy_j += adv.energy_j;
+                        gap.segments += adv.segments;
+                    }
+                    if end_tick > idle_end_tick {
+                        let span = (end_tick - idle_end_tick) as f64 * dt;
+                        let adv = fast_forward_gap(
+                            &mut board,
+                            GapPower::Collapsed,
+                            span,
+                            ambient,
+                            &mut scratch,
+                            &mut gap_energy_scratch,
+                        );
+                        gap.energy_j += adv.energy_j;
+                        gap.segments += adv.segments;
+                    }
+                    let span_s = (end_tick - step_idx) as f64 * dt;
+                    energy_j += gap.energy_j;
+                    idle_energy_j += gap.energy_j;
+                    idle_s += span_s;
+                    // The last segment's frozen power is what a sample
+                    // at the gap's end reports as the instantaneous draw.
+                    last_total_w = scratch.power.iter().sum();
+                    scratch.obs.gaps_skipped += 1;
+                    scratch.obs.gap_fastforward_s += span_s;
+                    gap_hist.record((span_s * 1e3).round() as u64);
+
+                    // Jump the clock to the horizon tick.
+                    step_idx = end_tick;
+                    t = step_idx as f64 * dt;
+                    // The gap is one trace span, not one point per
+                    // sample period: record it on its own channel
+                    // (created on first gap, so gap-free runs keep
+                    // their digests) and realign the sample grid past
+                    // the horizon, skipping the sensor reads the
+                    // fixed-dt path would have taken at the boundaries
+                    // in between so the noise stream stays aligned.
+                    trace.record("gap.fastforward_s", t, span_s);
+                    if next_sample < t - 1e-12 {
+                        let n = ((t - 1e-12 - next_sample) / self.config.sample_period_s).floor()
+                            as u64
+                            + 1;
+                        board.sensors.skip_reads(n);
+                        next_sample += n as f64 * self.config.sample_period_s;
+                    }
+                    // Step-wise zone release across the gap, replayed at
+                    // the zone's own poll cadence with the cooled
+                    // temperatures — O(release ladder), not O(gap).
+                    catch_up_zone(&mut zone, t - span_s, t, gap_max_temp_estimate(&board));
+                    zone_was_tripped = zone.is_tripped();
+                    continue;
+                }
+            }
+
             // --- Manager control (per app; idle gaps are governed by
             //     the race-to-idle minimum or the collapse policy) ---
             for j in active.iter_mut() {
@@ -605,7 +724,8 @@ impl ScenarioRunner {
             scratch.obs.lap_thermal(obs_t0);
             scratch.obs.steps += 1;
             scratch.obs.substeps += u64::from(substeps);
-            t += dt;
+            step_idx += 1;
+            t = step_idx as f64 * dt;
 
             // --- Completions: free the resources, in completion order ---
             if active.iter().any(ActiveJob::done) {
@@ -651,6 +771,7 @@ impl ScenarioRunner {
             trace,
             timed_out,
             kernel: scratch.obs,
+            gap_len_ms: gap_hist,
         })
     }
 }
@@ -721,6 +842,61 @@ fn arbitrate_freqs(active: &[ActiveJob], idle: ClusterFreqs) -> ClusterFreqs {
         big: max_or(big, |j| j.desired.big),
         little: max_or(little, |j| j.desired.little),
         gpu: max_or(gpu, |j| j.desired.gpu),
+    }
+}
+
+/// The first tick index `i` of the fixed-dt grid whose time `i·dt`
+/// satisfies the fixed-dt loop's own firing predicate `i·dt + slack >=
+/// target` — i.e. the step at which the fixed-dt loop would first act on
+/// `target`. Computed by a float estimate corrected against the exact
+/// predicate, so the event-driven jump lands on precisely the tick the
+/// stepped loop would have reached (bit-identical timing, no
+/// off-by-one from rounding).
+fn first_tick_at_or_after(dt: f64, target: f64, slack: f64) -> u64 {
+    let mut i = ((target - slack) / dt).ceil().max(0.0) as u64;
+    while (i as f64) * dt + slack < target {
+        i += 1;
+    }
+    while i > 0 && ((i - 1) as f64) * dt + slack >= target {
+        i -= 1;
+    }
+    i
+}
+
+/// Noise-free estimate of the monitored maximum temperature (hottest big
+/// core or GPU) for thermal-zone bookkeeping inside a fast-forwarded
+/// gap. Deliberately does NOT go through the sensor bank: the gap skips
+/// the sample grid entirely, so reading here would desynchronise the
+/// noise stream from the fixed-dt path. All cores are idle in a gap
+/// (no hotspot term), so the estimate is node + static offset.
+fn gap_max_temp_estimate(board: &Board) -> f64 {
+    let temps = board.thermal.temps();
+    let offset = BIG_CORE_OFFSETS_C
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    (temps[board.nodes.big] + offset).max(temps[board.nodes.gpu])
+}
+
+/// Replays the thermal zone's step-wise release across a fast-forwarded
+/// gap at the zone's own poll cadence, using the (cooled) gap-end
+/// temperature. The release ladder is finite — (release − throttle) /
+/// step — so this is O(ladder), not O(gap): once the zone is back to
+/// `Idle` there is nothing left to release and the walk stops.
+fn catch_up_zone(zone: &mut ThermalZone, from_s: f64, to_s: f64, temp_c: f64) {
+    if !zone.is_capping() {
+        return;
+    }
+    let ladder = u64::from(
+        zone.release_to.0.saturating_sub(zone.throttle_to.0) / zone.release_step_mhz.max(1),
+    ) + 2;
+    let mut zt = from_s + zone.release_period_s;
+    for _ in 0..ladder {
+        if zt > to_s || !zone.is_capping() {
+            break;
+        }
+        zone.update(zt, temp_c);
+        zt += zone.release_period_s;
     }
 }
 

@@ -71,6 +71,9 @@ pub struct WorkerObs {
     pub pool: PoolObs,
     /// Step-loop accumulator merged across every cell this worker ran.
     pub kernel: StepObs,
+    /// Fast-forwarded idle-gap lengths (milliseconds) merged across
+    /// every cell this worker ran — empty under fixed-dt advance.
+    pub gap_len_ms: LogHistogram,
     /// This worker's trace track: one complete event per cell.
     pub trace: TraceEventLog,
 }
@@ -89,6 +92,7 @@ impl WorkerObs {
             cell_wall: LogHistogram::new(),
             pool: PoolObs::default(),
             kernel: StepObs::default(),
+            gap_len_ms: LogHistogram::new(),
             trace: TraceEventLog::new(),
         }
     }
@@ -115,6 +119,7 @@ impl WorkerObs {
         let status = match outcome {
             Ok(result) => {
                 self.kernel.merge(&result.kernel);
+                self.gap_len_ms.merge(&result.gap_len_ms);
                 "ok"
             }
             Err(_) => {
@@ -234,6 +239,7 @@ impl SweepObsReport {
             registry.merge_histogram("cell.wall_ns", &w.cell_wall);
             registry.merge_histogram("pool.steal_size", &w.pool.steal_sizes);
             registry.merge_histogram("pool.queue_depth", &w.pool.queue_depth);
+            registry.merge_histogram("engine.gap_len_ms", &w.gap_len_ms);
             kernel.merge(&w.kernel);
             busy_ns = busy_ns.saturating_add(w.busy_ns);
 
@@ -243,6 +249,9 @@ impl SweepObsReport {
         registry.add_named("engine.substeps", kernel.substeps);
         registry.add_named("engine.power_ns", kernel.power_ns);
         registry.add_named("engine.thermal_ns", kernel.thermal_ns);
+        registry.add_named("engine.gaps_skipped", kernel.gaps_skipped);
+        registry.add_named("engine.gap_segments", kernel.gap_segments);
+        registry.set_named("engine.gap_fastforward_s", kernel.gap_fastforward_s);
 
         let workers = per_worker.len();
         for w in per_worker {

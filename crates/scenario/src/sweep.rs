@@ -42,7 +42,7 @@ use crate::scenario::Scenario;
 use teem_core::offline::build_profile_store;
 use teem_core::runner::Approach;
 use teem_core::{ProfileStore, TeemTunables};
-use teem_soc::{Board, IdlePolicy, SimConfig};
+use teem_soc::{Board, IdlePolicy, SimConfig, TimeAdvance};
 use teem_telemetry::Fnv;
 use teem_workload::App;
 
@@ -122,6 +122,9 @@ pub struct ConfigPatch {
     /// Idle-policy override (an explicit [`SweepSpec::idle_policies`]
     /// axis wins over this).
     pub idle_policy: Option<IdlePolicy>,
+    /// Time-advance mode override ([`TimeAdvance::EventDriven`] turns
+    /// on gap fast-forwarding).
+    pub time_advance: Option<TimeAdvance>,
 }
 
 impl ConfigPatch {
@@ -141,6 +144,9 @@ impl ConfigPatch {
         }
         if let Some(v) = self.idle_policy {
             base.idle_policy = v;
+        }
+        if let Some(v) = self.time_advance {
+            base.time_advance = v;
         }
         base
     }
@@ -612,12 +618,17 @@ impl SweepSpec {
             timeout_s,
             warm_start_fraction,
             idle_policy,
+            time_advance,
         } = self.resolved_config();
         h.f64(dt_s);
         h.f64(sample_period_s);
         h.f64(timeout_s);
         h.f64(warm_start_fraction);
         idle(&mut h, idle_policy);
+        h.u64(match time_advance {
+            TimeAdvance::FixedDt => 0,
+            TimeAdvance::EventDriven => 1,
+        });
         h.finish()
     }
 

@@ -13,6 +13,7 @@
 //!   campaign.
 
 use teem_scenario::{ConfigPatch, ProgressReporter, Scenario, SweepJournal, SweepSpec};
+use teem_soc::TimeAdvance;
 use teem_telemetry::TraceEventLog;
 use teem_workload::App;
 
@@ -22,7 +23,10 @@ fn spec_500() -> SweepSpec {
         Scenario::new("o-mvt").arrive(0.0, App::Mvt, 0.9),
         Scenario::new("o-gesummv").arrive(0.0, App::Gesummv, 0.9),
         Scenario::new("o-syrk").arrive(0.0, App::Syrk, 0.9),
-        Scenario::new("o-mvt-tight").arrive(0.0, App::Mvt, 0.7),
+        // Late arrival: opens a 1.4 s idle gap at the head of each of
+        // this scenario's 100 cells, which the event-driven advance
+        // must fast-forward (asserted below).
+        Scenario::new("o-mvt-tight").arrive(1.4, App::Mvt, 0.7),
         Scenario::new("o-pair")
             .arrive(0.0, App::Gesummv, 0.9)
             .arrive(0.5, App::Mvt, 0.9),
@@ -36,6 +40,7 @@ fn spec_500() -> SweepSpec {
         // cells' length.
         .patch_config(ConfigPatch {
             timeout_s: Some(2.0),
+            time_advance: Some(TimeAdvance::EventDriven),
             ..ConfigPatch::default()
         })
         .threads(4)
@@ -103,6 +108,22 @@ fn instrumented_500_cell_sweep_accounts_for_every_cell() {
     assert!(snap.counter("engine.substeps").unwrap() > 0);
     assert!(snap.counter("engine.power_ns").unwrap() > 0);
     assert!(snap.counter("engine.thermal_ns").unwrap() > 0);
+
+    // Event-driven gap accounting: exactly the 100 `o-mvt-tight` cells
+    // open a 1.4 s head gap (the other scenarios arrive at t = 0 and
+    // stay busy to the timeout), and every skipped gap lands in the
+    // gap-length histogram.
+    assert_eq!(snap.counter("engine.gaps_skipped"), Some(100));
+    assert!(snap.counter("engine.gap_segments").unwrap() >= 100);
+    let ff = snap
+        .gauge("engine.gap_fastforward_s")
+        .expect("gap fast-forward gauge registered");
+    assert!(
+        (ff - 140.0).abs() < 1e-6,
+        "100 gaps x 1.4 s should total 140 s, got {ff}"
+    );
+    let gap_hist = snap.histogram("engine.gap_len_ms").unwrap();
+    assert_eq!(gap_hist.count, 100, "one histogram entry per gap");
 
     // Journal I/O counters fold into the same snapshot and agree with
     // the journal: one record per cell plus the header's accounting.

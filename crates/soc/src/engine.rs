@@ -189,6 +189,27 @@ impl IdlePolicy {
     }
 }
 
+/// How an executor advances simulated time (scenario executor only;
+/// single runs are always dense, so [`Simulation`] ignores it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeAdvance {
+    /// One fixed-`dt_s` integration loop from start to finish — every
+    /// idle second of a gappy timeline is stepped through. The default,
+    /// and the bit-pinned reference semantics.
+    #[default]
+    FixedDt,
+    /// Event-horizon loop: phases with applications running step at
+    /// fixed `dt_s` **bit-identically** to [`TimeAdvance::FixedDt`],
+    /// but whenever the active set and queue are empty the executor
+    /// computes the next state-changing instant (arrival,
+    /// ambient/threshold/approach change, idle-collapse timeout,
+    /// simulation timeout) and fast-forwards the thermal network across
+    /// the whole gap in closed form ([`fast_forward_gap`]) — `O(events)`
+    /// instead of `O(gap/dt_s)`, with a small documented temperature /
+    /// energy tolerance on the gap itself.
+    EventDriven,
+}
+
 /// Engine options.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -205,6 +226,8 @@ pub struct SimConfig {
     /// What the board does in idle gaps (scenario executor only;
     /// single runs have no idle gaps).
     pub idle_policy: IdlePolicy,
+    /// How the scenario executor's clock advances across idle gaps.
+    pub time_advance: TimeAdvance,
 }
 
 impl Default for SimConfig {
@@ -215,6 +238,7 @@ impl Default for SimConfig {
             timeout_s: 1_000.0,
             warm_start_fraction: 0.93,
             idle_policy: IdlePolicy::RaceToIdle,
+            time_advance: TimeAdvance::FixedDt,
         }
     }
 }
@@ -539,6 +563,16 @@ pub struct StepObs {
     pub power_ns: u64,
     /// Nanoseconds in the thermal integration (0 unless `enabled`).
     pub thermal_ns: u64,
+    /// Idle gaps the event-driven executor fast-forwarded instead of
+    /// stepping (0 under [`TimeAdvance::FixedDt`]).
+    pub gaps_skipped: u64,
+    /// Total simulated seconds covered by fast-forwarded gaps.
+    pub gap_fastforward_s: f64,
+    /// Closed-form re-linearisation segments taken across all
+    /// fast-forwarded gaps (each is one
+    /// [`cool_to`](crate::thermal::ThermalModel::cool_to) call;
+    /// see [`fast_forward_gap`]).
+    pub gap_segments: u64,
 }
 
 impl StepObs {
@@ -589,6 +623,9 @@ impl StepObs {
         self.substeps += other.substeps;
         self.power_ns = self.power_ns.saturating_add(other.power_ns);
         self.thermal_ns = self.thermal_ns.saturating_add(other.thermal_ns);
+        self.gaps_skipped += other.gaps_skipped;
+        self.gap_fastforward_s += other.gap_fastforward_s;
+        self.gap_segments += other.gap_segments;
     }
 }
 
@@ -1006,6 +1043,135 @@ pub fn collapsed_node_powers(board: &Board, temps: &[f64]) -> Vec<f64> {
     let mut p = vec![0.0; board.thermal.len()];
     collapsed_node_powers_into(board, temps, &mut p);
     p
+}
+
+/// What [`fast_forward_gap`] dissipates during the span it advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapPower {
+    /// Idle floor: every cluster at the given frequencies with no
+    /// application mapped ([`idle_node_powers_into`]).
+    Idle(ClusterFreqs),
+    /// Power-collapsed clusters ([`collapsed_node_powers_into`]) — the
+    /// regime after [`IdlePolicy::TimeoutCollapse`] fires.
+    Collapsed,
+}
+
+/// What one [`fast_forward_gap`] call covered.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GapAdvance {
+    /// Total energy drawn across the span, joules.
+    pub energy_j: f64,
+    /// Closed-form segments taken (each one `cool_to` call).
+    pub segments: u32,
+}
+
+/// Maximum temperature movement per re-linearisation segment of
+/// [`fast_forward_gap`], °C. Leakage is the only temperature-dependent
+/// term of the idle power model (≈ 4.5 %/°C), so freezing the power
+/// vector across a ≤ 0.5 °C slide mis-estimates the leakage watts of
+/// that segment by ≲ 2 % — the documented gap tolerance, pinned
+/// empirically by the property tests against brute-force stepping.
+pub const GAP_SEGMENT_DELTA_C: f64 = 0.5;
+
+/// Advances the board across an all-idle gap in closed form: `O(events)`
+/// work for a span of any length, versus `O(span/dt)` for stepping.
+///
+/// During a gap the thermal network is a linear decay toward the
+/// steady state of the (nearly constant) idle power — exactly the
+/// regime where the spectral solution
+/// ([`cool_to`](crate::thermal::ThermalModel::cool_to)) is exact. The
+/// one nonlinearity left is leakage's exponential temperature
+/// dependence, so the span is split into segments sized such that no
+/// node is predicted to move more than [`GAP_SEGMENT_DELTA_C`] per
+/// segment, with the power vector re-evaluated at each segment start
+/// (frozen-power re-linearisation). Once the state is within one delta
+/// of the idle steady state the remainder of the span — hours, days —
+/// is a single segment. Segment count is therefore bounded by the
+/// cooling distance, not the span length.
+///
+/// Energy is integrated exactly under the frozen-power approximation:
+/// each segment contributes `ΣᵢPᵢ · L` joules, accumulated per node
+/// into `energy_by_node_j` (same indexing as [`Board::nodes`]).
+///
+/// The caller owns every other piece of gap semantics: choosing the
+/// horizon (next event), switching `power` from [`GapPower::Idle`] to
+/// [`GapPower::Collapsed`] at the collapse instant by calling this
+/// twice, sensor-noise stream catch-up, and trace sampling.
+///
+/// # Panics
+///
+/// Panics if `span_s < 0`, `ambient_c` is implausible, or
+/// `energy_by_node_j.len() != board.thermal.len()`.
+pub fn fast_forward_gap(
+    board: &mut Board,
+    power: GapPower,
+    span_s: f64,
+    ambient_c: f64,
+    scratch: &mut StepScratch,
+    energy_by_node_j: &mut [f64],
+) -> GapAdvance {
+    assert!(span_s >= 0.0, "negative gap span");
+    assert_eq!(
+        energy_by_node_j.len(),
+        board.thermal.len(),
+        "energy vector length"
+    );
+    let mut adv = GapAdvance::default();
+    if span_s == 0.0 {
+        board.thermal.set_ambient_c(ambient_c);
+        return adv;
+    }
+    let lambda_max = board.thermal.fastest_cooling_rate();
+    let mut remaining = span_s;
+    // Relative epsilon, as ThermalModel::step: float residue from
+    // repeated subtraction must not schedule a denormal extra segment.
+    let eps = span_s * 1e-9;
+    while remaining > eps {
+        // Freeze the power vector at the segment-start temperatures.
+        scratch.temps.copy_from_slice(board.thermal.temps());
+        match power {
+            GapPower::Idle(freqs) => {
+                idle_node_powers_into(board, freqs, &scratch.temps, &mut scratch.power);
+            }
+            GapPower::Collapsed => {
+                collapsed_node_powers_into(board, &scratch.temps, &mut scratch.power);
+            }
+        }
+        // Distance to the steady state this frozen power decays toward.
+        let seg = if lambda_max > 0.0 {
+            let ss = board.thermal.steady_state(&scratch.power);
+            let dist = board
+                .thermal
+                .temps()
+                .iter()
+                .zip(&ss)
+                .map(|(&t, &s)| (t - s).abs())
+                .fold(0.0_f64, f64::max);
+            if dist <= GAP_SEGMENT_DELTA_C {
+                // Within one delta of equilibrium: the rest of the gap
+                // moves less than the per-segment budget — take it all.
+                remaining
+            } else {
+                // Longest span over which the fastest mode's decay keeps
+                // the predicted movement under the budget.
+                let l = (dist / (dist - GAP_SEGMENT_DELTA_C)).ln() / lambda_max;
+                l.min(remaining)
+            }
+        } else {
+            // Degenerate ambient-isolated network (tests only): nothing
+            // decays, one frozen-power segment is as good as many.
+            remaining
+        };
+        board.thermal.cool_to(seg, ambient_c, &scratch.power);
+        for (e, &p) in energy_by_node_j.iter_mut().zip(&scratch.power) {
+            *e += p * seg;
+        }
+        adv.energy_j += scratch.power.iter().sum::<f64>() * seg;
+        adv.segments += 1;
+        remaining -= seg;
+    }
+    scratch.obs.gap_segments += u64::from(adv.segments);
+    adv
 }
 
 /// Reads the sensor bank including per-core hotspot contributions for

@@ -67,9 +67,10 @@ mod thermal_zone;
 pub use board::{Board, ThermalNodes};
 pub use engine::{
     clamp_freqs, co_run_dynamic_weights, co_run_node_powers_into, collapsed_node_powers,
-    collapsed_node_powers_into, idle_node_powers, idle_node_powers_into, node_powers_for,
-    node_powers_into, read_sensors_for, ClusterFreqs, CoRunShare, IdlePolicy, Manager, RunResult,
-    RunSpec, SimConfig, Simulation, SocControl, SocView, StepObs, StepScratch,
+    collapsed_node_powers_into, fast_forward_gap, idle_node_powers, idle_node_powers_into,
+    node_powers_for, node_powers_into, read_sensors_for, ClusterFreqs, CoRunShare, GapAdvance,
+    GapPower, IdlePolicy, Manager, RunResult, RunSpec, SimConfig, Simulation, SocControl, SocView,
+    StepObs, StepScratch, TimeAdvance, GAP_SEGMENT_DELTA_C,
 };
 pub use freq::{MHz, Opp, OppTable};
 pub use perf::CpuMapping;

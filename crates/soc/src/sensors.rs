@@ -48,6 +48,17 @@ impl NoiseRng {
         let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         (unit * 2.0 - 1.0) * amplitude
     }
+
+    /// Jumps the stream forward by `draws` outputs in O(1). SplitMix64's
+    /// state advances by a fixed additive constant per draw, so skipping
+    /// is a single wrapping multiply-add — this is what lets the
+    /// event-driven executor fast-forward a gap and land on exactly the
+    /// noise values the fixed-dt path would have produced there.
+    fn skip(&mut self, draws: u64) {
+        self.state = self
+            .state
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(draws));
+    }
 }
 
 /// A bank of thermal sensors over the SoC's thermal nodes.
@@ -142,6 +153,25 @@ impl SensorBank {
         }
     }
 
+    /// Number of noise draws one full bank sampling consumes (four big
+    /// cores plus the GPU) — the unit [`SensorBank::skip_reads`] skips in.
+    pub const DRAWS_PER_READ: u64 = 5;
+
+    /// Advances the noise stream as if `reads` full bank samplings had
+    /// happened without taking them, in O(1).
+    ///
+    /// The event-driven executor uses this when it fast-forwards an idle
+    /// gap: the sample boundaries inside the gap are skipped, so the
+    /// noise stream must be advanced past the draws those samples would
+    /// have consumed for every reading *after* the gap to stay
+    /// bit-identical with the fixed-dt path. A noiseless bank consumes
+    /// no draws, and correspondingly this is a no-op for it.
+    pub fn skip_reads(&mut self, reads: u64) {
+        if self.noise_c > 0.0 {
+            self.rng.skip(reads * Self::DRAWS_PER_READ);
+        }
+    }
+
     fn measure(&mut self, true_c: f64) -> f64 {
         let mut v = true_c;
         if self.noise_c > 0.0 {
@@ -206,6 +236,27 @@ mod tests {
         for v in r.big_core_c.iter().chain([r.gpu_c].iter()) {
             assert_eq!(v.fract(), 0.0, "{v} not integer");
         }
+    }
+
+    #[test]
+    fn skip_reads_matches_discarded_reads() {
+        // O(1) skip lands on exactly the same stream position as
+        // actually taking (and discarding) the reads.
+        let mut skipped = SensorBank::tmu_like(42);
+        let mut walked = SensorBank::tmu_like(42);
+        for _ in 0..7 {
+            walked.read(80.0, 70.0);
+        }
+        skipped.skip_reads(7);
+        for _ in 0..5 {
+            assert_eq!(skipped.read(81.0, 69.0), walked.read(81.0, 69.0));
+        }
+        // Noiseless banks consume no draws, so skipping is a no-op.
+        let mut a = SensorBank::ideal();
+        let b = SensorBank::ideal();
+        a.skip_reads(1_000_000);
+        let mut b = b;
+        assert_eq!(a.read(80.0, 70.0), b.read(80.0, 70.0));
     }
 
     #[test]

@@ -10,10 +10,31 @@
 //! and the baselines all react to *sensor readings of node temperatures*,
 //! not to intra-die gradients.
 
-use teem_linreg::{solve::lu_solve, Matrix};
+use teem_linreg::{eigen::sym_eigen, solve::lu_solve, Matrix};
 
 /// Index of a thermal node within a [`ThermalModel`].
 pub type NodeId = usize;
+
+/// Cached spectral decomposition of the thermal network, used by the
+/// closed-form cooling advance ([`ThermalModel::cool_to`]).
+///
+/// With `L` the conductance Laplacian plus the ambient diagonal and `C`
+/// the capacitance diagonal, the similarity transform
+/// `S = C^{-1/2} L C^{-1/2}` is symmetric positive semi-definite, so
+/// `S = Q Λ Qᵀ` with orthonormal `Q` — and the heat equation
+/// `C dT/dt = P + G_amb·T_amb − L·T` decouples into `n` scalar modes
+/// `dy_k/dt = b_k − λ_k y_k` with exact exponential solutions. The
+/// decomposition depends only on the network topology (fixed at build
+/// time), so it is computed once on first use and reused for every gap.
+#[derive(Debug, Clone)]
+struct CoolingPlan {
+    lambda: Vec<f64>,     // eigenvalues of S, ascending, 1/s
+    q: Vec<f64>,          // eigenvectors of S, row-major n×n, columns are modes
+    c_sqrt: Vec<f64>,     // sqrt(C_i)
+    c_inv_sqrt: Vec<f64>, // 1/sqrt(C_i)
+    y: Vec<f64>,          // modal-state scratch
+    b: Vec<f64>,          // modal-forcing scratch
+}
 
 /// A lumped RC thermal network.
 ///
@@ -32,6 +53,7 @@ pub struct ThermalModel {
     deriv: Vec<f64>,       // Euler scratch, reused across sub-steps
     ambient_c: f64,
     max_stable_dt: f64,
+    plan: Option<CoolingPlan>, // lazy spectral cache for cool_to
 }
 
 /// Builder for [`ThermalModel`].
@@ -128,6 +150,7 @@ impl ThermalModelBuilder {
             deriv: vec![0.0; n],
             ambient_c: self.ambient_c,
             max_stable_dt,
+            plan: None,
         }
     }
 }
@@ -293,6 +316,141 @@ impl ThermalModel {
         assert!(a < n && b < n, "unknown node");
         self.conductance[a * n + b]
     }
+
+    /// Builds (once) the spectral decomposition behind
+    /// [`ThermalModel::cool_to`]. The network topology is immutable
+    /// after [`ThermalModelBuilder::build`], so the plan never needs
+    /// invalidation.
+    fn ensure_plan(&mut self) {
+        if self.plan.is_some() {
+            return;
+        }
+        let n = self.len();
+        let mut s = Matrix::zeros(n, n);
+        let c_sqrt: Vec<f64> = self.capacitance.iter().map(|&c| c.sqrt()).collect();
+        let c_inv_sqrt: Vec<f64> = c_sqrt.iter().map(|&c| 1.0 / c).collect();
+        for i in 0..n {
+            let mut diag = self.to_ambient[i];
+            for j in 0..n {
+                if i != j {
+                    let g = self.conductance[i * n + j];
+                    diag += g;
+                    s[(i, j)] = -g * c_inv_sqrt[i] * c_inv_sqrt[j];
+                }
+            }
+            s[(i, i)] = diag * c_inv_sqrt[i] * c_inv_sqrt[i];
+        }
+        let e = sym_eigen(&s);
+        // S is PSD by construction; clamp rounding-level negative
+        // eigenvalues so the modal solution never grows exponentially.
+        let lambda: Vec<f64> = e.values.iter().map(|&l| l.max(0.0)).collect();
+        let mut q = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                q[i * n + k] = e.vectors[(i, k)];
+            }
+        }
+        self.plan = Some(CoolingPlan {
+            lambda,
+            q,
+            c_sqrt,
+            c_inv_sqrt,
+            y: vec![0.0; n],
+            b: vec![0.0; n],
+        });
+    }
+
+    /// Advances the network `horizon_s` seconds under **constant** power
+    /// in closed form — the event-driven engines' gap fast-forward.
+    ///
+    /// Equivalent to `set_ambient_c(ambient_c)` followed by the exact
+    /// solution of the linear heat equation over the span: the cost is
+    /// `O(n²)` *independent of the horizon length*, versus
+    /// `O(horizon/dt · n²)` for [`ThermalModel::step`]. Because the RC
+    /// network is linear, the only approximation left to callers is
+    /// holding `power_w` constant across the span; re-segmenting when
+    /// power is temperature-dependent (leakage) bounds that error —
+    /// see the engine-level fast-forward. Under truly constant power the
+    /// result matches `step` with `dt → 0` exactly (it *is* the limit),
+    /// the drawn energy over the gap is exactly `Σᵢ power_w[i] ·
+    /// horizon_s`, and `cool_to(a); cool_to(b)` equals `cool_to(a + b)`
+    /// (semigroup property, pinned by tests).
+    ///
+    /// The first call builds a cached spectral decomposition of the
+    /// network (Jacobi eigensolve, `O(n³)`); subsequent calls reuse it
+    /// and allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_w.len() != self.len()`, `horizon_s < 0`, or
+    /// `ambient_c` is outside the plausible range (as
+    /// [`ThermalModel::set_ambient_c`]).
+    pub fn cool_to(&mut self, horizon_s: f64, ambient_c: f64, power_w: &[f64]) {
+        assert_eq!(power_w.len(), self.len(), "power vector length mismatch");
+        assert!(horizon_s >= 0.0, "negative horizon");
+        self.set_ambient_c(ambient_c);
+        if horizon_s == 0.0 {
+            return;
+        }
+        self.ensure_plan();
+        let n = self.names.len();
+        let ThermalModel {
+            temps,
+            to_ambient,
+            ambient_c,
+            plan,
+            ..
+        } = self;
+        let plan = plan.as_mut().expect("plan ensured above");
+        // Modal transform: y = Qᵀ C^{1/2} T, b = Qᵀ C^{-1/2} (P + G_amb·T_amb).
+        for k in 0..n {
+            let mut yk = 0.0;
+            let mut bk = 0.0;
+            for i in 0..n {
+                let qik = plan.q[i * n + k];
+                yk += qik * plan.c_sqrt[i] * temps[i];
+                bk += qik * plan.c_inv_sqrt[i] * (power_w[i] + to_ambient[i] * *ambient_c);
+            }
+            plan.y[k] = yk;
+            plan.b[k] = bk;
+        }
+        // Per-mode exact solution. λ ≈ 0 modes (a network segment with
+        // no path to ambient) integrate their forcing linearly.
+        let tiny = plan.lambda.last().copied().unwrap_or(0.0) * 1e-12;
+        for (yk, (&l, &bk)) in plan.y.iter_mut().zip(plan.lambda.iter().zip(&plan.b)) {
+            if l > tiny {
+                let y_inf = bk / l;
+                *yk = y_inf + (*yk - y_inf) * (-l * horizon_s).exp();
+            } else {
+                *yk += bk * horizon_s;
+            }
+        }
+        // Back-transform: T = C^{-1/2} Q y.
+        for (i, t) in temps.iter_mut().enumerate() {
+            let mut u = 0.0;
+            for k in 0..n {
+                u += plan.q[i * n + k] * plan.y[k];
+            }
+            *t = u * plan.c_inv_sqrt[i];
+        }
+    }
+
+    /// Decay rate (1/s) of the fastest-relaxing thermal mode — the
+    /// largest eigenvalue of the normalised conductance system. The
+    /// engine-level gap fast-forward uses it to size re-linearisation
+    /// segments: over a span `L`, no mode moves toward its equilibrium
+    /// by more than the fraction `1 − e^{−λ_max·L}`. Builds the
+    /// spectral cache on first use.
+    pub fn fastest_cooling_rate(&mut self) -> f64 {
+        self.ensure_plan();
+        self.plan
+            .as_ref()
+            .expect("plan ensured above")
+            .lambda
+            .last()
+            .copied()
+            .unwrap_or(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -453,6 +611,113 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_capacitance() {
         ThermalModelBuilder::new(25.0).node("x", 0.0, 0.1, 25.0);
+    }
+
+    #[test]
+    fn cool_to_reaches_steady_state_at_long_horizon() {
+        let mut m = toy();
+        m.set_temp(0, 90.0);
+        m.set_temp(1, 70.0);
+        let p = [1.5, 0.0];
+        let ss = m.steady_state(&p);
+        m.cool_to(1e6, 25.0, &p);
+        assert!((m.temp(0) - ss[0]).abs() < 1e-9, "die {}", m.temp(0));
+        assert!((m.temp(1) - ss[1]).abs() < 1e-9, "board {}", m.temp(1));
+    }
+
+    #[test]
+    fn cool_to_matches_euler_stepping() {
+        // The closed form is the dt→0 limit of the Euler path: against a
+        // fine-dt reference the difference is the reference's own
+        // first-order truncation error, far below 0.05 °C at dt = 10 ms.
+        for horizon in [0.3f64, 2.0, 17.0, 400.0] {
+            let mut a = toy();
+            let mut b = toy();
+            for m in [&mut a, &mut b] {
+                m.set_temp(0, 85.0);
+                m.set_temp(1, 55.0);
+            }
+            let p = [0.4, 0.1];
+            let fine_steps = (horizon / 0.01).round() as u32;
+            for _ in 0..fine_steps {
+                a.step(0.01, &p);
+            }
+            b.cool_to(horizon, 25.0, &p);
+            for i in 0..2 {
+                assert!(
+                    (a.temp(i) - b.temp(i)).abs() < 0.05,
+                    "horizon {horizon} node {i}: euler {} vs closed {}",
+                    a.temp(i),
+                    b.temp(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cool_to_is_a_semigroup() {
+        // Advancing a+b in one call equals advancing a then b: the
+        // closed form composes exactly (no per-call truncation error).
+        let mut once = toy();
+        let mut twice = toy();
+        for m in [&mut once, &mut twice] {
+            m.set_temp(0, 95.0);
+            m.set_temp(1, 40.0);
+        }
+        let p = [0.2, 0.0];
+        once.cool_to(13.25, 31.0, &p);
+        twice.cool_to(4.0, 31.0, &p);
+        twice.cool_to(9.25, 31.0, &p);
+        for i in 0..2 {
+            assert!(
+                (once.temp(i) - twice.temp(i)).abs() < 1e-9,
+                "node {i}: {} vs {}",
+                once.temp(i),
+                twice.temp(i)
+            );
+        }
+    }
+
+    #[test]
+    fn cool_to_zero_horizon_only_sets_ambient() {
+        let mut m = toy();
+        m.set_temp(0, 77.0);
+        m.cool_to(0.0, 30.0, &[0.0, 0.0]);
+        assert_eq!(m.temp(0), 77.0);
+        assert_eq!(m.ambient_c(), 30.0);
+    }
+
+    #[test]
+    fn fastest_cooling_rate_bounds_every_nodes_time_constant() {
+        let mut m = toy();
+        let rate = m.fastest_cooling_rate();
+        assert!(rate > 0.0);
+        // The die's isolated time constant is C/G = 0.5/0.2 = 2.5 s, so
+        // the fastest mode must relax at least that fast.
+        assert!(rate >= 1.0 / 2.5 - 1e-9, "rate {rate}");
+        // And no faster than the Euler stability analysis implies
+        // (max_stable_dt = 0.5 · min C/ΣG ⇒ λ_max ≤ 2 / (2·max_stable_dt)).
+        assert!(rate <= 1.0 / m.max_stable_dt() + 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn cool_to_handles_ambient_isolated_network() {
+        // Two nodes coupled to each other but not to ambient: the zero
+        // eigenvalue mode conserves total heat, and constant power
+        // integrates linearly instead of diverging.
+        let mut b = ThermalModelBuilder::new(25.0);
+        let n0 = b.node("a", 1.0, 0.0, 80.0);
+        let n1 = b.node("b", 1.0, 0.0, 20.0);
+        b.connect(n0, n1, 0.5);
+        let mut m = b.build();
+        m.cool_to(1_000.0, 25.0, &[0.0, 0.0]);
+        // Heat equalises, total is conserved.
+        assert!((m.temp(n0) - 50.0).abs() < 1e-6, "a {}", m.temp(n0));
+        assert!((m.temp(n1) - 50.0).abs() < 1e-6, "b {}", m.temp(n1));
+        // 1 W into an isolated 2 J/°C system heats 0.5 °C/s.
+        m.cool_to(10.0, 25.0, &[1.0, 0.0]);
+        let mean = 0.5 * (m.temp(n0) + m.temp(n1));
+        assert!((mean - 55.0).abs() < 1e-6, "mean {mean}");
     }
 
     #[test]

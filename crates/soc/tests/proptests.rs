@@ -122,6 +122,105 @@ proptest! {
         }
     }
 
+    /// The closed-form cooling advance must agree with brute-force
+    /// fixed-dt integration over random gap lengths, ambients and
+    /// start temperatures — this is the license for the event-driven
+    /// executor to replace the Euler loop inside idle gaps.
+    #[test]
+    fn cool_to_matches_brute_force_euler(
+        gap_s in 0.5..600.0f64,
+        amb in 10.0..40.0f64,
+        dt_big in 0.0..60.0f64,
+        dt_gpu in 0.0..50.0f64,
+        p_big in 0.0..0.4f64,
+        p_gpu in 0.0..0.3f64,
+    ) {
+        let board = Board::odroid_xu4_ideal();
+        let mut closed = board.thermal.clone();
+        let mut euler = board.thermal.clone();
+        closed.set_ambient_c(amb);
+        euler.set_ambient_c(amb);
+        // Perturb the start state away from the build-time temperatures.
+        let start = {
+            let mut t = closed.temps().to_vec();
+            t[board.nodes.big] += dt_big;
+            t[board.nodes.gpu] += dt_gpu;
+            t
+        };
+        for (i, &v) in start.iter().enumerate() {
+            closed.set_temp(i, v);
+            euler.set_temp(i, v);
+        }
+        let powers = {
+            let mut p = vec![0.0; board.thermal.len()];
+            p[board.nodes.big] = p_big;
+            p[board.nodes.gpu] = p_gpu;
+            p[board.nodes.board] = 0.2;
+            p
+        };
+
+        closed.cool_to(gap_s, amb, &powers);
+        // Reference: fine fixed-dt sub-stepping (well under the
+        // stability bound, so its own truncation error stays small).
+        let fine = 0.01f64;
+        let steps = (gap_s / fine).floor() as u64;
+        for _ in 0..steps {
+            euler.step(fine, &powers);
+        }
+        euler.step(gap_s - steps as f64 * fine, &powers);
+
+        for (i, (a, b)) in closed.temps().iter().zip(euler.temps()).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 0.1,
+                "node {i}: closed {a} vs euler {b} over {gap_s} s"
+            );
+        }
+    }
+
+    /// The exact idle-energy integral: advancing a gap in closed form
+    /// banks exactly `sum(P) * span` joules (power is frozen per
+    /// segment by construction), split per node, regardless of how the
+    /// segmenter slices the span.
+    #[test]
+    fn gap_energy_is_exactly_conserved(
+        gap_s in 1.0..3_600.0f64,
+        amb in 10.0..40.0f64,
+        dt_big in 0.0..60.0f64,
+    ) {
+        use teem_soc::{fast_forward_gap, ClusterFreqs, GapPower, StepScratch};
+
+        let mut board = Board::odroid_xu4_ideal();
+        let hot = board.thermal.temp(board.nodes.big) + dt_big;
+        board.thermal.set_temp(board.nodes.big, hot);
+        let mut scratch = StepScratch::for_board(&board);
+        let mut by_node = vec![0.0f64; board.thermal.len()];
+        let idle = ClusterFreqs {
+            big: MHz(200),
+            little: MHz(200),
+            gpu: MHz(177),
+        };
+        let adv = fast_forward_gap(
+            &mut board,
+            GapPower::Idle(idle),
+            gap_s,
+            amb,
+            &mut scratch,
+            &mut by_node,
+        );
+        prop_assert!(adv.segments >= 1);
+        prop_assert!(adv.energy_j > 0.0, "idle leakage always burns energy");
+        // Per-node split sums exactly to the total (same additions in
+        // the same order, so this is bitwise-reproducible, and tight).
+        let sum: f64 = by_node.iter().sum();
+        prop_assert!(
+            (sum - adv.energy_j).abs() <= 1e-9 * adv.energy_j.max(1.0),
+            "per-node energy {sum} != total {}",
+            adv.energy_j
+        );
+        // Sanity bound: average idle power on this board is O(1) W.
+        prop_assert!(adv.energy_j < 20.0 * gap_s);
+    }
+
     #[test]
     fn builder_networks_relax_to_ambient(
         c1 in 0.1..5.0f64,

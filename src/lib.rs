@@ -64,7 +64,7 @@ pub mod prelude {
     };
     pub use teem_soc::{
         node_powers_into, Board, ClusterFreqs, CpuMapping, IdlePolicy, MHz, Manager, RunResult,
-        RunSpec, SimConfig, Simulation, SocControl, SocView, StepScratch, ThermalZone,
+        RunSpec, SimConfig, Simulation, SocControl, SocView, StepScratch, ThermalZone, TimeAdvance,
     };
     pub use teem_telemetry::{
         sweep_diff, CellRecord, LogHistogram, MetricsRegistry, MetricsSnapshot, RunSummary,
