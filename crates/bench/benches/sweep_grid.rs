@@ -7,8 +7,20 @@
 //!   5 one-arrival scenarios × 10 thresholds × 10 ambients = 500 cells,
 //!   streamed through the work-stealing executor and aggregated online
 //!   (peak resident results O(workers)).
+//! * `sweep_grid_500_cells_batched` — the same grid through the batched
+//!   lockstep path ([`SweepSpec::batch`]): K cells per worker stepped
+//!   through one SoA thermal batch, bit-identical results.
 //! * `sweep_knob_grid_27_tunables` — the δ × floor × threshold TEEM
 //!   knob grid of the ablation experiment, as a sweep axis.
+//! * `thermal_step_scalar_10ms` / `thermal_step_batched_16lane_10ms` —
+//!   the integration kernel alone, scalar vs SoA, so the per-lane cost
+//!   of one thermal step is pinned next to the end-to-end figures.
+//!
+//! Besides the console table, the run writes **`BENCH_sweep.json`** to
+//! the working directory: scalar and batched cells/s, their ratio, the
+//! thermal-step nanoseconds, and the lane-occupancy/utilization gauges
+//! from an untimed instrumented batched run — the artifact CI checks
+//! for shape and the README's performance table quotes.
 
 use std::cell::Cell;
 use std::hint::black_box;
@@ -16,8 +28,12 @@ use teem_bench::experiments::ablation;
 use teem_bench::microbench::Runner;
 use teem_core::runner::Approach;
 use teem_scenario::{Scenario, SweepEvent, SweepRunStats, SweepSpec};
+use teem_soc::{BatchScratch, Board, ThermalBatch};
 use teem_telemetry::SweepAggregator;
 use teem_workload::App;
+
+/// Lockstep lane count for the batched benches: two full SIMD vectors.
+const BATCH_K: usize = 16;
 
 fn one_arrival_suite() -> Vec<Scenario> {
     vec![
@@ -47,6 +63,8 @@ fn stream(spec: &SweepSpec) -> SweepRunStats {
 
 fn main() {
     let mut r = Runner::from_args();
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke")
+        || std::env::var("TEEM_BENCH_SMOKE").is_ok_and(|v| v == "1");
 
     let thresholds: Vec<f64> = (0..10).map(|i| 80.0 + f64::from(i)).collect();
     let ambients: Vec<f64> = (0..10).map(|i| 15.0 + 2.0 * f64::from(i)).collect();
@@ -55,6 +73,7 @@ fn main() {
         .thresholds_c(&thresholds)
         .ambients_c(&ambients);
     assert_eq!(grid.cells(), 500);
+    let batched_grid = grid.clone().batch(BATCH_K);
 
     // Cells-per-second throughput is taken from `SweepRunStats`
     // (`cells_per_sec` — the same figure every example and `repro`
@@ -63,6 +82,13 @@ fn main() {
     r.bench_heavy("sweep_grid_500_cells_stream", 1, || {
         let stats = stream(black_box(&grid));
         grid_rate.set(grid_rate.get().max(stats.cells_per_sec()));
+        stats.cells
+    });
+
+    let batched_rate = Cell::new(0.0_f64);
+    r.bench_heavy("sweep_grid_500_cells_batched", 1, || {
+        let stats = stream(black_box(&batched_grid));
+        batched_rate.set(batched_rate.get().max(stats.cells_per_sec()));
         stats.cells
     });
 
@@ -77,14 +103,106 @@ fn main() {
         stats.cells
     });
 
+    // The thermal kernel alone, scalar vs SoA — the physics inner loop
+    // whose amortisation the batched grid figure rides on.
+    let board = Board::odroid_xu4_ideal();
+    let powers = [6.0, 0.6, 2.6, 2.2];
+    let mut model = board.thermal.clone();
+    r.bench("thermal_step_scalar_10ms", || {
+        model.step(black_box(0.01), black_box(&powers))
+    });
+    let mut batch = ThermalBatch::like(&board.thermal, BATCH_K);
+    for lane in 0..BATCH_K {
+        batch.load_lane(lane, &board.thermal);
+    }
+    let mut scratch = BatchScratch::for_batch(&batch);
+    for (node, p) in powers.iter().enumerate() {
+        for lane in 0..BATCH_K {
+            scratch.power[node * batch.stride() + lane] = *p;
+        }
+    }
+    r.bench("thermal_step_batched_16lane_10ms", || {
+        batch.step(black_box(0.01), black_box(&scratch.power))
+    });
+
+    // Lane occupancy from an untimed instrumented run — observability
+    // must not sit inside the timed figures.
+    let (_, report) = batched_grid
+        .run_instrumented(|_| {})
+        .expect("instrumented batched sweep runs");
+    let snap = report.snapshot();
+    let occupancy = snap.gauge("batch.lane_occupancy").unwrap_or(0.0);
+    let utilization = snap.gauge("batch.lane_utilization").unwrap_or(0.0);
+    println!("{}", report.kernel_split());
+    for c in [
+        "engine.steps",
+        "engine.batched_steps",
+        "batch.lanes_entered",
+        "batch.rounds",
+    ] {
+        println!("{c:<44} {:>12}", snap.counter(c).unwrap_or(0));
+    }
+
+    let best_ns = |name: &str| {
+        r.results()
+            .iter()
+            .find(|b| b.name == name)
+            .map_or(0.0, |b| b.best_ns)
+    };
+    let scalar_step_ns = best_ns("thermal_step_scalar_10ms");
+    let batched_lane_ns = best_ns("thermal_step_batched_16lane_10ms") / BATCH_K as f64;
+    let speedup = if grid_rate.get() > 0.0 {
+        batched_rate.get() / grid_rate.get()
+    } else {
+        0.0
+    };
+
     for (name, rate) in [
         ("sweep_grid_500_cells_stream", &grid_rate),
+        ("sweep_grid_500_cells_batched", &batched_rate),
         ("sweep_knob_grid_27_tunables", &knob_rate),
     ] {
         if r.results().iter().any(|b| b.name == name) {
             println!("{name:<44} {:>10.1} cells/s", rate.get());
         }
     }
+    if batched_rate.get() > 0.0 && grid_rate.get() > 0.0 {
+        println!(
+            "{:<44} {speedup:>10.2} x  (occupancy {occupancy:.3}, utilization {utilization:.3})",
+            "batched_vs_scalar_speedup"
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sweep_grid\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"batch_lanes\": {lanes},\n",
+            "  \"scalar_cells_per_sec\": {scalar:.1},\n",
+            "  \"batched_cells_per_sec\": {batched:.1},\n",
+            "  \"speedup\": {speedup:.3},\n",
+            "  \"thermal_step_scalar_ns\": {step_ns:.1},\n",
+            "  \"thermal_step_batched_ns_per_lane\": {lane_ns:.1},\n",
+            "  \"lane_occupancy\": {occ:.4},\n",
+            "  \"lane_utilization\": {util:.4}\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        lanes = BATCH_K,
+        scalar = grid_rate.get(),
+        batched = batched_rate.get(),
+        speedup = speedup,
+        step_ns = scalar_step_ns,
+        lane_ns = batched_lane_ns,
+        occ = occupancy,
+        util = utilization,
+    );
+    // Cargo runs bench binaries with the package as working directory;
+    // anchor the artifact at the workspace root where CI looks for it.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    println!("wrote {}", out.display());
 
     r.finish();
 }

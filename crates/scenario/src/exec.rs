@@ -28,12 +28,19 @@
 //! property pinned by the golden-digest tests — and the step loop reuses
 //! one [`teem_soc::StepScratch`] (plus pre-sized share/claim buffers) so
 //! the steady-state path allocates nothing.
+//!
+//! The loop body is factored as [`CellSim`] state plus
+//! [`ScenarioRunner::prepare_cell`] / [`ScenarioRunner::step_cell`] /
+//! [`ScenarioRunner::finish_cell`], so the batched lockstep path
+//! (`crate::lockstep`) can suspend a cell at a step boundary, run its
+//! phase methods out of band, and hand the cell back to the scalar loop
+//! on divergence — all through the *same* code the scalar path runs.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::arbiter::{Admission, ContentionPolicy, MappingArbiter, ResourceClaim};
-use crate::event::ScenarioEvent;
+use crate::event::{ScenarioEvent, TimedEvent};
 use crate::scenario::{Scenario, DEFAULT_THRESHOLD_C};
 use teem_core::offline::profile_app;
 use teem_core::runner::{manager_for, plan_launch, Approach, LaunchPlan};
@@ -46,7 +53,7 @@ use teem_soc::{
     Board, ClusterFreqs, CoRunShare, CpuMapping, GapAdvance, GapPower, SensorBank, SensorReadings,
     SimConfig, SocControl, SocView, StepObs, StepScratch, ThermalZone, TimeAdvance,
 };
-use teem_telemetry::{LogHistogram, RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
+use teem_telemetry::{ChannelId, LogHistogram, RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
 use teem_workload::{bandwidth_slowdown, App, KernelCharacteristics, Partition};
 
 /// Everything one scenario execution produced.
@@ -282,6 +289,25 @@ impl ScenarioRunner {
     ///
     /// Propagates a profiling (regression) failure for an arriving app.
     pub fn run(&mut self, scenario: &Scenario) -> Result<ScenarioResult, teem_linreg::LinregError> {
+        let mut sim = self.prepare_cell(scenario)?;
+        while self.step_cell(&mut sim)? {}
+        Ok(self.finish_cell(sim))
+    }
+
+    /// Builds the suspended simulation state for `scenario`: fresh
+    /// warm-started board, sorted timeline, pre-sized step buffers and
+    /// pre-created trace channels — everything [`ScenarioRunner::run`]
+    /// used to set up before its loop. The returned [`CellSim`] is
+    /// positioned exactly at the first step boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a profiling (regression) failure for the warm-start
+    /// plan's app.
+    pub(crate) fn prepare_cell(
+        &mut self,
+        scenario: &Scenario,
+    ) -> Result<CellSim, teem_linreg::LinregError> {
         let mut board =
             Board::odroid_xu4_with(scenario.initial_ambient_c(), SensorBank::tmu_like(42));
 
@@ -302,477 +328,713 @@ impl ScenarioRunner {
             .iter()
             .rposition(|e| matches!(e.event, ScenarioEvent::Arrival(_)))
             .map_or(0, |i| i + 1);
-        let mut next_ev = 0usize;
-        let mut queue: VecDeque<QueuedJob> = VecDeque::new();
         let capacity = self.arbiter.capacity();
-        let mut active: Vec<ActiveJob> = Vec::with_capacity(capacity);
-        let mut zone = ThermalZone::stock_xu4();
-        let mut zone_was_tripped = false;
-        let mut zone_trips = 0u32;
-
-        let dt = self.config.dt_s;
-        let idle_timeout_s = self.config.idle_policy.timeout_s();
-        let event_driven = self.config.time_advance == TimeAdvance::EventDriven;
-        // The clock is derived from the step index (`t = step_idx · dt`),
-        // never accumulated (`t += dt`), so week-long timelines cannot
-        // smear event boundaries or `TimeoutCollapse` firing instants
-        // with float-accumulation drift. Gap fast-forwards jump the
-        // index, keeping both modes on the same tick grid.
-        let mut step_idx: u64 = 0;
-        let mut t = 0.0_f64;
-        let mut next_sample = 0.0_f64;
-        let mut effective = idle_freqs;
-        let mut idle_gap_start = 0.0_f64;
-        let mut gap_hist = LogHistogram::new();
-        let mut gap_energy_scratch = vec![0.0_f64; board.thermal.len()];
-        // Reusable step buffers and pre-created trace channels: the loop
-        // below is the batch sweep's hot path and must not allocate on
+        // Reusable step buffers and pre-created trace channels: the step
+        // loop is the batch sweep's hot path and must not allocate on
         // its steady-state path (the share/claim buffers are pre-sized
         // to the arbiter's capacity).
         let mut scratch = StepScratch::for_board(&board);
         scratch.obs.enabled = self.step_timing;
-        let mut shares: Vec<CoRunShare> = Vec::with_capacity(capacity);
-        let mut claims: Vec<ResourceClaim> = Vec::with_capacity(capacity);
-        let mut weights: Vec<f64> = Vec::with_capacity(capacity);
+        let gap_energy_scratch = vec![0.0_f64; board.thermal.len()];
         // What the arbiter may hand out: this board's cluster sizes.
         let cluster_cores = CpuMapping::new(board.little_power.cores, board.big_power.cores);
-        let mut trace = Trace::with_channels(SCENARIO_TRACE_CHANNELS);
-        let mut busy_s = 0.0_f64;
-        let mut overlap_s = 0.0_f64;
-        let mut idle_s = 0.0_f64;
-        let mut energy_j = 0.0_f64;
-        let mut idle_energy_j = 0.0_f64;
-        let mut last_total_w = 0.0_f64;
-        let mut completed: Vec<ScenarioAppRun> = Vec::new();
-        let mut threshold_c = DEFAULT_THRESHOLD_C;
-        let mut approach = self.approach;
-        let mut timed_out = false;
-        let mut readings =
-            read_sensors_for(&mut board, CpuMapping::new(0, 0), effective, false, 1.0);
+        let effective = idle_freqs;
+        let readings = read_sensors_for(&mut board, CpuMapping::new(0, 0), effective, false, 1.0);
 
-        loop {
-            // --- Timeline events due at this instant ---
-            while next_ev < events.len() && events[next_ev].at_s <= t + 1e-9 {
-                let ev = events[next_ev];
-                match ev.event {
-                    ScenarioEvent::Arrival(req) => {
-                        let profile = self.profile_for(req.app)?;
-                        let treq_s = req.treq_factor * profile.et_gpu_s;
-                        let thr = req.threshold_c.unwrap_or(threshold_c);
-                        let ureq = UserRequirement::new(treq_s, thr);
-                        let plan = plan_launch(
-                            req.app,
-                            approach,
-                            &ureq,
-                            Some(&profile),
-                            None,
-                            None,
-                            &self.tunables,
-                        );
-                        queue.push_back(QueuedJob {
-                            app: req.app,
-                            arrived_s: ev.at_s,
-                            treq_s,
-                            approach,
-                            ureq,
-                            profile,
-                            plan,
-                        });
-                    }
-                    ScenarioEvent::AmbientChange { ambient_c } => {
-                        board.thermal.set_ambient_c(ambient_c);
-                    }
-                    ScenarioEvent::ThresholdChange { threshold_c: thr } => {
-                        threshold_c = thr;
-                    }
-                    ScenarioEvent::ApproachChange { approach: a } => {
-                        approach = a;
-                    }
+        Ok(CellSim {
+            scenario_name: scenario.name().to_string(),
+            board,
+            idle_freqs,
+            events,
+            arrivals_end,
+            next_ev: 0,
+            queue: VecDeque::new(),
+            capacity,
+            active: Vec::with_capacity(capacity),
+            zone: ThermalZone::stock_xu4(),
+            zone_was_tripped: false,
+            zone_trips: 0,
+            dt: self.config.dt_s,
+            sample_period_s: self.config.sample_period_s,
+            timeout_s: self.config.timeout_s,
+            idle_timeout_s: self.config.idle_policy.timeout_s(),
+            event_driven: self.config.time_advance == TimeAdvance::EventDriven,
+            step_idx: 0,
+            t: 0.0,
+            next_sample: 0.0,
+            effective,
+            idle_gap_start: 0.0,
+            gap_hist: LogHistogram::new(),
+            gap_energy_scratch,
+            scratch,
+            shares: Vec::with_capacity(capacity),
+            claims: Vec::with_capacity(capacity),
+            weights: Vec::with_capacity(capacity),
+            cluster_cores,
+            trace: Trace::with_channels(SCENARIO_TRACE_CHANNELS),
+            busy_s: 0.0,
+            overlap_s: 0.0,
+            idle_s: 0.0,
+            energy_j: 0.0,
+            idle_energy_j: 0.0,
+            last_total_w: 0.0,
+            completed: Vec::new(),
+            threshold_c: DEFAULT_THRESHOLD_C,
+            approach: self.approach,
+            timed_out: false,
+            readings,
+        })
+    }
+
+    /// Executes exactly one iteration of the scenario step loop —
+    /// timeline events, launches, termination checks, sensing, gap
+    /// fast-forward, control, actuation, progress, power, thermal and
+    /// completions, in that order. Returns `Ok(false)` when the loop is
+    /// finished (timeline complete or timed out) and the cell should be
+    /// handed to [`ScenarioRunner::finish_cell`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates a profiling (regression) failure for an arriving app.
+    pub(crate) fn step_cell(
+        &mut self,
+        sim: &mut CellSim,
+    ) -> Result<bool, teem_linreg::LinregError> {
+        // --- Timeline events due at this instant ---
+        while sim.next_ev < sim.events.len() && sim.events[sim.next_ev].at_s <= sim.t + 1e-9 {
+            let ev = sim.events[sim.next_ev];
+            match ev.event {
+                ScenarioEvent::Arrival(req) => {
+                    let profile = self.profile_for(req.app)?;
+                    let treq_s = req.treq_factor * profile.et_gpu_s;
+                    let thr = req.threshold_c.unwrap_or(sim.threshold_c);
+                    let ureq = UserRequirement::new(treq_s, thr);
+                    let plan = plan_launch(
+                        req.app,
+                        sim.approach,
+                        &ureq,
+                        Some(&profile),
+                        None,
+                        None,
+                        &self.tunables,
+                    );
+                    sim.queue.push_back(QueuedJob {
+                        app: req.app,
+                        arrived_s: ev.at_s,
+                        treq_s,
+                        approach: sim.approach,
+                        ureq,
+                        profile,
+                        plan,
+                    });
                 }
-                next_ev += 1;
-            }
-
-            // --- Launch queued apps onto free resources (arbiter) ---
-            while active.len() < capacity {
-                let Some(front) = queue.front() else { break };
-                claims.clear();
-                claims.extend(active.iter().map(|j| ResourceClaim {
-                    mapping: j.mapping,
-                    cpu_fraction: j.partition.cpu_fraction(),
-                }));
-                let admission = self.arbiter.admit(
-                    &claims,
-                    front.plan.mapping,
-                    front.plan.partition,
-                    cluster_cores,
-                );
-                match admission {
-                    Admission::Defer => break,
-                    Admission::Launch { mapping } => {
-                        let q = queue.pop_front().expect("front exists");
-                        let manager = manager_for(q.approach, &q.ureq, &q.plan, &self.tunables);
-                        let initial = clamp_freqs(&board, q.plan.initial);
-                        let partition = q.plan.partition;
-                        active.push(ActiveJob::launch(
-                            q, mapping, partition, initial, manager, t, &readings,
-                        ));
-                    }
-                    Admission::Replan { mapping, partition } => {
-                        let q = queue.pop_front().expect("front exists");
-                        let plan = plan_launch(
-                            q.app,
-                            q.approach,
-                            &q.ureq,
-                            Some(&q.profile),
-                            Some(mapping),
-                            Some(partition),
-                            &self.tunables,
-                        );
-                        let manager = manager_for(q.approach, &q.ureq, &plan, &self.tunables);
-                        let initial = clamp_freqs(&board, plan.initial);
-                        active.push(ActiveJob::launch(
-                            q,
-                            plan.mapping,
-                            plan.partition,
-                            initial,
-                            manager,
-                            t,
-                            &readings,
-                        ));
-                    }
+                ScenarioEvent::AmbientChange { ambient_c } => {
+                    sim.board.thermal.set_ambient_c(ambient_c);
+                }
+                ScenarioEvent::ThresholdChange { threshold_c: thr } => {
+                    sim.threshold_c = thr;
+                }
+                ScenarioEvent::ApproachChange { approach: a } => {
+                    sim.approach = a;
                 }
             }
+            sim.next_ev += 1;
+        }
 
-            // --- Termination: every arrival admitted and completed ---
-            if active.is_empty() && queue.is_empty() && next_ev >= arrivals_end {
+        // --- Launch queued apps onto free resources (arbiter) ---
+        while sim.active.len() < sim.capacity {
+            let Some(front) = sim.queue.front() else {
                 break;
-            }
-            if t >= self.config.timeout_s {
-                timed_out = true;
-                break;
-            }
-
-            // --- Sensing (trace cadence) ---
-            if t + 1e-12 >= next_sample {
-                readings = if active.is_empty() {
-                    read_sensors_for(&mut board, CpuMapping::new(0, 0), effective, false, 1.0)
-                } else {
-                    read_sensors_for(
-                        &mut board,
-                        combined_mapping(&active, cluster_cores),
-                        effective,
-                        active.iter().any(|j| !j.cpu_done()),
-                        active
-                            .iter()
-                            .map(|j| j.chars.activity)
-                            .fold(f64::MIN, f64::max),
-                    )
-                };
-                trace.record("temp.max", t, readings.max_c());
-                trace.record("temp.big", t, readings.big_max_c());
-                trace.record("temp.gpu", t, readings.gpu_c);
-                trace.record("freq.big", t, effective.big.0 as f64);
-                trace.record("freq.little", t, effective.little.0 as f64);
-                trace.record("freq.gpu", t, effective.gpu.0 as f64);
-                trace.record("power.total", t, last_total_w);
-                trace.record("ambient", t, board.thermal.ambient_c());
-                trace.record("queue.depth", t, (queue.len() + active.len()) as f64);
-                for j in active.iter_mut() {
-                    j.observe(&readings, effective);
-                }
-                next_sample += self.config.sample_period_s;
-            }
-
-            // --- Gap fast-forward (event-driven mode only): the active
-            //     set and queue are empty, so nothing can change before
-            //     the next timeline event — advance the thermal network
-            //     across the whole gap in closed form instead of
-            //     stepping through it. `next_ev < events.len()` rather
-            //     than `< arrivals_end`: a gap can end at an
-            //     environment event as well as an arrival ---
-            if event_driven && active.is_empty() && queue.is_empty() && next_ev < events.len() {
-                let event_tick = first_tick_at_or_after(dt, events[next_ev].at_s, 1e-9);
-                let timeout_tick = first_tick_at_or_after(dt, self.config.timeout_s, 0.0);
-                let end_tick = event_tick.min(timeout_tick);
-                if end_tick > step_idx {
-                    // The fixed-dt loop races idle gaps to the idle
-                    // floor every tick; pin that before fast-forwarding
-                    // so the gap power and the post-gap samples see it.
-                    effective = idle_freqs;
-                    // Zone bookkeeping for the gap-start tick (a hot
-                    // board can trip the zone the instant it idles);
-                    // inside the gap temperatures only decay, so no
-                    // further trip is possible and the step-wise
-                    // release is caught up after the jump.
-                    if let Some(cap) = zone.update(t, gap_max_temp_estimate(&board)) {
-                        if effective.big > cap {
-                            effective.big = board.big_opps.at_or_below(cap).freq;
-                        }
-                    }
-                    if zone.is_tripped() && !zone_was_tripped {
-                        zone_trips += 1;
-                    }
-
-                    // `IdlePolicy::TimeoutCollapse` as an event, not a
-                    // per-step check: the collapse instant splits the
-                    // gap into an idle-floor span and a power-collapsed
-                    // span, each advanced in closed form.
-                    let collapse_tick = idle_timeout_s
-                        .map(|to| first_tick_at_or_after(dt, idle_gap_start + to, 0.0));
-                    let idle_end_tick =
-                        collapse_tick.map_or(end_tick, |c| c.clamp(step_idx, end_tick));
-                    let mut gap = GapAdvance::default();
-                    let ambient = board.thermal.ambient_c();
-                    if idle_end_tick > step_idx {
-                        let span = (idle_end_tick - step_idx) as f64 * dt;
-                        let adv = fast_forward_gap(
-                            &mut board,
-                            GapPower::Idle(effective),
-                            span,
-                            ambient,
-                            &mut scratch,
-                            &mut gap_energy_scratch,
-                        );
-                        gap.energy_j += adv.energy_j;
-                        gap.segments += adv.segments;
-                    }
-                    if end_tick > idle_end_tick {
-                        let span = (end_tick - idle_end_tick) as f64 * dt;
-                        let adv = fast_forward_gap(
-                            &mut board,
-                            GapPower::Collapsed,
-                            span,
-                            ambient,
-                            &mut scratch,
-                            &mut gap_energy_scratch,
-                        );
-                        gap.energy_j += adv.energy_j;
-                        gap.segments += adv.segments;
-                    }
-                    let span_s = (end_tick - step_idx) as f64 * dt;
-                    energy_j += gap.energy_j;
-                    idle_energy_j += gap.energy_j;
-                    idle_s += span_s;
-                    // The last segment's frozen power is what a sample
-                    // at the gap's end reports as the instantaneous draw.
-                    last_total_w = scratch.power.iter().sum();
-                    scratch.obs.gaps_skipped += 1;
-                    scratch.obs.gap_fastforward_s += span_s;
-                    gap_hist.record((span_s * 1e3).round() as u64);
-
-                    // Jump the clock to the horizon tick.
-                    step_idx = end_tick;
-                    t = step_idx as f64 * dt;
-                    // The gap is one trace span, not one point per
-                    // sample period: record it on its own channel
-                    // (created on first gap, so gap-free runs keep
-                    // their digests) and realign the sample grid past
-                    // the horizon, skipping the sensor reads the
-                    // fixed-dt path would have taken at the boundaries
-                    // in between so the noise stream stays aligned.
-                    trace.record("gap.fastforward_s", t, span_s);
-                    if next_sample < t - 1e-12 {
-                        let n = ((t - 1e-12 - next_sample) / self.config.sample_period_s).floor()
-                            as u64
-                            + 1;
-                        board.sensors.skip_reads(n);
-                        next_sample += n as f64 * self.config.sample_period_s;
-                    }
-                    // Step-wise zone release across the gap, replayed at
-                    // the zone's own poll cadence with the cooled
-                    // temperatures — O(release ladder), not O(gap).
-                    catch_up_zone(&mut zone, t - span_s, t, gap_max_temp_estimate(&board));
-                    zone_was_tripped = zone.is_tripped();
-                    continue;
-                }
-            }
-
-            // --- Manager control (per app; idle gaps are governed by
-            //     the race-to-idle minimum or the collapse policy) ---
-            for j in active.iter_mut() {
-                if t + 1e-12 >= j.next_control {
-                    let view = SocView {
-                        time_s: t,
-                        readings,
-                        freqs: effective,
-                        cpu_progress: progress(j.cpu_done_items, j.cpu_items),
-                        gpu_progress: progress(j.gpu_done_items, j.gpu_items),
-                        big_util: if j.cpu_done() || j.mapping.big == 0 {
-                            0.05
-                        } else {
-                            1.0
-                        },
-                        power_w: last_total_w,
-                        mapping: j.mapping,
-                        partition: j.partition,
-                    };
-                    let mut ctl = SocControl::default();
-                    j.manager.control(&view, &mut ctl);
-                    if let Some(f) = ctl.big_request() {
-                        j.desired.big = board.big_opps.at_or_below(f).freq;
-                    }
-                    if let Some(f) = ctl.little_request() {
-                        j.desired.little = board.little_opps.at_or_below(f).freq;
-                    }
-                    if let Some(f) = ctl.gpu_request() {
-                        j.desired.gpu = board.gpu_opps.at_or_below(f).freq;
-                    }
-                    j.next_control += j.manager.period_s();
-                }
-            }
-
-            // --- Board-wide actuation: one frequency per cluster,
-            //     arbitrated across the co-running apps' requests, with
-            //     the reactive thermal zone (kernel layer) always armed
-            //     on top ---
-            effective = arbitrate_freqs(&active, idle_freqs);
-            if let Some(cap) = zone.update(t, readings.max_c()) {
-                if effective.big > cap {
-                    effective.big = board.big_opps.at_or_below(cap).freq;
-                }
-            }
-            if zone.is_tripped() && !zone_was_tripped {
-                zone_trips += 1;
-            }
-            zone_was_tripped = zone.is_tripped();
-
-            // --- Workload progress (slowed by shared-bandwidth
-            //     contention; the GPU is time-shared) ---
-            let total_pressure: f64 = active.iter().map(|j| j.chars.mem_sensitivity).sum();
-            let gpu_sharers = active.iter().filter(|j| !j.gpu_done()).count().max(1) as f64;
-            let co_running = active.len() >= 2;
-            for j in active.iter_mut() {
-                let s = bandwidth_slowdown(
-                    j.chars.mem_sensitivity,
-                    total_pressure - j.chars.mem_sensitivity,
-                );
-                if !j.cpu_done() && !j.mapping.is_empty() {
-                    j.cpu_done_items +=
-                        cpu_rate(&j.chars, j.mapping, effective.big, effective.little) * dt / s;
-                }
-                if !j.gpu_done() {
-                    j.gpu_done_items += gpu_rate(&j.chars, effective.gpu) * dt / (s * gpu_sharers);
-                }
-                if co_running {
-                    j.co_run_s += dt;
-                    j.contention_delay_s += dt * (1.0 - 1.0 / s);
-                }
-            }
-
-            // --- Power & thermal (shared model, in place: temps
-            //     borrowed, power into the reusable scratch; N active
-            //     apps superposed per domain) ---
-            let obs_t0 = scratch.obs.clock();
-            shares.clear();
-            shares.extend(active.iter().map(|j| CoRunShare {
+            };
+            sim.claims.clear();
+            sim.claims.extend(sim.active.iter().map(|j| ResourceClaim {
                 mapping: j.mapping,
-                cpu_busy: !j.cpu_done(),
-                gpu_busy: !j.gpu_done(),
-                activity: j.chars.activity,
+                cpu_fraction: j.partition.cpu_fraction(),
             }));
-            if shares.is_empty()
-                && idle_timeout_s.is_some_and(|timeout| t - idle_gap_start >= timeout)
-            {
-                // Idle long enough: the clusters power-collapse.
-                collapsed_node_powers_into(&board, board.thermal.temps(), &mut scratch.power);
-            } else if shares.is_empty() {
-                idle_node_powers_into(&board, effective, board.thermal.temps(), &mut scratch.power);
-            } else {
-                co_run_node_powers_into(
-                    &board,
-                    &shares,
-                    effective,
-                    board.thermal.temps(),
-                    &mut scratch.power,
-                );
-            }
-            scratch.obs.lap_power(obs_t0);
-            let total: f64 = scratch.power.iter().sum();
-            energy_j += total * dt;
-            if active.is_empty() {
-                idle_energy_j += total * dt;
-                idle_s += dt;
-            } else if co_running {
-                busy_s += dt;
-                overlap_s += dt;
-                // Attribute this step's energy by each app's dynamic-power
-                // weight — the draw it causes — rather than an equal split
-                // that would overcharge a stalled memory-bound app for its
-                // compute-heavy co-runner. Shared overheads (leakage,
-                // uncore, board) follow the weights proportionally.
-                co_run_dynamic_weights(&board, &shares, effective, &mut weights);
-                let wsum: f64 = weights.iter().sum();
-                if wsum > 0.0 {
-                    let step_j = total * dt;
-                    for (j, w) in active.iter_mut().zip(weights.iter()) {
-                        j.energy_j += step_j * w / wsum;
-                    }
-                } else {
-                    // Every share idle on every device: nothing to key on.
-                    let share_j = total * dt / active.len() as f64;
-                    for j in active.iter_mut() {
-                        j.energy_j += share_j;
-                    }
+            let admission = self.arbiter.admit(
+                &sim.claims,
+                front.plan.mapping,
+                front.plan.partition,
+                sim.cluster_cores,
+            );
+            match admission {
+                Admission::Defer => break,
+                Admission::Launch { mapping } => {
+                    let q = sim.queue.pop_front().expect("front exists");
+                    let manager = manager_for(q.approach, &q.ureq, &q.plan, &self.tunables);
+                    let initial = clamp_freqs(&sim.board, q.plan.initial);
+                    let partition = q.plan.partition;
+                    sim.active.push(ActiveJob::launch(
+                        q,
+                        mapping,
+                        partition,
+                        initial,
+                        manager,
+                        sim.t,
+                        &sim.readings,
+                    ));
                 }
-            } else {
-                busy_s += dt;
-                active[0].energy_j += total * dt;
-            }
-            last_total_w = total;
-            let obs_t0 = scratch.obs.clock();
-            let substeps = board.thermal.step(dt, &scratch.power);
-            scratch.obs.lap_thermal(obs_t0);
-            scratch.obs.steps += 1;
-            scratch.obs.substeps += u64::from(substeps);
-            step_idx += 1;
-            t = step_idx as f64 * dt;
-
-            // --- Completions: free the resources, in completion order ---
-            if active.iter().any(ActiveJob::done) {
-                let mut i = 0;
-                while i < active.len() {
-                    if active[i].done() {
-                        let job = active.remove(i);
-                        completed.push(job.finish(t));
-                    } else {
-                        i += 1;
-                    }
-                }
-                if active.is_empty() {
-                    idle_gap_start = t;
+                Admission::Replan { mapping, partition } => {
+                    let q = sim.queue.pop_front().expect("front exists");
+                    let plan = plan_launch(
+                        q.app,
+                        q.approach,
+                        &q.ureq,
+                        Some(&q.profile),
+                        Some(mapping),
+                        Some(partition),
+                        &self.tunables,
+                    );
+                    let manager = manager_for(q.approach, &q.ureq, &plan, &self.tunables);
+                    let initial = clamp_freqs(&sim.board, plan.initial);
+                    sim.active.push(ActiveJob::launch(
+                        q,
+                        plan.mapping,
+                        plan.partition,
+                        initial,
+                        manager,
+                        sim.t,
+                        &sim.readings,
+                    ));
                 }
             }
         }
 
-        // Final sample closes the trace.
-        let final_readings =
-            read_sensors_for(&mut board, CpuMapping::new(0, 0), effective, false, 1.0);
-        trace.record("temp.max", t, final_readings.max_c());
-        trace.record("freq.big", t, effective.big.0 as f64);
+        // --- Termination: every arrival admitted and completed ---
+        if sim.active.is_empty() && sim.queue.is_empty() && sim.next_ev >= sim.arrivals_end {
+            return Ok(false);
+        }
+        if sim.t >= sim.timeout_s {
+            sim.timed_out = true;
+            return Ok(false);
+        }
 
-        let temp_stats = trace.stats("temp.max").expect("temp.max always recorded");
+        // --- Sensing (trace cadence) ---
+        if sim.t + 1e-12 >= sim.next_sample {
+            sim.phase_sample(None);
+        }
+
+        // --- Gap fast-forward (event-driven mode only): the active
+        //     set and queue are empty, so nothing can change before
+        //     the next timeline event — advance the thermal network
+        //     across the whole gap in closed form instead of
+        //     stepping through it. `next_ev < events.len()` rather
+        //     than `< arrivals_end`: a gap can end at an
+        //     environment event as well as an arrival ---
+        if sim.event_driven
+            && sim.active.is_empty()
+            && sim.queue.is_empty()
+            && sim.next_ev < sim.events.len()
+        {
+            let event_tick = first_tick_at_or_after(sim.dt, sim.events[sim.next_ev].at_s, 1e-9);
+            let timeout_tick = first_tick_at_or_after(sim.dt, sim.timeout_s, 0.0);
+            let end_tick = event_tick.min(timeout_tick);
+            if end_tick > sim.step_idx {
+                // The fixed-dt loop races idle gaps to the idle
+                // floor every tick; pin that before fast-forwarding
+                // so the gap power and the post-gap samples see it.
+                sim.effective = sim.idle_freqs;
+                // Zone bookkeeping for the gap-start tick (a hot
+                // board can trip the zone the instant it idles);
+                // inside the gap temperatures only decay, so no
+                // further trip is possible and the step-wise
+                // release is caught up after the jump.
+                if let Some(cap) = sim.zone.update(sim.t, gap_max_temp_estimate(&sim.board)) {
+                    if sim.effective.big > cap {
+                        sim.effective.big = sim.board.big_opps.at_or_below(cap).freq;
+                    }
+                }
+                if sim.zone.is_tripped() && !sim.zone_was_tripped {
+                    sim.zone_trips += 1;
+                }
+
+                // `IdlePolicy::TimeoutCollapse` as an event, not a
+                // per-step check: the collapse instant splits the
+                // gap into an idle-floor span and a power-collapsed
+                // span, each advanced in closed form.
+                let collapse_tick = sim
+                    .idle_timeout_s
+                    .map(|to| first_tick_at_or_after(sim.dt, sim.idle_gap_start + to, 0.0));
+                let idle_end_tick =
+                    collapse_tick.map_or(end_tick, |c| c.clamp(sim.step_idx, end_tick));
+                let mut gap = GapAdvance::default();
+                let ambient = sim.board.thermal.ambient_c();
+                if idle_end_tick > sim.step_idx {
+                    let span = (idle_end_tick - sim.step_idx) as f64 * sim.dt;
+                    let adv = fast_forward_gap(
+                        &mut sim.board,
+                        GapPower::Idle(sim.effective),
+                        span,
+                        ambient,
+                        &mut sim.scratch,
+                        &mut sim.gap_energy_scratch,
+                    );
+                    gap.energy_j += adv.energy_j;
+                    gap.segments += adv.segments;
+                }
+                if end_tick > idle_end_tick {
+                    let span = (end_tick - idle_end_tick) as f64 * sim.dt;
+                    let adv = fast_forward_gap(
+                        &mut sim.board,
+                        GapPower::Collapsed,
+                        span,
+                        ambient,
+                        &mut sim.scratch,
+                        &mut sim.gap_energy_scratch,
+                    );
+                    gap.energy_j += adv.energy_j;
+                    gap.segments += adv.segments;
+                }
+                let span_s = (end_tick - sim.step_idx) as f64 * sim.dt;
+                sim.energy_j += gap.energy_j;
+                sim.idle_energy_j += gap.energy_j;
+                sim.idle_s += span_s;
+                // The last segment's frozen power is what a sample
+                // at the gap's end reports as the instantaneous draw.
+                sim.last_total_w = sim.scratch.power.iter().sum();
+                sim.scratch.obs.gaps_skipped += 1;
+                sim.scratch.obs.gap_fastforward_s += span_s;
+                sim.gap_hist.record((span_s * 1e3).round() as u64);
+
+                // Jump the clock to the horizon tick.
+                sim.step_idx = end_tick;
+                sim.t = sim.step_idx as f64 * sim.dt;
+                // The gap is one trace span, not one point per
+                // sample period: record it on its own channel
+                // (created on first gap, so gap-free runs keep
+                // their digests) and realign the sample grid past
+                // the horizon, skipping the sensor reads the
+                // fixed-dt path would have taken at the boundaries
+                // in between so the noise stream stays aligned.
+                sim.trace.record("gap.fastforward_s", sim.t, span_s);
+                if sim.next_sample < sim.t - 1e-12 {
+                    let n = ((sim.t - 1e-12 - sim.next_sample) / sim.sample_period_s).floor()
+                        as u64
+                        + 1;
+                    sim.board.sensors.skip_reads(n);
+                    sim.next_sample += n as f64 * sim.sample_period_s;
+                }
+                // Step-wise zone release across the gap, replayed at
+                // the zone's own poll cadence with the cooled
+                // temperatures — O(release ladder), not O(gap).
+                catch_up_zone(
+                    &mut sim.zone,
+                    sim.t - span_s,
+                    sim.t,
+                    gap_max_temp_estimate(&sim.board),
+                );
+                sim.zone_was_tripped = sim.zone.is_tripped();
+                return Ok(true);
+            }
+        }
+
+        // --- Manager control (per app; idle gaps are governed by
+        //     the race-to-idle minimum or the collapse policy) ---
+        sim.phase_control();
+
+        // --- Board-wide actuation: one frequency per cluster,
+        //     arbitrated across the co-running apps' requests, with
+        //     the reactive thermal zone (kernel layer) always armed
+        //     on top ---
+        sim.phase_actuate();
+
+        // --- Workload progress (slowed by shared-bandwidth
+        //     contention; the GPU is time-shared) ---
+        let total_pressure: f64 = sim.active.iter().map(|j| j.chars.mem_sensitivity).sum();
+        let gpu_sharers = sim.active.iter().filter(|j| !j.gpu_done()).count().max(1) as f64;
+        let co_running = sim.active.len() >= 2;
+        for j in sim.active.iter_mut() {
+            let s = bandwidth_slowdown(
+                j.chars.mem_sensitivity,
+                total_pressure - j.chars.mem_sensitivity,
+            );
+            if !j.cpu_done() && !j.mapping.is_empty() {
+                j.cpu_done_items +=
+                    cpu_rate(&j.chars, j.mapping, sim.effective.big, sim.effective.little) * sim.dt
+                        / s;
+            }
+            if !j.gpu_done() {
+                j.gpu_done_items +=
+                    gpu_rate(&j.chars, sim.effective.gpu) * sim.dt / (s * gpu_sharers);
+            }
+            if co_running {
+                j.co_run_s += sim.dt;
+                j.contention_delay_s += sim.dt * (1.0 - 1.0 / s);
+            }
+        }
+
+        // --- Power & thermal (shared model, in place: temps
+        //     borrowed, power into the reusable scratch; N active
+        //     apps superposed per domain) ---
+        let obs_t0 = sim.scratch.obs.clock();
+        sim.shares.clear();
+        sim.shares.extend(sim.active.iter().map(|j| CoRunShare {
+            mapping: j.mapping,
+            cpu_busy: !j.cpu_done(),
+            gpu_busy: !j.gpu_done(),
+            activity: j.chars.activity,
+        }));
+        if sim.shares.is_empty()
+            && sim
+                .idle_timeout_s
+                .is_some_and(|timeout| sim.t - sim.idle_gap_start >= timeout)
+        {
+            // Idle long enough: the clusters power-collapse.
+            collapsed_node_powers_into(
+                &sim.board,
+                sim.board.thermal.temps(),
+                &mut sim.scratch.power,
+            );
+        } else if sim.shares.is_empty() {
+            idle_node_powers_into(
+                &sim.board,
+                sim.effective,
+                sim.board.thermal.temps(),
+                &mut sim.scratch.power,
+            );
+        } else {
+            co_run_node_powers_into(
+                &sim.board,
+                &sim.shares,
+                sim.effective,
+                sim.board.thermal.temps(),
+                &mut sim.scratch.power,
+            );
+        }
+        sim.scratch.obs.lap_power(obs_t0);
+        let total: f64 = sim.scratch.power.iter().sum();
+        sim.energy_j += total * sim.dt;
+        if sim.active.is_empty() {
+            sim.idle_energy_j += total * sim.dt;
+            sim.idle_s += sim.dt;
+        } else if co_running {
+            sim.busy_s += sim.dt;
+            sim.overlap_s += sim.dt;
+            // Attribute this step's energy by each app's dynamic-power
+            // weight — the draw it causes — rather than an equal split
+            // that would overcharge a stalled memory-bound app for its
+            // compute-heavy co-runner. Shared overheads (leakage,
+            // uncore, board) follow the weights proportionally.
+            co_run_dynamic_weights(&sim.board, &sim.shares, sim.effective, &mut sim.weights);
+            let wsum: f64 = sim.weights.iter().sum();
+            if wsum > 0.0 {
+                let step_j = total * sim.dt;
+                for (j, w) in sim.active.iter_mut().zip(sim.weights.iter()) {
+                    j.energy_j += step_j * w / wsum;
+                }
+            } else {
+                // Every share idle on every device: nothing to key on.
+                let share_j = total * sim.dt / sim.active.len() as f64;
+                for j in sim.active.iter_mut() {
+                    j.energy_j += share_j;
+                }
+            }
+        } else {
+            sim.busy_s += sim.dt;
+            sim.active[0].energy_j += total * sim.dt;
+        }
+        sim.last_total_w = total;
+        let obs_t0 = sim.scratch.obs.clock();
+        let substeps = sim.board.thermal.step(sim.dt, &sim.scratch.power);
+        sim.scratch.obs.lap_thermal(obs_t0);
+        sim.scratch.obs.steps += 1;
+        sim.scratch.obs.substeps += u64::from(substeps);
+        sim.step_idx += 1;
+        sim.t = sim.step_idx as f64 * sim.dt;
+
+        // --- Completions: free the resources, in completion order ---
+        sim.phase_completions();
+
+        Ok(true)
+    }
+
+    /// Closes out a finished cell: final trace sample, summary
+    /// statistics, result assembly — everything [`ScenarioRunner::run`]
+    /// used to do after its loop.
+    pub(crate) fn finish_cell(&self, mut sim: CellSim) -> ScenarioResult {
+        // Final sample closes the trace.
+        let final_readings = read_sensors_for(
+            &mut sim.board,
+            CpuMapping::new(0, 0),
+            sim.effective,
+            false,
+            1.0,
+        );
+        sim.trace.record("temp.max", sim.t, final_readings.max_c());
+        sim.trace
+            .record("freq.big", sim.t, sim.effective.big.0 as f64);
+
+        let temp_stats = sim
+            .trace
+            .stats("temp.max")
+            .expect("temp.max always recorded");
         let summary = ScenarioSummary {
-            scenario: scenario.name().to_string(),
+            scenario: sim.scenario_name,
             approach: self.approach.name().to_string(),
-            makespan_s: t,
-            busy_s,
-            overlap_s,
-            idle_s,
-            energy_j,
-            idle_energy_j,
+            makespan_s: sim.t,
+            busy_s: sim.busy_s,
+            overlap_s: sim.overlap_s,
+            idle_s: sim.idle_s,
+            energy_j: sim.energy_j,
+            idle_energy_j: sim.idle_energy_j,
             peak_temp_c: temp_stats.max(),
             avg_temp_c: temp_stats.mean(),
             temp_variance: temp_stats.variance(),
-            zone_trips,
-            apps: completed,
+            zone_trips: sim.zone_trips,
+            apps: sim.completed,
         };
-        Ok(ScenarioResult {
+        ScenarioResult {
             summary,
-            trace,
-            timed_out,
-            kernel: scratch.obs,
-            gap_len_ms: gap_hist,
-        })
+            trace: sim.trace,
+            timed_out: sim.timed_out,
+            kernel: sim.scratch.obs,
+            gap_len_ms: sim.gap_hist,
+        }
+    }
+}
+
+/// Pre-resolved [`ChannelId`]s for the nine per-sample scenario trace
+/// channels, in recording order. The lockstep sampling path resolves
+/// these once per lane and records by id; the scalar path keeps
+/// recording by name ([`CellSim::phase_sample`] with `None`), so its
+/// measured baseline is the untouched status quo.
+pub(crate) struct TraceIds {
+    temp_max: ChannelId,
+    temp_big: ChannelId,
+    temp_gpu: ChannelId,
+    freq_big: ChannelId,
+    freq_little: ChannelId,
+    freq_gpu: ChannelId,
+    power_total: ChannelId,
+    ambient: ChannelId,
+    queue_depth: ChannelId,
+}
+
+impl TraceIds {
+    /// Resolves the scenario channel set against `trace`, which must
+    /// have been created with [`Trace::with_channels`] over
+    /// [`SCENARIO_TRACE_CHANNELS`] (as every [`CellSim`] trace is).
+    pub(crate) fn resolve(trace: &Trace) -> TraceIds {
+        let id = |name: &str| {
+            trace
+                .channel_id(name)
+                .expect("scenario channel pre-created")
+        };
+        TraceIds {
+            temp_max: id("temp.max"),
+            temp_big: id("temp.big"),
+            temp_gpu: id("temp.gpu"),
+            freq_big: id("freq.big"),
+            freq_little: id("freq.little"),
+            freq_gpu: id("freq.gpu"),
+            power_total: id("power.total"),
+            ambient: id("ambient"),
+            queue_depth: id("queue.depth"),
+        }
+    }
+}
+
+/// One scenario execution suspended at a step boundary: the board, the
+/// timeline cursor, the active/queued jobs, the accumulators and the
+/// reusable step buffers that used to live as locals of
+/// [`ScenarioRunner::run`]'s loop.
+///
+/// Driven by [`ScenarioRunner::step_cell`] one full iteration at a time
+/// (the scalar path), or phase-by-phase through the `phase_*` methods
+/// (the batched lockstep path, which interleaves K cells between
+/// phases). Either way the code executing each phase is the same, which
+/// is what makes batched-vs-scalar bit-identity provable rather than
+/// approximate.
+pub(crate) struct CellSim {
+    pub(crate) scenario_name: String,
+    pub(crate) board: Board,
+    pub(crate) idle_freqs: ClusterFreqs,
+    pub(crate) events: Vec<TimedEvent>,
+    pub(crate) arrivals_end: usize,
+    pub(crate) next_ev: usize,
+    pub(crate) queue: VecDeque<QueuedJob>,
+    pub(crate) capacity: usize,
+    pub(crate) active: Vec<ActiveJob>,
+    pub(crate) zone: ThermalZone,
+    pub(crate) zone_was_tripped: bool,
+    pub(crate) zone_trips: u32,
+    /// Copied out of [`SimConfig`] at prepare time so phase methods and
+    /// the lockstep pool never need the runner.
+    pub(crate) dt: f64,
+    pub(crate) sample_period_s: f64,
+    pub(crate) timeout_s: f64,
+    pub(crate) idle_timeout_s: Option<f64>,
+    pub(crate) event_driven: bool,
+    /// The clock is derived from the step index (`t = step_idx · dt`),
+    /// never accumulated (`t += dt`), so week-long timelines cannot
+    /// smear event boundaries or `TimeoutCollapse` firing instants
+    /// with float-accumulation drift. Gap fast-forwards jump the
+    /// index, keeping both modes on the same tick grid.
+    pub(crate) step_idx: u64,
+    pub(crate) t: f64,
+    pub(crate) next_sample: f64,
+    pub(crate) effective: ClusterFreqs,
+    pub(crate) idle_gap_start: f64,
+    pub(crate) gap_hist: LogHistogram,
+    pub(crate) gap_energy_scratch: Vec<f64>,
+    pub(crate) scratch: StepScratch,
+    pub(crate) shares: Vec<CoRunShare>,
+    pub(crate) claims: Vec<ResourceClaim>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) cluster_cores: CpuMapping,
+    pub(crate) trace: Trace,
+    pub(crate) busy_s: f64,
+    pub(crate) overlap_s: f64,
+    pub(crate) idle_s: f64,
+    pub(crate) energy_j: f64,
+    pub(crate) idle_energy_j: f64,
+    pub(crate) last_total_w: f64,
+    pub(crate) completed: Vec<ScenarioAppRun>,
+    pub(crate) threshold_c: f64,
+    pub(crate) approach: Approach,
+    pub(crate) timed_out: bool,
+    pub(crate) readings: SensorReadings,
+}
+
+impl CellSim {
+    /// The sensing phase: reads the sensor bank, records the nine trace
+    /// channels, feeds the per-job statistics and advances the sample
+    /// grid. With `ids` the records go through pre-resolved
+    /// [`ChannelId`]s (the lockstep hot path); with `None` they go by
+    /// name, exactly as the scalar loop always has. The recorded
+    /// `(channel, t, v)` stream is identical either way.
+    pub(crate) fn phase_sample(&mut self, ids: Option<&TraceIds>) {
+        self.readings = if self.active.is_empty() {
+            read_sensors_for(
+                &mut self.board,
+                CpuMapping::new(0, 0),
+                self.effective,
+                false,
+                1.0,
+            )
+        } else {
+            read_sensors_for(
+                &mut self.board,
+                combined_mapping(&self.active, self.cluster_cores),
+                self.effective,
+                self.active.iter().any(|j| !j.cpu_done()),
+                self.active
+                    .iter()
+                    .map(|j| j.chars.activity)
+                    .fold(f64::MIN, f64::max),
+            )
+        };
+        let t = self.t;
+        let depth = (self.queue.len() + self.active.len()) as f64;
+        match ids {
+            None => {
+                self.trace.record("temp.max", t, self.readings.max_c());
+                self.trace.record("temp.big", t, self.readings.big_max_c());
+                self.trace.record("temp.gpu", t, self.readings.gpu_c);
+                self.trace
+                    .record("freq.big", t, self.effective.big.0 as f64);
+                self.trace
+                    .record("freq.little", t, self.effective.little.0 as f64);
+                self.trace
+                    .record("freq.gpu", t, self.effective.gpu.0 as f64);
+                self.trace.record("power.total", t, self.last_total_w);
+                self.trace
+                    .record("ambient", t, self.board.thermal.ambient_c());
+                self.trace.record("queue.depth", t, depth);
+            }
+            Some(ids) => {
+                self.trace.record_id(ids.temp_max, t, self.readings.max_c());
+                self.trace
+                    .record_id(ids.temp_big, t, self.readings.big_max_c());
+                self.trace.record_id(ids.temp_gpu, t, self.readings.gpu_c);
+                self.trace
+                    .record_id(ids.freq_big, t, self.effective.big.0 as f64);
+                self.trace
+                    .record_id(ids.freq_little, t, self.effective.little.0 as f64);
+                self.trace
+                    .record_id(ids.freq_gpu, t, self.effective.gpu.0 as f64);
+                self.trace.record_id(ids.power_total, t, self.last_total_w);
+                self.trace
+                    .record_id(ids.ambient, t, self.board.thermal.ambient_c());
+                self.trace.record_id(ids.queue_depth, t, depth);
+            }
+        }
+        for j in self.active.iter_mut() {
+            j.observe(&self.readings, self.effective);
+        }
+        self.next_sample += self.sample_period_s;
+    }
+
+    /// The per-app manager control phase: builds each due job's
+    /// [`SocView`], runs its manager and quantises the requests onto the
+    /// board's OPP tables.
+    pub(crate) fn phase_control(&mut self) {
+        for j in self.active.iter_mut() {
+            if self.t + 1e-12 >= j.next_control {
+                let view = SocView {
+                    time_s: self.t,
+                    readings: self.readings,
+                    freqs: self.effective,
+                    cpu_progress: progress(j.cpu_done_items, j.cpu_items),
+                    gpu_progress: progress(j.gpu_done_items, j.gpu_items),
+                    big_util: if j.cpu_done() || j.mapping.big == 0 {
+                        0.05
+                    } else {
+                        1.0
+                    },
+                    power_w: self.last_total_w,
+                    mapping: j.mapping,
+                    partition: j.partition,
+                };
+                let mut ctl = SocControl::default();
+                j.manager.control(&view, &mut ctl);
+                if let Some(f) = ctl.big_request() {
+                    j.desired.big = self.board.big_opps.at_or_below(f).freq;
+                }
+                if let Some(f) = ctl.little_request() {
+                    j.desired.little = self.board.little_opps.at_or_below(f).freq;
+                }
+                if let Some(f) = ctl.gpu_request() {
+                    j.desired.gpu = self.board.gpu_opps.at_or_below(f).freq;
+                }
+                j.next_control += j.manager.period_s();
+            }
+        }
+    }
+
+    /// The board-wide actuation phase: arbitrates one frequency per
+    /// cluster across the active apps' requests, with the reactive
+    /// thermal zone (kernel layer) armed on top.
+    pub(crate) fn phase_actuate(&mut self) {
+        self.effective = arbitrate_freqs(&self.active, self.idle_freqs);
+        if let Some(cap) = self.zone.update(self.t, self.readings.max_c()) {
+            if self.effective.big > cap {
+                self.effective.big = self.board.big_opps.at_or_below(cap).freq;
+            }
+        }
+        if self.zone.is_tripped() && !self.zone_was_tripped {
+            self.zone_trips += 1;
+        }
+        self.zone_was_tripped = self.zone.is_tripped();
+    }
+
+    /// The completion phase: retires done jobs in completion order and
+    /// marks the start of an idle gap when the board empties.
+    pub(crate) fn phase_completions(&mut self) {
+        if self.active.iter().any(ActiveJob::done) {
+            let mut i = 0;
+            while i < self.active.len() {
+                if self.active[i].done() {
+                    let job = self.active.remove(i);
+                    self.completed.push(job.finish(self.t));
+                } else {
+                    i += 1;
+                }
+            }
+            if self.active.is_empty() {
+                self.idle_gap_start = self.t;
+            }
+        }
     }
 }
 
@@ -903,7 +1165,7 @@ fn catch_up_zone(zone: &mut ThermalZone, from_s: f64, to_s: f64, temp_c: f64) {
 /// An arrival that has been planned but not yet launched. The planning
 /// inputs (approach, requirement, profile) ride along so the arbiter can
 /// re-plan the app onto an arbitrated resource slice at launch.
-struct QueuedJob {
+pub(crate) struct QueuedJob {
     app: App,
     arrived_s: f64,
     treq_s: f64,
@@ -914,28 +1176,28 @@ struct QueuedJob {
 }
 
 /// An application currently executing (a member of the active set).
-struct ActiveJob {
-    app: App,
-    chars: KernelCharacteristics,
-    mapping: CpuMapping,
-    partition: Partition,
-    manager: Box<dyn teem_soc::Manager + Send>,
+pub(crate) struct ActiveJob {
+    pub(crate) app: App,
+    pub(crate) chars: KernelCharacteristics,
+    pub(crate) mapping: CpuMapping,
+    pub(crate) partition: Partition,
+    pub(crate) manager: Box<dyn teem_soc::Manager + Send>,
     /// This app's latest frequency requests; the executor arbitrates one
     /// board-wide setting from the active set's requests each step.
-    desired: ClusterFreqs,
-    cpu_items: f64,
-    gpu_items: f64,
-    cpu_done_items: f64,
-    gpu_done_items: f64,
-    arrived_s: f64,
-    started_s: f64,
-    treq_s: f64,
-    energy_j: f64,
-    co_run_s: f64,
-    contention_delay_s: f64,
-    next_control: f64,
-    temp: Welford,
-    freq: Welford,
+    pub(crate) desired: ClusterFreqs,
+    pub(crate) cpu_items: f64,
+    pub(crate) gpu_items: f64,
+    pub(crate) cpu_done_items: f64,
+    pub(crate) gpu_done_items: f64,
+    pub(crate) arrived_s: f64,
+    pub(crate) started_s: f64,
+    pub(crate) treq_s: f64,
+    pub(crate) energy_j: f64,
+    pub(crate) co_run_s: f64,
+    pub(crate) contention_delay_s: f64,
+    pub(crate) next_control: f64,
+    pub(crate) temp: Welford,
+    pub(crate) freq: Welford,
 }
 
 impl ActiveJob {
@@ -979,15 +1241,15 @@ impl ActiveJob {
         job
     }
 
-    fn cpu_done(&self) -> bool {
+    pub(crate) fn cpu_done(&self) -> bool {
         self.cpu_done_items >= self.cpu_items
     }
 
-    fn gpu_done(&self) -> bool {
+    pub(crate) fn gpu_done(&self) -> bool {
         self.gpu_done_items >= self.gpu_items
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.cpu_done() && self.gpu_done()
     }
 
@@ -1021,7 +1283,7 @@ impl ActiveJob {
 /// Streaming mean/variance/extrema (Welford) for per-job statistics —
 /// jobs cannot use [`teem_telemetry::Trace`] slices because the trace is
 /// scenario-global.
-struct Welford {
+pub(crate) struct Welford {
     n: u64,
     mean: f64,
     m2: f64,
@@ -1194,5 +1456,21 @@ mod tests {
         let r = runner.run(&sc).expect("runs");
         assert!(r.timed_out);
         assert_eq!(r.summary.apps_completed(), 0);
+    }
+
+    #[test]
+    fn stepwise_run_matches_monolithic_shape() {
+        // Drive prepare/step/finish by hand — the decomposition the
+        // lockstep pool uses — and check it reproduces run() exactly.
+        let sc = Scenario::new("one").arrive(0.0, App::Mvt, 0.9);
+        let mut a = ScenarioRunner::new(Approach::Teem);
+        let mut b = ScenarioRunner::new(Approach::Teem);
+        let ra = a.run(&sc).expect("runs");
+        let mut sim = b.prepare_cell(&sc).expect("prepares");
+        while b.step_cell(&mut sim).expect("steps") {}
+        let rb = b.finish_cell(sim);
+        assert_eq!(ra.summary, rb.summary);
+        assert_eq!(ra.trace.digest(), rb.trace.digest());
+        assert_eq!(ra.kernel.steps, rb.kernel.steps);
     }
 }

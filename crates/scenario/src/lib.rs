@@ -86,6 +86,7 @@ mod csv;
 mod event;
 mod exec;
 mod journal;
+mod lockstep;
 mod obs;
 mod scenario;
 mod sweep;

@@ -1,0 +1,743 @@
+//! The batched lockstep execution path: K sweep cells stepped in SIMD
+//! lockstep through one shared [`ThermalBatch`].
+//!
+//! A sweep grid multiplies a handful of scenarios by knob axes, so at
+//! any instant a worker holds many cells running the *same physics* at
+//! different operating points. The scalar loop steps them one at a
+//! time, re-deriving per-step constants (power coefficients, progress
+//! rates, frequency arbitration) every 10 ms tick even though they only
+//! change at control decisions. This module exploits both redundancies:
+//!
+//! * **SoA thermal lockstep** — each admitted cell owns one lane of a
+//!   [`ThermalBatch`]; one [`batched_thermal_step`] integrates all K RC
+//!   networks through the autovectorized `F64xN` kernel.
+//! * **Frozen operating points** — between control ticks a solo cell's
+//!   effective frequencies, power coefficients and progress rates are
+//!   provably constant, so the fast path caches them
+//!   ([`NodePowerModel`], per-step progress increments) and re-derives
+//!   only at a control tick or a busy-flag flip.
+//!
+//! # Exactness, not approximation
+//!
+//! The pool produces **bit-identical** results to the scalar loop; the
+//! parity suite pins it. Three mechanisms make that provable:
+//!
+//! 1. Cells are admitted only while [`eligible_for_lockstep`]: a single
+//!    active app, queue drained, timeline exhausted, thermal zone idle
+//!    and below trip. In that regime every scalar phase the fast path
+//!    skips (event dispatch, launches, gap fast-forward, per-step zone
+//!    polling below trip) is a no-op by its own guard.
+//! 2. The phases the fast path *does* run go through the same
+//!    [`CellSim`] methods as the scalar loop (`phase_sample`,
+//!    `phase_control`, `phase_actuate`, `phase_completions`), and the
+//!    cached power/progress values are built from the identical
+//!    expressions the scalar loop evaluates (pinned bitwise by the
+//!    `teem-soc` batch tests).
+//! 3. **Divergence is a handoff, not a special case.** The moment a
+//!    lane leaves the fast regime — a sensor sample at or above the
+//!    zone's trip point, or the executor timeout — its thermal state is
+//!    stored back to its own board and the cell returns to the scalar
+//!    [`ScenarioRunner::step_cell`] loop at a phase boundary the scalar
+//!    loop itself would have reached. Sibling lanes are untouched.
+
+use teem_soc::perf::{cpu_rate, gpu_rate};
+use teem_soc::{
+    batched_thermal_step, BatchPowerModel, BatchScratch, ClusterFreqs, NodePowerModel, StepObs,
+    ThermalBatch, ThermalModel,
+};
+use teem_workload::bandwidth_slowdown;
+
+use crate::exec::{CellSim, ScenarioRunner, TraceIds};
+
+/// `true` when `sim` is in the regime the lockstep fast path models
+/// exactly: one active app, nothing queued, no timeline events left,
+/// the reactive thermal zone idle with the latest sensor reading below
+/// its trip point, and the executor timeout not yet reached.
+///
+/// Under these invariants the scalar phases the fast path skips are
+/// all provably no-ops: the event loop's cursor is exhausted, the
+/// launch loop breaks on the empty queue, the gap fast-forward needs an
+/// empty active set, and the zone's `update` below trip returns `None`
+/// without mutating state.
+pub(crate) fn eligible_for_lockstep(sim: &CellSim) -> bool {
+    sim.active.len() == 1
+        && sim.queue.is_empty()
+        && sim.next_ev >= sim.events.len()
+        && !sim.zone.is_capping()
+        && sim.readings.max_c() < sim.zone.trip_c
+        && !sim.timed_out
+        && sim.t < sim.timeout_s
+}
+
+/// The per-lane cache of everything that is constant between control
+/// decisions: the frozen power model, the per-step progress increments,
+/// the operating point they were derived at, and the pre-resolved trace
+/// channel ids.
+struct LaneCache {
+    model: NodePowerModel,
+    /// `cpu_rate(..) * dt / s` at the cached operating point — the
+    /// exact expression the scalar progress phase evaluates per step.
+    inc_cpu: f64,
+    /// `gpu_rate(..) * dt / (s * gpu_sharers)` likewise (`gpu_sharers`
+    /// is always 1.0 for a solo app).
+    inc_gpu: f64,
+    /// The effective frequencies the caches were derived at.
+    effective: ClusterFreqs,
+    /// Busy flags the power model was built with (the scalar loop's
+    /// `!cpu_done()` / `!gpu_done()` share flags).
+    cpu_busy: bool,
+    gpu_busy: bool,
+    ids: TraceIds,
+}
+
+/// The per-step-mutable slice of one lane's state, mirrored out of the
+/// sprawling [`CellSim`] into a compact struct the lockstep inner loop
+/// keeps cache-resident: a round's pre/post passes touch only this
+/// array (plus the SoA batch vectors), not K scattered simulations.
+///
+/// # Sync protocol
+///
+/// The mirror **owns** its fields while the lane is resident: the fast
+/// path mutates only the hot copy. Before any call back into `CellSim`
+/// code (a sensor sample, a control/actuate pass, completion handling,
+/// retirement), [`flush_hot`] writes the owned fields back; after the
+/// call, [`reload_hot`] re-reads every mirrored field (the sim code may
+/// have advanced `next_sample`/`next_control` or refreshed the cached
+/// rates). Every mirrored expression the fast path evaluates —
+/// progress increments, `done()` comparisons, energy accounting, the
+/// `t = step_idx · dt` clock — is the identical IEEE expression on
+/// identical values, so residency moves without touching a single bit.
+#[derive(Clone, Copy, Default)]
+struct HotLane {
+    // Owned while resident (flushed back to the sim at boundaries).
+    t: f64,
+    step_idx: u64,
+    energy_j: f64,
+    busy_s: f64,
+    last_total_w: f64,
+    steps: u64,
+    batched_steps: u64,
+    substeps: u64,
+    cpu_done_items: f64,
+    gpu_done_items: f64,
+    job_energy_j: f64,
+    // Read-only mirrors (refreshed from the sim/cache after sync points).
+    next_sample: f64,
+    next_control: f64,
+    timeout_s: f64,
+    cpu_items: f64,
+    gpu_items: f64,
+    inc_cpu: f64,
+    inc_gpu: f64,
+    cpu_has_mapping: bool,
+    // Fast-path-only state (no sim twin).
+    cpu_busy: bool,
+    gpu_busy: bool,
+    /// Set when a busy flag flipped during the previous step's progress
+    /// phase (or at admission): the next step must run the
+    /// control/actuate phases because `arbitrate_freqs` may now pick
+    /// different frequencies — exactly when the scalar loop's
+    /// every-step actuation could first produce a different result.
+    flags_dirty: bool,
+    live: bool,
+}
+
+/// Writes the hot mirror's owned fields back into `sim` — the exact
+/// bits the scalar loop would hold at this boundary.
+fn flush_hot(hot: &HotLane, sim: &mut CellSim) {
+    sim.t = hot.t;
+    sim.step_idx = hot.step_idx;
+    sim.energy_j = hot.energy_j;
+    sim.busy_s = hot.busy_s;
+    sim.last_total_w = hot.last_total_w;
+    sim.scratch.obs.steps = hot.steps;
+    sim.scratch.obs.batched_steps = hot.batched_steps;
+    sim.scratch.obs.substeps = hot.substeps;
+    let j = &mut sim.active[0];
+    j.cpu_done_items = hot.cpu_done_items;
+    j.gpu_done_items = hot.gpu_done_items;
+    j.energy_j = hot.job_energy_j;
+}
+
+/// Re-reads every mirrored field from `sim`/`cache` (busy flags,
+/// dirtiness and liveness are fast-path state and survive untouched).
+fn reload_hot(hot: &mut HotLane, sim: &CellSim, cache: &LaneCache) {
+    hot.t = sim.t;
+    hot.step_idx = sim.step_idx;
+    hot.energy_j = sim.energy_j;
+    hot.busy_s = sim.busy_s;
+    hot.last_total_w = sim.last_total_w;
+    hot.steps = sim.scratch.obs.steps;
+    hot.batched_steps = sim.scratch.obs.batched_steps;
+    hot.substeps = sim.scratch.obs.substeps;
+    let j = &sim.active[0];
+    hot.cpu_done_items = j.cpu_done_items;
+    hot.gpu_done_items = j.gpu_done_items;
+    hot.job_energy_j = j.energy_j;
+    hot.next_sample = sim.next_sample;
+    hot.next_control = j.next_control;
+    hot.timeout_s = sim.timeout_s;
+    hot.cpu_items = j.cpu_items;
+    hot.gpu_items = j.gpu_items;
+    hot.inc_cpu = cache.inc_cpu;
+    hot.inc_gpu = cache.inc_gpu;
+    hot.cpu_has_mapping = !j.mapping.is_empty();
+}
+
+impl LaneCache {
+    fn for_sim(sim: &CellSim) -> Self {
+        let j = &sim.active[0];
+        let mut cache = LaneCache {
+            model: NodePowerModel::single_app(
+                &sim.board,
+                j.mapping,
+                sim.effective,
+                !j.cpu_done(),
+                !j.gpu_done(),
+                j.chars.activity,
+            ),
+            inc_cpu: 0.0,
+            inc_gpu: 0.0,
+            effective: sim.effective,
+            cpu_busy: !j.cpu_done(),
+            gpu_busy: !j.gpu_done(),
+            ids: TraceIds::resolve(&sim.trace),
+        };
+        cache.refresh_rates(sim);
+        cache
+    }
+
+    /// Re-derives the per-step progress increments — the exact
+    /// expressions of the scalar progress phase with the singleton
+    /// specialisation (`total_pressure` is the app's own sensitivity,
+    /// one GPU sharer).
+    fn refresh_rates(&mut self, sim: &CellSim) {
+        let j = &sim.active[0];
+        let total_pressure = j.chars.mem_sensitivity;
+        let s = bandwidth_slowdown(
+            j.chars.mem_sensitivity,
+            total_pressure - j.chars.mem_sensitivity,
+        );
+        let gpu_sharers = 1.0_f64;
+        self.inc_cpu =
+            cpu_rate(&j.chars, j.mapping, sim.effective.big, sim.effective.little) * sim.dt / s;
+        self.inc_gpu = gpu_rate(&j.chars, sim.effective.gpu) * sim.dt / (s * gpu_sharers);
+    }
+
+    fn rebuild_model(&mut self, sim: &CellSim) {
+        let j = &sim.active[0];
+        self.model = NodePowerModel::single_app(
+            &sim.board,
+            j.mapping,
+            sim.effective,
+            self.cpu_busy,
+            self.gpu_busy,
+            j.chars.activity,
+        );
+    }
+
+    /// Refreshes everything derived from the effective frequencies
+    /// after an actuation changed them.
+    fn refresh_operating_point(&mut self, sim: &CellSim) {
+        self.effective = sim.effective;
+        self.refresh_rates(sim);
+        self.rebuild_model(sim);
+    }
+}
+
+/// One cell resident in the pool: its runner, its suspended simulation,
+/// its cache, and the bookkeeping for the occupancy metric.
+struct PoolLane {
+    runner: ScenarioRunner,
+    sim: CellSim,
+    cache: LaneCache,
+    /// Caller-supplied identifier (the sweep uses the cell index).
+    token: usize,
+    /// `sim.scratch.obs.steps` at admission — the denominator baseline
+    /// for the lane-occupancy metric.
+    steps_at_entry: u64,
+}
+
+/// A cell leaving the pool, back in the caller's hands.
+pub(crate) struct RetiredLane {
+    /// The cell's runner, unchanged.
+    pub(crate) runner: ScenarioRunner,
+    /// The suspended simulation, its board's thermal state synced back
+    /// from the batch lane. Positioned at a boundary the scalar
+    /// [`ScenarioRunner::step_cell`] loop resumes exactly.
+    pub(crate) sim: CellSim,
+    /// The identifier the caller admitted the cell with.
+    pub(crate) token: usize,
+    /// `steps` at admission, for the occupancy metric.
+    pub(crate) steps_at_entry: u64,
+}
+
+/// A K-lane lockstep pool over one shared [`ThermalBatch`].
+///
+/// The caller admits eligible cells ([`LockstepPool::admit`]), calls
+/// [`LockstepPool::step_round`] while any lane is occupied, and
+/// finishes every [`RetiredLane`] through the scalar
+/// `step_cell`/`finish_cell` path (a completed lane terminates on the
+/// first `step_cell` call, so both exit kinds share one code path).
+pub(crate) struct LockstepPool {
+    batch: ThermalBatch,
+    scratch: BatchScratch,
+    /// Every resident lane's frozen power coefficients in node-major
+    /// SoA planes — the vectorized twin of the per-lane
+    /// [`NodePowerModel`]s cached in the lanes, kept in sync at
+    /// admission and at every operating-point refresh.
+    power: BatchPowerModel,
+    /// Per-lane total draw from the last power sweep (node-order sums,
+    /// the scalar loop's `power.iter().sum()` bits).
+    totals: Vec<f64>,
+    /// The per-step-mutable mirror of each lane's state — the only
+    /// per-lane memory the round's pre/post passes touch. Parallel to
+    /// `lanes`; `hot[i].live` tracks `lanes[i].is_some()`.
+    hot: Vec<HotLane>,
+    lanes: Vec<Option<PoolLane>>,
+    /// The integration step every resident lane shares (lockstep needs
+    /// one `dt`); pinned by the first admission.
+    dt: Option<f64>,
+    /// Pool-level step observability: the batched power/thermal
+    /// wall-time split (the per-cell kernels keep their own step and
+    /// sub-step counts). Zero unless constructed instrumented.
+    pub(crate) obs: StepObs,
+    /// Lockstep rounds executed (each is one batched thermal step).
+    pub(crate) rounds: u64,
+    /// Lane-steps executed (live lanes summed over rounds).
+    pub(crate) lane_steps: u64,
+    /// Lane-slots offered (K × rounds) — the utilization denominator.
+    pub(crate) lane_slots: u64,
+}
+
+impl LockstepPool {
+    /// A pool of `k` lanes over `reference`'s thermal topology.
+    /// Admission re-checks each cell's board against the batch, so a
+    /// mismatching cell degrades to the scalar path instead of
+    /// corrupting the lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub(crate) fn new(k: usize, reference: &ThermalModel, instrument: bool) -> Self {
+        assert!(k >= 1, "a lockstep pool needs at least one lane");
+        let batch = ThermalBatch::like(reference, k);
+        let scratch = BatchScratch::for_batch(&batch);
+        let power = BatchPowerModel::for_batch(&batch);
+        let totals = vec![0.0; batch.stride()];
+        let obs = StepObs {
+            enabled: instrument,
+            ..StepObs::default()
+        };
+        LockstepPool {
+            batch,
+            scratch,
+            power,
+            totals,
+            hot: vec![HotLane::default(); k],
+            lanes: (0..k).map(|_| None).collect(),
+            dt: None,
+            obs,
+            rounds: 0,
+            lane_steps: 0,
+            lane_slots: 0,
+        }
+    }
+
+    /// `true` when at least one lane is free.
+    pub(crate) fn has_free_lane(&self) -> bool {
+        self.lanes.iter().any(Option::is_none)
+    }
+
+    /// `true` when no lane is occupied.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.lanes.iter().all(Option::is_none)
+    }
+
+    /// Admits a cell into a free lane. Returns the cell unchanged when
+    /// it is not [`eligible_for_lockstep`], its thermal topology or
+    /// `dt` does not match the pool, or no lane is free — the caller
+    /// runs it scalar instead.
+    // The Err variant intentionally hands the (large) cell back by
+    // value — the caller owns it either way; no heap indirection needed.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn admit(
+        &mut self,
+        runner: ScenarioRunner,
+        sim: CellSim,
+        token: usize,
+    ) -> Result<(), (ScenarioRunner, CellSim, usize)> {
+        let dt_ok = self.dt.is_none_or(|dt| dt.to_bits() == sim.dt.to_bits());
+        let slot = self.lanes.iter().position(Option::is_none);
+        let Some(slot) = slot else {
+            return Err((runner, sim, token));
+        };
+        if !eligible_for_lockstep(&sim) || !self.batch.matches(&sim.board.thermal) || !dt_ok {
+            return Err((runner, sim, token));
+        }
+        self.dt = Some(sim.dt);
+        self.batch.load_lane(slot, &sim.board.thermal);
+        let cache = LaneCache::for_sim(&sim);
+        self.power.set_lane(slot, &cache.model);
+        let mut hot = HotLane {
+            cpu_busy: cache.cpu_busy,
+            gpu_busy: cache.gpu_busy,
+            // Conservative: force one control/actuate pass on the first
+            // batched step, matching the scalar loop's unconditional
+            // per-step actuation without having to prove anything about
+            // the admission instant.
+            flags_dirty: true,
+            live: true,
+            ..HotLane::default()
+        };
+        reload_hot(&mut hot, &sim, &cache);
+        self.hot[slot] = hot;
+        let steps_at_entry = sim.scratch.obs.steps;
+        self.lanes[slot] = Some(PoolLane {
+            runner,
+            sim,
+            cache,
+            token,
+            steps_at_entry,
+        });
+        Ok(())
+    }
+
+    /// Evicts every resident lane *without* completing its round —
+    /// the panic-recovery path. The partially-stepped simulations are
+    /// dropped (mid-round state is not a valid scalar boundary); only
+    /// the tokens come back, so the caller can re-run those cells from
+    /// scratch.
+    pub(crate) fn evict_all(&mut self) -> Vec<usize> {
+        self.dt = None;
+        let tokens: Vec<usize> = self
+            .lanes
+            .iter_mut()
+            .filter_map(|slot| slot.take().map(|lane| lane.token))
+            .collect();
+        for slot in 0..self.lanes.len() {
+            self.power.clear_lane(slot);
+            self.hot[slot] = HotLane::default();
+        }
+        tokens
+    }
+
+    /// Clears one retiring lane's slot: syncs the batch lane's thermal
+    /// state back to the cell's own board and zeroes its power column.
+    fn store_out(&mut self, slot: usize, lane: &mut PoolLane) {
+        self.batch.store_lane(slot, &mut lane.sim.board.thermal);
+        self.power.clear_lane(slot);
+        self.hot[slot] = HotLane::default();
+        let kp = self.batch.stride();
+        for i in 0..self.batch.nodes() {
+            self.scratch.power[i * kp + slot] = 0.0;
+        }
+        if self.is_empty() {
+            self.dt = None;
+        }
+    }
+
+    /// Executes one lockstep round: every live lane advances exactly
+    /// one engine step (the step the scalar loop would have taken),
+    /// sharing a single batched thermal integration. Lanes that leave
+    /// the fast regime — trip-point proximity at a sample, timeout, or
+    /// completion — are pushed onto `retired` and their slots freed for
+    /// the caller to refill.
+    pub(crate) fn step_round(&mut self, retired: &mut Vec<RetiredLane>) {
+        let k = self.lanes.len();
+
+        // --- Per-lane pre-thermal phases (sampling, control, progress).
+        //     Scalar phase order within the step is preserved per lane;
+        //     lanes are independent, so the lane interleaving order
+        //     cannot affect any per-cell result. The common case (no
+        //     sample due, no control due) runs entirely on the compact
+        //     hot mirror and never touches the cell's simulation. ---
+        for slot in 0..k {
+            let batch = &self.batch;
+            let power = &mut self.power;
+            let hot = &mut self.hot[slot];
+            if !hot.live {
+                continue;
+            }
+            if !needs_sim(hot) {
+                // Fast path: progress on the mirror alone; only a busy
+                // flip (a handful of steps per job) reaches the lane.
+                if progress_hot(hot) {
+                    let lane = self.lanes[slot].as_mut().expect("live lane occupied");
+                    apply_flip(hot, lane, power, slot);
+                }
+                continue;
+            }
+            let lane = self.lanes[slot].as_mut().expect("live lane occupied");
+            if pre_thermal_step(hot, lane, batch, power, slot) == PreExit::Handoff {
+                let mut lane = self.lanes[slot].take().expect("lane occupied");
+                self.store_out(slot, &mut lane);
+                retired.push(RetiredLane {
+                    runner: lane.runner,
+                    sim: lane.sim,
+                    token: lane.token,
+                    steps_at_entry: lane.steps_at_entry,
+                });
+            }
+        }
+
+        let live = self.hot.iter().filter(|h| h.live).count() as u64;
+        if live == 0 {
+            return;
+        }
+
+        // --- Power: one vectorized node-major sweep over every lane's
+        //     frozen coefficients (bit-identical per lane to the
+        //     strided scalar evaluation; cleared lanes read as zero).
+        //     The per-lane energy accounting rides the post-thermal
+        //     pass — it depends only on the totals computed here. ---
+        let obs_t0 = self.obs.clock();
+        self.power
+            .eval_into(&self.batch, &mut self.scratch.power, &mut self.totals);
+        self.obs.lap_power(obs_t0);
+
+        // --- Thermal: one batched integration for every lane. The
+        //     sub-step count is a function of (dt, max_stable_dt) only,
+        //     so it is identical across lanes and to the scalar loop. ---
+        let dt = self.dt.expect("dt pinned while lanes are resident");
+        let obs_t0 = self.obs.clock();
+        let substeps = batched_thermal_step(&mut self.batch, dt, &self.scratch);
+        self.obs.lap_thermal(obs_t0);
+
+        // --- Per-lane post-thermal: energy accounting (the scalar
+        //     power phase's bookkeeping, using this round's totals),
+        //     counters, clock advance, completions (the scalar loop's
+        //     tail, in its order) — all on the hot mirror; only a
+        //     completing lane touches its simulation again. ---
+        for slot in 0..k {
+            let hot = &mut self.hot[slot];
+            if !hot.live {
+                continue;
+            }
+            let total = self.totals[slot];
+            hot.energy_j += total * dt;
+            hot.busy_s += dt;
+            hot.job_energy_j += total * dt;
+            hot.last_total_w = total;
+            hot.steps += 1;
+            hot.batched_steps += 1;
+            hot.substeps += u64::from(substeps);
+            hot.step_idx += 1;
+            hot.t = hot.step_idx as f64 * dt;
+            if hot.cpu_done_items >= hot.cpu_items && hot.gpu_done_items >= hot.gpu_items {
+                let mut lane = self.lanes[slot].take().expect("lane occupied");
+                flush_hot(hot, &mut lane.sim);
+                lane.sim.phase_completions();
+                self.store_out(slot, &mut lane);
+                retired.push(RetiredLane {
+                    runner: lane.runner,
+                    sim: lane.sim,
+                    token: lane.token,
+                    steps_at_entry: lane.steps_at_entry,
+                });
+            }
+        }
+
+        self.rounds += 1;
+        self.lane_steps += live;
+        self.lane_slots += k as u64;
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum PreExit {
+    Continue,
+    Handoff,
+}
+
+/// `true` when this step needs the lane's full simulation: a timeout,
+/// a due sample, a due control tick, or a deferred actuation from a
+/// busy-flag flip. Everything it reads lives on the hot mirror, so the
+/// common all-false case costs four compares on one cache-resident
+/// struct and never touches the multi-kilobyte [`PoolLane`].
+#[inline(always)]
+fn needs_sim(hot: &HotLane) -> bool {
+    hot.t >= hot.timeout_s
+        || hot.t + 1e-12 >= hot.next_sample
+        || hot.t + 1e-12 >= hot.next_control
+        || hot.flags_dirty
+}
+
+/// The scalar progress phase specialised to one app, entirely on the
+/// hot mirror (bit-identical expressions). Returns `true` when a busy
+/// flag flipped — the caller must then rebuild the lane's power model
+/// (the scalar power phase sees post-progress flags in the same step).
+// The `!(a >= b)` forms mirror the scalar loop's `!j.cpu_done()`
+// exactly, NaN edge included — do not "simplify" to `<`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline(always)]
+fn progress_hot(hot: &mut HotLane) -> bool {
+    if !(hot.cpu_done_items >= hot.cpu_items) && hot.cpu_has_mapping {
+        hot.cpu_done_items += hot.inc_cpu;
+    }
+    if !(hot.gpu_done_items >= hot.gpu_items) {
+        hot.gpu_done_items += hot.inc_gpu;
+    }
+    let cpu_busy = !(hot.cpu_done_items >= hot.cpu_items);
+    let gpu_busy = !(hot.gpu_done_items >= hot.gpu_items);
+    cpu_busy != hot.cpu_busy || gpu_busy != hot.gpu_busy
+}
+
+/// Applies a busy-flag flip: refreshes the lane's power model with the
+/// new share flags now, and marks actuation dirty so the next step runs
+/// the control/actuate pass (the scalar loop ran actuation *before*
+/// progress, so frequencies can first react one step later).
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // mirrors `!j.cpu_done()`
+fn apply_flip(hot: &mut HotLane, lane: &mut PoolLane, power: &mut BatchPowerModel, slot: usize) {
+    let cpu_busy = !(hot.cpu_done_items >= hot.cpu_items);
+    let gpu_busy = !(hot.gpu_done_items >= hot.gpu_items);
+    hot.cpu_busy = cpu_busy;
+    hot.gpu_busy = gpu_busy;
+    lane.cache.cpu_busy = cpu_busy;
+    lane.cache.gpu_busy = gpu_busy;
+    let sim = &mut lane.sim;
+    flush_hot(hot, sim);
+    lane.cache.rebuild_model(sim);
+    power.set_lane(slot, &lane.cache.model);
+    hot.flags_dirty = true;
+}
+
+/// One lane's pre-thermal slice of the engine step: the scalar loop's
+/// timeout check, sampling, control and actuation (when they can
+/// matter), and progress — through the shared [`CellSim`] phase
+/// methods (bracketed by hot-mirror flush/reload) or the mirrored
+/// exact expressions.
+fn pre_thermal_step(
+    hot: &mut HotLane,
+    lane: &mut PoolLane,
+    batch: &ThermalBatch,
+    power: &mut BatchPowerModel,
+    slot: usize,
+) -> PreExit {
+    // Timeout first, as the scalar loop checks it (before sampling).
+    // The scalar step_cell will re-detect it and terminate the cell.
+    if hot.t >= hot.timeout_s {
+        flush_hot(hot, &mut lane.sim);
+        return PreExit::Handoff;
+    }
+
+    // Sampling at the trace cadence — same predicate, same phase code
+    // (by pre-resolved channel id). The true temperatures live in the
+    // batch lane while the cell is resident, so they are synced back to
+    // the cell's own board first — sensors must quantise the same bits
+    // the scalar loop's board would hold. A sample is also the only
+    // instant the zone's input can cross the trip point, so the trip
+    // check rides on it: at or above trip, hand off *before* the
+    // control phase — the scalar loop resumes with control, then trips
+    // in actuation, exactly as it would have.
+    if hot.t + 1e-12 >= hot.next_sample {
+        let sim = &mut lane.sim;
+        flush_hot(hot, sim);
+        batch.store_lane(slot, &mut sim.board.thermal);
+        sim.phase_sample(Some(&lane.cache.ids));
+        if sim.readings.max_c() >= sim.zone.trip_c {
+            return PreExit::Handoff;
+        }
+        reload_hot(hot, sim, &lane.cache);
+    }
+
+    // Control and actuation, only when they can change anything: a due
+    // control tick, or a busy-flag flip last step. Otherwise
+    // `arbitrate_freqs` inputs are unchanged and the zone poll below
+    // trip is a no-op — the scalar loop's every-step actuation provably
+    // recomputes the same `effective`.
+    let due = hot.t + 1e-12 >= hot.next_control;
+    if due || hot.flags_dirty {
+        let sim = &mut lane.sim;
+        flush_hot(hot, sim);
+        sim.phase_control();
+        sim.phase_actuate();
+        if sim.effective != lane.cache.effective {
+            lane.cache.refresh_operating_point(sim);
+            power.set_lane(slot, &lane.cache.model);
+        }
+        reload_hot(hot, sim, &lane.cache);
+        hot.flags_dirty = false;
+    }
+
+    // Progress: the scalar phase specialised to one app, with the
+    // mirrored per-step increments (bit-identical expressions).
+    if progress_hot(hot) {
+        apply_flip(hot, lane, power, slot);
+    }
+    PreExit::Continue
+}
+
+/// Runs one cell entirely through the pool: scalar warm-up until
+/// eligible, lockstep rounds until the cell retires, scalar finish —
+/// the single-cell harness the parity tests drive. The runner is
+/// consumed because cells move through the pool by value. Panics are
+/// not caught.
+#[cfg(test)]
+pub(crate) fn run_cell_lockstep(
+    mut runner: ScenarioRunner,
+    scenario: &crate::scenario::Scenario,
+    k: usize,
+) -> Result<crate::exec::ScenarioResult, teem_linreg::LinregError> {
+    let reference = teem_soc::Board::odroid_xu4_ideal();
+    let mut pool = LockstepPool::new(k, &reference.thermal, false);
+    let mut sim = runner.prepare_cell(scenario)?;
+    loop {
+        if eligible_for_lockstep(&sim) {
+            break;
+        }
+        if !runner.step_cell(&mut sim)? {
+            return Ok(runner.finish_cell(sim));
+        }
+    }
+    assert!(
+        pool.admit(runner, sim, 0).is_ok(),
+        "eligible cell must admit"
+    );
+    let mut retired = Vec::new();
+    while retired.is_empty() {
+        pool.step_round(&mut retired);
+    }
+    let r = retired.pop().expect("one lane retires");
+    let mut runner = r.runner;
+    let mut sim = r.sim;
+    while runner.step_cell(&mut sim)? {}
+    Ok(runner.finish_cell(sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use teem_core::runner::Approach;
+    use teem_workload::App;
+
+    #[test]
+    fn single_lane_lockstep_matches_scalar_bitwise() {
+        let sc = Scenario::new("one").arrive(0.0, App::Mvt, 0.9);
+        let mut scalar = ScenarioRunner::new(Approach::Teem);
+        let a = scalar.run(&sc).expect("scalar runs");
+        let batched = ScenarioRunner::new(Approach::Teem);
+        let b = run_cell_lockstep(batched, &sc, 1).expect("lockstep runs");
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.trace.digest(), b.trace.digest(), "bit-identical trace");
+        assert_eq!(a.kernel.steps, b.kernel.steps);
+        assert!(b.kernel.batched_steps > 0, "fast path engaged");
+        assert_eq!(a.kernel.batched_steps, 0, "scalar path never batches");
+    }
+
+    #[test]
+    fn ineligible_cell_is_returned_at_admission() {
+        let sc = Scenario::new("one").arrive(0.0, App::Mvt, 0.9);
+        let mut runner = ScenarioRunner::new(Approach::Teem);
+        let sim = runner.prepare_cell(&sc).expect("prepares");
+        // Fresh cell: nothing active yet, so not eligible.
+        assert!(!eligible_for_lockstep(&sim));
+        let reference = teem_soc::Board::odroid_xu4_ideal();
+        let mut pool = LockstepPool::new(2, &reference.thermal, false);
+        let r = pool.admit(runner, sim, 7);
+        let (_, _, token) = r.expect_err("ineligible cell comes back");
+        assert_eq!(token, 7);
+        assert!(pool.is_empty());
+    }
+}

@@ -74,6 +74,23 @@ pub struct WorkerObs {
     /// Fast-forwarded idle-gap lengths (milliseconds) merged across
     /// every cell this worker ran — empty under fixed-dt advance.
     pub gap_len_ms: LogHistogram,
+    /// Cells this worker admitted into a lockstep pool (zero in scalar
+    /// mode).
+    pub lanes_entered: u64,
+    /// Sum of per-cell lane occupancies, in permille of post-admission
+    /// steps executed on the batched path. Kept as an exact integer sum
+    /// so a divergence-free run assembles to a `batch.lane_occupancy`
+    /// gauge of exactly 1.0.
+    pub occupancy_permille_sum: u64,
+    /// Per-cell lane-occupancy distribution (permille).
+    pub lane_occupancy: LogHistogram,
+    /// Lockstep rounds this worker's pool executed.
+    pub batch_rounds: u64,
+    /// Lane-steps executed across those rounds (live lanes only).
+    pub batch_lane_steps: u64,
+    /// Lane-slots offered across those rounds (K × rounds) — the
+    /// `batch.lane_utilization` denominator.
+    pub batch_lane_slots: u64,
     /// This worker's trace track: one complete event per cell.
     pub trace: TraceEventLog,
 }
@@ -93,6 +110,12 @@ impl WorkerObs {
             pool: PoolObs::default(),
             kernel: StepObs::default(),
             gap_len_ms: LogHistogram::new(),
+            lanes_entered: 0,
+            occupancy_permille_sum: 0,
+            lane_occupancy: LogHistogram::new(),
+            batch_rounds: 0,
+            batch_lane_steps: 0,
+            batch_lane_slots: 0,
             trace: TraceEventLog::new(),
         }
     }
@@ -100,6 +123,27 @@ impl WorkerObs {
     /// Banks time spent looking for work (the `next_cell` call).
     pub fn bank_idle(&mut self, t0: Instant) {
         self.idle_ns = self.idle_ns.saturating_add(ns_since(t0));
+    }
+
+    /// Banks time spent executing (warm-up, lockstep rounds, retirement
+    /// finishing) in batch mode, where per-cell wall clocks overlap and
+    /// cannot be summed into the busy total.
+    pub fn bank_busy(&mut self, t0: Instant) {
+        self.busy_ns = self.busy_ns.saturating_add(ns_since(t0));
+    }
+
+    /// Records the lane occupancy of one pooled cell: the fraction
+    /// (permille, half-up) of its post-admission engine steps that ran
+    /// on the batched path. A cell that never diverged after admission
+    /// scores exactly 1000.
+    pub fn record_lane_occupancy(&mut self, batched_steps: u64, steps_in_pool: u64) {
+        if steps_in_pool == 0 {
+            return;
+        }
+        let permille = (1000 * batched_steps + steps_in_pool / 2) / steps_in_pool;
+        self.lanes_entered += 1;
+        self.occupancy_permille_sum += permille;
+        self.lane_occupancy.record(permille);
     }
 
     /// Records one executed cell: wall time into the histogram and the
@@ -112,9 +156,35 @@ impl WorkerObs {
         started: Instant,
         outcome: &Result<ScenarioResult, String>,
     ) {
+        self.busy_ns = self.busy_ns.saturating_add(ns_since(started));
+        self.record_cell(name, index, started, outcome);
+    }
+
+    /// Records one cell executed on the batched path. Identical to
+    /// [`WorkerObs::observe_cell`] except the cell's wall time does
+    /// *not* feed the busy total: pooled cells overlap in time, so busy
+    /// time is banked per execution segment via [`WorkerObs::bank_busy`]
+    /// instead (the wall histogram and trace still get the full
+    /// claim-to-finish span).
+    pub fn observe_batched_cell(
+        &mut self,
+        name: &str,
+        index: usize,
+        started: Instant,
+        outcome: &Result<ScenarioResult, String>,
+    ) {
+        self.record_cell(name, index, started, outcome);
+    }
+
+    fn record_cell(
+        &mut self,
+        name: &str,
+        index: usize,
+        started: Instant,
+        outcome: &Result<ScenarioResult, String>,
+    ) {
         let wall_ns = ns_since(started);
         self.cells += 1;
-        self.busy_ns = self.busy_ns.saturating_add(wall_ns);
         self.cell_wall.record(wall_ns);
         let status = match outcome {
             Ok(result) => {
@@ -199,6 +269,10 @@ impl SweepObsReport {
         let mut trace = TraceEventLog::new();
         let mut kernel = StepObs::default();
         let mut busy_ns = 0u64;
+        let mut lanes_entered = 0u64;
+        let mut occupancy_sum = 0u64;
+        let mut lane_steps = 0u64;
+        let mut lane_slots = 0u64;
 
         registry.add_named("sweep.cells", stats.cells as u64);
         registry.add_named("sweep.completed", stats.completed as u64);
@@ -240,12 +314,37 @@ impl SweepObsReport {
             registry.merge_histogram("pool.steal_size", &w.pool.steal_sizes);
             registry.merge_histogram("pool.queue_depth", &w.pool.queue_depth);
             registry.merge_histogram("engine.gap_len_ms", &w.gap_len_ms);
+            registry.merge_histogram("batch.lane_occupancy", &w.lane_occupancy);
             kernel.merge(&w.kernel);
             busy_ns = busy_ns.saturating_add(w.busy_ns);
+            lanes_entered += w.lanes_entered;
+            occupancy_sum += w.occupancy_permille_sum;
+            lane_steps += w.batch_lane_steps;
+            lane_slots += w.batch_lane_slots;
 
             trace.thread_name(id as u32, &format!("sweep worker {id}"));
         }
         registry.add_named("engine.steps", kernel.steps);
+        registry.add_named("engine.batched_steps", kernel.batched_steps);
+        registry.add_named("batch.lanes_entered", lanes_entered);
+        registry.add_named(
+            "batch.rounds",
+            per_worker.iter().map(|w| w.batch_rounds).sum(),
+        );
+        if lanes_entered > 0 {
+            // Exact when every pooled cell scored 1000‰: the sum is then
+            // 1000·n and the division yields precisely 1.0.
+            registry.set_named(
+                "batch.lane_occupancy",
+                occupancy_sum as f64 / (1000 * lanes_entered) as f64,
+            );
+        }
+        if lane_slots > 0 {
+            registry.set_named(
+                "batch.lane_utilization",
+                lane_steps as f64 / lane_slots as f64,
+            );
+        }
         registry.add_named("engine.substeps", kernel.substeps);
         registry.add_named("engine.power_ns", kernel.power_ns);
         registry.add_named("engine.thermal_ns", kernel.thermal_ns);

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use crate::arbiter::ContentionPolicy;
 use crate::exec::{ScenarioResult, ScenarioRunner};
+use crate::lockstep::LockstepPool;
 use crate::obs::{PoolObs, RunObs, SweepObsReport, WorkerObs};
 use crate::scenario::Scenario;
 use teem_core::offline::build_profile_store;
@@ -321,6 +322,7 @@ pub struct SweepSpec {
     patch: ConfigPatch,
     threads: usize,
     chunk: Option<usize>,
+    batch: Option<usize>,
     skip: BTreeSet<usize>,
 }
 
@@ -342,6 +344,7 @@ impl SweepSpec {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             chunk: None,
+            batch: None,
             skip: BTreeSet::new(),
         }
     }
@@ -470,7 +473,11 @@ impl SweepSpec {
 
     /// Sets the injector chunk size (cells claimed per grab). Defaults
     /// to a size that gives every worker several claims, capped so the
-    /// tail stays stealable.
+    /// tail stays stealable — and, in batch mode
+    /// ([`SweepSpec::batch`]), rounded **up** to a multiple of the lane
+    /// count K, so a freshly claimed chunk fills a worker's lockstep
+    /// pool completely instead of leaving lanes idle at every chunk
+    /// boundary. An explicit chunk is taken as given in both modes.
     ///
     /// # Panics
     ///
@@ -478,6 +485,37 @@ impl SweepSpec {
     pub fn chunk(mut self, chunk: usize) -> Self {
         assert!(chunk > 0, "chunk must be at least one cell");
         self.chunk = Some(chunk);
+        self
+    }
+
+    /// Turns on the batched execution path: each worker steps up to `k`
+    /// topology-compatible cells in SIMD lockstep through one shared
+    /// [`ThermalBatch`](teem_soc::ThermalBatch), refilling lanes from
+    /// its claim as cells retire. Cells outside the lockstep-eligible
+    /// regime (multi-app phases, pending timeline events, thermal-zone
+    /// trips) run scalar for exactly those phases and batch for the
+    /// rest, so **results are bit-identical to scalar mode** — the
+    /// parity suite pins summaries and trace digests across K.
+    ///
+    /// This is a scheduling knob like [`SweepSpec::threads`] and
+    /// [`SweepSpec::chunk`]: it changes throughput, never results, and
+    /// is therefore deliberately **excluded from
+    /// [`SweepSpec::fingerprint`]** — a journal recorded scalar resumes
+    /// fine under batch and vice versa.
+    ///
+    /// `k = 1` degenerates to stepping single cells through the batch
+    /// kernel (still bit-identical; useful for A/B tests). Sequential
+    /// runs (`threads(1)`) batch too — K lockstep lanes on one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or implausibly large (> 64).
+    pub fn batch(mut self, k: usize) -> Self {
+        assert!(
+            (1..=64).contains(&k),
+            "batch lane count {k} out of range (1..=64)"
+        );
+        self.batch = Some(k);
         self
     }
 
@@ -822,34 +860,60 @@ impl SweepSpec {
             // Sequential: cell-index order, same failure handling. The
             // instrumented run collects into one pseudo-worker (track 0).
             let mut wobs = obs.map(|o| WorkerObs::new(0, o.epoch));
-            for pos in 0..total {
-                let index = to_index(pos);
-                let cell = self.cell(index);
-                sink(SweepEvent::CellStarted {
-                    index,
-                    name: cell.name.clone(),
-                    approach: cell.approach,
-                });
-                let busy_t0 = wobs.as_ref().map(|_| Instant::now());
-                let outcome = self.run_cell(&cell, &profiles, config, wobs.is_some());
-                if let (Some(w), Some(t0)) = (wobs.as_mut(), busy_t0) {
-                    w.observe_cell(&cell.name, index, t0, &outcome);
-                }
-                match outcome {
-                    Ok(result) => {
-                        completed += 1;
-                        sink(SweepEvent::CellDone {
-                            cell,
-                            result: Box::new(result),
-                        });
+            if let Some(k) = self.batch {
+                // Batched sequential: K lockstep lanes on this thread,
+                // claims drained in cell-index order. This is the path
+                // the single-core throughput bench exercises.
+                let mut pos = 0usize;
+                let mut next = |_: &mut Option<WorkerObs>| {
+                    if pos < total {
+                        let i = to_index(pos);
+                        pos += 1;
+                        Some(i)
+                    } else {
+                        None
                     }
-                    Err(message) => {
-                        failed += 1;
-                        sink(SweepEvent::CellFailed {
-                            index,
-                            name: cell.name,
-                            message,
-                        });
+                };
+                let mut emit = |ev: SweepEvent| {
+                    match &ev {
+                        SweepEvent::CellDone { .. } => completed += 1,
+                        SweepEvent::CellFailed { .. } => failed += 1,
+                        _ => {}
+                    }
+                    sink(ev);
+                    true
+                };
+                self.batched_worker_loop(k, &profiles, config, &mut wobs, &mut next, &mut emit);
+            } else {
+                for pos in 0..total {
+                    let index = to_index(pos);
+                    let cell = self.cell(index);
+                    sink(SweepEvent::CellStarted {
+                        index,
+                        name: cell.name.clone(),
+                        approach: cell.approach,
+                    });
+                    let busy_t0 = wobs.as_ref().map(|_| Instant::now());
+                    let outcome = self.run_cell(&cell, &profiles, config, wobs.is_some());
+                    if let (Some(w), Some(t0)) = (wobs.as_mut(), busy_t0) {
+                        w.observe_cell(&cell.name, index, t0, &outcome);
+                    }
+                    match outcome {
+                        Ok(result) => {
+                            completed += 1;
+                            sink(SweepEvent::CellDone {
+                                cell,
+                                result: Box::new(result),
+                            });
+                        }
+                        Err(message) => {
+                            failed += 1;
+                            sink(SweepEvent::CellFailed {
+                                index,
+                                name: cell.name,
+                                message,
+                            });
+                        }
                     }
                 }
             }
@@ -865,9 +929,16 @@ impl SweepSpec {
             // back half of the fullest claim. No lock is ever held
             // while a cell runs, and no two range locks are held at
             // once, so a panicking cell cannot poison shared state.
-            let chunk = self
-                .chunk
-                .unwrap_or_else(|| total.div_ceil(workers * 4).clamp(1, 32));
+            let chunk = self.chunk.unwrap_or_else(|| {
+                let base = total.div_ceil(workers * 4).clamp(1, 32);
+                // In batch mode, round up to a multiple of the lane
+                // count so a fresh chunk fills a whole lockstep pool
+                // (see the `chunk()` doc).
+                match self.batch {
+                    Some(k) if k > 1 => base.div_ceil(k) * k,
+                    _ => base,
+                }
+            });
             let injector: Mutex<VecDeque<(usize, usize)>> = Mutex::new(
                 (0..total)
                     .step_by(chunk)
@@ -896,6 +967,38 @@ impl SweepSpec {
                     let to_index = &to_index;
                     scope.spawn(move || {
                         let mut wobs = obs.map(|o| WorkerObs::new(me, o.epoch));
+                        if let Some(k) = self.batch {
+                            // Batched worker: same claim/steal stream,
+                            // but cells feed this worker's K-lane
+                            // lockstep pool instead of running one at
+                            // a time.
+                            let mut next = |w: &mut Option<WorkerObs>| {
+                                let idle_t0 = w.as_ref().map(|_| Instant::now());
+                                let n = next_cell(
+                                    me,
+                                    injector,
+                                    claims,
+                                    claimed,
+                                    total,
+                                    w.as_mut().map(|x| &mut x.pool),
+                                );
+                                if let (Some(x), Some(t0)) = (w.as_mut(), idle_t0) {
+                                    x.bank_idle(t0);
+                                }
+                                n.map(to_index)
+                            };
+                            let mut emit = |ev: SweepEvent| tx.send(ev).is_ok();
+                            self.batched_worker_loop(
+                                k, profiles, config, &mut wobs, &mut next, &mut emit,
+                            );
+                            if let (Some(w), Some(o)) = (wobs, obs) {
+                                o.collected
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .push(w);
+                            }
+                            return;
+                        }
                         // The claim structure schedules work-list
                         // *positions*; `to_index` maps a position to
                         // its grid index (the identity unless cells
@@ -1017,15 +1120,16 @@ impl SweepSpec {
             .collect())
     }
 
-    /// Executes one cell: materialise the scenario, build its runner,
-    /// run it with the panic caught on this worker.
-    fn run_cell(
+    /// Materialises the cell's scenario (name, threshold, ambient
+    /// overrides) and builds its configured runner — the shared front
+    /// half of both execution paths.
+    fn make_cell_runner(
         &self,
         cell: &SweepCell,
         profiles: &Arc<ProfileStore>,
         config: SimConfig,
         instrument: bool,
-    ) -> Result<ScenarioResult, String> {
+    ) -> (ScenarioRunner, Scenario) {
         let mut scenario = self.scenarios[cell.scenario_index].clone();
         if cell.name != scenario.name() {
             scenario = scenario.with_name(cell.name.clone());
@@ -1040,11 +1144,24 @@ impl SweepSpec {
         if let Some(p) = cell.idle_policy {
             cfg.idle_policy = p;
         }
-        let mut runner = ScenarioRunner::with_shared_profiles(cell.approach, Arc::clone(profiles))
+        let runner = ScenarioRunner::with_shared_profiles(cell.approach, Arc::clone(profiles))
             .with_contention(cell.contention)
             .with_tunables(cell.tunables)
             .with_config(cfg)
             .with_step_timing(instrument);
+        (runner, scenario)
+    }
+
+    /// Executes one cell: materialise the scenario, build its runner,
+    /// run it with the panic caught on this worker.
+    fn run_cell(
+        &self,
+        cell: &SweepCell,
+        profiles: &Arc<ProfileStore>,
+        config: SimConfig,
+        instrument: bool,
+    ) -> Result<ScenarioResult, String> {
+        let (mut runner, scenario) = self.make_cell_runner(cell, profiles, config, instrument);
         match std::panic::catch_unwind(AssertUnwindSafe(|| runner.run(&scenario))) {
             Ok(Ok(result)) => Ok(result),
             Ok(Err(e)) => Err(e.to_string()),
@@ -1052,6 +1169,287 @@ impl SweepSpec {
             // would downcast against the box itself and lose the text.
             Err(payload) => Err(format!("panicked: {}", panic_message(&*payload))),
         }
+    }
+
+    /// Starts one cell for the batched path: prepare it and step it on
+    /// the scalar loop until it becomes lockstep-eligible (panic
+    /// caught). A short cell may finish during warm-up; that is just a
+    /// scalar cell and comes back as its result.
+    fn start_cell_for_batch(
+        &self,
+        cell: &SweepCell,
+        profiles: &Arc<ProfileStore>,
+        config: SimConfig,
+        instrument: bool,
+    ) -> BatchStart {
+        let (mut runner, scenario) = self.make_cell_runner(cell, profiles, config, instrument);
+        let warmup = std::panic::catch_unwind(AssertUnwindSafe(
+            move || -> Result<BatchStart, teem_linreg::LinregError> {
+                let mut sim = runner.prepare_cell(&scenario)?;
+                loop {
+                    if crate::lockstep::eligible_for_lockstep(&sim) {
+                        return Ok(BatchStart::Eligible(Box::new((runner, sim))));
+                    }
+                    if !runner.step_cell(&mut sim)? {
+                        return Ok(BatchStart::Done(Box::new(runner.finish_cell(sim))));
+                    }
+                }
+            },
+        ));
+        match warmup {
+            Ok(Ok(start)) => start,
+            Ok(Err(e)) => BatchStart::Failed(e.to_string()),
+            Err(payload) => BatchStart::Failed(format!("panicked: {}", panic_message(&*payload))),
+        }
+    }
+
+    /// The batched worker loop: claim cells through `next`, warm them
+    /// up to lockstep eligibility, run lockstep rounds over a K-lane
+    /// pool, finish retiring cells on the scalar path, and refill freed
+    /// lanes — shared verbatim by the sequential (`threads(1)`) and
+    /// pooled branches, which differ only in their `next`/`emit`
+    /// closures. `emit` returns `false` when the event consumer is gone
+    /// (pooled mode: the channel closed), which stops the loop.
+    fn batched_worker_loop(
+        &self,
+        k: usize,
+        profiles: &Arc<ProfileStore>,
+        config: SimConfig,
+        wobs: &mut Option<WorkerObs>,
+        next: &mut dyn FnMut(&mut Option<WorkerObs>) -> Option<usize>,
+        emit: &mut dyn FnMut(SweepEvent) -> bool,
+    ) {
+        let reference = Board::odroid_xu4_ideal();
+        let mut pool = LockstepPool::new(k, &reference.thermal, wobs.is_some());
+        // Claim-order bookkeeping for cells resident in the pool,
+        // keyed by cell index (≤ K entries; linear scans are fine).
+        let mut in_flight: Vec<(usize, SweepCell, Option<Instant>)> = Vec::new();
+        let mut retired = Vec::new();
+        let mut dry = false; // `next` ran out of cells
+        let mut dead = false; // `emit` reported a gone consumer
+
+        'outer: loop {
+            // Fill free lanes from the claim stream.
+            while !dry && !dead && pool.has_free_lane() {
+                let Some(index) = next(wobs) else {
+                    dry = true;
+                    break;
+                };
+                let cell = self.cell(index);
+                if !emit(SweepEvent::CellStarted {
+                    index,
+                    name: cell.name.clone(),
+                    approach: cell.approach,
+                }) {
+                    dead = true;
+                    break;
+                }
+                let started = wobs.as_ref().map(|_| Instant::now());
+                let start = self.start_cell_for_batch(&cell, profiles, config, wobs.is_some());
+                if let (Some(w), Some(t0)) = (wobs.as_mut(), started) {
+                    w.bank_busy(t0);
+                }
+                match start {
+                    BatchStart::Eligible(boxed) => {
+                        let (runner, sim) = *boxed;
+                        match pool.admit(runner, sim, index) {
+                            Ok(()) => in_flight.push((index, cell, started)),
+                            Err((runner, sim, _)) => {
+                                // Topology or dt mismatch with the pool:
+                                // degrade this cell to scalar.
+                                let busy_t0 = wobs.as_ref().map(|_| Instant::now());
+                                let outcome = finish_scalar(runner, sim);
+                                if let Some(w) = wobs.as_mut() {
+                                    if let Some(t0) = busy_t0 {
+                                        w.bank_busy(t0);
+                                    }
+                                    w.observe_batched_cell(
+                                        &cell.name,
+                                        index,
+                                        started.unwrap_or_else(Instant::now),
+                                        &outcome,
+                                    );
+                                }
+                                if !emit_outcome(emit, cell, outcome) {
+                                    dead = true;
+                                }
+                            }
+                        }
+                    }
+                    BatchStart::Done(result) => {
+                        let outcome = Ok(*result);
+                        if let Some(w) = wobs.as_mut() {
+                            w.observe_batched_cell(
+                                &cell.name,
+                                index,
+                                started.unwrap_or_else(Instant::now),
+                                &outcome,
+                            );
+                        }
+                        if !emit_outcome(emit, cell, outcome) {
+                            dead = true;
+                        }
+                    }
+                    BatchStart::Failed(message) => {
+                        let outcome = Err(message);
+                        if let Some(w) = wobs.as_mut() {
+                            w.observe_batched_cell(
+                                &cell.name,
+                                index,
+                                started.unwrap_or_else(Instant::now),
+                                &outcome,
+                            );
+                        }
+                        if !emit_outcome(emit, cell, outcome) {
+                            dead = true;
+                        }
+                    }
+                }
+            }
+            if pool.is_empty() && (dry || dead) {
+                break 'outer;
+            }
+            if dead {
+                // Consumer gone with cells still in flight: drop them,
+                // like the scalar loop drops an unsendable result.
+                break 'outer;
+            }
+            if pool.is_empty() {
+                continue 'outer;
+            }
+
+            // One lockstep round, panic-isolated: a panicking manager
+            // or model must cost its own cells a scalar re-run, not the
+            // grid. Lanes retired before the panic left the pool at
+            // valid phase boundaries and finish normally.
+            let busy_t0 = wobs.as_ref().map(|_| Instant::now());
+            let round =
+                std::panic::catch_unwind(AssertUnwindSafe(|| pool.step_round(&mut retired)));
+            if let (Some(w), Some(t0)) = (wobs.as_mut(), busy_t0) {
+                w.bank_busy(t0);
+            }
+            if round.is_err() {
+                // Mid-round state is not a valid scalar boundary; the
+                // stuck cells re-run from scratch on the scalar path
+                // (a deterministic panic reproduces there and fails the
+                // cell with its payload; CellStarted was already sent).
+                for token in pool.evict_all() {
+                    let pos = in_flight
+                        .iter()
+                        .position(|(t, _, _)| *t == token)
+                        .expect("evicted lane was in flight");
+                    let (index, cell, started) = in_flight.remove(pos);
+                    let busy_t0 = wobs.as_ref().map(|_| Instant::now());
+                    let outcome = self.run_cell(&cell, profiles, config, wobs.is_some());
+                    if let Some(w) = wobs.as_mut() {
+                        if let Some(t0) = busy_t0 {
+                            w.bank_busy(t0);
+                        }
+                        w.observe_batched_cell(
+                            &cell.name,
+                            index,
+                            started.unwrap_or_else(Instant::now),
+                            &outcome,
+                        );
+                    }
+                    if !emit_outcome(emit, cell, outcome) {
+                        dead = true;
+                    }
+                }
+            }
+
+            // Finish every retired lane on the scalar path. A lane that
+            // completed in-pool terminates on its first step_cell call,
+            // so completion and divergence share this code.
+            for r in retired.drain(..) {
+                let pos = in_flight
+                    .iter()
+                    .position(|(t, _, _)| *t == r.token)
+                    .expect("retired lane was in flight");
+                let (index, cell, started) = in_flight.remove(pos);
+                let steps_at_entry = r.steps_at_entry;
+                let busy_t0 = wobs.as_ref().map(|_| Instant::now());
+                let outcome = finish_scalar(r.runner, r.sim);
+                if let Some(w) = wobs.as_mut() {
+                    if let Some(t0) = busy_t0 {
+                        w.bank_busy(t0);
+                    }
+                    if let Ok(result) = &outcome {
+                        let in_pool = result.kernel.steps.saturating_sub(steps_at_entry);
+                        w.record_lane_occupancy(result.kernel.batched_steps, in_pool);
+                    }
+                    w.observe_batched_cell(
+                        &cell.name,
+                        index,
+                        started.unwrap_or_else(Instant::now),
+                        &outcome,
+                    );
+                }
+                if !emit_outcome(emit, cell, outcome) {
+                    dead = true;
+                }
+            }
+        }
+
+        // Fold the pool's counters into the worker's collector.
+        if let Some(w) = wobs.as_mut() {
+            w.kernel.merge(&pool.obs);
+            w.batch_rounds += pool.rounds;
+            w.batch_lane_steps += pool.lane_steps;
+            w.batch_lane_slots += pool.lane_slots;
+        }
+    }
+}
+
+/// How a cell came out of its batched warm-up.
+enum BatchStart {
+    /// Lockstep-eligible: the suspended simulation, ready to admit.
+    Eligible(Box<(ScenarioRunner, crate::exec::CellSim)>),
+    /// Finished during warm-up (a short or never-eligible cell).
+    Done(Box<ScenarioResult>),
+    /// Failed or panicked during warm-up.
+    Failed(String),
+}
+
+/// Drives a suspended cell to completion on the scalar path, panics
+/// caught. A cell whose timeline already completed in-pool terminates
+/// on the first `step_cell` call, so completion and divergence share
+/// this one exit.
+fn finish_scalar(
+    mut runner: ScenarioRunner,
+    mut sim: crate::exec::CellSim,
+) -> Result<ScenarioResult, String> {
+    let run = move || -> Result<ScenarioResult, teem_linreg::LinregError> {
+        loop {
+            if !runner.step_cell(&mut sim)? {
+                return Ok(runner.finish_cell(sim));
+            }
+        }
+    };
+    match std::panic::catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("panicked: {}", panic_message(&*payload))),
+    }
+}
+
+/// Sends a finished cell's outcome as the right event; `false` when the
+/// consumer is gone.
+fn emit_outcome(
+    emit: &mut dyn FnMut(SweepEvent) -> bool,
+    cell: SweepCell,
+    outcome: Result<ScenarioResult, String>,
+) -> bool {
+    match outcome {
+        Ok(result) => emit(SweepEvent::CellDone {
+            cell,
+            result: Box::new(result),
+        }),
+        Err(message) => emit(SweepEvent::CellFailed {
+            index: cell.index,
+            name: cell.name,
+            message,
+        }),
     }
 }
 

@@ -1,0 +1,201 @@
+//! Batched-vs-scalar parity: `SweepSpec::batch(k)` is a scheduling
+//! knob, never a physics knob.
+//!
+//! The contract pinned here, cell by cell and bit by bit:
+//!
+//! * for any lane count K — including K that is not a multiple of the
+//!   SIMD width, K = 1, and grids smaller than K — every cell's
+//!   summary **and trace digest** equal the scalar run's;
+//! * the fast path actually engages (`kernel.batched_steps > 0` on
+//!   lockstep-eligible cells) and never engages in scalar mode;
+//! * a lane that diverges mid-batch (the reactive zone trips under
+//!   Ondemand at high ambient) retires to the scalar path and
+//!   completes with its trips recorded, while its sibling lanes stay
+//!   bit-identical to their scalar runs — and the run's
+//!   `batch.lane_occupancy` gauge drops below 1.0, making the
+//!   divergence observable.
+
+use std::collections::BTreeMap;
+use teem_core::runner::Approach;
+use teem_scenario::{ConfigPatch, Scenario, SweepEvent, SweepSpec};
+use teem_telemetry::ScenarioSummary;
+use teem_workload::App;
+
+/// Per-cell identity: everything the physics produced.
+struct CellOut {
+    summary: ScenarioSummary,
+    digest: u64,
+    batched_steps: u64,
+}
+
+/// Scenarios spanning the eligibility spectrum: two solo arrivals
+/// (lockstep for essentially the whole run), and a co-arrival pair
+/// that is ineligible while both apps are active and eligible once the
+/// co-runner finishes — the partial-eligibility case.
+fn mixed_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("p-mvt").arrive(0.0, App::Mvt, 0.9),
+        Scenario::new("p-gesummv").arrive(0.0, App::Gesummv, 0.9),
+        Scenario::new("p-pair")
+            .arrive(0.0, App::Gesummv, 0.9)
+            .arrive(0.5, App::Mvt, 0.9),
+    ]
+}
+
+/// 3 scenarios × 2 approaches × 2 thresholds × 2 ambients = 24 cells.
+fn parity_grid() -> SweepSpec {
+    SweepSpec::over(mixed_scenarios())
+        .approaches(&[Approach::Teem, Approach::Ondemand])
+        .thresholds_c(&[80.0, 85.0])
+        .ambients_c(&[15.0, 25.0])
+        .patch_config(ConfigPatch {
+            timeout_s: Some(2.0),
+            ..ConfigPatch::default()
+        })
+        .threads(1)
+}
+
+/// Runs the spec and collects every cell's physics identity by index.
+fn run_grid(spec: &SweepSpec) -> BTreeMap<usize, CellOut> {
+    let mut out = BTreeMap::new();
+    let stats = spec
+        .run_streaming(|ev| {
+            if let SweepEvent::CellDone { cell, result } = ev {
+                out.insert(
+                    cell.index,
+                    CellOut {
+                        summary: result.summary.clone(),
+                        digest: result.trace.digest(),
+                        batched_steps: result.kernel.batched_steps,
+                    },
+                );
+            }
+        })
+        .expect("sweep runs");
+    assert_eq!(stats.failed, 0, "no cell may fail");
+    assert_eq!(out.len(), stats.completed, "one CellDone per completion");
+    out
+}
+
+/// Asserts two grid runs are cell-for-cell bit-identical.
+fn assert_parity(scalar: &BTreeMap<usize, CellOut>, batched: &BTreeMap<usize, CellOut>, tag: &str) {
+    assert_eq!(scalar.len(), batched.len(), "{tag}: cell count");
+    for (index, s) in scalar {
+        let b = &batched[index];
+        assert_eq!(
+            s.summary, b.summary,
+            "{tag}: summary diverged at cell {index}"
+        );
+        assert_eq!(
+            s.digest, b.digest,
+            "{tag}: trace digest diverged at cell {index} ({})",
+            s.summary.scenario
+        );
+    }
+}
+
+#[test]
+fn batched_matches_scalar_across_lane_counts() {
+    let scalar = run_grid(&parity_grid());
+    assert!(
+        scalar.values().all(|c| c.batched_steps == 0),
+        "scalar mode must never batch"
+    );
+    // K spans: the degenerate single lane, sub-SIMD-width counts,
+    // exactly one vector, a non-multiple-of-4 tail, and two vectors.
+    for k in [1usize, 2, 3, 4, 5, 8] {
+        let batched = run_grid(&parity_grid().batch(k));
+        assert_parity(&scalar, &batched, &format!("K={k}"));
+        let total_batched: u64 = batched.values().map(|c| c.batched_steps).sum();
+        assert!(total_batched > 0, "K={k}: the fast path never engaged");
+    }
+}
+
+#[test]
+fn batched_matches_scalar_under_worker_pool() {
+    let scalar = run_grid(&parity_grid());
+    let batched = run_grid(&parity_grid().batch(4).threads(4));
+    assert_parity(&scalar, &batched, "K=4/threads=4");
+}
+
+#[test]
+fn one_cell_grid_under_wide_batch_is_bit_identical() {
+    // A grid smaller than K: three of the four lanes never fill, and
+    // the single resident cell must still match scalar exactly.
+    let one = || {
+        SweepSpec::over(vec![Scenario::new("solo").arrive(0.0, App::Mvt, 0.9)])
+            .patch_config(ConfigPatch {
+                timeout_s: Some(2.0),
+                ..ConfigPatch::default()
+            })
+            .threads(1)
+    };
+    let scalar = run_grid(&one());
+    let batched = run_grid(&one().batch(4));
+    assert_parity(&scalar, &batched, "1-cell/K=4");
+    assert!(batched[&0].batched_steps > 0, "solo cell batches");
+}
+
+#[test]
+fn diverging_lane_retires_scalar_without_perturbing_siblings() {
+    // Ondemand at high ambient drives the die past the 95 °C reactive
+    // trip mid-run; the sibling cells (moderate ambient) stay in
+    // lockstep. The tripping cells must retire to the scalar path and
+    // finish with their trips recorded, bit-identical to scalar mode.
+    let grid = || {
+        SweepSpec::over(vec![
+            Scenario::new("d-mvt").arrive(0.0, App::Mvt, 0.9),
+            Scenario::new("d-syrk").arrive(0.0, App::Syrk, 0.9),
+        ])
+        .approaches(&[Approach::Ondemand])
+        .ambients_c(&[15.0, 60.0])
+        .patch_config(ConfigPatch {
+            timeout_s: Some(4.0),
+            ..ConfigPatch::default()
+        })
+        .threads(1)
+    };
+    let scalar = run_grid(&grid());
+    let trips: u32 = scalar.values().map(|c| c.summary.zone_trips).sum();
+    assert!(
+        trips >= 1,
+        "the grid must contain at least one tripping cell (got {trips})"
+    );
+
+    let mut batched = BTreeMap::new();
+    let (stats, report) = grid()
+        .batch(4)
+        .run_instrumented(|ev| {
+            if let SweepEvent::CellDone { cell, result } = ev {
+                batched.insert(
+                    cell.index,
+                    CellOut {
+                        summary: result.summary.clone(),
+                        digest: result.trace.digest(),
+                        batched_steps: result.kernel.batched_steps,
+                    },
+                );
+            }
+        })
+        .expect("instrumented batched sweep runs");
+    assert_eq!(stats.failed, 0);
+    assert_parity(&scalar, &batched, "divergence/K=4");
+
+    // The trip is a *handoff*: the tripping cell keeps its batched
+    // prefix but finishes scalar, so it batched strictly fewer steps
+    // than it ran.
+    let snap = report.snapshot();
+    let occ = snap
+        .gauge("batch.lane_occupancy")
+        .expect("occupancy gauge registered");
+    assert!(
+        occ < 1.0,
+        "a tripping lane must pull occupancy below 1.0 (got {occ})"
+    );
+    assert!(occ > 0.0, "lockstep still ran (got {occ})");
+    assert!(snap.counter("engine.batched_steps").unwrap() > 0);
+    let hist = snap
+        .histogram("batch.lane_occupancy")
+        .expect("per-lane occupancy histogram registered");
+    assert!(hist.count >= 1, "at least one lane scored");
+}

@@ -184,3 +184,45 @@ fn sequential_instrumented_sweep_has_one_track() {
     assert_eq!(v.tracks.len(), 1);
     assert_eq!(v.complete_events, 2);
 }
+
+/// The acceptance grid again, through the batched lockstep path: a
+/// Teem-only grid is divergence-free (no zone trips, no mid-batch
+/// handoffs except completion and timeout, both of which score full
+/// lanes), so the `batch.lane_occupancy` gauge must be **exactly** 1.0
+/// — every step a resident cell ran, it ran in lockstep.
+#[test]
+fn batched_500_cell_sweep_reports_full_lane_occupancy() {
+    let spec = spec_500().batch(4);
+    let (stats, report) = spec
+        .run_instrumented(|_| {})
+        .expect("batched instrumented sweep runs");
+    assert_eq!(stats.cells, 500);
+    assert_eq!(stats.failed, 0);
+
+    let snap = report.snapshot();
+    // The fast path carried real work.
+    assert!(snap.counter("engine.batched_steps").unwrap() > 0);
+    assert!(snap.counter("batch.lanes_entered").unwrap() > 0);
+    assert!(snap.counter("batch.rounds").unwrap() > 0);
+
+    // Divergence-free grid ⇒ full occupancy, exactly.
+    let occ = snap
+        .gauge("batch.lane_occupancy")
+        .expect("occupancy gauge registered");
+    assert_eq!(
+        occ, 1.0,
+        "a Teem-only grid has no divergence: every in-pool step batches"
+    );
+
+    // The per-lane occupancy histogram saw every admitted lane once.
+    let hist = snap
+        .histogram("batch.lane_occupancy")
+        .expect("per-lane occupancy histogram folded into the report");
+    assert_eq!(hist.count, snap.counter("batch.lanes_entered").unwrap());
+
+    // Lane utilization is a real fraction of offered slots.
+    let util = snap
+        .gauge("batch.lane_utilization")
+        .expect("utilization gauge registered");
+    assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+}

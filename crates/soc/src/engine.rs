@@ -557,6 +557,9 @@ pub struct StepObs {
     pub enabled: bool,
     /// Outer engine steps executed.
     pub steps: u64,
+    /// Engine steps executed through the K-wide lockstep batch path
+    /// (each is also counted in `steps`; 0 on the scalar path).
+    pub batched_steps: u64,
     /// Euler sub-steps the thermal integrator actually took.
     pub substeps: u64,
     /// Nanoseconds in the power-model evaluation (0 unless `enabled`).
@@ -620,6 +623,7 @@ impl StepObs {
     pub fn merge(&mut self, other: &StepObs) {
         self.enabled |= other.enabled;
         self.steps += other.steps;
+        self.batched_steps += other.batched_steps;
         self.substeps += other.substeps;
         self.power_ns = self.power_ns.saturating_add(other.power_ns);
         self.thermal_ns = self.thermal_ns.saturating_add(other.thermal_ns);
@@ -1172,6 +1176,23 @@ pub fn fast_forward_gap(
     }
     scratch.obs.gap_segments += u64::from(adv.segments);
     adv
+}
+
+/// Advances a whole [`ThermalBatch`](crate::ThermalBatch) by one engine
+/// step — the batched twin of the per-step
+/// `board.thermal.step(dt, &scratch.power)` call, taking the SoA power
+/// vector from a [`BatchScratch`](crate::BatchScratch). Returns the
+/// Euler sub-step count (shared by all lanes).
+///
+/// # Panics
+///
+/// Panics if `scratch` is not sized for `batch` or `dt < 0`.
+pub fn batched_thermal_step(
+    batch: &mut crate::ThermalBatch,
+    dt: f64,
+    scratch: &crate::BatchScratch,
+) -> u32 {
+    batch.step(dt, &scratch.power)
 }
 
 /// Reads the sensor bank including per-core hotspot contributions for

@@ -1,0 +1,111 @@
+//! A minimal fixed-width f64 lane type for the batched physics kernels.
+//!
+//! No intrinsics and no dependencies: `F64xN` is a plain `[f64; 4]`
+//! whose elementwise arithmetic loops the autovectorizer lowers to
+//! packed SSE2 instructions on the x86-64 baseline (and to NEON on
+//! aarch64). Packed IEEE-754 add/sub/mul/div round each lane exactly as
+//! the corresponding scalar instruction does, and Rust never contracts
+//! `a * b + c` into an FMA, so a lane-blocked kernel built from these
+//! ops is **bit-identical per lane** to the scalar kernel it mirrors —
+//! the property the batched-vs-scalar parity tests pin.
+
+use std::ops::{Add, Div, Mul, Sub};
+
+/// Lane width of [`F64xN`]. Four doubles = one 256-bit block (two SSE2
+/// vectors, one AVX vector); batched state is padded to a multiple of
+/// this so kernels never need a scalar tail loop.
+pub const LANES: usize = 4;
+
+/// `LANES` doubles stepped in lockstep. See the module docs for why the
+/// arithmetic is bit-identical per lane to scalar code.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct F64xN(pub [f64; LANES]);
+
+impl F64xN {
+    /// All lanes zero.
+    pub const ZERO: F64xN = F64xN([0.0; LANES]);
+
+    /// Broadcasts one value to every lane.
+    #[inline(always)]
+    #[must_use]
+    pub fn splat(v: f64) -> Self {
+        F64xN([v; LANES])
+    }
+
+    /// Loads the first `LANES` elements of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() < LANES`.
+    #[inline(always)]
+    #[must_use]
+    pub fn from_slice(s: &[f64]) -> Self {
+        F64xN([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Stores the lanes into the first `LANES` elements of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < LANES`.
+    #[inline(always)]
+    pub fn write_to(self, out: &mut [f64]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+}
+
+macro_rules! lanewise {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F64xN {
+            type Output = F64xN;
+
+            #[inline(always)]
+            #[allow(clippy::assign_op_pattern)]
+            fn $method(self, rhs: F64xN) -> F64xN {
+                let mut out = self.0;
+                for (o, r) in out.iter_mut().zip(&rhs.0) {
+                    *o = *o $op *r;
+                }
+                F64xN(out)
+            }
+        }
+    };
+}
+
+lanewise!(Add, add, +);
+lanewise!(Sub, sub, -);
+lanewise!(Mul, mul, *);
+lanewise!(Div, div, /);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanewise_arithmetic_matches_scalar_bitwise() {
+        let a = F64xN([1.5, -2.25, 1e-300, 95.0625]);
+        let b = F64xN([3.0, 0.1, 7.0, -0.3]);
+        let sum = a + b;
+        let prod = a * b;
+        let quot = a / b;
+        let diff = a - b;
+        for i in 0..LANES {
+            assert_eq!(sum.0[i].to_bits(), (a.0[i] + b.0[i]).to_bits());
+            assert_eq!(prod.0[i].to_bits(), (a.0[i] * b.0[i]).to_bits());
+            assert_eq!(quot.0[i].to_bits(), (a.0[i] / b.0[i]).to_bits());
+            assert_eq!(diff.0[i].to_bits(), (a.0[i] - b.0[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn splat_load_store_round_trip() {
+        let mut buf = [0.0; 6];
+        let v = F64xN::splat(4.25);
+        v.write_to(&mut buf);
+        assert_eq!(&buf[..4], &[4.25; 4]);
+        assert_eq!(buf[4], 0.0);
+        let r = F64xN::from_slice(&buf[..4]);
+        assert_eq!(r, v);
+    }
+}

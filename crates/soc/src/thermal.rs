@@ -317,6 +317,23 @@ impl ThermalModel {
         self.conductance[a * n + b]
     }
 
+    /// Per-node heat capacities (J/°C) in id order — the batched SoA
+    /// mirror ([`crate::ThermalBatch`]) splats these across lanes.
+    pub fn capacitances_j_per_c(&self) -> &[f64] {
+        &self.capacitance
+    }
+
+    /// Per-node node-to-ambient conductances (W/°C) in id order.
+    pub fn ambient_conductances_w_per_c(&self) -> &[f64] {
+        &self.to_ambient
+    }
+
+    /// The full flattened row-major `n × n` conductance matrix (W/°C,
+    /// symmetric, structurally-zero diagonal).
+    pub fn conductance_matrix(&self) -> &[f64] {
+        &self.conductance
+    }
+
     /// Builds (once) the spectral decomposition behind
     /// [`ThermalModel::cool_to`]. The network topology is immutable
     /// after [`ThermalModelBuilder::build`], so the plan never needs

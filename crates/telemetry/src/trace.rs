@@ -6,10 +6,26 @@ use crate::stats::SeriesStats;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// A resolved handle to one [`Trace`] channel, obtained from
+/// [`Trace::channel_id`]. Recording through an id
+/// ([`Trace::record_id`]) skips the per-sample name lookup — the
+/// batched lockstep sampling path resolves its channel set once per
+/// lane and records by id thereafter.
+///
+/// Ids are positions in the trace's own storage: they are only
+/// meaningful against the trace that issued them and stay valid for its
+/// lifetime (channels are never removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelId(usize);
+
 /// A collection of named [`TimeSeries`] channels (e.g. `temp.big`,
 /// `freq.big`, `power.total`) recorded during one run.
 ///
-/// Channels are kept in name order so exports are deterministic.
+/// Channels are iterated in name order for every export and for the
+/// digest, so exports are deterministic regardless of creation or
+/// recording order. Internally the samples live in a dense `Vec`
+/// indexed by [`ChannelId`] with a name → id map alongside, so hot
+/// recording paths can pre-resolve ids and skip the name lookup.
 ///
 /// # Examples
 ///
@@ -25,7 +41,8 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    channels: BTreeMap<String, TimeSeries>,
+    names: BTreeMap<String, usize>,
+    series: Vec<TimeSeries>,
 }
 
 impl Trace {
@@ -43,9 +60,20 @@ impl Trace {
     pub fn with_channels(names: &[&str]) -> Self {
         let mut tr = Trace::new();
         for &name in names {
-            tr.channels.entry(name.to_string()).or_default();
+            tr.ensure_channel(name);
         }
         tr
+    }
+
+    /// Index of `name`'s series, creating an empty one if missing.
+    fn ensure_channel(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.names.get(name) {
+            return idx;
+        }
+        let idx = self.series.len();
+        self.series.push(TimeSeries::default());
+        self.names.insert(name.to_string(), idx);
+        idx
     }
 
     /// Appends a sample to the named channel, creating it on first use.
@@ -59,39 +87,64 @@ impl Trace {
     /// Panics if `t` precedes the channel's last timestamp (see
     /// [`TimeSeries::push`]).
     pub fn record(&mut self, channel: &str, t: f64, v: f64) {
-        match self.channels.get_mut(channel) {
-            Some(series) => series.push(t, v),
-            None => self
-                .channels
-                .entry(channel.to_string())
-                .or_default()
-                .push(t, v),
-        }
+        let idx = match self.names.get(channel) {
+            Some(&idx) => idx,
+            None => self.ensure_channel(channel),
+        };
+        self.series[idx].push(t, v);
+    }
+
+    /// Resolves a channel name to a stable [`ChannelId`] for
+    /// lookup-free recording via [`Trace::record_id`]. Returns `None`
+    /// for a channel that does not exist (yet).
+    pub fn channel_id(&self, name: &str) -> Option<ChannelId> {
+        self.names.get(name).copied().map(ChannelId)
+    }
+
+    /// Appends a sample through a pre-resolved [`ChannelId`] —
+    /// semantically identical to [`Trace::record`] with the id's name,
+    /// without the per-sample map probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this trace's
+    /// [`Trace::channel_id`] (out of range), or if `t` precedes the
+    /// channel's last timestamp.
+    #[inline]
+    pub fn record_id(&mut self, id: ChannelId, t: f64, v: f64) {
+        self.series[id.0].push(t, v);
     }
 
     /// Looks up a channel by name.
     pub fn channel(&self, name: &str) -> Option<&TimeSeries> {
-        self.channels.get(name)
+        self.names.get(name).map(|&idx| &self.series[idx])
     }
 
     /// Channel names in sorted order.
     pub fn channel_names(&self) -> Vec<&str> {
-        self.channels.keys().map(String::as_str).collect()
+        self.names.keys().map(String::as_str).collect()
+    }
+
+    /// Name-sorted iteration over `(name, series)` pairs.
+    fn iter_sorted(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.names
+            .iter()
+            .map(move |(name, &idx)| (name.as_str(), &self.series[idx]))
     }
 
     /// Number of channels.
     pub fn len(&self) -> usize {
-        self.channels.len()
+        self.names.len()
     }
 
     /// `true` when no channels exist.
     pub fn is_empty(&self) -> bool {
-        self.channels.is_empty()
+        self.names.is_empty()
     }
 
     /// Statistics for one channel, if present and non-empty.
     pub fn stats(&self, name: &str) -> Option<SeriesStats> {
-        self.channels.get(name).and_then(SeriesStats::of)
+        self.channel(name).and_then(SeriesStats::of)
     }
 
     /// A 64-bit FNV-1a digest over every channel name and the raw IEEE-754
@@ -104,7 +157,7 @@ impl Trace {
     /// engines shows up here immediately.
     pub fn digest(&self) -> u64 {
         let mut h = crate::Fnv::new();
-        for (name, series) in &self.channels {
+        for (name, series) in self.iter_sorted() {
             // Framed (name length + bytes, sample count) so distinct
             // traces cannot collide by re-partitioning the concatenated
             // byte stream ("ab"+"c" vs "a"+"bc").
@@ -124,19 +177,19 @@ impl Trace {
     /// sampled by zero-order hold, with empty cells before a channel's
     /// first sample.
     pub fn to_csv(&self) -> String {
-        let mut grid: Vec<f64> = self.channels.values().flat_map(|s| s.times()).collect();
+        let mut grid: Vec<f64> = self.series.iter().flat_map(|s| s.times()).collect();
         grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         grid.dedup();
 
         let mut out = String::from("t");
-        for name in self.channels.keys() {
+        for (name, _) in self.iter_sorted() {
             out.push(',');
             out.push_str(name);
         }
         out.push('\n');
         for &t in &grid {
             out.push_str(&format!("{t}"));
-            for series in self.channels.values() {
+            for (_, series) in self.iter_sorted() {
                 out.push(',');
                 if let Some(v) = series.value_at(t) {
                     out.push_str(&format!("{v}"));
@@ -151,7 +204,7 @@ impl Trace {
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Trace with {} channel(s):", self.len())?;
-        for (name, series) in &self.channels {
+        for (name, series) in self.iter_sorted() {
             writeln!(f, "  {name}: {series}")?;
         }
         Ok(())
@@ -222,6 +275,32 @@ mod tests {
         assert_eq!(tr.len(), 2);
         assert!(tr.channel("x").unwrap().is_empty());
         assert!(tr.stats("x").is_none(), "empty channel has no stats");
+    }
+
+    #[test]
+    fn record_by_id_is_equivalent_to_record_by_name() {
+        let mut by_name = Trace::with_channels(&["temp.max", "freq.big"]);
+        let mut by_id = Trace::with_channels(&["temp.max", "freq.big"]);
+        let temp = by_id.channel_id("temp.max").unwrap();
+        let freq = by_id.channel_id("freq.big").unwrap();
+        assert!(by_id.channel_id("missing").is_none());
+        for i in 0..10 {
+            let t = 0.1 * f64::from(i);
+            by_name.record("temp.max", t, 80.0 + f64::from(i));
+            by_name.record("freq.big", t, 2000.0 - f64::from(i));
+            by_id.record_id(temp, t, 80.0 + f64::from(i));
+            by_id.record_id(freq, t, 2000.0 - f64::from(i));
+        }
+        assert_eq!(by_name.digest(), by_id.digest());
+        // Late creation order must not change name-sorted exports.
+        by_name.record("a.late", 0.0, 1.0);
+        by_id.record("a.late", 0.0, 1.0);
+        assert_eq!(by_name.digest(), by_id.digest());
+        assert_eq!(by_name.to_csv(), by_id.to_csv());
+        assert_eq!(
+            by_id.channel_names(),
+            vec!["a.late", "freq.big", "temp.max"]
+        );
     }
 
     #[test]
