@@ -15,12 +15,18 @@
 //! * `thermal_step_scalar_10ms` / `thermal_step_batched_16lane_10ms` —
 //!   the integration kernel alone, scalar vs SoA, so the per-lane cost
 //!   of one thermal step is pinned next to the end-to-end figures.
+//! * `thermal_step_{scalar,batched}_n{16,32,48,64}` — the same kernel
+//!   pair on generated many-node boards ([`BoardSpec::ManyNode`]),
+//!   pinning how the per-lane SoA advantage scales with network size.
 //!
 //! Besides the console table, the run writes **`BENCH_sweep.json`** to
 //! the working directory: scalar and batched cells/s, their ratio, the
-//! thermal-step nanoseconds, and the lane-occupancy/utilization gauges
-//! from an untimed instrumented batched run — the artifact CI checks
-//! for shape and the README's performance table quotes.
+//! thermal-step nanoseconds, the per-sample shared-cost attribution
+//! (scalar-unstaged vs batched-staged, from the `engine.sample_ns` /
+//! `engine.trace_ns` step-loop laps), the node-count scaling rows, and
+//! the lane-occupancy/utilization gauges from untimed instrumented
+//! runs — the artifact CI checks for shape and the README's
+//! performance table quotes.
 
 use std::cell::Cell;
 use std::hint::black_box;
@@ -28,7 +34,7 @@ use teem_bench::experiments::ablation;
 use teem_bench::microbench::Runner;
 use teem_core::runner::Approach;
 use teem_scenario::{Scenario, SweepEvent, SweepRunStats, SweepSpec};
-use teem_soc::{BatchScratch, Board, ThermalBatch};
+use teem_soc::{BatchScratch, Board, BoardSpec, ThermalBatch};
 use teem_telemetry::SweepAggregator;
 use teem_workload::App;
 
@@ -125,14 +131,68 @@ fn main() {
         batch.step(black_box(0.01), black_box(&scratch.power))
     });
 
-    // Lane occupancy from an untimed instrumented run — observability
-    // must not sit inside the timed figures.
+    // The same kernel pair on generated many-node networks: the
+    // lane-blocked SoA step amortises the conductance matrix across
+    // lanes, so its per-lane advantage should *grow* with node count.
+    let node_counts = [16u32, 32, 48, 64];
+    for &nodes in &node_counts {
+        let nboard = BoardSpec::ManyNode { nodes }.build_ideal();
+        let n = nodes as usize;
+        let mut npowers = vec![0.2_f64; n];
+        npowers[..4].copy_from_slice(&powers);
+        let mut nmodel = nboard.thermal.clone();
+        r.bench(&format!("thermal_step_scalar_n{nodes}"), || {
+            nmodel.step(black_box(0.01), black_box(&npowers))
+        });
+        let mut nbatch = ThermalBatch::like(&nboard.thermal, BATCH_K);
+        for lane in 0..BATCH_K {
+            nbatch.load_lane(lane, &nboard.thermal);
+        }
+        let mut nscratch = BatchScratch::for_batch(&nbatch);
+        for (node, p) in npowers.iter().enumerate() {
+            for lane in 0..BATCH_K {
+                nscratch.power[node * nbatch.stride() + lane] = *p;
+            }
+        }
+        r.bench(&format!("thermal_step_batched_n{nodes}"), || {
+            nbatch.step(black_box(0.01), black_box(&nscratch.power))
+        });
+    }
+
+    // Lane occupancy and the per-sample shared-cost attribution, from
+    // untimed instrumented runs — observability must not sit inside
+    // the timed figures. The staged figure comes from the batched
+    // default-staging grid (the fast path: one SoA sensor sweep plus a
+    // sample-major row per lane); the scalar figure re-runs the grid
+    // unbatched with staging off (the pre-optimisation layout: a board
+    // round-trip and nine scattered appends per sample).
+    let count_samples = |ev: SweepEvent, samples: &Cell<u64>| {
+        if let SweepEvent::CellDone { result, .. } = ev {
+            let n = result.trace.channel("ambient").map_or(0, |c| c.len());
+            samples.set(samples.get() + n as u64);
+        }
+    };
+    let staged_samples = Cell::new(0_u64);
     let (_, report) = batched_grid
-        .run_instrumented(|_| {})
+        .run_instrumented(|ev| count_samples(ev, &staged_samples))
         .expect("instrumented batched sweep runs");
     let snap = report.snapshot();
     let occupancy = snap.gauge("batch.lane_occupancy").unwrap_or(0.0);
     let utilization = snap.gauge("batch.lane_utilization").unwrap_or(0.0);
+    let sample_trace_ns = |snap: &teem_telemetry::MetricsSnapshot| {
+        snap.counter("engine.sample_ns").unwrap_or(0) + snap.counter("engine.trace_ns").unwrap_or(0)
+    };
+    let per_sample_staged = sample_trace_ns(&snap) as f64 / staged_samples.get().max(1) as f64;
+
+    let scalar_samples = Cell::new(0_u64);
+    let (_, scalar_report) = grid
+        .clone()
+        .sample_staging(false)
+        .run_instrumented(|ev| count_samples(ev, &scalar_samples))
+        .expect("instrumented scalar sweep runs");
+    let per_sample_scalar =
+        sample_trace_ns(&scalar_report.snapshot()) as f64 / scalar_samples.get().max(1) as f64;
+
     println!("{}", report.kernel_split());
     for c in [
         "engine.steps",
@@ -156,6 +216,21 @@ fn main() {
     } else {
         0.0
     };
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+
+    // Node-count scaling rows: per-lane speedup of the lane-blocked
+    // kernel over the scalar step, per topology. `many_node_speedup`
+    // is the 32-node row — the acceptance figure.
+    let node_rows: Vec<(u32, f64, f64, f64)> = node_counts
+        .iter()
+        .map(|&nodes| {
+            let s = best_ns(&format!("thermal_step_scalar_n{nodes}"));
+            let b = best_ns(&format!("thermal_step_batched_n{nodes}")) / BATCH_K as f64;
+            (nodes, s, b, ratio(s, b))
+        })
+        .collect();
+    let many_node_speedup = node_rows.iter().find(|r| r.0 == 32).map_or(0.0, |r| r.3);
+    let sample_cost_reduction = ratio(per_sample_scalar, per_sample_staged);
 
     for (name, rate) in [
         ("sweep_grid_500_cells_stream", &grid_rate),
@@ -172,7 +247,27 @@ fn main() {
             "batched_vs_scalar_speedup"
         );
     }
+    println!(
+        "{:<44} {per_sample_scalar:>10.1} ns -> {per_sample_staged:.1} ns  ({sample_cost_reduction:.2} x)",
+        "per_sample_shared_cost"
+    );
+    for &(nodes, s, b, sp) in &node_rows {
+        println!(
+            "{:<44} {s:>10.1} ns scalar, {b:.1} ns/lane batched  ({sp:.2} x)",
+            format!("thermal_step_n{nodes}")
+        );
+    }
 
+    let node_rows_json = node_rows
+        .iter()
+        .map(|&(nodes, s, b, sp)| {
+            format!(
+                "    {{ \"nodes\": {nodes}, \"scalar_ns\": {s:.1}, \
+                 \"batched_ns_per_lane\": {b:.1}, \"per_lane_speedup\": {sp:.2} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         concat!(
             "{{\n",
@@ -184,6 +279,13 @@ fn main() {
             "  \"speedup\": {speedup:.3},\n",
             "  \"thermal_step_scalar_ns\": {step_ns:.1},\n",
             "  \"thermal_step_batched_ns_per_lane\": {lane_ns:.1},\n",
+            "  \"per_sample_ns_scalar\": {ps_scalar:.1},\n",
+            "  \"per_sample_ns_staged\": {ps_staged:.1},\n",
+            "  \"sample_cost_reduction\": {ps_ratio:.3},\n",
+            "  \"many_node_speedup\": {mn_speedup:.3},\n",
+            "  \"node_scaling\": [\n",
+            "{node_rows}\n",
+            "  ],\n",
             "  \"lane_occupancy\": {occ:.4},\n",
             "  \"lane_utilization\": {util:.4}\n",
             "}}\n"
@@ -195,6 +297,11 @@ fn main() {
         speedup = speedup,
         step_ns = scalar_step_ns,
         lane_ns = batched_lane_ns,
+        ps_scalar = per_sample_scalar,
+        ps_staged = per_sample_staged,
+        ps_ratio = sample_cost_reduction,
+        mn_speedup = many_node_speedup,
+        node_rows = node_rows_json,
         occ = occupancy,
         util = utilization,
     );

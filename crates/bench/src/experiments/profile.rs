@@ -5,8 +5,9 @@
 //! through [`SweepSpec::run_instrumented`] and prints the campaign
 //! post-mortem: the full [`MetricsSnapshot`] table (per-worker cell
 //! counts, steal traffic, busy/idle split, per-cell wall-time
-//! histogram) and the kernel time split between the power model and
-//! the thermal integration.
+//! histogram) and the kernel time split between the power model, the
+//! thermal integration, sensor sampling, trace recording, the
+//! control/actuate phases and the rest of the step loop.
 //!
 //! [`SweepSpec::run_instrumented`]: teem_scenario::SweepSpec::run_instrumented
 //! [`MetricsSnapshot`]: teem_telemetry::MetricsSnapshot
@@ -98,5 +99,8 @@ mod tests {
         assert!(r.contains("500 cells"), "{r}");
         assert!(r.contains("kernel time split"), "{r}");
         assert!(r.contains("power model"), "{r}");
+        assert!(r.contains("sensor sampling"), "{r}");
+        assert!(r.contains("trace recording"), "{r}");
+        assert!(r.contains("control+actuate"), "{r}");
     }
 }

@@ -50,10 +50,12 @@ use teem_soc::sensors::BIG_CORE_OFFSETS_C;
 use teem_soc::{
     clamp_freqs, co_run_dynamic_weights, co_run_node_powers_into, collapsed_node_powers_into,
     fast_forward_gap, idle_node_powers, idle_node_powers_into, node_powers_for, read_sensors_for,
-    Board, ClusterFreqs, CoRunShare, CpuMapping, GapAdvance, GapPower, SensorBank, SensorReadings,
-    SimConfig, SocControl, SocView, StepObs, StepScratch, ThermalZone, TimeAdvance,
+    Board, BoardSpec, ClusterFreqs, CoRunShare, CpuMapping, GapAdvance, GapPower, SensorBank,
+    SensorReadings, SimConfig, SocControl, SocView, StepObs, StepScratch, ThermalZone, TimeAdvance,
 };
-use teem_telemetry::{ChannelId, LogHistogram, RunSummary, ScenarioAppRun, ScenarioSummary, Trace};
+use teem_telemetry::{
+    ChannelId, LogHistogram, RunSummary, SampleStage, ScenarioAppRun, ScenarioSummary, Trace,
+};
 use teem_workload::{bandwidth_slowdown, App, KernelCharacteristics, Partition};
 
 /// Everything one scenario execution produced.
@@ -97,6 +99,8 @@ pub struct ScenarioRunner {
     shared_profiles: Arc<ProfileStore>,
     local_profiles: ProfileStore,
     step_timing: bool,
+    board: BoardSpec,
+    sample_staging: bool,
 }
 
 impl ScenarioRunner {
@@ -138,7 +142,34 @@ impl ScenarioRunner {
             shared_profiles: profiles,
             local_profiles: ProfileStore::new(),
             step_timing: false,
+            board: BoardSpec::OdroidXu4,
+            sample_staging: true,
         }
+    }
+
+    /// Selects which board the scenario runs on (the sweep engine's
+    /// board axis). The default [`BoardSpec::OdroidXu4`] is the paper's
+    /// 4-lump network; [`BoardSpec::ManyNode`] boards carry the same
+    /// active silicon in a 16–64-node thermal network.
+    pub fn with_board(mut self, board: BoardSpec) -> Self {
+        self.board = board;
+        self
+    }
+
+    /// The board spec this runner builds cells on.
+    pub fn board_spec(&self) -> BoardSpec {
+        self.board
+    }
+
+    /// Enables (default) or disables the sample-major staging buffer
+    /// for per-sample trace recording. Staged and unstaged runs are
+    /// bit-identical (pinned by the golden-digest tests); the unstaged
+    /// path exists as the measured baseline for the staging win and is
+    /// never the right choice for production sweeps. Runner state, not
+    /// [`SimConfig`], so it can never perturb sweep fingerprints.
+    pub fn with_sample_staging(mut self, enabled: bool) -> Self {
+        self.sample_staging = enabled;
+        self
     }
 
     /// Enables wall-clock timing of the step loop's power-model and
@@ -308,8 +339,9 @@ impl ScenarioRunner {
         &mut self,
         scenario: &Scenario,
     ) -> Result<CellSim, teem_linreg::LinregError> {
-        let mut board =
-            Board::odroid_xu4_with(scenario.initial_ambient_c(), SensorBank::tmu_like(42));
+        let mut board = self
+            .board
+            .build_with(scenario.initial_ambient_c(), SensorBank::tmu_like(42));
 
         // Warm start, matching the single-run engine's back-to-back
         // measurement protocol: the device was busy before the scenario
@@ -340,6 +372,16 @@ impl ScenarioRunner {
         let cluster_cores = CpuMapping::new(board.little_power.cores, board.big_power.cores);
         let effective = idle_freqs;
         let readings = read_sensors_for(&mut board, CpuMapping::new(0, 0), effective, false, 1.0);
+        // Every channel the run can touch is pre-registered here —
+        // including gap telemetry, which only gap-y runs record (empty
+        // channels are digest-invisible, so gap-free digests hold) —
+        // and finish_cell asserts the allocating record fallback never
+        // fired. The sampled channels also get a sample-major stage:
+        // one contiguous row per sample instead of nine scattered
+        // per-channel appends.
+        let trace = Trace::with_channels(ALL_SCENARIO_TRACE_CHANNELS);
+        let ids = TraceIds::resolve(&trace);
+        let stage = SampleStage::for_channels(&trace, SCENARIO_TRACE_CHANNELS);
 
         Ok(CellSim {
             scenario_name: scenario.name().to_string(),
@@ -371,7 +413,10 @@ impl ScenarioRunner {
             claims: Vec::with_capacity(capacity),
             weights: Vec::with_capacity(capacity),
             cluster_cores,
-            trace: Trace::with_channels(SCENARIO_TRACE_CHANNELS),
+            trace,
+            ids,
+            stage,
+            staging: self.sample_staging,
             busy_s: 0.0,
             overlap_s: 0.0,
             idle_s: 0.0,
@@ -511,7 +556,7 @@ impl ScenarioRunner {
 
         // --- Sensing (trace cadence) ---
         if sim.t + 1e-12 >= sim.next_sample {
-            sim.phase_sample(None);
+            sim.phase_sample();
         }
 
         // --- Gap fast-forward (event-driven mode only): the active
@@ -600,13 +645,14 @@ impl ScenarioRunner {
                 sim.step_idx = end_tick;
                 sim.t = sim.step_idx as f64 * sim.dt;
                 // The gap is one trace span, not one point per
-                // sample period: record it on its own channel
-                // (created on first gap, so gap-free runs keep
-                // their digests) and realign the sample grid past
-                // the horizon, skipping the sensor reads the
-                // fixed-dt path would have taken at the boundaries
-                // in between so the noise stream stays aligned.
-                sim.trace.record("gap.fastforward_s", sim.t, span_s);
+                // sample period: record it on its own pre-registered
+                // channel (empty channels are digest-invisible, so
+                // gap-free runs keep their digests) and realign the
+                // sample grid past the horizon, skipping the sensor
+                // reads the fixed-dt path would have taken at the
+                // boundaries in between so the noise stream stays
+                // aligned.
+                sim.trace.record_id(sim.ids.gap_fastforward, sim.t, span_s);
                 if sim.next_sample < sim.t - 1e-12 {
                     let n = ((sim.t - 1e-12 - sim.next_sample) / sim.sample_period_s).floor()
                         as u64
@@ -630,6 +676,7 @@ impl ScenarioRunner {
 
         // --- Manager control (per app; idle gaps are governed by
         //     the race-to-idle minimum or the collapse policy) ---
+        let obs_t0 = sim.scratch.obs.clock();
         sim.phase_control();
 
         // --- Board-wide actuation: one frequency per cluster,
@@ -637,6 +684,7 @@ impl ScenarioRunner {
         //     the reactive thermal zone (kernel layer) always armed
         //     on top ---
         sim.phase_actuate();
+        sim.scratch.obs.lap_control(obs_t0);
 
         // --- Workload progress (slowed by shared-bandwidth
         //     contention; the GPU is time-shared) ---
@@ -752,7 +800,10 @@ impl ScenarioRunner {
     /// statistics, result assembly — everything [`ScenarioRunner::run`]
     /// used to do after its loop.
     pub(crate) fn finish_cell(&self, mut sim: CellSim) -> ScenarioResult {
-        // Final sample closes the trace.
+        // Drain staged samples before the closing records touch the
+        // same channels (per-channel time order must hold), then take
+        // the final sample that closes the trace.
+        sim.flush_samples();
         let final_readings = read_sensors_for(
             &mut sim.board,
             CpuMapping::new(0, 0),
@@ -760,9 +811,16 @@ impl ScenarioRunner {
             false,
             1.0,
         );
-        sim.trace.record("temp.max", sim.t, final_readings.max_c());
         sim.trace
-            .record("freq.big", sim.t, sim.effective.big.0 as f64);
+            .record_id(sim.ids.temp_max, sim.t, final_readings.max_c());
+        sim.trace
+            .record_id(sim.ids.freq_big, sim.t, sim.effective.big.0 as f64);
+        debug_assert_eq!(
+            sim.trace.late_channel_creates(),
+            0,
+            "every scenario channel is pre-registered; the allocating \
+             record fallback must never fire"
+        );
 
         let temp_stats = sim
             .trace
@@ -793,11 +851,10 @@ impl ScenarioRunner {
     }
 }
 
-/// Pre-resolved [`ChannelId`]s for the nine per-sample scenario trace
-/// channels, in recording order. The lockstep sampling path resolves
-/// these once per lane and records by id; the scalar path keeps
-/// recording by name ([`CellSim::phase_sample`] with `None`), so its
-/// measured baseline is the untouched status quo.
+/// Pre-resolved [`ChannelId`]s for every scenario trace channel, in
+/// recording order — resolved once at [`ScenarioRunner::prepare_cell`]
+/// and recorded through thereafter, so no per-sample name lookup (and
+/// no allocating late-channel fallback) ever runs in the hot loop.
 pub(crate) struct TraceIds {
     temp_max: ChannelId,
     temp_big: ChannelId,
@@ -808,12 +865,13 @@ pub(crate) struct TraceIds {
     power_total: ChannelId,
     ambient: ChannelId,
     queue_depth: ChannelId,
+    gap_fastforward: ChannelId,
 }
 
 impl TraceIds {
     /// Resolves the scenario channel set against `trace`, which must
     /// have been created with [`Trace::with_channels`] over
-    /// [`SCENARIO_TRACE_CHANNELS`] (as every [`CellSim`] trace is).
+    /// [`ALL_SCENARIO_TRACE_CHANNELS`] (as every [`CellSim`] trace is).
     pub(crate) fn resolve(trace: &Trace) -> TraceIds {
         let id = |name: &str| {
             trace
@@ -830,6 +888,7 @@ impl TraceIds {
             power_total: id("power.total"),
             ambient: id("ambient"),
             queue_depth: id("queue.depth"),
+            gap_fastforward: id("gap.fastforward_s"),
         }
     }
 }
@@ -883,6 +942,15 @@ pub(crate) struct CellSim {
     pub(crate) weights: Vec<f64>,
     pub(crate) cluster_cores: CpuMapping,
     pub(crate) trace: Trace,
+    /// Channel ids resolved once at prepare; all mid-run recording goes
+    /// through these (no name lookups in the hot loop).
+    pub(crate) ids: TraceIds,
+    /// Sample-major staging buffer for the nine sampled channels; one
+    /// contiguous row per sample, drained by [`CellSim::flush_samples`].
+    pub(crate) stage: SampleStage,
+    /// `false` routes sampling through direct per-channel appends — the
+    /// measured baseline for the staging win (bit-identical output).
+    pub(crate) staging: bool,
     pub(crate) busy_s: f64,
     pub(crate) overlap_s: f64,
     pub(crate) idle_s: f64,
@@ -897,13 +965,10 @@ pub(crate) struct CellSim {
 }
 
 impl CellSim {
-    /// The sensing phase: reads the sensor bank, records the nine trace
-    /// channels, feeds the per-job statistics and advances the sample
-    /// grid. With `ids` the records go through pre-resolved
-    /// [`ChannelId`]s (the lockstep hot path); with `None` they go by
-    /// name, exactly as the scalar loop always has. The recorded
-    /// `(channel, t, v)` stream is identical either way.
-    pub(crate) fn phase_sample(&mut self, ids: Option<&TraceIds>) {
+    /// The sensing phase: reads the sensor bank, then records the row
+    /// and advances the sample grid through [`CellSim::record_sample`].
+    pub(crate) fn phase_sample(&mut self) {
+        let obs_t0 = self.scratch.obs.clock();
         self.readings = if self.active.is_empty() {
             read_sensors_for(
                 &mut self.board,
@@ -924,45 +989,70 @@ impl CellSim {
                     .fold(f64::MIN, f64::max),
             )
         };
+        self.scratch.obs.lap_sample(obs_t0);
+        self.record_sample();
+    }
+
+    /// Records one sample row for the current `readings`/`t`, feeds the
+    /// per-job statistics and advances the sample grid — the back half
+    /// of [`CellSim::phase_sample`], shared by the lockstep hot-sample
+    /// path (which supplies lane-resident readings and skips the board
+    /// round-trip). Staged: one contiguous row push; unstaged: nine
+    /// per-channel appends through pre-resolved ids. The recorded
+    /// `(channel, t, v)` stream is identical either way.
+    pub(crate) fn record_sample(&mut self) {
         let t = self.t;
         let depth = (self.queue.len() + self.active.len()) as f64;
-        match ids {
-            None => {
-                self.trace.record("temp.max", t, self.readings.max_c());
-                self.trace.record("temp.big", t, self.readings.big_max_c());
-                self.trace.record("temp.gpu", t, self.readings.gpu_c);
-                self.trace
-                    .record("freq.big", t, self.effective.big.0 as f64);
-                self.trace
-                    .record("freq.little", t, self.effective.little.0 as f64);
-                self.trace
-                    .record("freq.gpu", t, self.effective.gpu.0 as f64);
-                self.trace.record("power.total", t, self.last_total_w);
-                self.trace
-                    .record("ambient", t, self.board.thermal.ambient_c());
-                self.trace.record("queue.depth", t, depth);
+        let obs_t0 = self.scratch.obs.clock();
+        if self.staging {
+            self.stage.push(
+                t,
+                &[
+                    self.readings.max_c(),
+                    self.readings.big_max_c(),
+                    self.readings.gpu_c,
+                    self.effective.big.0 as f64,
+                    self.effective.little.0 as f64,
+                    self.effective.gpu.0 as f64,
+                    self.last_total_w,
+                    self.board.thermal.ambient_c(),
+                    depth,
+                ],
+            );
+            if self.stage.is_full() {
+                self.trace.flush_stage(&mut self.stage);
             }
-            Some(ids) => {
-                self.trace.record_id(ids.temp_max, t, self.readings.max_c());
-                self.trace
-                    .record_id(ids.temp_big, t, self.readings.big_max_c());
-                self.trace.record_id(ids.temp_gpu, t, self.readings.gpu_c);
-                self.trace
-                    .record_id(ids.freq_big, t, self.effective.big.0 as f64);
-                self.trace
-                    .record_id(ids.freq_little, t, self.effective.little.0 as f64);
-                self.trace
-                    .record_id(ids.freq_gpu, t, self.effective.gpu.0 as f64);
-                self.trace.record_id(ids.power_total, t, self.last_total_w);
-                self.trace
-                    .record_id(ids.ambient, t, self.board.thermal.ambient_c());
-                self.trace.record_id(ids.queue_depth, t, depth);
-            }
+        } else {
+            let ids = &self.ids;
+            self.trace.record_id(ids.temp_max, t, self.readings.max_c());
+            self.trace
+                .record_id(ids.temp_big, t, self.readings.big_max_c());
+            self.trace.record_id(ids.temp_gpu, t, self.readings.gpu_c);
+            self.trace
+                .record_id(ids.freq_big, t, self.effective.big.0 as f64);
+            self.trace
+                .record_id(ids.freq_little, t, self.effective.little.0 as f64);
+            self.trace
+                .record_id(ids.freq_gpu, t, self.effective.gpu.0 as f64);
+            self.trace.record_id(ids.power_total, t, self.last_total_w);
+            self.trace
+                .record_id(ids.ambient, t, self.board.thermal.ambient_c());
+            self.trace.record_id(ids.queue_depth, t, depth);
         }
+        self.scratch.obs.lap_trace(obs_t0);
         for j in self.active.iter_mut() {
             j.observe(&self.readings, self.effective);
         }
         self.next_sample += self.sample_period_s;
+    }
+
+    /// Drains the staged sample rows into the trace (no-op when empty
+    /// or unstaged). Must run before any direct record into a sampled
+    /// channel — finish, and any other boundary that closes the trace.
+    pub(crate) fn flush_samples(&mut self) {
+        if !self.stage.is_empty() {
+            self.trace.flush_stage(&mut self.stage);
+        }
     }
 
     /// The per-app manager control phase: builds each due job's
@@ -1053,10 +1143,29 @@ const SCENARIO_TRACE_CHANNELS: &[&str] = &[
     "queue.depth",
 ];
 
+/// Every channel a scenario run can touch: the nine sampled channels
+/// plus the gap-telemetry channel the event-driven executor records one
+/// span per fast-forwarded gap on. Pre-registering the full set means
+/// no [`Trace::record`] call can ever hit the allocating late-creation
+/// fallback mid-run (asserted at finish); empty channels are
+/// digest-invisible, so gap-free runs keep their pinned digests.
+const ALL_SCENARIO_TRACE_CHANNELS: &[&str] = &[
+    "temp.max",
+    "temp.big",
+    "temp.gpu",
+    "freq.big",
+    "freq.little",
+    "freq.gpu",
+    "power.total",
+    "ambient",
+    "queue.depth",
+    "gap.fastforward_s",
+];
+
 /// The union of the active apps' core grants (the arbiter keeps them
 /// disjoint, so the sums cannot exceed the clusters), for board-global
 /// sensing.
-fn combined_mapping(active: &[ActiveJob], cluster_cores: CpuMapping) -> CpuMapping {
+pub(crate) fn combined_mapping(active: &[ActiveJob], cluster_cores: CpuMapping) -> CpuMapping {
     CpuMapping::new(
         active
             .iter()

@@ -42,12 +42,13 @@
 
 use teem_soc::perf::{cpu_rate, gpu_rate};
 use teem_soc::{
-    batched_thermal_step, BatchPowerModel, BatchScratch, ClusterFreqs, NodePowerModel, StepObs,
-    ThermalBatch, ThermalModel,
+    batched_thermal_step, big_core_hotspot_powers, read_lanes_with_hotspots, BatchPowerModel,
+    BatchScratch, ClusterFreqs, CpuMapping, HotspotSplit, NodePowerModel, SensorBank, SensorSweep,
+    StepObs, ThermalBatch, ThermalModel,
 };
 use teem_workload::bandwidth_slowdown;
 
-use crate::exec::{CellSim, ScenarioRunner, TraceIds};
+use crate::exec::{combined_mapping, CellSim, ScenarioRunner};
 
 /// `true` when `sim` is in the regime the lockstep fast path models
 /// exactly: one active app, nothing queued, no timeline events left,
@@ -71,8 +72,8 @@ pub(crate) fn eligible_for_lockstep(sim: &CellSim) -> bool {
 
 /// The per-lane cache of everything that is constant between control
 /// decisions: the frozen power model, the per-step progress increments,
-/// the operating point they were derived at, and the pre-resolved trace
-/// channel ids.
+/// the operating point they were derived at, and the sample inputs that
+/// are fixed for the solo app's whole residency.
 struct LaneCache {
     model: NodePowerModel,
     /// `cpu_rate(..) * dt / s` at the cached operating point — the
@@ -87,101 +88,182 @@ struct LaneCache {
     /// `!cpu_done()` / `!gpu_done()` share flags).
     cpu_busy: bool,
     gpu_busy: bool,
-    ids: TraceIds,
+    /// `combined_mapping(active, cluster_cores)` for the solo app — the
+    /// scalar sensing phase's mapping argument, constant while the job
+    /// runs because a job's mapping never changes mid-flight.
+    sample_mapping: CpuMapping,
+    /// The scalar sensing phase's activity fold specialised to one app:
+    /// `max(f64::MIN, activity)` is `activity` bit-for-bit.
+    sample_activity: f64,
+    /// [`big_core_hotspot_powers`] with everything but the node
+    /// temperature pre-folded — rebuilt alongside the power model, so a
+    /// due sample costs one `exp` instead of a voltage lookup plus the
+    /// full dynamic/leakage chain. Bit-identical by the
+    /// [`HotspotSplit`] contract.
+    hotspot: HotspotSplit,
 }
 
-/// The per-step-mutable slice of one lane's state, mirrored out of the
-/// sprawling [`CellSim`] into a compact struct the lockstep inner loop
-/// keeps cache-resident: a round's pre/post passes touch only this
-/// array (plus the SoA batch vectors), not K scattered simulations.
+/// Per-lane counter snapshots taken at (re)admission, from which the
+/// step/sub-step counters are *derived* at every flush instead of being
+/// incremented per lane per round: while resident, a lane gains exactly
+/// one step, one batched step, and one fixed sub-step block per round,
+/// so `counter = base + (step_idx − step_idx₀)` reproduces the scalar
+/// loop's per-step `+= 1` bookkeeping with zero work in the inner loop.
+#[derive(Clone, Copy, Default)]
+struct LaneBases {
+    step_idx0: u64,
+    steps0: u64,
+    batched0: u64,
+    substeps0: u64,
+}
+
+/// The per-step-mutable slice of every lane's state, mirrored out of
+/// the sprawling [`CellSim`]s into struct-of-arrays planes the lockstep
+/// inner loop keeps cache-resident: a round's pre/post passes are
+/// branch-free sweeps over these vectors (plus the SoA batch planes)
+/// and never touch the K scattered multi-kilobyte simulations.
 ///
 /// # Sync protocol
 ///
-/// The mirror **owns** its fields while the lane is resident: the fast
+/// The planes **own** their slots while a lane is resident: the fast
 /// path mutates only the hot copy. Before any call back into `CellSim`
 /// code (a sensor sample, a control/actuate pass, completion handling,
-/// retirement), [`flush_hot`] writes the owned fields back; after the
-/// call, [`reload_hot`] re-reads every mirrored field (the sim code may
-/// have advanced `next_sample`/`next_control` or refreshed the cached
-/// rates). Every mirrored expression the fast path evaluates —
-/// progress increments, `done()` comparisons, energy accounting, the
-/// `t = step_idx · dt` clock — is the identical IEEE expression on
-/// identical values, so residency moves without touching a single bit.
-#[derive(Clone, Copy, Default)]
-struct HotLane {
+/// retirement), [`HotPlanes::flush`] writes the owned fields back;
+/// after the call, the mirrors the sim may have moved are re-read — all
+/// of them via [`HotPlanes::reload`] at admission, or just
+/// `next_control` and the cached rates after a control/actuate pass
+/// (the only fields those phases can touch). Every mirrored expression
+/// the fast path evaluates — progress increments, `done()` comparisons,
+/// energy accounting, the `t = step_idx · dt` clock — is the identical
+/// IEEE expression on identical values, so residency moves without
+/// touching a single bit.
+#[derive(Default)]
+struct HotPlanes {
     // Owned while resident (flushed back to the sim at boundaries).
-    t: f64,
-    step_idx: u64,
-    energy_j: f64,
-    busy_s: f64,
-    last_total_w: f64,
-    steps: u64,
-    batched_steps: u64,
-    substeps: u64,
-    cpu_done_items: f64,
-    gpu_done_items: f64,
-    job_energy_j: f64,
+    t: Vec<f64>,
+    /// The step index as an (exact) float — advanced by `+= 1.0` in the
+    /// post-thermal vector pass so the `t = step_idx · dt` clock needs
+    /// no int→float conversion. Bit-equal to the scalar counter's
+    /// conversion while `step_idx < 2⁵³` (campaign cells run thousands
+    /// of steps, nowhere near it).
+    step_f: Vec<f64>,
+    energy_j: Vec<f64>,
+    busy_s: Vec<f64>,
+    last_total_w: Vec<f64>,
+    cpu_done: Vec<f64>,
+    gpu_done: Vec<f64>,
+    job_energy_j: Vec<f64>,
     // Read-only mirrors (refreshed from the sim/cache after sync points).
-    next_sample: f64,
-    next_control: f64,
-    timeout_s: f64,
-    cpu_items: f64,
-    gpu_items: f64,
-    inc_cpu: f64,
-    inc_gpu: f64,
-    cpu_has_mapping: bool,
+    next_sample: Vec<f64>,
+    next_control: Vec<f64>,
+    timeout_s: Vec<f64>,
+    cpu_items: Vec<f64>,
+    gpu_items: Vec<f64>,
+    inc_cpu: Vec<f64>,
+    inc_gpu: Vec<f64>,
+    cpu_has_mapping: Vec<bool>,
     // Fast-path-only state (no sim twin).
-    cpu_busy: bool,
-    gpu_busy: bool,
+    cpu_busy: Vec<bool>,
+    gpu_busy: Vec<bool>,
     /// Set when a busy flag flipped during the previous step's progress
     /// phase (or at admission): the next step must run the
     /// control/actuate phases because `arbitrate_freqs` may now pick
     /// different frequencies — exactly when the scalar loop's
     /// every-step actuation could first produce a different result.
-    flags_dirty: bool,
-    live: bool,
+    flags_dirty: Vec<bool>,
+    live: Vec<bool>,
+    /// Counter snapshots for the derived-at-flush step accounting.
+    bases: Vec<LaneBases>,
 }
 
-/// Writes the hot mirror's owned fields back into `sim` — the exact
-/// bits the scalar loop would hold at this boundary.
-fn flush_hot(hot: &HotLane, sim: &mut CellSim) {
-    sim.t = hot.t;
-    sim.step_idx = hot.step_idx;
-    sim.energy_j = hot.energy_j;
-    sim.busy_s = hot.busy_s;
-    sim.last_total_w = hot.last_total_w;
-    sim.scratch.obs.steps = hot.steps;
-    sim.scratch.obs.batched_steps = hot.batched_steps;
-    sim.scratch.obs.substeps = hot.substeps;
-    let j = &mut sim.active[0];
-    j.cpu_done_items = hot.cpu_done_items;
-    j.gpu_done_items = hot.gpu_done_items;
-    j.energy_j = hot.job_energy_j;
-}
+impl HotPlanes {
+    fn new(k: usize) -> Self {
+        HotPlanes {
+            t: vec![0.0; k],
+            step_f: vec![0.0; k],
+            energy_j: vec![0.0; k],
+            busy_s: vec![0.0; k],
+            last_total_w: vec![0.0; k],
+            cpu_done: vec![0.0; k],
+            gpu_done: vec![0.0; k],
+            job_energy_j: vec![0.0; k],
+            next_sample: vec![0.0; k],
+            next_control: vec![0.0; k],
+            timeout_s: vec![0.0; k],
+            cpu_items: vec![0.0; k],
+            gpu_items: vec![0.0; k],
+            inc_cpu: vec![0.0; k],
+            inc_gpu: vec![0.0; k],
+            cpu_has_mapping: vec![false; k],
+            cpu_busy: vec![false; k],
+            gpu_busy: vec![false; k],
+            flags_dirty: vec![false; k],
+            live: vec![false; k],
+            bases: vec![LaneBases::default(); k],
+        }
+    }
 
-/// Re-reads every mirrored field from `sim`/`cache` (busy flags,
-/// dirtiness and liveness are fast-path state and survive untouched).
-fn reload_hot(hot: &mut HotLane, sim: &CellSim, cache: &LaneCache) {
-    hot.t = sim.t;
-    hot.step_idx = sim.step_idx;
-    hot.energy_j = sim.energy_j;
-    hot.busy_s = sim.busy_s;
-    hot.last_total_w = sim.last_total_w;
-    hot.steps = sim.scratch.obs.steps;
-    hot.batched_steps = sim.scratch.obs.batched_steps;
-    hot.substeps = sim.scratch.obs.substeps;
-    let j = &sim.active[0];
-    hot.cpu_done_items = j.cpu_done_items;
-    hot.gpu_done_items = j.gpu_done_items;
-    hot.job_energy_j = j.energy_j;
-    hot.next_sample = sim.next_sample;
-    hot.next_control = j.next_control;
-    hot.timeout_s = sim.timeout_s;
-    hot.cpu_items = j.cpu_items;
-    hot.gpu_items = j.gpu_items;
-    hot.inc_cpu = cache.inc_cpu;
-    hot.inc_gpu = cache.inc_gpu;
-    hot.cpu_has_mapping = !j.mapping.is_empty();
+    /// Writes slot `slot`'s owned fields back into `sim` — the exact
+    /// bits the scalar loop would hold at this boundary. The step and
+    /// sub-step counters are derived from the admission bases plus the
+    /// rounds lived since (`subs` sub-steps each — the count is a pure
+    /// function of the pool's pinned `dt`, so it is constant across a
+    /// residency); when zero rounds have elapsed `subs` is never
+    /// consulted.
+    fn flush(&self, slot: usize, sim: &mut CellSim, subs: u64) {
+        sim.t = self.t[slot];
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let step_idx = self.step_f[slot] as u64;
+        sim.step_idx = step_idx;
+        sim.energy_j = self.energy_j[slot];
+        sim.busy_s = self.busy_s[slot];
+        sim.last_total_w = self.last_total_w[slot];
+        let b = self.bases[slot];
+        let d = step_idx - b.step_idx0;
+        sim.scratch.obs.steps = b.steps0 + d;
+        sim.scratch.obs.batched_steps = b.batched0 + d;
+        sim.scratch.obs.substeps = b.substeps0 + d * subs;
+        let j = &mut sim.active[0];
+        j.cpu_done_items = self.cpu_done[slot];
+        j.gpu_done_items = self.gpu_done[slot];
+        j.energy_j = self.job_energy_j[slot];
+    }
+
+    /// Re-reads every mirrored field of slot `slot` from `sim`/`cache`
+    /// and re-snapshots the counter bases (busy flags, dirtiness and
+    /// liveness are fast-path state and survive untouched).
+    #[allow(clippy::cast_precision_loss)] // step_idx ≪ 2⁵³
+    fn reload(&mut self, slot: usize, sim: &CellSim, cache: &LaneCache) {
+        self.t[slot] = sim.t;
+        self.step_f[slot] = sim.step_idx as f64;
+        self.energy_j[slot] = sim.energy_j;
+        self.busy_s[slot] = sim.busy_s;
+        self.last_total_w[slot] = sim.last_total_w;
+        self.bases[slot] = LaneBases {
+            step_idx0: sim.step_idx,
+            steps0: sim.scratch.obs.steps,
+            batched0: sim.scratch.obs.batched_steps,
+            substeps0: sim.scratch.obs.substeps,
+        };
+        let j = &sim.active[0];
+        self.cpu_done[slot] = j.cpu_done_items;
+        self.gpu_done[slot] = j.gpu_done_items;
+        self.job_energy_j[slot] = j.energy_j;
+        self.next_sample[slot] = sim.next_sample;
+        self.next_control[slot] = j.next_control;
+        self.timeout_s[slot] = sim.timeout_s;
+        self.cpu_items[slot] = j.cpu_items;
+        self.gpu_items[slot] = j.gpu_items;
+        self.inc_cpu[slot] = cache.inc_cpu;
+        self.inc_gpu[slot] = cache.inc_gpu;
+        self.cpu_has_mapping[slot] = !j.mapping.is_empty();
+    }
+
+    /// Clears slot `slot` back to the vacant state.
+    fn clear(&mut self, slot: usize) {
+        self.live[slot] = false;
+        self.flags_dirty[slot] = false;
+    }
 }
 
 impl LaneCache {
@@ -201,9 +283,12 @@ impl LaneCache {
             effective: sim.effective,
             cpu_busy: !j.cpu_done(),
             gpu_busy: !j.gpu_done(),
-            ids: TraceIds::resolve(&sim.trace),
+            sample_mapping: combined_mapping(&sim.active, sim.cluster_cores),
+            sample_activity: j.chars.activity,
+            hotspot: HotspotSplit::default(),
         };
         cache.refresh_rates(sim);
+        cache.refresh_hotspot(sim);
         cache
     }
 
@@ -233,6 +318,20 @@ impl LaneCache {
             self.cpu_busy,
             self.gpu_busy,
             j.chars.activity,
+        );
+        self.refresh_hotspot(sim);
+    }
+
+    /// Re-folds the sample-time hotspot split — depends on exactly the
+    /// inputs the model rebuild tracks (effective frequencies and the
+    /// CPU busy flag; mapping and activity are residency-constant).
+    fn refresh_hotspot(&mut self, sim: &CellSim) {
+        self.hotspot = HotspotSplit::fold(
+            &sim.board,
+            self.sample_mapping,
+            sim.effective,
+            self.cpu_busy,
+            self.sample_activity,
         );
     }
 
@@ -290,11 +389,23 @@ pub(crate) struct LockstepPool {
     /// Per-lane total draw from the last power sweep (node-order sums,
     /// the scalar loop's `power.iter().sum()` bits).
     totals: Vec<f64>,
-    /// The per-step-mutable mirror of each lane's state — the only
-    /// per-lane memory the round's pre/post passes touch. Parallel to
-    /// `lanes`; `hot[i].live` tracks `lanes[i].is_some()`.
-    hot: Vec<HotLane>,
+    /// The per-step-mutable mirror of each lane's state in SoA planes —
+    /// the only per-lane memory the round's pre/post passes touch.
+    /// Parallel to `lanes`; `hot.live[i]` tracks `lanes[i].is_some()`.
+    hot: HotPlanes,
+    /// Sub-steps per round under the pinned `dt` — refreshed after
+    /// every batched thermal step (it is a pure function of `dt` and
+    /// the topology, so any round's value serves the whole residency)
+    /// and consumed by the derived sub-step accounting at flush.
+    subs_per_round: u64,
     lanes: Vec<Option<PoolLane>>,
+    /// Reused staging for the round's batched sensor sweep: every lane
+    /// with a due sample queues its raw inputs here and all banks are
+    /// read in one channel-major pass.
+    sweep: SensorSweep,
+    /// Slots queued into `sweep` this round, ascending; row `i` of the
+    /// sweep belongs to `swept[i]`.
+    swept: Vec<usize>,
     /// The integration step every resident lane shares (lockstep needs
     /// one `dt`); pinned by the first admission.
     dt: Option<f64>,
@@ -321,6 +432,10 @@ impl LockstepPool {
     /// Panics if `k` is zero.
     pub(crate) fn new(k: usize, reference: &ThermalModel, instrument: bool) -> Self {
         assert!(k >= 1, "a lockstep pool needs at least one lane");
+        // The round's event/flip sets travel as u64 bitmasks; 64 lanes
+        // is already far past the throughput sweet spot (and the sweep
+        // API enforces the same bound).
+        assert!(k <= 64, "a lockstep pool caps at 64 lanes");
         let batch = ThermalBatch::like(reference, k);
         let scratch = BatchScratch::for_batch(&batch);
         let power = BatchPowerModel::for_batch(&batch);
@@ -334,8 +449,11 @@ impl LockstepPool {
             scratch,
             power,
             totals,
-            hot: vec![HotLane::default(); k],
+            hot: HotPlanes::new(k),
+            subs_per_round: 0,
             lanes: (0..k).map(|_| None).collect(),
+            sweep: SensorSweep::default(),
+            swept: Vec::with_capacity(k),
             dt: None,
             obs,
             rounds: 0,
@@ -352,6 +470,14 @@ impl LockstepPool {
     /// `true` when no lane is occupied.
     pub(crate) fn is_empty(&self) -> bool {
         self.lanes.iter().all(Option::is_none)
+    }
+
+    /// `true` when `model` has the batch's exact topology — the same
+    /// check admission applies. Exposed so the sweep's worker loop can
+    /// rebuild a drained pool at a board-axis boundary instead of
+    /// degrading every cell of the new board to scalar.
+    pub(crate) fn matches_topology(&self, model: &ThermalModel) -> bool {
+        self.batch.matches(model)
     }
 
     /// Admits a cell into a free lane. Returns the cell unchanged when
@@ -379,19 +505,15 @@ impl LockstepPool {
         self.batch.load_lane(slot, &sim.board.thermal);
         let cache = LaneCache::for_sim(&sim);
         self.power.set_lane(slot, &cache.model);
-        let mut hot = HotLane {
-            cpu_busy: cache.cpu_busy,
-            gpu_busy: cache.gpu_busy,
-            // Conservative: force one control/actuate pass on the first
-            // batched step, matching the scalar loop's unconditional
-            // per-step actuation without having to prove anything about
-            // the admission instant.
-            flags_dirty: true,
-            live: true,
-            ..HotLane::default()
-        };
-        reload_hot(&mut hot, &sim, &cache);
-        self.hot[slot] = hot;
+        self.hot.reload(slot, &sim, &cache);
+        self.hot.cpu_busy[slot] = cache.cpu_busy;
+        self.hot.gpu_busy[slot] = cache.gpu_busy;
+        // Conservative: force one control/actuate pass on the first
+        // batched step, matching the scalar loop's unconditional
+        // per-step actuation without having to prove anything about
+        // the admission instant.
+        self.hot.flags_dirty[slot] = true;
+        self.hot.live[slot] = true;
         let steps_at_entry = sim.scratch.obs.steps;
         self.lanes[slot] = Some(PoolLane {
             runner,
@@ -417,7 +539,7 @@ impl LockstepPool {
             .collect();
         for slot in 0..self.lanes.len() {
             self.power.clear_lane(slot);
-            self.hot[slot] = HotLane::default();
+            self.hot.clear(slot);
         }
         tokens
     }
@@ -427,7 +549,7 @@ impl LockstepPool {
     fn store_out(&mut self, slot: usize, lane: &mut PoolLane) {
         self.batch.store_lane(slot, &mut lane.sim.board.thermal);
         self.power.clear_lane(slot);
-        self.hot[slot] = HotLane::default();
+        self.hot.clear(slot);
         let kp = self.batch.stride();
         for i in 0..self.batch.nodes() {
             self.scratch.power[i * kp + slot] = 0.0;
@@ -445,31 +567,134 @@ impl LockstepPool {
     /// the caller to refill.
     pub(crate) fn step_round(&mut self, retired: &mut Vec<RetiredLane>) {
         let k = self.lanes.len();
+        self.swept.clear();
+        self.sweep.clear();
 
-        // --- Per-lane pre-thermal phases (sampling, control, progress).
-        //     Scalar phase order within the step is preserved per lane;
-        //     lanes are independent, so the lane interleaving order
-        //     cannot affect any per-cell result. The common case (no
-        //     sample due, no control due) runs entirely on the compact
-        //     hot mirror and never touches the cell's simulation. ---
-        for slot in 0..k {
-            let batch = &self.batch;
-            let power = &mut self.power;
-            let hot = &mut self.hot[slot];
-            if !hot.live {
-                continue;
+        // --- Pre-pass vector scan: one branch-free sweep over the hot
+        //     planes computes this round's event mask, runs the scalar
+        //     progress phase for every fast-path lane (masked,
+        //     branchless), and flags busy-flag flips. Scalar phase
+        //     order within the step is preserved per lane; lanes are
+        //     independent, so the lane processing order cannot affect
+        //     any per-cell result. The common case (no sample due, no
+        //     control due) is handled entirely here and never touches
+        //     a cell's simulation. The event and flip sets come back as
+        //     bitmasks, so the rare-case dispatch below walks set bits
+        //     instead of re-scanning all K slots. ---
+        let mut need_mask: u64 = 0;
+        let mut flip_mask: u64 = 0;
+        {
+            let p = &mut self.hot;
+            let t = &p.t[..k];
+            let timeout_s = &p.timeout_s[..k];
+            let next_sample = &p.next_sample[..k];
+            let next_control = &p.next_control[..k];
+            let flags_dirty = &p.flags_dirty[..k];
+            let live = &p.live[..k];
+            let cpu_items = &p.cpu_items[..k];
+            let gpu_items = &p.gpu_items[..k];
+            let inc_cpu = &p.inc_cpu[..k];
+            let inc_gpu = &p.inc_gpu[..k];
+            let cpu_has_mapping = &p.cpu_has_mapping[..k];
+            let cpu_busy = &p.cpu_busy[..k];
+            let gpu_busy = &p.gpu_busy[..k];
+            let cpu_done = &mut p.cpu_done[..k];
+            let gpu_done = &mut p.gpu_done[..k];
+            // The `!(a >= b)` forms mirror the scalar loop's
+            // `!j.cpu_done()` exactly, NaN edge included — do not
+            // "simplify" to `<`. A masked-off slot adds +0.0, the
+            // bit-identity on every value the done counters can hold
+            // (they start at +0.0 and only ever grow).
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            for i in 0..k {
+                let n = t[i] >= timeout_s[i]
+                    || t[i] + 1e-12 >= next_sample[i]
+                    || t[i] + 1e-12 >= next_control[i]
+                    || flags_dirty[i];
+                need_mask |= u64::from(n && live[i]) << i;
+                let fast = live[i] && !n;
+                let run_cpu = fast && cpu_has_mapping[i] && !(cpu_done[i] >= cpu_items[i]);
+                cpu_done[i] += if run_cpu { inc_cpu[i] } else { 0.0 };
+                let run_gpu = fast && !(gpu_done[i] >= gpu_items[i]);
+                gpu_done[i] += if run_gpu { inc_gpu[i] } else { 0.0 };
+                let busy_c = !(cpu_done[i] >= cpu_items[i]);
+                let busy_g = !(gpu_done[i] >= gpu_items[i]);
+                let flip = fast && (busy_c != cpu_busy[i] || busy_g != gpu_busy[i]);
+                flip_mask |= u64::from(flip) << i;
             }
-            if !needs_sim(hot) {
-                // Fast path: progress on the mirror alone; only a busy
-                // flip (a handful of steps per job) reaches the lane.
-                if progress_hot(hot) {
-                    let lane = self.lanes[slot].as_mut().expect("live lane occupied");
-                    apply_flip(hot, lane, power, slot);
-                }
+        }
+
+        // --- Fast-path busy flips (a handful of steps per job):
+        //     refresh the flipped lane's power model with the new share
+        //     flags, exactly where the per-lane loop used to. ---
+        while flip_mask != 0 {
+            let slot = flip_mask.trailing_zeros() as usize;
+            flip_mask &= flip_mask - 1;
+            let lane = self.lanes[slot].as_mut().expect("live lane occupied");
+            apply_flip(
+                &mut self.hot,
+                lane,
+                &mut self.power,
+                slot,
+                self.subs_per_round,
+            );
+        }
+
+        // --- Event lanes (a due sample, a due control tick, a timeout,
+        //     or a deferred actuation): the rare per-lane slow paths,
+        //     visited in ascending slot order (`swept` relies on it). ---
+        while need_mask != 0 {
+            let slot = need_mask.trailing_zeros() as usize;
+            need_mask &= need_mask - 1;
+            // A due sample on a non-timed-out lane stays hot: the raw
+            // inputs — lane temperatures straight from the SoA batch
+            // (the bits `store_lane` would have copied) and the scalar
+            // sensing phase's hotspot powers — are queued for one
+            // batched sensor sweep; the rest of the step runs in the
+            // post-sweep pass. This also covers the common coincident
+            // sample+control tick, so the board round-trip is elided on
+            // every sampling step, not just sample-only ones.
+            if self.hot.t[slot] < self.hot.timeout_s[slot]
+                && self.hot.t[slot] + 1e-12 >= self.hot.next_sample[slot]
+            {
+                let lane = self.lanes[slot].as_ref().expect("live lane occupied");
+                let nodes = lane.sim.board.nodes;
+                let big_c = self.batch.lane_temp(nodes.big, slot);
+                let gpu_c = self.batch.lane_temp(nodes.gpu, slot);
+                // Mirrors the scalar `any(|j| !j.cpu_done())`.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                let cpu_busy = !(self.hot.cpu_done[slot] >= self.hot.cpu_items[slot]);
+                // The folded split is rebuilt at every operating-point
+                // or busy-flag change, so between flips it holds the
+                // event-time inputs; the guard covers the half-step
+                // where progress flipped `cpu_busy` after this round's
+                // sample queued but `apply_flip` has not refolded yet.
+                debug_assert!(lane.sim.effective == lane.cache.effective);
+                let core_power = if cpu_busy == lane.cache.cpu_busy {
+                    lane.cache.hotspot.eval(big_c)
+                } else {
+                    big_core_hotspot_powers(
+                        &lane.sim.board,
+                        big_c,
+                        lane.cache.sample_mapping,
+                        lane.sim.effective,
+                        cpu_busy,
+                        lane.cache.sample_activity,
+                    )
+                };
+                self.sweep.push_lane(big_c, core_power, gpu_c);
+                self.swept.push(slot);
                 continue;
             }
             let lane = self.lanes[slot].as_mut().expect("live lane occupied");
-            if pre_thermal_step(hot, lane, batch, power, slot) == PreExit::Handoff {
+            let exit = pre_thermal_step(
+                &mut self.hot,
+                lane,
+                &mut self.power,
+                slot,
+                self.subs_per_round,
+            );
+            if exit == PreExit::Handoff {
                 let mut lane = self.lanes[slot].take().expect("lane occupied");
                 self.store_out(slot, &mut lane);
                 retired.push(RetiredLane {
@@ -481,7 +706,106 @@ impl LockstepPool {
             }
         }
 
-        let live = self.hot.iter().filter(|h| h.live).count() as u64;
+        // --- Batched sensor sweep: every due sample's bank read in one
+        //     channel-major pass. Each lane owns its bank, so its noise
+        //     stream advances in the exact scattered-read draw order —
+        //     bit-identical readings per lane. ---
+        if !self.swept.is_empty() {
+            // Pool bookkeeping (collecting each swept lane's bank
+            // borrow) stays outside the sampling bracket: the lap
+            // attributes the sensor reads themselves. `swept` is built
+            // in slot order, so peeling sorted disjoint `&mut`s off the
+            // lane array visits O(swept) lanes, not all K.
+            let mut banks: Vec<&mut SensorBank> = Vec::with_capacity(self.swept.len());
+            let mut rest: &mut [Option<PoolLane>] = &mut self.lanes;
+            let mut base = 0;
+            for &slot in &self.swept {
+                let (lane, tail) = rest[slot - base..]
+                    .split_first_mut()
+                    .expect("swept slot in range");
+                banks.push(
+                    &mut lane
+                        .as_mut()
+                        .expect("swept lane occupied")
+                        .sim
+                        .board
+                        .sensors,
+                );
+                rest = tail;
+                base = slot + 1;
+            }
+            let obs_t0 = self.obs.clock();
+            read_lanes_with_hotspots(&mut banks, &mut self.sweep);
+            self.obs.lap_sample(obs_t0);
+        }
+
+        // --- Post-sweep tail for sampled lanes, in the scalar step's
+        //     order: record the row, trip check, control/actuate when
+        //     they can matter, progress. Only a trip or a control tick
+        //     touches the full simulation state. ---
+        for row in 0..self.swept.len() {
+            let slot = self.swept[row];
+            let subs = self.subs_per_round;
+            let lane = self.lanes[slot].as_mut().expect("swept lane occupied");
+            let sim = &mut lane.sim;
+            // The sensing phase's observable effects on the hot clock:
+            // store the reading, record the row, advance the sample
+            // grid (mirrored back so the event mask keeps tracking it).
+            sim.t = self.hot.t[slot];
+            sim.last_total_w = self.hot.last_total_w[slot];
+            sim.readings = self.sweep.readings[row];
+            sim.record_sample();
+            self.hot.next_sample[slot] = sim.next_sample;
+            // At or above trip: hand off before the control phase —
+            // the scalar loop resumes with control, then trips in
+            // actuation, exactly as it would have.
+            if sim.readings.max_c() >= sim.zone.trip_c {
+                self.hot.flush(slot, sim, subs);
+                let mut lane = self.lanes[slot].take().expect("lane occupied");
+                self.store_out(slot, &mut lane);
+                retired.push(RetiredLane {
+                    runner: lane.runner,
+                    sim: lane.sim,
+                    token: lane.token,
+                    steps_at_entry: lane.steps_at_entry,
+                });
+                continue;
+            }
+            // Control and actuation, only when they can change anything
+            // (same predicate as the sim path).
+            let due = self.hot.t[slot] + 1e-12 >= self.hot.next_control[slot];
+            if due || self.hot.flags_dirty[slot] {
+                self.hot.flush(slot, sim, subs);
+                let obs_t0 = sim.scratch.obs.clock();
+                sim.phase_control();
+                sim.phase_actuate();
+                sim.scratch.obs.lap_control(obs_t0);
+                if sim.effective != lane.cache.effective {
+                    lane.cache.refresh_operating_point(sim);
+                    self.power.set_lane(slot, &lane.cache.model);
+                    self.hot.inc_cpu[slot] = lane.cache.inc_cpu;
+                    self.hot.inc_gpu[slot] = lane.cache.inc_gpu;
+                }
+                // Control/actuate mutate only `next_control` and (via
+                // the refresh above) the `effective`-derived rates:
+                // every other mirrored field was just flushed and left
+                // untouched, so the full reload round-trip is elided.
+                self.hot.next_control[slot] = sim.active[0].next_control;
+                self.hot.flags_dirty[slot] = false;
+            }
+            if progress_at(&mut self.hot, slot) {
+                let lane = self.lanes[slot].as_mut().expect("swept lane occupied");
+                apply_flip(
+                    &mut self.hot,
+                    lane,
+                    &mut self.power,
+                    slot,
+                    self.subs_per_round,
+                );
+            }
+        }
+
+        let live = self.hot.live[..k].iter().filter(|&&b| b).count() as u64;
         if live == 0 {
             return;
         }
@@ -504,29 +828,46 @@ impl LockstepPool {
         let substeps = batched_thermal_step(&mut self.batch, dt, &self.scratch);
         self.obs.lap_thermal(obs_t0);
 
-        // --- Per-lane post-thermal: energy accounting (the scalar
-        //     power phase's bookkeeping, using this round's totals),
-        //     counters, clock advance, completions (the scalar loop's
-        //     tail, in its order) — all on the hot mirror; only a
-        //     completing lane touches its simulation again. ---
+        // The sub-step count is a pure function of the pinned `dt` (and
+        // the topology), so any round's value serves every resident
+        // lane's derived sub-step accounting.
+        self.subs_per_round = u64::from(substeps);
+
+        // --- Post-thermal vector pass: the scalar power phase's energy
+        //     bookkeeping (using this round's totals) and the clock
+        //     advance for every slot, branch-free. A vacant slot's
+        //     total reads zero and its planes are fully rewritten at
+        //     the next admission, so updating it is harmless. ---
+        {
+            let p = &mut self.hot;
+            let totals = &self.totals[..k];
+            let energy_j = &mut p.energy_j[..k];
+            let busy_s = &mut p.busy_s[..k];
+            let job_energy_j = &mut p.job_energy_j[..k];
+            let last_total_w = &mut p.last_total_w[..k];
+            let step_f = &mut p.step_f[..k];
+            let t = &mut p.t[..k];
+            for i in 0..k {
+                energy_j[i] += totals[i] * dt;
+                busy_s[i] += dt;
+                job_energy_j[i] += totals[i] * dt;
+                last_total_w[i] = totals[i];
+                step_f[i] += 1.0;
+                t[i] = step_f[i] * dt;
+            }
+        }
+
+        // --- Completions (the scalar loop's tail, in its order): only
+        //     a completing lane touches its simulation again. ---
         for slot in 0..k {
-            let hot = &mut self.hot[slot];
-            if !hot.live {
+            if !self.hot.live[slot] {
                 continue;
             }
-            let total = self.totals[slot];
-            hot.energy_j += total * dt;
-            hot.busy_s += dt;
-            hot.job_energy_j += total * dt;
-            hot.last_total_w = total;
-            hot.steps += 1;
-            hot.batched_steps += 1;
-            hot.substeps += u64::from(substeps);
-            hot.step_idx += 1;
-            hot.t = hot.step_idx as f64 * dt;
-            if hot.cpu_done_items >= hot.cpu_items && hot.gpu_done_items >= hot.gpu_items {
+            if self.hot.cpu_done[slot] >= self.hot.cpu_items[slot]
+                && self.hot.gpu_done[slot] >= self.hot.gpu_items[slot]
+            {
                 let mut lane = self.lanes[slot].take().expect("lane occupied");
-                flush_hot(hot, &mut lane.sim);
+                self.hot.flush(slot, &mut lane.sim, self.subs_per_round);
                 lane.sim.phase_completions();
                 self.store_out(slot, &mut lane);
                 retired.push(RetiredLane {
@@ -550,37 +891,26 @@ enum PreExit {
     Handoff,
 }
 
-/// `true` when this step needs the lane's full simulation: a timeout,
-/// a due sample, a due control tick, or a deferred actuation from a
-/// busy-flag flip. Everything it reads lives on the hot mirror, so the
-/// common all-false case costs four compares on one cache-resident
-/// struct and never touches the multi-kilobyte [`PoolLane`].
-#[inline(always)]
-fn needs_sim(hot: &HotLane) -> bool {
-    hot.t >= hot.timeout_s
-        || hot.t + 1e-12 >= hot.next_sample
-        || hot.t + 1e-12 >= hot.next_control
-        || hot.flags_dirty
-}
-
 /// The scalar progress phase specialised to one app, entirely on the
-/// hot mirror (bit-identical expressions). Returns `true` when a busy
-/// flag flipped — the caller must then rebuild the lane's power model
-/// (the scalar power phase sees post-progress flags in the same step).
+/// hot planes (bit-identical expressions) — the slow-path twin of the
+/// pre-pass vector scan, for event lanes that progress after their
+/// control pass. Returns `true` when a busy flag flipped — the caller
+/// must then rebuild the lane's power model (the scalar power phase
+/// sees post-progress flags in the same step).
 // The `!(a >= b)` forms mirror the scalar loop's `!j.cpu_done()`
 // exactly, NaN edge included — do not "simplify" to `<`.
 #[allow(clippy::neg_cmp_op_on_partial_ord)]
 #[inline(always)]
-fn progress_hot(hot: &mut HotLane) -> bool {
-    if !(hot.cpu_done_items >= hot.cpu_items) && hot.cpu_has_mapping {
-        hot.cpu_done_items += hot.inc_cpu;
+fn progress_at(p: &mut HotPlanes, slot: usize) -> bool {
+    if !(p.cpu_done[slot] >= p.cpu_items[slot]) && p.cpu_has_mapping[slot] {
+        p.cpu_done[slot] += p.inc_cpu[slot];
     }
-    if !(hot.gpu_done_items >= hot.gpu_items) {
-        hot.gpu_done_items += hot.inc_gpu;
+    if !(p.gpu_done[slot] >= p.gpu_items[slot]) {
+        p.gpu_done[slot] += p.inc_gpu[slot];
     }
-    let cpu_busy = !(hot.cpu_done_items >= hot.cpu_items);
-    let gpu_busy = !(hot.gpu_done_items >= hot.gpu_items);
-    cpu_busy != hot.cpu_busy || gpu_busy != hot.gpu_busy
+    let cpu_busy = !(p.cpu_done[slot] >= p.cpu_items[slot]);
+    let gpu_busy = !(p.gpu_done[slot] >= p.gpu_items[slot]);
+    cpu_busy != p.cpu_busy[slot] || gpu_busy != p.gpu_busy[slot]
 }
 
 /// Applies a busy-flag flip: refreshes the lane's power model with the
@@ -588,57 +918,45 @@ fn progress_hot(hot: &mut HotLane) -> bool {
 /// the control/actuate pass (the scalar loop ran actuation *before*
 /// progress, so frequencies can first react one step later).
 #[allow(clippy::neg_cmp_op_on_partial_ord)] // mirrors `!j.cpu_done()`
-fn apply_flip(hot: &mut HotLane, lane: &mut PoolLane, power: &mut BatchPowerModel, slot: usize) {
-    let cpu_busy = !(hot.cpu_done_items >= hot.cpu_items);
-    let gpu_busy = !(hot.gpu_done_items >= hot.gpu_items);
-    hot.cpu_busy = cpu_busy;
-    hot.gpu_busy = gpu_busy;
+fn apply_flip(
+    p: &mut HotPlanes,
+    lane: &mut PoolLane,
+    power: &mut BatchPowerModel,
+    slot: usize,
+    subs: u64,
+) {
+    let cpu_busy = !(p.cpu_done[slot] >= p.cpu_items[slot]);
+    let gpu_busy = !(p.gpu_done[slot] >= p.gpu_items[slot]);
+    p.cpu_busy[slot] = cpu_busy;
+    p.gpu_busy[slot] = gpu_busy;
     lane.cache.cpu_busy = cpu_busy;
     lane.cache.gpu_busy = gpu_busy;
     let sim = &mut lane.sim;
-    flush_hot(hot, sim);
+    p.flush(slot, sim, subs);
     lane.cache.rebuild_model(sim);
     power.set_lane(slot, &lane.cache.model);
-    hot.flags_dirty = true;
+    p.flags_dirty[slot] = true;
 }
 
-/// One lane's pre-thermal slice of the engine step: the scalar loop's
-/// timeout check, sampling, control and actuation (when they can
-/// matter), and progress — through the shared [`CellSim`] phase
-/// methods (bracketed by hot-mirror flush/reload) or the mirrored
-/// exact expressions.
+/// One lane's pre-thermal slice of the engine step for the non-sample
+/// cases: the scalar loop's timeout check, control and actuation (when
+/// they can matter), and progress — through the shared [`CellSim`]
+/// phase methods (bracketed by hot-mirror flush/reload) or the mirrored
+/// exact expressions. Due samples never reach this function: they are
+/// gathered into the round's batched sensor sweep by `step_round` and
+/// finished in its post-sweep pass.
 fn pre_thermal_step(
-    hot: &mut HotLane,
+    p: &mut HotPlanes,
     lane: &mut PoolLane,
-    batch: &ThermalBatch,
     power: &mut BatchPowerModel,
     slot: usize,
+    subs: u64,
 ) -> PreExit {
     // Timeout first, as the scalar loop checks it (before sampling).
     // The scalar step_cell will re-detect it and terminate the cell.
-    if hot.t >= hot.timeout_s {
-        flush_hot(hot, &mut lane.sim);
+    if p.t[slot] >= p.timeout_s[slot] {
+        p.flush(slot, &mut lane.sim, subs);
         return PreExit::Handoff;
-    }
-
-    // Sampling at the trace cadence — same predicate, same phase code
-    // (by pre-resolved channel id). The true temperatures live in the
-    // batch lane while the cell is resident, so they are synced back to
-    // the cell's own board first — sensors must quantise the same bits
-    // the scalar loop's board would hold. A sample is also the only
-    // instant the zone's input can cross the trip point, so the trip
-    // check rides on it: at or above trip, hand off *before* the
-    // control phase — the scalar loop resumes with control, then trips
-    // in actuation, exactly as it would have.
-    if hot.t + 1e-12 >= hot.next_sample {
-        let sim = &mut lane.sim;
-        flush_hot(hot, sim);
-        batch.store_lane(slot, &mut sim.board.thermal);
-        sim.phase_sample(Some(&lane.cache.ids));
-        if sim.readings.max_c() >= sim.zone.trip_c {
-            return PreExit::Handoff;
-        }
-        reload_hot(hot, sim, &lane.cache);
     }
 
     // Control and actuation, only when they can change anything: a due
@@ -646,24 +964,31 @@ fn pre_thermal_step(
     // `arbitrate_freqs` inputs are unchanged and the zone poll below
     // trip is a no-op — the scalar loop's every-step actuation provably
     // recomputes the same `effective`.
-    let due = hot.t + 1e-12 >= hot.next_control;
-    if due || hot.flags_dirty {
+    let due = p.t[slot] + 1e-12 >= p.next_control[slot];
+    if due || p.flags_dirty[slot] {
         let sim = &mut lane.sim;
-        flush_hot(hot, sim);
+        p.flush(slot, sim, subs);
+        let obs_t0 = sim.scratch.obs.clock();
         sim.phase_control();
         sim.phase_actuate();
+        sim.scratch.obs.lap_control(obs_t0);
         if sim.effective != lane.cache.effective {
             lane.cache.refresh_operating_point(sim);
             power.set_lane(slot, &lane.cache.model);
+            p.inc_cpu[slot] = lane.cache.inc_cpu;
+            p.inc_gpu[slot] = lane.cache.inc_gpu;
         }
-        reload_hot(hot, sim, &lane.cache);
-        hot.flags_dirty = false;
+        // Same slim reload as the post-sweep control block: control and
+        // actuation touch only `next_control` and the rates mirrored
+        // above.
+        p.next_control[slot] = sim.active[0].next_control;
+        p.flags_dirty[slot] = false;
     }
 
     // Progress: the scalar phase specialised to one app, with the
     // mirrored per-step increments (bit-identical expressions).
-    if progress_hot(hot) {
-        apply_flip(hot, lane, power, slot);
+    if progress_at(p, slot) {
+        apply_flip(p, lane, power, slot, subs);
     }
     PreExit::Continue
 }
@@ -679,8 +1004,6 @@ pub(crate) fn run_cell_lockstep(
     scenario: &crate::scenario::Scenario,
     k: usize,
 ) -> Result<crate::exec::ScenarioResult, teem_linreg::LinregError> {
-    let reference = teem_soc::Board::odroid_xu4_ideal();
-    let mut pool = LockstepPool::new(k, &reference.thermal, false);
     let mut sim = runner.prepare_cell(scenario)?;
     loop {
         if eligible_for_lockstep(&sim) {
@@ -690,6 +1013,10 @@ pub(crate) fn run_cell_lockstep(
             return Ok(runner.finish_cell(sim));
         }
     }
+    // Built from the warmed cell's own board, so the harness drives
+    // whatever topology the runner was configured with (the many-node
+    // parity tests lean on this).
+    let mut pool = LockstepPool::new(k, &sim.board.thermal, false);
     assert!(
         pool.admit(runner, sim, 0).is_ok(),
         "eligible cell must admit"

@@ -348,6 +348,9 @@ impl SweepObsReport {
         registry.add_named("engine.substeps", kernel.substeps);
         registry.add_named("engine.power_ns", kernel.power_ns);
         registry.add_named("engine.thermal_ns", kernel.thermal_ns);
+        registry.add_named("engine.sample_ns", kernel.sample_ns);
+        registry.add_named("engine.trace_ns", kernel.trace_ns);
+        registry.add_named("engine.control_ns", kernel.control_ns);
         registry.add_named("engine.gaps_skipped", kernel.gaps_skipped);
         registry.add_named("engine.gap_segments", kernel.gap_segments);
         registry.set_named("engine.gap_fastforward_s", kernel.gap_fastforward_s);
@@ -392,9 +395,10 @@ impl SweepObsReport {
     }
 
     /// A terminal table splitting worker busy time between the power
-    /// model, the thermal integration and everything else the step loop
-    /// does (event handling, governors, sampling) — only meaningful
-    /// when the run timed (instrumented runs always do).
+    /// model, the thermal integration, sensor sampling, trace
+    /// recording, the control/actuate phases, and everything else the
+    /// step loop does (event handling, progress, scheduling) — only
+    /// meaningful when the run timed (instrumented runs always do).
     pub fn kernel_split(&self) -> String {
         use std::fmt::Write as _;
         let k = &self.kernel;
@@ -402,7 +406,10 @@ impl SweepObsReport {
         let other_ns = self
             .busy_ns
             .saturating_sub(k.power_ns)
-            .saturating_sub(k.thermal_ns);
+            .saturating_sub(k.thermal_ns)
+            .saturating_sub(k.sample_ns)
+            .saturating_sub(k.trace_ns)
+            .saturating_sub(k.control_ns);
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -412,6 +419,9 @@ impl SweepObsReport {
         for (label, ns) in [
             ("power model", k.power_ns),
             ("thermal integration", k.thermal_ns),
+            ("sensor sampling", k.sample_ns),
+            ("trace recording", k.trace_ns),
+            ("control+actuate", k.control_ns),
             ("engine other", other_ns),
         ] {
             let _ = writeln!(

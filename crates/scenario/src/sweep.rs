@@ -43,7 +43,7 @@ use crate::scenario::Scenario;
 use teem_core::offline::build_profile_store;
 use teem_core::runner::Approach;
 use teem_core::{ProfileStore, TeemTunables};
-use teem_soc::{Board, IdlePolicy, SimConfig, TimeAdvance};
+use teem_soc::{Board, BoardSpec, IdlePolicy, SimConfig, TimeAdvance};
 use teem_telemetry::Fnv;
 use teem_workload::App;
 
@@ -189,6 +189,9 @@ pub struct SweepCell {
     pub tunables: TeemTunables,
     /// Idle-policy override.
     pub idle_policy: Option<IdlePolicy>,
+    /// The thermal-network variant the cell simulates on
+    /// ([`SweepSpec::boards`]; the XU4 unless the axis says otherwise).
+    pub board: BoardSpec,
     scenario_index: usize,
 }
 
@@ -318,11 +321,13 @@ pub struct SweepSpec {
     ambients_c: Option<Vec<f64>>,
     tunables: Option<Vec<TeemTunables>>,
     idle_policies: Option<Vec<IdlePolicy>>,
+    boards: Option<Vec<BoardSpec>>,
     base_config: Option<SimConfig>,
     patch: ConfigPatch,
     threads: usize,
     chunk: Option<usize>,
     batch: Option<usize>,
+    sample_staging: bool,
     skip: BTreeSet<usize>,
 }
 
@@ -338,6 +343,7 @@ impl SweepSpec {
             ambients_c: None,
             tunables: None,
             idle_policies: None,
+            boards: None,
             base_config: None,
             patch: ConfigPatch::default(),
             threads: std::thread::available_parallelism()
@@ -345,6 +351,7 @@ impl SweepSpec {
                 .unwrap_or(1),
             chunk: None,
             batch: None,
+            sample_staging: true,
             skip: BTreeSet::new(),
         }
     }
@@ -443,6 +450,33 @@ impl SweepSpec {
         self
     }
 
+    /// Adds a board axis: each cell simulates on the named thermal
+    /// network ([`BoardSpec::OdroidXu4`], or a generated
+    /// [`BoardSpec::ManyNode`] variant with 16–64 nodes). A physics
+    /// axis — boards land in the fingerprint and in the cell-name tags.
+    /// The batched path groups same-board cells through one lockstep
+    /// pool (boards vary slower than any other axis), rebuilding its
+    /// SoA batch only at board boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boards` is empty, or a [`BoardSpec::ManyNode`] node
+    /// count is outside 16..=64 (validated here, on the caller's
+    /// thread, not as a worker panic mid-sweep).
+    pub fn boards(mut self, boards: &[BoardSpec]) -> Self {
+        assert!(!boards.is_empty(), "boards axis needs at least one entry");
+        for b in boards {
+            if let BoardSpec::ManyNode { nodes } = *b {
+                assert!(
+                    (16..=64).contains(&nodes),
+                    "many-node boards span 16..=64 nodes, got {nodes}"
+                );
+            }
+        }
+        self.boards = Some(boards.to_vec());
+        self
+    }
+
     /// Replaces the base executor configuration wholesale (the patch,
     /// if any, still applies on top). Prefer [`SweepSpec::patch_config`]
     /// unless you really mean every field.
@@ -519,6 +553,18 @@ impl SweepSpec {
         self
     }
 
+    /// Routes every cell's sample recording through the staged
+    /// sample-major buffer (`true`, the default) or the per-channel
+    /// append baseline (`false`). Like [`SweepSpec::batch`] this is a
+    /// mechanism knob, not a physics knob: the recorded traces are
+    /// bit-identical either way (the staged-parity suite pins it), so
+    /// it is excluded from [`SweepSpec::fingerprint`]. The `false`
+    /// setting exists for A/B measurement of the staging win.
+    pub fn sample_staging(mut self, staged: bool) -> Self {
+        self.sample_staging = staged;
+        self
+    }
+
     /// Marks cells (by linear grid index) to skip: the enumerator never
     /// materialises or executes them, and they do not appear on the
     /// event stream. This is the resume primitive —
@@ -551,7 +597,7 @@ impl SweepSpec {
     /// from "not the same experiment".
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv::new();
-        h.str("teem-sweep-v1");
+        h.str("teem-sweep-v2");
         h.u64(self.scenarios.len() as u64);
         for s in &self.scenarios {
             h.str(s.name());
@@ -648,6 +694,21 @@ impl SweepSpec {
             }
             None => h.u64(0),
         }
+        match &self.boards {
+            Some(bs) => {
+                h.u64(1 + bs.len() as u64);
+                for &b in bs {
+                    match b {
+                        BoardSpec::OdroidXu4 => h.u64(0),
+                        BoardSpec::ManyNode { nodes } => {
+                            h.u64(1);
+                            h.u64(u64::from(nodes));
+                        }
+                    }
+                }
+            }
+            None => h.u64(0),
+        }
         // Exhaustive destructuring: adding a physics field to SimConfig
         // breaks this line instead of silently escaping the fingerprint.
         let SimConfig {
@@ -679,14 +740,16 @@ impl SweepSpec {
             * self.ambients_c.as_ref().map_or(1, Vec::len)
             * self.tunables.as_ref().map_or(1, Vec::len)
             * self.idle_policies.as_ref().map_or(1, Vec::len)
+            * self.boards.as_ref().map_or(1, Vec::len)
     }
 
     /// Materialises the cell at `index` (lazy: nothing about a cell
     /// exists until this is called). Axis nesting, outermost to
-    /// innermost: scenario, threshold, ambient, contention, idle
-    /// policy, tunables, approach — so a plain scenario × approach
-    /// sweep is scenario-major with approaches adjacent, exactly the
-    /// pre-refactor matrix order.
+    /// innermost: scenario, board, threshold, ambient, contention,
+    /// idle policy, tunables, approach — so a plain scenario ×
+    /// approach sweep is scenario-major with approaches adjacent,
+    /// exactly the pre-refactor matrix order, and same-board cells
+    /// stay contiguous for the lockstep pool.
     ///
     /// # Panics
     ///
@@ -717,9 +780,16 @@ impl SweepSpec {
             .thresholds_c
             .as_ref()
             .map(|t| t[pick(&mut rest, t.len())]);
+        let board = match &self.boards {
+            Some(bs) => bs[pick(&mut rest, bs.len())],
+            None => BoardSpec::OdroidXu4,
+        };
         let scenario_index = rest;
 
         let mut tags: Vec<String> = Vec::new();
+        if self.boards.is_some() {
+            tags.push(board.label());
+        }
         if let Some(t) = threshold_c {
             tags.push(format!("thr{t}"));
         }
@@ -756,6 +826,7 @@ impl SweepSpec {
             ambient_c,
             tunables,
             idle_policy,
+            board,
             scenario_index,
         }
     }
@@ -849,7 +920,7 @@ impl SweepSpec {
 
         // Profile every app once, up front, shared with every worker.
         let apps: BTreeSet<App> = self.scenarios.iter().flat_map(Scenario::apps).collect();
-        let profiles = build_profile_store(&Board::odroid_xu4_ideal(), apps)?.into_shared();
+        let profiles = cached_profiles(apps)?;
         let config = self.resolved_config();
         let workers = self.threads.min(total);
 
@@ -1147,6 +1218,8 @@ impl SweepSpec {
         let runner = ScenarioRunner::with_shared_profiles(cell.approach, Arc::clone(profiles))
             .with_contention(cell.contention)
             .with_tunables(cell.tunables)
+            .with_board(cell.board)
+            .with_sample_staging(self.sample_staging)
             .with_config(cfg)
             .with_step_timing(instrument);
         (runner, scenario)
@@ -1252,6 +1325,16 @@ impl SweepSpec {
                 match start {
                     BatchStart::Eligible(boxed) => {
                         let (runner, sim) = *boxed;
+                        // Board-axis boundary: same-board cells are
+                        // contiguous in the grid, so when the pool has
+                        // drained and the next cell's topology differs,
+                        // rebuild the SoA batch for the new board
+                        // (folding the old pool's counters first)
+                        // instead of degrading its cells to scalar.
+                        if pool.is_empty() && !pool.matches_topology(&sim.board.thermal) {
+                            fold_pool_obs(wobs, &pool);
+                            pool = LockstepPool::new(k, &sim.board.thermal, wobs.is_some());
+                        }
                         match pool.admit(runner, sim, index) {
                             Ok(()) => in_flight.push((index, cell, started)),
                             Err((runner, sim, _)) => {
@@ -1392,12 +1475,40 @@ impl SweepSpec {
         }
 
         // Fold the pool's counters into the worker's collector.
-        if let Some(w) = wobs.as_mut() {
-            w.kernel.merge(&pool.obs);
-            w.batch_rounds += pool.rounds;
-            w.batch_lane_steps += pool.lane_steps;
-            w.batch_lane_slots += pool.lane_slots;
-        }
+        fold_pool_obs(wobs, &pool);
+    }
+}
+
+/// The shared offline-profile store for an app set, memoised across
+/// sweeps: profiling is deterministic (the regression observations are
+/// simulated on the canonical ideal board, the same board every
+/// [`SweepSpec::run_streaming`] profiles against), so repeated sweeps —
+/// benches, examples, test suites, resumed campaigns — reuse one store
+/// instead of re-simulating the observation set per call.
+fn cached_profiles(apps: BTreeSet<App>) -> Result<Arc<ProfileStore>, SweepError> {
+    static CACHE: Mutex<Vec<(BTreeSet<App>, Arc<ProfileStore>)>> = Mutex::new(Vec::new());
+    let mut cache = CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some((_, store)) = cache.iter().find(|(k, _)| *k == apps) {
+        return Ok(Arc::clone(store));
+    }
+    let store = build_profile_store(&Board::odroid_xu4_ideal(), apps.iter().copied())
+        .map_err(SweepError::Profiling)?
+        .into_shared();
+    cache.push((apps, Arc::clone(&store)));
+    Ok(store)
+}
+
+/// Folds a lockstep pool's counters into the worker's collector — at
+/// worker exit, and before a board-boundary pool rebuild discards the
+/// old pool.
+fn fold_pool_obs(wobs: &mut Option<WorkerObs>, pool: &LockstepPool) {
+    if let Some(w) = wobs.as_mut() {
+        w.kernel.merge(&pool.obs);
+        w.batch_rounds += pool.rounds;
+        w.batch_lane_steps += pool.lane_steps;
+        w.batch_lane_slots += pool.lane_slots;
     }
 }
 

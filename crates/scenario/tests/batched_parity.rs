@@ -102,8 +102,9 @@ fn batched_matches_scalar_across_lane_counts() {
         "scalar mode must never batch"
     );
     // K spans: the degenerate single lane, sub-SIMD-width counts,
-    // exactly one vector, a non-multiple-of-4 tail, and two vectors.
-    for k in [1usize, 2, 3, 4, 5, 8] {
+    // exactly one vector, a non-multiple-of-4 tail, two vectors, and
+    // a full 16-lane kernel window.
+    for k in [1usize, 2, 3, 4, 5, 8, 16] {
         let batched = run_grid(&parity_grid().batch(k));
         assert_parity(&scalar, &batched, &format!("K={k}"));
         let total_batched: u64 = batched.values().map(|c| c.batched_steps).sum();

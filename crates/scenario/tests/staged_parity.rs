@@ -1,0 +1,188 @@
+//! Staged-vs-unstaged sample recording parity: the sample-major
+//! staging buffer ([`SweepSpec::sample_staging`]) is a mechanism knob,
+//! never a physics knob.
+//!
+//! The contract pinned here, cell by cell and bit by bit:
+//!
+//! * for every cell — scalar and batched, across lane counts K — the
+//!   staged run's summary **and trace digest** equal the unstaged
+//!   baseline's (which itself equals the pre-staging scalar layout);
+//! * mid-run capacity flushes (cells long enough to overflow the
+//!   256-row stage several times) change nothing;
+//! * divergence handoffs (a lane tripping out of lockstep back to the
+//!   scalar loop) interleave staged rows with handoff boundaries and
+//!   still reproduce the exact per-channel streams;
+//! * property test: random short grids across worker/chunk/K schedules
+//!   agree staged-vs-unstaged on every digest.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use teem_core::runner::Approach;
+use teem_scenario::{ConfigPatch, Scenario, SweepEvent, SweepSpec};
+use teem_telemetry::ScenarioSummary;
+use teem_workload::App;
+
+struct CellOut {
+    summary: ScenarioSummary,
+    digest: u64,
+    batched_steps: u64,
+}
+
+/// Scenarios spanning the eligibility spectrum (same shape as the
+/// batched-parity suite): two solo arrivals and a co-arrival pair.
+fn mixed_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("s-mvt").arrive(0.0, App::Mvt, 0.9),
+        Scenario::new("s-gesummv").arrive(0.0, App::Gesummv, 0.9),
+        Scenario::new("s-pair")
+            .arrive(0.0, App::Gesummv, 0.9)
+            .arrive(0.5, App::Mvt, 0.9),
+    ]
+}
+
+fn parity_grid() -> SweepSpec {
+    SweepSpec::over(mixed_scenarios())
+        .approaches(&[Approach::Teem, Approach::Ondemand])
+        .thresholds_c(&[80.0, 85.0])
+        .ambients_c(&[15.0, 25.0])
+        .patch_config(ConfigPatch {
+            timeout_s: Some(2.0),
+            ..ConfigPatch::default()
+        })
+        .threads(1)
+}
+
+fn run_grid(spec: &SweepSpec) -> BTreeMap<usize, CellOut> {
+    let mut out = BTreeMap::new();
+    let stats = spec
+        .run_streaming(|ev| {
+            if let SweepEvent::CellDone { cell, result } = ev {
+                out.insert(
+                    cell.index,
+                    CellOut {
+                        summary: result.summary.clone(),
+                        digest: result.trace.digest(),
+                        batched_steps: result.kernel.batched_steps,
+                    },
+                );
+            }
+        })
+        .expect("sweep runs");
+    assert_eq!(stats.failed, 0, "no cell may fail");
+    out
+}
+
+fn assert_parity(a: &BTreeMap<usize, CellOut>, b: &BTreeMap<usize, CellOut>, tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: cell count");
+    for (index, x) in a {
+        let y = &b[index];
+        assert_eq!(
+            x.summary, y.summary,
+            "{tag}: summary diverged at cell {index}"
+        );
+        assert_eq!(
+            x.digest, y.digest,
+            "{tag}: trace digest diverged at cell {index} ({})",
+            x.summary.scenario
+        );
+    }
+}
+
+#[test]
+fn staged_matches_unstaged_scalar() {
+    let unstaged = run_grid(&parity_grid().sample_staging(false));
+    let staged = run_grid(&parity_grid());
+    assert_parity(&unstaged, &staged, "scalar staged-vs-unstaged");
+}
+
+#[test]
+fn staged_matches_unstaged_across_lane_counts() {
+    // The unstaged scalar run is the measured pre-staging baseline;
+    // staged batched runs at K ∈ {1, 4, 8, 16} must reproduce it
+    // exactly (16 covers the full-width kernel window).
+    let baseline = run_grid(&parity_grid().sample_staging(false));
+    for k in [1usize, 4, 8, 16] {
+        let staged = run_grid(&parity_grid().batch(k));
+        assert_parity(&baseline, &staged, &format!("staged/K={k}"));
+        let batched: u64 = staged.values().map(|c| c.batched_steps).sum();
+        assert!(batched > 0, "K={k}: the fast path never engaged");
+        // And the unstaged batched run agrees too: staging and
+        // lockstep compose in both settings.
+        let unstaged = run_grid(&parity_grid().batch(k).sample_staging(false));
+        assert_parity(&baseline, &unstaged, &format!("unstaged/K={k}"));
+    }
+}
+
+#[test]
+fn capacity_flushes_are_invisible() {
+    // 40 s at the 0.1 s sample cadence is ~400 samples per cell —
+    // the 256-row stage overflows mid-run, so this exercises the
+    // capacity-flush path (flush-at-finish alone would never fire).
+    let long = || {
+        SweepSpec::over(vec![
+            Scenario::new("long-mvt").arrive(0.0, App::Mvt, 0.5),
+            Scenario::new("long-syrk").arrive(0.0, App::Syrk, 0.5),
+        ])
+        .patch_config(ConfigPatch {
+            timeout_s: Some(40.0),
+            ..ConfigPatch::default()
+        })
+        .threads(1)
+    };
+    let unstaged = run_grid(&long().sample_staging(false));
+    let staged = run_grid(&long());
+    assert_parity(&unstaged, &staged, "long-run capacity flush");
+    let batched = run_grid(&long().batch(4));
+    assert_parity(&unstaged, &batched, "long-run capacity flush, K=4");
+}
+
+#[test]
+fn divergence_handoffs_keep_staged_streams_exact() {
+    // Ondemand at 60 °C ambient trips the reactive zone mid-run: the
+    // lane retires from lockstep at the sample boundary with staged
+    // rows in flight, finishes scalar, and the trace must still be
+    // bit-identical to the unstaged scalar run.
+    let grid = || {
+        SweepSpec::over(vec![
+            Scenario::new("d-mvt").arrive(0.0, App::Mvt, 0.9),
+            Scenario::new("d-syrk").arrive(0.0, App::Syrk, 0.9),
+        ])
+        .approaches(&[Approach::Ondemand])
+        .ambients_c(&[15.0, 60.0])
+        .patch_config(ConfigPatch {
+            timeout_s: Some(4.0),
+            ..ConfigPatch::default()
+        })
+        .threads(1)
+    };
+    let unstaged = run_grid(&grid().sample_staging(false));
+    let trips: u32 = unstaged.values().map(|c| c.summary.zone_trips).sum();
+    assert!(
+        trips >= 1,
+        "grid must contain a tripping cell (got {trips})"
+    );
+    let staged = run_grid(&grid().batch(4));
+    assert_parity(&unstaged, &staged, "divergence/K=4 staged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Whatever the schedule (workers × chunk × lane count), staged and
+    /// unstaged runs agree on every cell digest.
+    #[test]
+    fn staging_is_digest_invisible_across_schedules(
+        threads in 1usize..=4,
+        chunk in 1usize..=4,
+        k in 1usize..=8,
+    ) {
+        let spec = || parity_grid().threads(threads).chunk(chunk).batch(k);
+        let staged = run_grid(&spec());
+        let unstaged = run_grid(&spec().sample_staging(false));
+        prop_assert_eq!(staged.len(), unstaged.len());
+        for (index, s) in &staged {
+            prop_assert_eq!(s.digest, unstaged[index].digest,
+                "digest diverged at cell {}", index);
+        }
+    }
+}

@@ -177,16 +177,57 @@ impl ThermalBatch {
 
     /// One lane-blocked Euler sub-step — the SoA twin of
     /// `ThermalModel::euler_step`, same per-lane operation order.
+    ///
+    /// The row sum `q -= g·(ti − tj)` is a serial dependency chain per
+    /// lane (IEEE order is part of the bit-identity contract, so it
+    /// cannot be re-associated), which on many-node boards makes a
+    /// block-at-a-time traversal latency-bound: every `j` term waits on
+    /// the previous one. Instead the kernel walks `j` in the outer loop
+    /// and advances `GROUP` lane blocks together in the inner one —
+    /// `GROUP` *independent* accumulator chains hide the add latency,
+    /// and the `tj` loads for a group are one contiguous run of the
+    /// node-`j` row. Each lane still sees exactly the scalar `j` order.
     fn euler_step(&mut self, h: f64, power_w: &[f64]) {
+        /// Lanes advanced per group: four [`LANES`]-blocks as one flat
+        /// fixed-width window, enough chains to cover the packed-add
+        /// latency and wide enough to fill two 512-bit (or four
+        /// 256-bit) vectors per operation.
+        const GW: usize = 4 * LANES;
         let n = self.n;
         let kp = self.kp;
         let temps = &self.temps;
         let deriv = &mut self.deriv;
         for i in 0..n {
             let row = &self.conductance[i * n..(i + 1) * n];
+            let mut b = 0;
+            while b + GW <= kp {
+                // Fixed-width windows (`[f64; GW]`): one slice-length
+                // proof per row instead of a bounds check per element,
+                // and the element loops fully unroll.
+                let o = i * kp + b;
+                let ti: &[f64; GW] = temps[o..o + GW].try_into().expect("window");
+                let mut q: [f64; GW] = power_w[o..o + GW].try_into().expect("window");
+                for (j, &g) in row.iter().enumerate() {
+                    let tj: &[f64; GW] = temps[j * kp + b..j * kp + b + GW]
+                        .try_into()
+                        .expect("window");
+                    for x in 0..GW {
+                        q[x] -= g * (ti[x] - tj[x]);
+                    }
+                }
+                let g_amb = self.to_ambient[i];
+                let c = self.capacitance[i];
+                let amb: &[f64; GW] = self.ambient[b..b + GW].try_into().expect("window");
+                let d: &mut [f64; GW] = (&mut deriv[o..o + GW]).try_into().expect("window");
+                for x in 0..GW {
+                    q[x] -= g_amb * (ti[x] - amb[x]);
+                    d[x] = q[x] / c;
+                }
+                b += GW;
+            }
             let g_amb = F64xN::splat(self.to_ambient[i]);
             let c = F64xN::splat(self.capacitance[i]);
-            for b in (0..kp).step_by(LANES) {
+            while b < kp {
                 let ti = F64xN::from_slice(&temps[i * kp + b..]);
                 let mut q = F64xN::from_slice(&power_w[i * kp + b..]);
                 for (j, &g) in row.iter().enumerate() {
@@ -195,6 +236,7 @@ impl ThermalBatch {
                 }
                 q = q - g_amb * (ti - F64xN::from_slice(&self.ambient[b..]));
                 (q / c).write_to(&mut deriv[i * kp + b..]);
+                b += LANES;
             }
         }
         for (t, d) in self.temps.iter_mut().zip(&*deriv) {
@@ -443,6 +485,10 @@ pub struct BatchPowerModel {
     leak_vv: Vec<f64>,  // n*kp
     gate: Vec<f64>,     // n*kp
     uncore_w: Vec<f64>, // n*kp
+    /// `dyn_w + 0.0 + uncore_w`, precomputed at load time — the exact
+    /// temperature-independent sum a leakage-free node contributes, so
+    /// non-leaky rows reduce to one load per lane in the hot sweep.
+    const_w: Vec<f64>, // n*kp
     alpha: Vec<f64>,    // n*kp
     ref_c: Vec<f64>,    // n*kp
     /// Per node: does any lane carry a leakage prefactor? Rows that
@@ -463,6 +509,7 @@ impl BatchPowerModel {
             leak_vv: vec![0.0; n * kp],
             gate: vec![0.0; n * kp],
             uncore_w: vec![0.0; n * kp],
+            const_w: vec![0.0; n * kp],
             alpha: vec![1.0; n * kp],
             ref_c: vec![-1.0; n * kp],
             leaky: vec![false; n],
@@ -484,6 +531,7 @@ impl BatchPowerModel {
             self.leak_vv[idx] = c.leak_vv;
             self.gate[idx] = c.gate;
             self.uncore_w[idx] = c.uncore_w;
+            self.const_w[idx] = c.dyn_w + 0.0 + c.uncore_w;
             self.alpha[idx] = c.alpha;
             self.ref_c[idx] = c.ref_c;
         }
@@ -504,6 +552,7 @@ impl BatchPowerModel {
             self.leak_vv[idx] = 0.0;
             self.gate[idx] = 0.0;
             self.uncore_w[idx] = 0.0;
+            self.const_w[idx] = 0.0;
             self.alpha[idx] = 1.0;
             self.ref_c[idx] = -1.0;
         }
@@ -547,8 +596,39 @@ impl BatchPowerModel {
             let ref_c = &self.ref_c[base..base + kp];
             let out = &mut power_w[base..base + kp];
             if self.leaky[i] {
-                for c in 0..kp / 4 {
-                    let o = c * 4;
+                // Wide fixed-width windows (the thermal kernel's block
+                // shape): the exponential's polynomial is one serial
+                // FMA chain per lane, so a 16-lane block gives the core
+                // four independent vector chains to overlap, and the
+                // `try_into` window proofs hoist every bounds check out
+                // of the arithmetic. Block width is schedule only —
+                // per-lane bits are unchanged (see `exp_exact_block`).
+                const GW: usize = 16;
+                let mut o = 0;
+                while o + GW <= kp {
+                    let t: &[f64; GW] = temps[o..o + GW].try_into().expect("window");
+                    let a: &[f64; GW] = alpha[o..o + GW].try_into().expect("window");
+                    let rc: &[f64; GW] = ref_c[o..o + GW].try_into().expect("window");
+                    let lv: &[f64; GW] = leak_vv[o..o + GW].try_into().expect("window");
+                    let g: &[f64; GW] = gate[o..o + GW].try_into().expect("window");
+                    let d: &[f64; GW] = dyn_w[o..o + GW].try_into().expect("window");
+                    let u: &[f64; GW] = uncore[o..o + GW].try_into().expect("window");
+                    let mut x = [0.0f64; GW];
+                    for j in 0..GW {
+                        x[j] = a[j] * (t[j] - rc[j]);
+                    }
+                    let e = crate::fastexp::exp_exact_block(x);
+                    let ow: &mut [f64; GW] = (&mut out[o..o + GW]).try_into().expect("window");
+                    let tw: &mut [f64; GW] = (&mut totals[o..o + GW]).try_into().expect("window");
+                    for j in 0..GW {
+                        let leak = (lv[j] * e[j]) * g[j];
+                        let w = d[j] + leak + u[j];
+                        ow[j] = w;
+                        tw[j] += w;
+                    }
+                    o += GW;
+                }
+                while o < kp {
                     let mut x = [0.0f64; 4];
                     for j in 0..4 {
                         x[j] = alpha[o + j] * (temps[o + j] - ref_c[o + j]);
@@ -560,10 +640,15 @@ impl BatchPowerModel {
                         out[o + j] = w;
                         totals[o + j] += w;
                     }
+                    o += 4;
                 }
             } else {
+                // The row's temperature-independent sum was folded at
+                // load time (`const_w = dyn_w + 0.0 + uncore_w`, the
+                // exact expression this branch used to evaluate).
+                let cw = &self.const_w[base..base + kp];
                 for lane in 0..kp {
-                    let w = dyn_w[lane] + 0.0 + uncore[lane];
+                    let w = cw[lane];
                     out[lane] = w;
                     totals[lane] += w;
                 }
@@ -611,13 +696,20 @@ mod tests {
 
     #[test]
     fn batched_euler_is_bit_identical_per_lane() {
-        // 5 lanes (a non-multiple-of-LANES tail) with distinct states.
-        let k = 5;
+        // k = 5 (kp = 8) runs entirely on the block tail path; k = 18
+        // (kp = 20) covers one full 16-lane window *and* a trailing
+        // block — both kernel paths must match scalar bit for bit.
+        for k in [5usize, 18] {
+            batched_euler_case(k);
+        }
+    }
+
+    fn batched_euler_case(k: usize) {
         let mut scalars: Vec<ThermalModel> = (0..k)
             .map(|i| toy(20.0 + 3.0 * i as f64, 60.0 + 7.0 * i as f64))
             .collect();
         let mut batch = ThermalBatch::like(&scalars[0], k);
-        assert_eq!(batch.stride(), 8);
+        assert_eq!(batch.stride(), k.div_ceil(LANES) * LANES);
         for (lane, m) in scalars.iter().enumerate() {
             batch.load_lane(lane, m);
         }

@@ -61,6 +61,75 @@ pub struct Board {
     pub sensors: SensorBank,
 }
 
+/// Which physical board a run models — the sweep engine's board axis.
+///
+/// [`BoardSpec::OdroidXu4`] is the paper's 4-lump Exynos 5422 network.
+/// [`BoardSpec::ManyNode`] scales the same silicon into a 16–64-node
+/// network (XU4's four active lumps plus a chain of passive die tiles
+/// coupled through the package) — the many-core regime where the
+/// thermal kernel dominates a step and lane-blocked batching pays off
+/// most. Passive tiles draw no power, so the power model and OPP tables
+/// carry over unchanged; only the RC network grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoardSpec {
+    /// The default 4-node Odroid-XU4 model.
+    OdroidXu4,
+    /// An XU4-derived network with `nodes` thermal nodes (16–64).
+    ManyNode {
+        /// Total thermal node count, 16..=64.
+        nodes: u32,
+    },
+}
+
+impl BoardSpec {
+    /// Total thermal node count of the built board.
+    pub fn nodes(self) -> u32 {
+        match self {
+            BoardSpec::OdroidXu4 => 4,
+            BoardSpec::ManyNode { nodes } => nodes,
+        }
+    }
+
+    /// Short tag for sweep-cell names and reports (`xu4`, `n32`).
+    pub fn label(self) -> String {
+        match self {
+            BoardSpec::OdroidXu4 => "xu4".to_string(),
+            BoardSpec::ManyNode { nodes } => format!("n{nodes}"),
+        }
+    }
+
+    /// Builds the board with a custom ambient and sensor bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `ManyNode` count is outside 16..=64.
+    pub fn build_with(self, ambient_c: f64, sensors: SensorBank) -> Board {
+        match self {
+            BoardSpec::OdroidXu4 => Board::odroid_xu4_with(ambient_c, sensors),
+            BoardSpec::ManyNode { nodes } => {
+                Board::many_node_with(nodes, u64::from(nodes), ambient_c, sensors)
+            }
+        }
+    }
+
+    /// Builds the board with ideal sensors at 25 °C — the lockstep
+    /// pool's topology reference and the profiling board.
+    pub fn build_ideal(self) -> Board {
+        self.build_with(25.0, SensorBank::ideal())
+    }
+}
+
+/// SplitMix64 step for the deterministic tile-parameter lottery —
+/// self-contained so board generation needs no RNG plumbing.
+fn splitmix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 impl Board {
     /// Builds the default XU4 model: 25 °C ambient, TMU-like sensors with
     /// a fixed seed (fully deterministic).
@@ -103,6 +172,78 @@ impl Board {
         b.connect(little, board, 0.18);
         b.connect(big, gpu, 0.15);
         b.connect(big, little, 0.03);
+        let thermal = b.build();
+
+        Board {
+            big_opps: a15_opp_table(),
+            little_opps: a7_opp_table(),
+            gpu_opps: mali_opp_table(),
+            big_power: exynos5422::big(),
+            little_power: exynos5422::little(),
+            gpu_power: exynos5422::gpu(),
+            gpu_shaders: exynos5422::gpu().cores,
+            board_base_w: exynos5422::BOARD_BASE_W,
+            thermal,
+            nodes: ThermalNodes {
+                big,
+                little,
+                gpu,
+                board,
+            },
+            sensors,
+        }
+    }
+
+    /// Builds an XU4-derived many-node board: the four active lumps
+    /// (identical constants to [`Board::odroid_xu4_with`]) plus
+    /// `nodes - 4` passive die tiles chained together and coupled to
+    /// the package lump, with a deterministic per-tile parameter
+    /// lottery drawn from `seed` (process variation in thermal mass and
+    /// spreading conductance).
+    ///
+    /// Tiles draw no power, so the named-node steady state matches the
+    /// XU4 exactly; transients differ (the package carries the tile
+    /// mass), making each node count a genuine physics axis. Tile
+    /// constants keep every node's stability bound well above the
+    /// 10 ms step (`max_stable_dt` ≥ ~0.5 s), so the integrator's
+    /// sub-step count is unchanged — the per-step cost growth is all
+    /// kernel arithmetic, the part lane-blocked batching accelerates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is outside 16..=64.
+    pub fn many_node_with(nodes: u32, seed: u64, ambient_c: f64, sensors: SensorBank) -> Board {
+        assert!(
+            (16..=64).contains(&nodes),
+            "many-node boards span 16..=64 nodes, got {nodes}"
+        );
+        let mut b = ThermalModelBuilder::new(ambient_c);
+        let big = b.node("big", 0.45, 0.0, ambient_c);
+        let little = b.node("little", 0.35, 0.0, ambient_c);
+        let gpu = b.node("gpu", 3.00, 0.0, ambient_c);
+        let board = b.node("board", 90.0, 0.33, ambient_c);
+        b.connect(big, board, 0.17);
+        b.connect(gpu, board, 0.13);
+        b.connect(little, board, 0.18);
+        b.connect(big, gpu, 0.15);
+        b.connect(big, little, 0.03);
+
+        let mut lottery = seed ^ 0x7EE3_0B0A_12D5_EEDF;
+        let mut prev: Option<NodeId> = None;
+        for i in 0..nodes - 4 {
+            // C ∈ [0.4, 0.8) J/K, tile→package G ∈ [0.10, 0.14) W/K,
+            // tile→tile G ∈ [0.06, 0.10) W/K: worst-case node bound
+            // 0.5·0.4/(0.14 + 2·0.10) ≈ 0.59 s ≫ the 10 ms step.
+            let c = 0.4 + 0.4 * splitmix(&mut lottery);
+            let g_pkg = 0.10 + 0.04 * splitmix(&mut lottery);
+            let g_chain = 0.06 + 0.04 * splitmix(&mut lottery);
+            let tile = b.node(format!("tile{i}"), c, 0.0, ambient_c);
+            b.connect(tile, board, g_pkg);
+            if let Some(p) = prev {
+                b.connect(tile, p, g_chain);
+            }
+            prev = Some(tile);
+        }
         let thermal = b.build();
 
         Board {
@@ -206,5 +347,86 @@ mod tests {
         let mut a = Board::odroid_xu4();
         let mut b = Board::odroid_xu4();
         assert_eq!(a.sensors.read(80.0, 70.0), b.sensors.read(80.0, 70.0));
+    }
+
+    #[test]
+    fn many_node_keeps_named_node_steady_state() {
+        // Passive tiles carry no power, so the active lumps' steady
+        // state must match the 4-node XU4 bit-for-bit physics-wise
+        // (within solver tolerance).
+        let xu4 = Board::odroid_xu4_ideal();
+        let big_board = BoardSpec::ManyNode { nodes: 32 }.build_ideal();
+        assert_eq!(big_board.thermal.len(), 32);
+        let p4 = fig1_powers(&xu4, 2000);
+        let mut p32 = vec![0.0; 32];
+        p32[..4].copy_from_slice(&p4);
+        let ss4 = xu4.thermal.steady_state(&p4);
+        let ss32 = big_board.thermal.steady_state(&p32);
+        for (name, id) in [
+            ("big", xu4.nodes.big),
+            ("little", xu4.nodes.little),
+            ("gpu", xu4.nodes.gpu),
+            ("board", xu4.nodes.board),
+        ] {
+            assert!(
+                (ss4[id] - ss32[id]).abs() < 1e-6,
+                "{name}: xu4 {} vs many-node {}",
+                ss4[id],
+                ss32[id]
+            );
+        }
+        // Tiles settle at package temperature: no flux through them.
+        for tile in 4..32 {
+            assert!((ss32[tile] - ss32[xu4.nodes.board]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn many_node_stability_bound_stays_above_step() {
+        for nodes in [16u32, 32, 48, 64] {
+            let board = BoardSpec::ManyNode { nodes }.build_ideal();
+            assert_eq!(board.thermal.len(), nodes as usize);
+            assert!(
+                board.thermal.max_stable_dt() > 0.01,
+                "{nodes}-node board must integrate 10 ms steps in one sub-step, \
+                 max_stable_dt = {}",
+                board.thermal.max_stable_dt()
+            );
+        }
+    }
+
+    #[test]
+    fn many_node_generation_is_deterministic_in_seed() {
+        let a = Board::many_node_with(24, 7, 25.0, SensorBank::ideal());
+        let b = Board::many_node_with(24, 7, 25.0, SensorBank::ideal());
+        let c = Board::many_node_with(24, 8, 25.0, SensorBank::ideal());
+        assert_eq!(
+            a.thermal.capacitances_j_per_c(),
+            b.thermal.capacitances_j_per_c(),
+            "same seed, same network"
+        );
+        assert_eq!(
+            a.thermal.conductance_matrix(),
+            b.thermal.conductance_matrix()
+        );
+        assert_ne!(
+            a.thermal.capacitances_j_per_c(),
+            c.thermal.capacitances_j_per_c(),
+            "different seed must vary tile constants"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "16..=64")]
+    fn many_node_rejects_tiny_counts() {
+        let _ = Board::many_node_with(8, 0, 25.0, SensorBank::ideal());
+    }
+
+    #[test]
+    fn board_spec_labels_and_counts() {
+        assert_eq!(BoardSpec::OdroidXu4.label(), "xu4");
+        assert_eq!(BoardSpec::ManyNode { nodes: 48 }.label(), "n48");
+        assert_eq!(BoardSpec::OdroidXu4.nodes(), 4);
+        assert_eq!(BoardSpec::OdroidXu4.build_ideal().thermal.len(), 4);
     }
 }

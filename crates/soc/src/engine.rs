@@ -330,6 +330,10 @@ impl Simulation {
 
         let mut meter = crate::meter::SmartPowerMeter::new();
         let mut trace = Trace::with_channels(TRACE_CHANNELS);
+        // Sample-major staging: one contiguous row per sample tick
+        // instead of 7 scattered per-channel appends; flushed at
+        // capacity and at run end, bit-identical to direct recording.
+        let mut stage = teem_telemetry::SampleStage::for_channels(&trace, TRACE_CHANNELS);
         let mut zone_trips = 0u32;
         let mut zone_was_tripped = false;
         let mut next_sample = 0.0_f64;
@@ -355,13 +359,22 @@ impl Simulation {
             if t + 1e-12 >= next_sample {
                 readings =
                     self.read_sensors_at(effective, cpu_done_items < cpu_items, chars_activity);
-                trace.record("temp.max", t, readings.max_c());
-                trace.record("temp.big", t, readings.big_max_c());
-                trace.record("temp.gpu", t, readings.gpu_c);
-                trace.record("freq.big", t, effective.big.0 as f64);
-                trace.record("freq.little", t, effective.little.0 as f64);
-                trace.record("freq.gpu", t, effective.gpu.0 as f64);
-                trace.record("power.total", t, last_total_w);
+                // One row in TRACE_CHANNELS column order.
+                stage.push(
+                    t,
+                    &[
+                        readings.max_c(),
+                        readings.big_max_c(),
+                        readings.gpu_c,
+                        effective.big.0 as f64,
+                        effective.little.0 as f64,
+                        effective.gpu.0 as f64,
+                        last_total_w,
+                    ],
+                );
+                if stage.is_full() {
+                    trace.flush_stage(&mut stage);
+                }
                 next_sample += self.config.sample_period_s;
             }
 
@@ -444,7 +457,10 @@ impl Simulation {
             t += dt;
         }
 
-        // Final sensor sample closes the trace.
+        // Final sensor sample closes the trace. The stage must drain
+        // first: the closing records target staged channels, and a
+        // direct push ahead of buffered rows would run time backwards.
+        trace.flush_stage(&mut stage);
         let final_readings = self.read_sensors_at(effective, false, chars_activity);
         trace.record("temp.max", t, final_readings.max_c());
         trace.record("freq.big", t, effective.big.0 as f64);
@@ -566,6 +582,13 @@ pub struct StepObs {
     pub power_ns: u64,
     /// Nanoseconds in the thermal integration (0 unless `enabled`).
     pub thermal_ns: u64,
+    /// Nanoseconds reading sensors on sample ticks (0 unless `enabled`).
+    pub sample_ns: u64,
+    /// Nanoseconds staging/recording trace samples (0 unless `enabled`).
+    pub trace_ns: u64,
+    /// Nanoseconds in manager control + actuation on due ticks
+    /// (0 unless `enabled`).
+    pub control_ns: u64,
     /// Idle gaps the event-driven executor fast-forwarded instead of
     /// stepping (0 under [`TimeAdvance::FixedDt`]).
     pub gaps_skipped: u64,
@@ -617,6 +640,36 @@ impl StepObs {
         }
     }
 
+    /// Banks a sensor-sampling phase started at `t0`.
+    #[inline]
+    pub fn lap_sample(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.sample_ns = self
+                .sample_ns
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Banks a trace-recording phase started at `t0`.
+    #[inline]
+    pub fn lap_trace(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.trace_ns = self
+                .trace_ns
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Banks a control/actuation phase started at `t0`.
+    #[inline]
+    pub fn lap_control(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.control_ns = self
+                .control_ns
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
     /// Folds another accumulator's counts and times into this one
     /// (`enabled` ors, so a merged total remembers whether any part
     /// timed).
@@ -627,6 +680,9 @@ impl StepObs {
         self.substeps += other.substeps;
         self.power_ns = self.power_ns.saturating_add(other.power_ns);
         self.thermal_ns = self.thermal_ns.saturating_add(other.thermal_ns);
+        self.sample_ns = self.sample_ns.saturating_add(other.sample_ns);
+        self.trace_ns = self.trace_ns.saturating_add(other.trace_ns);
+        self.control_ns = self.control_ns.saturating_add(other.control_ns);
         self.gaps_skipped += other.gaps_skipped;
         self.gap_fastforward_s += other.gap_fastforward_s;
         self.gap_segments += other.gap_segments;
@@ -1208,6 +1264,41 @@ pub fn read_sensors_for(
 ) -> SensorReadings {
     let big = board.thermal.temp(board.nodes.big);
     let gpu = board.thermal.temp(board.nodes.gpu);
+    read_sensors_at_temps(board, big, gpu, mapping, freqs, cpu_busy, activity)
+}
+
+/// [`read_sensors_for`] with the big/GPU silicon temperatures supplied
+/// by the caller instead of read from `board.thermal` — the lockstep
+/// pool samples straight from its SoA [`ThermalBatch`](crate::ThermalBatch)
+/// lanes without copying temperatures back into the board first. Same
+/// hotspot model, same sensor noise stream advance, bit-identical
+/// readings for identical inputs.
+pub fn read_sensors_at_temps(
+    board: &mut Board,
+    big_c: f64,
+    gpu_c: f64,
+    mapping: CpuMapping,
+    freqs: ClusterFreqs,
+    cpu_busy: bool,
+    activity: f64,
+) -> SensorReadings {
+    let core_power = big_core_hotspot_powers(board, big_c, mapping, freqs, cpu_busy, activity);
+    board.sensors.read_with_hotspots(big_c, &core_power, gpu_c)
+}
+
+/// The per-core hotspot powers [`read_sensors_at_temps`] feeds the
+/// sensor bank: each of the `mapping.big` active big cores draws one
+/// core's dynamic power plus an even split of the cluster leakage at
+/// `big_c`. Exposed so the lockstep pool can queue lanes into a
+/// [`SensorSweep`](crate::SensorSweep) with the identical inputs.
+pub fn big_core_hotspot_powers(
+    board: &Board,
+    big_c: f64,
+    mapping: CpuMapping,
+    freqs: ClusterFreqs,
+    cpu_busy: bool,
+    activity: f64,
+) -> [f64; 4] {
     let active = mapping.big;
     let mut core_power = [0.0_f64; 4];
     if active > 0 {
@@ -1216,12 +1307,79 @@ pub fn read_sensors_for(
         let dyn_core = board
             .big_power
             .dynamic_w(volts, freqs.big.as_hz(), 1, util, activity);
-        let leak_core = board.big_power.leakage_w(volts, big, active) / f64::from(active);
+        let leak_core = board.big_power.leakage_w(volts, big_c, active) / f64::from(active);
         for slot in core_power.iter_mut().take(active as usize) {
             *slot = dyn_core + leak_core;
         }
     }
-    board.sensors.read_with_hotspots(big, &core_power, gpu)
+    core_power
+}
+
+/// The operating-point factors of [`big_core_hotspot_powers`] with
+/// everything but the node temperature folded: per-core dynamic power,
+/// the leakage voltage prefactor, the gating fraction and the leakage
+/// temperature curve. The lockstep pool rebuilds one per lane whenever
+/// the frequencies or busy flags change (the only inputs the factors
+/// depend on), so the per-sample hotspot split collapses to one
+/// exponential in the node temperature — evaluated through
+/// [`exp_exact`](crate::exp_exact), which returns `f64::exp`'s bits,
+/// so [`HotspotSplit::eval`] is bit-identical to the scalar call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HotspotSplit {
+    active: u32,
+    dyn_core: f64,
+    leak_vv: f64,
+    gate: f64,
+    alpha: f64,
+    ref_c: f64,
+}
+
+impl HotspotSplit {
+    /// Folds the temperature-independent factors for one operating
+    /// point (same inputs as [`big_core_hotspot_powers`] minus the
+    /// temperature).
+    pub fn fold(
+        board: &Board,
+        mapping: CpuMapping,
+        freqs: ClusterFreqs,
+        cpu_busy: bool,
+        activity: f64,
+    ) -> Self {
+        let active = mapping.big;
+        if active == 0 {
+            return HotspotSplit::default();
+        }
+        let volts = board.big_opps.volts_at(freqs.big);
+        let util = if cpu_busy { 1.0 } else { 0.03 };
+        HotspotSplit {
+            active,
+            dyn_core: board
+                .big_power
+                .dynamic_w(volts, freqs.big.as_hz(), 1, util, activity),
+            // The scalar chain is (((scale·v)·v)·e)·gate — fold the
+            // left prefix so the association (and the bits) survive.
+            leak_vv: board.big_power.leak_scale_w * volts * volts,
+            gate: 0.25 + 0.75 * f64::from(active) / f64::from(board.big_power.cores),
+            alpha: board.big_power.leak_alpha,
+            ref_c: board.big_power.leak_ref_c,
+        }
+    }
+
+    /// Evaluates the split at `big_c` — bit-identical to
+    /// [`big_core_hotspot_powers`] with the inputs this split was
+    /// folded from.
+    #[inline]
+    pub fn eval(&self, big_c: f64) -> [f64; 4] {
+        let mut core_power = [0.0_f64; 4];
+        if self.active > 0 {
+            let e = crate::fastexp::exp_exact(self.alpha * (big_c - self.ref_c));
+            let leak_core = self.leak_vv * e * self.gate / f64::from(self.active);
+            for slot in core_power.iter_mut().take(self.active as usize) {
+                *slot = self.dyn_core + leak_core;
+            }
+        }
+        core_power
+    }
 }
 
 /// Clamps every requested frequency to its cluster's OPP table
@@ -1647,5 +1805,43 @@ mod tests {
         let r = sim.run(&mut PinMax);
         assert!(r.timed_out);
         assert!(r.summary.execution_time_s <= 1.0 + 0.011);
+    }
+
+    /// [`HotspotSplit::eval`] must reproduce [`big_core_hotspot_powers`]
+    /// bit-for-bit at every operating point the lockstep pool can fold.
+    #[test]
+    fn hotspot_split_matches_scalar_bits() {
+        let board = Board::odroid_xu4_ideal();
+        for &big in &[MHz(200), MHz(900), MHz(1400), MHz(2000)] {
+            for &active in &[0u32, 1, 2, 4] {
+                for &cpu_busy in &[false, true] {
+                    for &activity in &[0.0, 0.35, 1.0] {
+                        let mapping = CpuMapping::new(4u32.saturating_sub(active), active);
+                        let freqs = ClusterFreqs {
+                            big,
+                            little: MHz(1400),
+                            gpu: MHz(600),
+                        };
+                        let split = HotspotSplit::fold(&board, mapping, freqs, cpu_busy, activity);
+                        let mut t = 15.0;
+                        while t <= 100.0 {
+                            let want = big_core_hotspot_powers(
+                                &board, t, mapping, freqs, cpu_busy, activity,
+                            );
+                            let got = split.eval(t);
+                            for core in 0..4 {
+                                assert_eq!(
+                                    got[core].to_bits(),
+                                    want[core].to_bits(),
+                                    "core {core} at {t} C, big {big:?}, active {active}, \
+                                     busy {cpu_busy}, activity {activity}"
+                                );
+                            }
+                            t += 0.7;
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -341,45 +341,44 @@ pub fn exp_exact(x: f64) -> f64 {
     scale.mul_add(tmp, scale)
 }
 
-/// Four [`exp_exact`]s in lockstep: per lane the identical operation
+/// `N` [`exp_exact`]s in lockstep: per lane the identical operation
 /// sequence (so identical bits), laid out as straight-line array code
-/// the autovectorizer lowers to packed FMAs. Any lane outside the main
-/// path sends the whole block down the scalar-with-fallback route —
-/// still bit-exact, just unvectorized for that rare block.
+/// the autovectorizer lowers to packed FMAs. The block width is pure
+/// schedule — each lane's arithmetic never sees its neighbours — so
+/// any `N` produces the same per-lane bits; wider blocks simply give
+/// the out-of-order core several independent copies of the serial
+/// polynomial FMA chain to overlap. Any lane outside the main path
+/// sends the whole block down the scalar-with-fallback route — still
+/// bit-exact, just unvectorized for that rare block.
 #[inline(always)]
-pub fn exp_exact4(x: [f64; 4]) -> [f64; 4] {
+pub fn exp_exact_block<const N: usize>(x: [f64; N]) -> [f64; N] {
     if !x.iter().all(|&v| main_path_ok(v)) {
-        return [
-            exp_exact(x[0]),
-            exp_exact(x[1]),
-            exp_exact(x[2]),
-            exp_exact(x[3]),
-        ];
+        return x.map(exp_exact);
     }
-    let mut kd = [0.0f64; 4];
-    let mut ki = [0u64; 4];
-    let mut r = [0.0f64; 4];
-    let mut tail = [0.0f64; 4];
-    let mut scale = [0.0f64; 4];
-    for i in 0..4 {
+    let mut kd = [0.0f64; N];
+    let mut ki = [0u64; N];
+    let mut r = [0.0f64; N];
+    let mut tail = [0.0f64; N];
+    let mut scale = [0.0f64; N];
+    for i in 0..N {
         kd[i] = INVLN2N * x[i] + SHIFT;
     }
-    for i in 0..4 {
+    for i in 0..N {
         ki[i] = kd[i].to_bits();
     }
     for k in &mut kd {
         *k -= SHIFT;
     }
-    for i in 0..4 {
+    for i in 0..N {
         r[i] = kd[i].mul_add(NEGLN2LON, kd[i].mul_add(NEGLN2HIN, x[i]));
     }
-    for i in 0..4 {
+    for i in 0..N {
         let idx = ((ki[i] & 127) * 2) as usize;
         tail[i] = f64::from_bits(TAB[idx]);
         scale[i] = f64::from_bits(TAB[idx + 1].wrapping_add(ki[i] << 45));
     }
-    let mut out = [0.0f64; 4];
-    for i in 0..4 {
+    let mut out = [0.0f64; N];
+    for i in 0..N {
         let r2 = r[i] * r[i];
         let p1 = r[i].mul_add(C3, C2);
         let p2 = r[i].mul_add(C5, C4);
@@ -387,6 +386,13 @@ pub fn exp_exact4(x: [f64; 4]) -> [f64; 4] {
         out[i] = scale[i].mul_add(tmp, scale[i]);
     }
     out
+}
+
+/// Four [`exp_exact`]s in lockstep — [`exp_exact_block`] at the SIMD
+/// base width.
+#[inline(always)]
+pub fn exp_exact4(x: [f64; 4]) -> [f64; 4] {
+    exp_exact_block(x)
 }
 
 #[cfg(test)]

@@ -51,4 +51,4 @@ pub use summary::RunSummary;
 pub use sweep::{
     sweep_csv_header, sweep_csv_row, BestCell, CellRecord, Extremes, ParetoPoint, SweepAggregator,
 };
-pub use trace::{ChannelId, Trace};
+pub use trace::{ChannelId, SampleStage, Trace};

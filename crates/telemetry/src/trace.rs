@@ -18,6 +18,102 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelId(usize);
 
+/// A sample-major staging buffer for a fixed channel set: each
+/// [`SampleStage::push`] appends one contiguous `[t, v0..vN]` row, so a
+/// sample tick touches one growing allocation instead of N scattered
+/// per-channel `Vec`s. [`Trace::flush_stage`] drains the buffer into
+/// the trace's channel-major storage, reproducing exactly the samples
+/// (and per-channel order) that N direct [`Trace::record_id`] calls per
+/// row would have produced — digests, CSV exports and stats are
+/// bit-identical.
+///
+/// Rows are only buffered, never reordered: within a channel, flushed
+/// samples land in push order, so the [`TimeSeries::push`] monotonic-time
+/// contract carries over unchanged. Interleaving direct records *into
+/// the staged channels* between pushes and the flush would reorder them
+/// — flush first (other channels are unaffected; the trace only orders
+/// time per channel).
+#[derive(Debug, Clone, Default)]
+pub struct SampleStage {
+    ids: Vec<ChannelId>,
+    rows: Vec<f64>,
+}
+
+/// Rows buffered before [`SampleStage::is_full`] reports true: sized so
+/// a stage stays a few KiB (row width ~10 f64s) and flushes amortise to
+/// noise, while run-end flushes of short runs stay the common case.
+const STAGE_CAPACITY_ROWS: usize = 256;
+
+impl SampleStage {
+    /// A stage for the given pre-resolved channel ids, in the column
+    /// order `push` rows will use.
+    pub fn new(ids: Vec<ChannelId>) -> Self {
+        SampleStage {
+            ids,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Resolves `names` against `trace` and builds the stage with that
+    /// column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is not a channel of `trace` — stages are for
+    /// pre-registered channel sets; late creation belongs to
+    /// [`Trace::record`].
+    pub fn for_channels(trace: &Trace, names: &[&str]) -> Self {
+        SampleStage::new(
+            names
+                .iter()
+                .map(|n| {
+                    trace
+                        .channel_id(n)
+                        .unwrap_or_else(|| panic!("staged channel {n:?} not pre-registered"))
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of value columns per row (excluding the time column).
+    pub fn width(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Buffered (unflushed) row count.
+    pub fn len(&self) -> usize {
+        if self.ids.is_empty() {
+            0
+        } else {
+            self.rows.len() / (self.ids.len() + 1)
+        }
+    }
+
+    /// `true` when no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `true` once the buffer reaches its target capacity — the caller
+    /// should [`Trace::flush_stage`] at its next convenient boundary.
+    pub fn is_full(&self) -> bool {
+        self.len() >= STAGE_CAPACITY_ROWS
+    }
+
+    /// Appends one sample row: time plus one value per staged channel,
+    /// in the stage's column order. One contiguous write.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `values` does not match the stage width.
+    #[inline]
+    pub fn push(&mut self, t: f64, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.ids.len());
+        self.rows.push(t);
+        self.rows.extend_from_slice(values);
+    }
+}
+
 /// A collection of named [`TimeSeries`] channels (e.g. `temp.big`,
 /// `freq.big`, `power.total`) recorded during one run.
 ///
@@ -43,6 +139,7 @@ pub struct ChannelId(usize);
 pub struct Trace {
     names: BTreeMap<String, usize>,
     series: Vec<TimeSeries>,
+    late_creates: u64,
 }
 
 impl Trace {
@@ -89,9 +186,24 @@ impl Trace {
     pub fn record(&mut self, channel: &str, t: f64, v: f64) {
         let idx = match self.names.get(channel) {
             Some(&idx) => idx,
-            None => self.ensure_channel(channel),
+            None => {
+                // Allocating slow path — engines pre-register their
+                // channel set, so this firing during a hot loop is a
+                // registration bug; the counter makes it assertable.
+                self.late_creates += 1;
+                self.ensure_channel(channel)
+            }
         };
         self.series[idx].push(t, v);
+    }
+
+    /// How many [`Trace::record`] calls hit the allocating
+    /// create-on-first-use fallback because their channel was not
+    /// pre-registered ([`Trace::with_channels`]). Hot recording paths
+    /// assert this stays 0 — every channel they touch must exist before
+    /// stepping starts.
+    pub fn late_channel_creates(&self) -> u64 {
+        self.late_creates
     }
 
     /// Resolves a channel name to a stable [`ChannelId`] for
@@ -147,17 +259,25 @@ impl Trace {
         self.channel(name).and_then(SeriesStats::of)
     }
 
-    /// A 64-bit FNV-1a digest over every channel name and the raw IEEE-754
-    /// bits of every `(t, v)` sample, in deterministic (name-sorted,
-    /// time-ordered) iteration order.
+    /// A 64-bit FNV-1a digest over every *populated* channel name and
+    /// the raw IEEE-754 bits of every `(t, v)` sample, in deterministic
+    /// (name-sorted, time-ordered) iteration order.
     ///
-    /// Two traces share a digest iff they are bit-identical — the property
-    /// the physics golden tests pin across hot-path refactors: any change
-    /// to operation order, buffering or sensor state in the simulation
-    /// engines shows up here immediately.
+    /// Two traces share a digest iff their recorded samples are
+    /// bit-identical — the property the physics golden tests pin across
+    /// hot-path refactors: any change to operation order, buffering or
+    /// sensor state in the simulation engines shows up here immediately.
+    ///
+    /// Empty channels are skipped so engines can pre-register rarely
+    /// used channels (e.g. gap telemetry on runs that never idle)
+    /// without moving digests of runs that never touch them — pinned
+    /// digests depend on what was recorded, not on what was declared.
     pub fn digest(&self) -> u64 {
         let mut h = crate::Fnv::new();
         for (name, series) in self.iter_sorted() {
+            if series.is_empty() {
+                continue;
+            }
             // Framed (name length + bytes, sample count) so distinct
             // traces cannot collide by re-partitioning the concatenated
             // byte stream ("ab"+"c" vs "a"+"bc").
@@ -169,6 +289,34 @@ impl Trace {
             }
         }
         h.finish()
+    }
+
+    /// Drains a [`SampleStage`] into this trace's channel-major
+    /// storage: for each staged channel (column), its buffered samples
+    /// are pushed in row order — exactly the per-channel sequence that
+    /// direct [`Trace::record_id`] calls per row would have produced,
+    /// so digests and exports are bit-identical to unstaged recording.
+    ///
+    /// The stage keeps its channel set and capacity; only the rows are
+    /// consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a staged id did not come from this trace, or if a
+    /// staged time precedes its channel's last flushed timestamp (see
+    /// [`TimeSeries::push`] — flush before directly recording into a
+    /// staged channel).
+    pub fn flush_stage(&mut self, stage: &mut SampleStage) {
+        let width = stage.ids.len() + 1;
+        for (col, id) in stage.ids.iter().enumerate() {
+            let series = &mut self.series[id.0];
+            let mut row = 0;
+            while row < stage.rows.len() {
+                series.push(stage.rows[row], stage.rows[row + 1 + col]);
+                row += width;
+            }
+        }
+        stage.rows.clear();
     }
 
     /// Exports all channels as a single CSV with a shared time column.
@@ -264,9 +412,80 @@ mod tests {
         c.record("temp", 0.0, 80.5);
         assert_ne!(a.digest(), c.digest(), "value change must change bits");
         // Channel-name framing: re-partitioning names cannot collide.
-        let ab_c = Trace::with_channels(&["ab", "c"]);
-        let a_bc = Trace::with_channels(&["a", "bc"]);
+        // (Populated, since empty channels are digest-invisible.)
+        let mut ab_c = Trace::with_channels(&["ab", "c"]);
+        let mut a_bc = Trace::with_channels(&["a", "bc"]);
+        for tr in [&mut ab_c, &mut a_bc] {
+            let names: Vec<String> = tr.channel_names().into_iter().map(str::to_string).collect();
+            for name in names {
+                tr.record(&name, 0.0, 1.0);
+            }
+        }
         assert_ne!(ab_c.digest(), a_bc.digest());
+    }
+
+    #[test]
+    fn empty_channels_are_digest_invisible() {
+        let mut bare = Trace::with_channels(&["temp.max"]);
+        let mut extra = Trace::with_channels(&["temp.max", "gap.fastforward_s"]);
+        bare.record("temp.max", 0.0, 80.0);
+        extra.record("temp.max", 0.0, 80.0);
+        assert_eq!(
+            bare.digest(),
+            extra.digest(),
+            "pre-registering an unused channel must not move the digest"
+        );
+        extra.record("gap.fastforward_s", 0.0, 1.0);
+        assert_ne!(bare.digest(), extra.digest(), "recorded channel counts");
+    }
+
+    #[test]
+    fn flush_stage_matches_direct_recording_bitwise() {
+        const NAMES: [&str; 3] = ["temp.max", "freq.big", "power.total"];
+        let mut staged = Trace::with_channels(&NAMES);
+        let mut direct = Trace::with_channels(&NAMES);
+        let mut stage = SampleStage::for_channels(&staged, &NAMES);
+        assert_eq!(stage.width(), 3);
+        for i in 0..20 {
+            let t = 0.1 * f64::from(i);
+            let row = [80.0 + f64::from(i), 2000.0, 5.5 - 0.01 * f64::from(i)];
+            stage.push(t, &row);
+            for (name, v) in NAMES.iter().zip(row) {
+                direct.record(name, t, v);
+            }
+            if i == 7 {
+                // Mid-run flush: per-channel order is preserved across
+                // flush boundaries.
+                staged.flush_stage(&mut stage);
+            }
+        }
+        assert_eq!(stage.len(), 12);
+        staged.flush_stage(&mut stage);
+        assert!(stage.is_empty());
+        assert_eq!(staged.digest(), direct.digest());
+        assert_eq!(staged.to_csv(), direct.to_csv());
+        // The stage survives the flush and can keep recording.
+        stage.push(2.0, &[90.0, 1900.0, 6.0]);
+        staged.flush_stage(&mut stage);
+        assert_eq!(staged.channel("temp.max").unwrap().len(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "not pre-registered")]
+    fn stage_rejects_unknown_channels() {
+        let tr = Trace::with_channels(&["a"]);
+        let _ = SampleStage::for_channels(&tr, &["a", "missing"]);
+    }
+
+    #[test]
+    fn late_channel_creates_counts_only_the_fallback() {
+        let mut tr = Trace::with_channels(&["pre"]);
+        tr.record("pre", 0.0, 1.0);
+        assert_eq!(tr.late_channel_creates(), 0);
+        tr.record("late", 0.0, 1.0);
+        assert_eq!(tr.late_channel_creates(), 1);
+        tr.record("late", 1.0, 2.0);
+        assert_eq!(tr.late_channel_creates(), 1, "existing channels are free");
     }
 
     #[test]
