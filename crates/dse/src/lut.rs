@@ -51,23 +51,28 @@ impl DesignPointLut {
     /// EEMP's runtime selection: the minimum-energy entry with
     /// `ET <= treq`. Ties broken by lower energy then lower ET. Returns
     /// `None` when no entry meets the constraint.
+    ///
+    /// NaN metrics (a replayed journal canonicalises non-finite values
+    /// to NaN) sort after every finite value under `total_cmp`, so a
+    /// poisoned entry is never selected while any finite candidate
+    /// exists — and never panics the selector.
     pub fn min_energy_within(&self, treq_s: f64) -> Option<&(DesignPoint, DesignPointEval)> {
         self.entries
             .iter()
             .filter(|(_, e)| e.et_s <= treq_s)
             .min_by(|a, b| {
                 a.1.energy_j
-                    .partial_cmp(&b.1.energy_j)
-                    .expect("finite energies")
-                    .then(a.1.et_s.partial_cmp(&b.1.et_s).expect("finite ETs"))
+                    .total_cmp(&b.1.energy_j)
+                    .then(a.1.et_s.total_cmp(&b.1.et_s))
             })
     }
 
     /// The fastest entry (fallback when no entry meets the constraint).
+    /// NaN ETs sort last (`total_cmp`), so they lose to any finite ET.
     pub fn fastest(&self) -> Option<&(DesignPoint, DesignPointEval)> {
         self.entries
             .iter()
-            .min_by(|a, b| a.1.et_s.partial_cmp(&b.1.et_s).expect("finite ETs"))
+            .min_by(|a, b| a.1.et_s.total_cmp(&b.1.et_s))
     }
 
     /// Bytes this table occupies in the §V-D accounting:
@@ -138,6 +143,36 @@ mod tests {
         let empty = DesignPointLut::new("CV", vec![]);
         assert!(empty.fastest().is_none());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn nan_metrics_never_panic_and_never_beat_finite_entries() {
+        // PR 5 canonicalises non-finite journal metrics to NaN, so a
+        // LUT rebuilt from a replayed journal can carry NaN cells; the
+        // selector must tolerate them (total_cmp), not panic.
+        let lut = DesignPointLut::new(
+            "CV",
+            vec![
+                entry(30.0, f64::NAN), // poisoned energy
+                entry(40.0, 300.0),
+                entry(f64::NAN, 100.0), // poisoned ET: excluded by the constraint filter
+            ],
+        );
+        let (_, e) = lut.min_energy_within(45.0).expect("finite entry wins");
+        assert_eq!(e.energy_j, 300.0, "NaN energy sorts after finite");
+        assert_eq!(
+            lut.fastest().unwrap().1.et_s,
+            30.0,
+            "NaN ET sorts after finite"
+        );
+
+        // All-NaN tables still select *something* rather than panicking.
+        let poisoned = DesignPointLut::new("CV", vec![entry(f64::NAN, f64::NAN)]);
+        assert!(poisoned.fastest().is_some());
+        assert!(
+            poisoned.min_energy_within(45.0).is_none(),
+            "NaN ET fails the constraint"
+        );
     }
 
     #[test]

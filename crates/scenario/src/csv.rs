@@ -10,9 +10,12 @@
 //! 12.5, MVT, 0.90
 //! ```
 //!
-//! Blank lines and `#` comments are skipped, an optional
-//! `t,app,treq_factor` header line is tolerated, and parse errors carry
-//! the 1-based line number plus what was expected.
+//! Blank lines and `#` comments are skipped, one optional
+//! `t,app,treq_factor` header row is tolerated on the first
+//! non-comment line (and only there — a later header, as produced by
+//! naively concatenating trace files, is a line-numbered error rather
+//! than a silently dropped data line), and parse errors carry the
+//! 1-based line number plus what was expected.
 
 use crate::scenario::Scenario;
 use std::fmt;
@@ -92,6 +95,11 @@ impl Scenario {
         content: &str,
     ) -> Result<Scenario, TraceParseError> {
         let mut scenario = Scenario::new(name);
+        // Header tolerance is positional: only the *first* non-comment,
+        // non-blank line may be the `t,app,treq_factor` header. A later
+        // `t`-leading line (a second header from a concatenated trace)
+        // is an error, not a silently dropped data line.
+        let mut first_content_line = true;
         for (idx, raw) in content.lines().enumerate() {
             let line_no = idx + 1;
             let line = raw.trim();
@@ -108,9 +116,20 @@ impl Scenario {
                     ),
                 ));
             }
-            // Tolerate one header row (`t,app,treq_factor` in any case).
+            let header_tolerated = first_content_line;
+            first_content_line = false;
             if fields[0].eq_ignore_ascii_case("t") {
-                continue;
+                if header_tolerated {
+                    continue;
+                }
+                return Err(err_at(
+                    line_no,
+                    format!(
+                        "header row {raw:?} after data — one header is tolerated, and only \
+                         on the first non-comment line (concatenated traces must drop the \
+                         later headers)"
+                    ),
+                ));
             }
             let at_s: f64 = fields[0].parse().map_err(|_| {
                 err_at(
@@ -186,6 +205,37 @@ t, app, treq_factor
                 (30.0, App::Syrk, 1.0),
             ]
         );
+    }
+
+    #[test]
+    fn header_is_only_tolerated_on_the_first_content_line() {
+        // Regression: the parser used to skip *any* line whose first
+        // field was `t`/`T`, so a concatenated multi-day trace silently
+        // dropped everything that looked like a second header. A later
+        // header must now be a loud, line-numbered error.
+        let concatenated = "\
+# day one
+t, app, treq_factor
+0.0, CV, 0.85
+# day two follows
+t, app, treq_factor
+5.0, MVT, 0.90
+";
+        let e = Scenario::from_csv_str("cat", concatenated).unwrap_err();
+        assert!(matches!(e, TraceParseError::Line { line: 5, .. }), "{e}");
+        assert!(e.to_string().contains("header row"), "{e}");
+        assert!(e.to_string().contains("line 5"), "{e}");
+
+        // Upper-case variant after data errors too.
+        let e = Scenario::from_csv_str("cat", "0.0, CV, 0.85\nT, APP, TREQ\n").unwrap_err();
+        assert!(matches!(e, TraceParseError::Line { line: 2, .. }), "{e}");
+
+        // The tolerated position still works, with or without comments
+        // above it, and a headerless trace is unaffected.
+        let s = Scenario::from_csv_str("h", "t,app,treq_factor\n1.0, CV, 0.9\n").expect("parses");
+        assert_eq!(s.arrivals(), 1);
+        let s = Scenario::from_csv_str("nh", "1.0, CV, 0.9\n2.0, GE, 0.8\n").expect("parses");
+        assert_eq!(s.arrivals(), 2);
     }
 
     #[test]

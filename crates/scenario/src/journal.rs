@@ -24,6 +24,11 @@
 //! * the **fingerprint** is [`SweepSpec::fingerprint`] — the axes and
 //!   resolved configuration hash — so a stale journal from a different
 //!   grid is rejected at resume instead of silently mis-skipping;
+//! * a sharded spec ([`SweepSpec::shard`](crate::SweepSpec::shard))
+//!   additionally stamps its shard's canonical label into the header
+//!   (`"shard":"mod:1/3"`); the fingerprint stays that of the *whole*
+//!   grid, so shard journals of one campaign all agree with the
+//!   single-process run they [merge](SweepJournal::merge) into;
 //! * `done` lines carry the full [`CellRecord`]: every summary metric
 //!   plus the trace digest, enough to rebuild an aggregate report
 //!   offline ([`SweepAggregator::replay`](teem_telemetry::SweepAggregator::replay))
@@ -105,6 +110,54 @@ pub enum JournalError {
         /// Grid size of the spec attempting to resume.
         spec: usize,
     },
+    /// The journal's shard label disagrees with the spec's shard
+    /// restriction — e.g. appending a `mod:0/3` spec onto a `mod:1/3`
+    /// journal, or resuming a shard journal with an unsharded spec.
+    /// (`None` means unsharded.)
+    ShardMismatch {
+        /// Shard label stamped in the journal header, if any.
+        journal: Option<String>,
+        /// Shard label of the spec attempting to resume, if any.
+        spec: Option<String>,
+    },
+    /// [`SweepJournal::merge`] was handed an empty journal set.
+    MergeEmpty,
+    /// A journal in a merge carries a different fingerprint than the
+    /// first — the set mixes shards of different campaigns.
+    MergeFingerprint {
+        /// Zero-based position of the disagreeing journal in the slice.
+        index: usize,
+        /// Its fingerprint.
+        journal: u64,
+        /// The first journal's fingerprint.
+        reference: u64,
+    },
+    /// A journal in a merge disagrees with the first on grid size.
+    MergeGrid {
+        /// Zero-based position of the disagreeing journal in the slice.
+        index: usize,
+        /// Its grid size.
+        journal: usize,
+        /// The first journal's grid size.
+        reference: usize,
+    },
+    /// The same cell is recorded `done` by two journals of a merge —
+    /// two workers ran it, so the shard set was not a partition and
+    /// neither record can be trusted as *the* result.
+    MergeOverlap {
+        /// Zero-based position of the journal with the second record.
+        index: usize,
+        /// The doubly-recorded cell index.
+        cell: usize,
+    },
+    /// The merged journals do not cover the whole grid — the campaign
+    /// is not finished (or a shard's journal is missing from the set).
+    MergeIncomplete {
+        /// How many cells have no `done` record.
+        missing: usize,
+        /// The lowest uncovered cell index.
+        first_missing: usize,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -122,6 +175,50 @@ impl std::fmt::Display for JournalError {
             JournalError::GridMismatch { journal, spec } => write!(
                 f,
                 "journal was recorded for a {journal}-cell grid, the spec has {spec}"
+            ),
+            JournalError::ShardMismatch { journal, spec } => {
+                let label = |s: &Option<String>| match s {
+                    Some(l) => format!("shard {l}"),
+                    None => "the whole grid".to_string(),
+                };
+                write!(
+                    f,
+                    "journal was recorded for {}, the spec runs {}",
+                    label(journal),
+                    label(spec)
+                )
+            }
+            JournalError::MergeEmpty => write!(f, "merge of zero journals"),
+            JournalError::MergeFingerprint {
+                index,
+                journal,
+                reference,
+            } => write!(
+                f,
+                "merge: journal #{index} has fingerprint {journal:016x}, the first has \
+                 {reference:016x} — the set mixes different campaigns"
+            ),
+            JournalError::MergeGrid {
+                index,
+                journal,
+                reference,
+            } => write!(
+                f,
+                "merge: journal #{index} was recorded for a {journal}-cell grid, the first \
+                 for {reference} cells"
+            ),
+            JournalError::MergeOverlap { index, cell } => write!(
+                f,
+                "merge: cell {cell} is recorded done twice (second record in journal \
+                 #{index}) — the shards overlap, so neither record is authoritative"
+            ),
+            JournalError::MergeIncomplete {
+                missing,
+                first_missing,
+            } => write!(
+                f,
+                "merge: {missing} cells have no done record (first missing: cell \
+                 {first_missing}) — the campaign is incomplete or a shard journal is absent"
             ),
         }
     }
@@ -225,13 +322,12 @@ impl SweepJournal {
             fsyncs: 0,
             torn_repairs: 0,
         };
-        let mut line = String::new();
-        let _ = write!(
-            line,
-            "{{\"kind\":\"header\",\"version\":{JOURNAL_VERSION},\
-             \"fingerprint\":\"{:016x}\",\"cells\":{}}}",
+        let shard = spec.shard_spec().map(ToString::to_string);
+        let line = header_line(
+            JOURNAL_VERSION,
             spec.fingerprint(),
-            spec.cells()
+            spec.cells(),
+            shard.as_deref(),
         );
         journal.write_line(&line)?;
         journal.sync()?; // the header is durable before any cell runs
@@ -365,15 +461,7 @@ impl SweepJournal {
     ///
     /// Any file I/O failure.
     pub fn record_failed(&mut self, index: usize, scenario: &str, message: &str) -> io::Result<()> {
-        let mut line = String::new();
-        let _ = write!(
-            line,
-            "{{\"kind\":\"failed\",\"index\":{index},\"scenario\":"
-        );
-        json_string(&mut line, scenario);
-        line.push_str(",\"message\":");
-        json_string(&mut line, message);
-        line.push('}');
+        let line = failed_line(index, scenario, message);
         self.write_record(&line)
     }
 
@@ -472,6 +560,10 @@ pub struct LoadedJournal {
     pub fingerprint: u64,
     /// Grid size the journal was recorded against.
     pub cells: usize,
+    /// Canonical shard label ([`ShardSpec`](crate::ShardSpec) display
+    /// form) when the journal was written by a sharded spec; `None` for
+    /// a whole-grid journal (including every merged journal).
+    pub shard: Option<String>,
     /// Every `done` record, in file (= completion) order.
     pub records: Vec<CellRecord>,
     /// Every `failed` record — informational; resumes retry them.
@@ -564,6 +656,7 @@ impl LoadedJournal {
                         version: h.version,
                         fingerprint: h.fingerprint,
                         cells: h.cells,
+                        shard: h.shard,
                         records: Vec::new(),
                         failed: Vec::new(),
                         torn_tail: None,
@@ -633,6 +726,124 @@ impl LoadedJournal {
     pub fn is_complete(&self) -> bool {
         self.records.len() == self.cells
     }
+
+    /// Writes this journal back out as an ordinary v1 journal file —
+    /// how a campaign's merged journal ([`SweepJournal::merge`])
+    /// becomes a file any existing consumer (replay, diff,
+    /// [`SweepSpec::resume_from`]) can load. Records are written in
+    /// their in-memory order and the file is fsynced before returning.
+    ///
+    /// # Errors
+    ///
+    /// Any file I/O failure.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = File::create(path.as_ref())?;
+        let mut writer = BufWriter::new(file);
+        let header = header_line(
+            self.version,
+            self.fingerprint,
+            self.cells,
+            self.shard.as_deref(),
+        );
+        writer.write_all(header.as_bytes())?;
+        writer.write_all(b"\n")?;
+        for record in &self.records {
+            writer.write_all(done_line(record).as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        for f in &self.failed {
+            writer.write_all(failed_line(f.index, &f.scenario, &f.message).as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        writer.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+impl SweepJournal {
+    /// Merges shard journals of one campaign into a single whole-grid
+    /// journal, verifying the set actually *is* one campaign:
+    ///
+    /// * every journal must carry the first one's fingerprint and grid
+    ///   size ([`JournalError::MergeFingerprint`] /
+    ///   [`JournalError::MergeGrid`]);
+    /// * no cell may be `done` in two journals
+    ///   ([`JournalError::MergeOverlap`] — the shards were not a
+    ///   partition, so neither record is authoritative);
+    /// * every grid cell must be `done` somewhere
+    ///   ([`JournalError::MergeIncomplete`]).
+    ///
+    /// Shard labels are *not* required to tile the grid by themselves:
+    /// after a straggler re-shard, a recovery worker's journal carries
+    /// its base shard's label while owning only part of it. Coverage
+    /// and disjointness of the actual records are the ground truth and
+    /// exactly what is checked.
+    ///
+    /// The output's records are sorted by cell index, its shard label
+    /// cleared (it covers the whole grid) and its
+    /// [`journal_digest`] equal to any other complete record set of the
+    /// same grid — the digest is an order-invariant sum, so
+    /// merge order, completion order and shard shape all cancel out.
+    /// `failed` records (retried cells that later succeeded elsewhere)
+    /// are concatenated and kept for post-mortems.
+    ///
+    /// # Errors
+    ///
+    /// As itemised above, plus [`JournalError::MergeEmpty`] for an
+    /// empty slice.
+    pub fn merge(parts: &[LoadedJournal]) -> Result<LoadedJournal, JournalError> {
+        let reference = parts.first().ok_or(JournalError::MergeEmpty)?;
+        let mut seen = BTreeSet::new();
+        let mut records: Vec<CellRecord> = Vec::new();
+        let mut failed: Vec<FailedCell> = Vec::new();
+        for (index, part) in parts.iter().enumerate() {
+            if part.fingerprint != reference.fingerprint {
+                return Err(JournalError::MergeFingerprint {
+                    index,
+                    journal: part.fingerprint,
+                    reference: reference.fingerprint,
+                });
+            }
+            if part.cells != reference.cells {
+                return Err(JournalError::MergeGrid {
+                    index,
+                    journal: part.cells,
+                    reference: reference.cells,
+                });
+            }
+            for record in &part.records {
+                if !seen.insert(record.index) {
+                    return Err(JournalError::MergeOverlap {
+                        index,
+                        cell: record.index,
+                    });
+                }
+                records.push(record.clone());
+            }
+            failed.extend(part.failed.iter().cloned());
+        }
+        if seen.len() != reference.cells {
+            let first_missing = (0..reference.cells)
+                .find(|i| !seen.contains(i))
+                .unwrap_or(reference.cells);
+            return Err(JournalError::MergeIncomplete {
+                missing: reference.cells - seen.len(),
+                first_missing,
+            });
+        }
+        records.sort_unstable_by_key(|r| r.index);
+        failed.sort_by_key(|f| f.index);
+        Ok(LoadedJournal {
+            version: reference.version,
+            fingerprint: reference.fingerprint,
+            cells: reference.cells,
+            shard: None,
+            records,
+            failed,
+            torn_tail: None,
+        })
+    }
 }
 
 impl SweepSpec {
@@ -649,14 +860,48 @@ impl SweepSpec {
     /// [`JournalError::FingerprintMismatch`] or
     /// [`JournalError::GridMismatch`] when the journal belongs to a
     /// different grid — a stale journal must never silently skip cells
-    /// of a new experiment.
+    /// of a new experiment — and [`JournalError::ShardMismatch`] when
+    /// the journal's shard label and this spec's shard disagree (resume
+    /// continues *the same* worker's slice; to subtract a *different*
+    /// shard's progress use [`SweepSpec::exclude_completed`]).
     pub fn resume_from(self, journal: &LoadedJournal) -> Result<SweepSpec, JournalError> {
         Header {
             version: journal.version,
             fingerprint: journal.fingerprint,
             cells: journal.cells,
+            shard: journal.shard.clone(),
         }
         .verify(&self)?;
+        Ok(self.skip_cells(journal.completed()))
+    }
+
+    /// Subtracts `journal`'s completed cells from this spec's work
+    /// list, verifying fingerprint and grid size but **not** the shard
+    /// label — the cross-shard resume primitive behind straggler
+    /// re-sharding: a replacement worker runs a *differently*-shaped
+    /// slice of the same grid, yet must not re-run anything the dead
+    /// worker's journal proves done (a cell done twice would fail the
+    /// campaign's final [`SweepJournal::merge`] as an overlap).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::FingerprintMismatch`] or
+    /// [`JournalError::GridMismatch`] when the journal belongs to a
+    /// different grid.
+    pub fn exclude_completed(self, journal: &LoadedJournal) -> Result<SweepSpec, JournalError> {
+        let fp = self.fingerprint();
+        if journal.fingerprint != fp {
+            return Err(JournalError::FingerprintMismatch {
+                journal: journal.fingerprint,
+                spec: fp,
+            });
+        }
+        if journal.cells != self.cells() {
+            return Err(JournalError::GridMismatch {
+                journal: journal.cells,
+                spec: self.cells(),
+            });
+        }
         Ok(self.skip_cells(journal.completed()))
     }
 }
@@ -670,6 +915,7 @@ struct Header {
     version: u32,
     fingerprint: u64,
     cells: usize,
+    shard: Option<String>,
 }
 
 impl Header {
@@ -699,6 +945,13 @@ impl Header {
                 spec: spec.cells(),
             });
         }
+        let spec_shard = spec.shard_spec().map(ToString::to_string);
+        if self.shard != spec_shard {
+            return Err(JournalError::ShardMismatch {
+                journal: self.shard.clone(),
+                spec: spec_shard,
+            });
+        }
         Ok(())
     }
 }
@@ -708,6 +961,39 @@ enum Line {
     Header(Header),
     Done(CellRecord),
     Failed(FailedCell),
+}
+
+/// The header as a JSONL line (no trailing newline). `shard` is the
+/// canonical [`ShardSpec`](crate::ShardSpec) label; omitted entirely —
+/// not `null` — for a whole-grid journal, so pre-shard journals and
+/// unsharded ones stay byte-identical.
+fn header_line(version: u32, fingerprint: u64, cells: usize, shard: Option<&str>) -> String {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"kind\":\"header\",\"version\":{version},\
+         \"fingerprint\":\"{fingerprint:016x}\",\"cells\":{cells}"
+    );
+    if let Some(shard) = shard {
+        line.push_str(",\"shard\":");
+        json_string(&mut line, shard);
+    }
+    line.push('}');
+    line
+}
+
+/// One `failed` record as a JSONL line (no trailing newline).
+fn failed_line(index: usize, scenario: &str, message: &str) -> String {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"kind\":\"failed\",\"index\":{index},\"scenario\":"
+    );
+    json_string(&mut line, scenario);
+    line.push_str(",\"message\":");
+    json_string(&mut line, message);
+    line.push('}');
+    line
 }
 
 /// One `done` record as a JSONL line (no trailing newline).
@@ -793,12 +1079,20 @@ fn parse_line(text: &str) -> Result<Line, String> {
         let s = get_str(key)?;
         u64::from_str_radix(s, 16).map_err(|e| format!("field `{key}` is not 64-bit hex: {e}"))
     };
+    let get_opt_str = |key: &str| -> Result<Option<String>, String> {
+        match fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+            None => Ok(None),
+            Some(json::Value::Str(s)) => Ok(Some(s.clone())),
+            Some(other) => Err(format!("field `{key}` must be a string, got {other:?}")),
+        }
+    };
 
     match get_str("kind")? {
         "header" => Ok(Line::Header(Header {
             version: get_u32("version")?,
             fingerprint: get_hex("fingerprint")?,
             cells: get_usize("cells")?,
+            shard: get_opt_str("shard")?,
         })),
         "done" => Ok(Line::Done(CellRecord {
             index: get_usize("index")?,
@@ -1045,6 +1339,90 @@ mod tests {
         ] {
             assert!(parse_line(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn header_shard_label_round_trips_and_unsharded_headers_stay_identical() {
+        let plain = header_line(1, 0xaa, 9, None);
+        assert!(
+            !plain.contains("shard"),
+            "pre-shard byte format preserved: {plain}"
+        );
+        match parse_line(&plain).expect("parses") {
+            Line::Header(h) => assert_eq!(h.shard, None),
+            _ => panic!("wrong kind"),
+        }
+        let sharded = header_line(1, 0xaa, 9, Some("mod:1/3"));
+        match parse_line(&sharded).expect("parses") {
+            Line::Header(h) => assert_eq!(h.shard.as_deref(), Some("mod:1/3")),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    fn loaded(cells: usize, indices: &[usize]) -> LoadedJournal {
+        LoadedJournal {
+            version: 1,
+            fingerprint: 0xaa,
+            cells,
+            shard: None,
+            records: indices.iter().map(|&i| record(i)).collect(),
+            failed: Vec::new(),
+            torn_tail: None,
+        }
+    }
+
+    #[test]
+    fn merge_verifies_the_set_and_digests_order_invariantly() {
+        let a = loaded(4, &[0, 2]);
+        let b = loaded(4, &[3, 1]);
+        let ab = SweepJournal::merge(&[a.clone(), b.clone()]).expect("merges");
+        let ba = SweepJournal::merge(&[b.clone(), a.clone()]).expect("merges");
+        assert_eq!(journal_digest(&ab.records), journal_digest(&ba.records));
+        let indices: Vec<usize> = ab.records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3], "merged records are index-sorted");
+        assert!(ab.shard.is_none(), "a merged journal covers the whole grid");
+
+        assert!(matches!(
+            SweepJournal::merge(&[]),
+            Err(JournalError::MergeEmpty)
+        ));
+        match SweepJournal::merge(&[a.clone(), loaded(4, &[0, 1])]) {
+            Err(JournalError::MergeOverlap { index: 1, cell: 0 }) => {}
+            other => panic!("expected overlap, got {other:?}"),
+        }
+        match SweepJournal::merge(std::slice::from_ref(&a)) {
+            Err(JournalError::MergeIncomplete {
+                missing: 2,
+                first_missing: 1,
+            }) => {}
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+        let mut alien = loaded(4, &[1, 3]);
+        alien.fingerprint = 0xbb;
+        match SweepJournal::merge(&[a.clone(), alien]) {
+            Err(JournalError::MergeFingerprint { index: 1, .. }) => {}
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        match SweepJournal::merge(&[a, loaded(5, &[1, 3, 4])]) {
+            Err(JournalError::MergeGrid { index: 1, .. }) => {}
+            other => panic!("expected grid mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_to_round_trips_through_load() {
+        let mut j = loaded(4, &[2, 0, 1, 3]);
+        j.failed.push(FailedCell {
+            index: 1,
+            scenario: "s1".to_string(),
+            message: "first try panicked".to_string(),
+        });
+        let dir = std::env::temp_dir().join("teem-journal-write-to");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("merged.jsonl");
+        j.write_to(&path).expect("writes");
+        let back = LoadedJournal::load(&path).expect("loads");
+        assert_eq!(back, j);
     }
 
     #[test]

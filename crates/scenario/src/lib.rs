@@ -45,6 +45,14 @@
 //!   ([`sweep_diff`](teem_telemetry::sweep_diff)) or replayed into
 //!   reports offline
 //!   ([`SweepAggregator::replay`](teem_telemetry::SweepAggregator::replay));
+//! * a **distributed campaign** splits one grid across worker
+//!   *processes*: a [`ShardSpec`] ([`SweepSpec::shard`]) lowers onto
+//!   the skip set and stamps the shard into the journal header,
+//!   [`SweepJournal::merge`] verifies the shard journals (same
+//!   fingerprint, no overlap, full coverage) and folds them into one
+//!   digest-identical whole, and [`run_campaign`] supervises the fleet
+//!   — killing stragglers and re-sharding their remaining cells onto
+//!   survivors (the `teem-coordinator` binary is its CLI face);
 //! * a [`BatchRunner`] — now a thin collect-and-reorder wrapper over
 //!   the sweep engine — fans a scenario × approach matrix out and
 //!   aggregates [`ScenarioSummary`](teem_telemetry::ScenarioSummary)s
@@ -89,6 +97,7 @@ mod journal;
 mod lockstep;
 mod obs;
 mod scenario;
+mod shard;
 mod sweep;
 
 pub use arbiter::{Admission, ContentionPolicy, MappingArbiter, ResourceClaim};
@@ -100,6 +109,10 @@ pub use journal::{
     journal_digest, run_interrupted, FailedCell, JournalError, JournalIoStats, LoadedJournal,
     SweepJournal, JOURNAL_VERSION,
 };
-pub use obs::{PoolObs, ProgressReporter, SweepObsReport, WorkerObs};
+pub use obs::{CampaignProgress, PoolObs, ProgressReporter, SweepObsReport, WorkerObs};
 pub use scenario::{Scenario, DEFAULT_THRESHOLD_C};
+pub use shard::{
+    metrics_sidecar, run_campaign, CampaignError, CampaignOpts, CampaignOutcome, ShardSpec,
+    WorkerAssignment,
+};
 pub use sweep::{ConfigPatch, SweepCell, SweepError, SweepEvent, SweepRunStats, SweepSpec};

@@ -512,9 +512,128 @@ impl ProgressReporter {
     }
 }
 
+/// The coordinator's campaign-wide progress line: per-shard journal
+/// tallies folded into one `done/total` view with live-worker count,
+/// campaign-level rate and ETA — one line for N processes, the
+/// process-level analogue of [`ProgressReporter`]'s one line for N
+/// threads.
+///
+/// Unlike [`ProgressReporter`] this is not an event sink: the
+/// coordinator has no in-process event stream, only journal files. It
+/// polls their record counts and calls [`CampaignProgress::update`];
+/// the struct owns the throttle and the rendering.
+///
+/// Rate and ETA follow the shared first-tick convention (see
+/// `ProgressModel` in `teem-telemetry`): until wall time *and* at least
+/// one completed cell exist they render as `--`, never `inf`/`NaN`.
+#[derive(Debug)]
+pub struct CampaignProgress {
+    total: usize,
+    workers: usize,
+    epoch: Instant,
+    last_emit: Option<Instant>,
+    min_interval: std::time::Duration,
+}
+
+impl CampaignProgress {
+    /// A progress view for a campaign of `total` cells starting on
+    /// `workers` worker processes.
+    pub fn new(total: usize, workers: usize) -> Self {
+        CampaignProgress {
+            total,
+            workers,
+            epoch: Instant::now(),
+            last_emit: None,
+            min_interval: std::time::Duration::from_millis(100),
+        }
+    }
+
+    /// Overrides the line throttle (default 100 ms; zero emits on every
+    /// update).
+    pub fn with_min_interval(mut self, min_interval: std::time::Duration) -> Self {
+        self.min_interval = min_interval;
+        self
+    }
+
+    /// Folds the latest journal tallies; returns a line when one is due
+    /// (throttled).
+    pub fn update(&mut self, done: usize, failed: usize, live: usize) -> Option<String> {
+        let due = match self.last_emit {
+            None => true,
+            Some(at) => at.elapsed() >= self.min_interval,
+        };
+        if !due {
+            return None;
+        }
+        self.last_emit = Some(Instant::now());
+        Some(self.line_with(done, failed, live))
+    }
+
+    /// Renders a line unconditionally — the coordinator's final line
+    /// after the fleet has drained (`live` is then 0).
+    pub fn line(&mut self, live: usize) -> String {
+        self.line_with(self.total, 0, live)
+    }
+
+    fn line_with(&self, done: usize, failed: usize, live: usize) -> String {
+        let elapsed = self.epoch.elapsed().as_secs_f64();
+        let (rate, eta) = if elapsed > 0.0 && done > 0 {
+            let rate = done as f64 / elapsed;
+            let eta = if done < self.total {
+                format!("{:.1}s", (self.total - done) as f64 / rate)
+            } else {
+                "-".to_string()
+            };
+            (format!("{rate:.0}"), eta)
+        } else {
+            ("--".to_string(), "--".to_string())
+        };
+        let pct = if self.total > 0 {
+            100.0 * done as f64 / self.total as f64
+        } else {
+            100.0
+        };
+        format!(
+            "campaign {done}/{} ({pct:.0}%) | {live}/{} workers live | {rate} cells/s | \
+             ETA {eta} | {failed} failed",
+            self.total, self.workers
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_progress_first_tick_shows_dashes_and_throttles() {
+        let mut p = CampaignProgress::new(500, 3).with_min_interval(std::time::Duration::ZERO);
+        let line = p.update(0, 0, 3).expect("zero throttle always emits");
+        assert!(line.contains("campaign 0/500"), "{line}");
+        assert!(line.contains("3/3 workers live"), "{line}");
+        assert!(line.contains("-- cells/s"), "{line}");
+        assert!(line.contains("ETA --"), "{line}");
+        assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+
+        let mut throttled = CampaignProgress::new(500, 3);
+        assert!(throttled.update(0, 0, 3).is_some(), "first line is free");
+        assert!(
+            throttled.update(1, 0, 3).is_none(),
+            "second within 100 ms is suppressed"
+        );
+
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let line = p.update(250, 2, 2).expect("emits");
+        assert!(line.contains("campaign 250/500 (50%)"), "{line}");
+        assert!(line.contains("2/3 workers live"), "{line}");
+        assert!(line.contains("2 failed"), "{line}");
+        assert!(!line.contains("--"), "rate and ETA are live now: {line}");
+
+        let fin = p.line(0);
+        assert!(fin.contains("campaign 500/500 (100%)"), "{fin}");
+        assert!(fin.contains("0/3 workers live"), "{fin}");
+        assert!(fin.contains("ETA -"), "{fin}");
+    }
 
     #[test]
     fn worker_obs_folds_cells_into_histogram_and_trace() {

@@ -329,6 +329,7 @@ pub struct SweepSpec {
     batch: Option<usize>,
     sample_staging: bool,
     skip: BTreeSet<usize>,
+    shard: Option<crate::shard::ShardSpec>,
 }
 
 impl SweepSpec {
@@ -353,6 +354,7 @@ impl SweepSpec {
             batch: None,
             sample_staging: true,
             skip: BTreeSet::new(),
+            shard: None,
         }
     }
 
@@ -569,10 +571,28 @@ impl SweepSpec {
     /// materialises or executes them, and they do not appear on the
     /// event stream. This is the resume primitive —
     /// [`SweepSpec::resume_from`] feeds it the indices a persisted
-    /// [`SweepJournal`](crate::SweepJournal) already holds.
-    /// Out-of-range indices are ignored; repeated calls accumulate.
+    /// [`SweepJournal`](crate::SweepJournal) already holds — and the
+    /// substrate shard lowering builds on
+    /// ([`SweepSpec::shard`]). Duplicates (within one call or across
+    /// calls) collapse to one skip; repeated calls accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index. An index past the grid can only
+    /// mean the caller is skipping cells of a *different* grid — under
+    /// the old silently-ignore behavior a mis-paired journal would
+    /// quietly re-run nothing it should and skip nothing it shouldn't;
+    /// shard lowering needs the loud version.
     pub fn skip_cells(mut self, indices: impl IntoIterator<Item = usize>) -> Self {
-        self.skip.extend(indices);
+        let grid = self.cells();
+        for index in indices {
+            assert!(
+                index < grid,
+                "skip_cells index {index} is out of range for the {grid}-cell grid \
+                 — these skips belong to a different grid"
+            );
+            self.skip.insert(index);
+        }
         self
     }
 
@@ -581,6 +601,43 @@ impl SweepSpec {
     pub fn skipped_cells(&self) -> impl Iterator<Item = usize> + '_ {
         let grid = self.cells();
         self.skip.iter().copied().filter(move |&i| i < grid)
+    }
+
+    /// Restricts this spec to one shard of the grid: every cell the
+    /// [`ShardSpec`](crate::ShardSpec) does *not* own is added to the
+    /// skip set, and the shard's canonical label is stamped into the
+    /// journal header (next to the grid fingerprint) by
+    /// [`SweepJournal::create`](crate::SweepJournal::create).
+    ///
+    /// Sharding is pure scheduling: like the skip set it is **excluded
+    /// from [`SweepSpec::fingerprint`]**, so every shard journal of one
+    /// campaign carries the same fingerprint as the single-process run
+    /// the shards merge into ([`SweepJournal::merge`](crate::SweepJournal::merge)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard does not fit the grid
+    /// ([`ShardSpec::validate`](crate::ShardSpec::validate)) or when a
+    /// shard was already set — two shards compose to a silent subset of
+    /// both, which is never what a campaign means.
+    pub fn shard(mut self, shard: crate::shard::ShardSpec) -> Self {
+        assert!(
+            self.shard.is_none(),
+            "spec is already sharded ({}) — compose parts via WorkerAssignment, not nested shards",
+            self.shard.as_ref().expect("just checked")
+        );
+        let grid = self.cells();
+        if let Err(why) = shard.validate(grid) {
+            panic!("shard does not fit the grid: {why}");
+        }
+        let off_shard: Vec<usize> = (0..grid).filter(|&i| !shard.contains(i)).collect();
+        self.shard = Some(shard);
+        self.skip_cells(off_shard)
+    }
+
+    /// The shard this spec was restricted to, if any.
+    pub fn shard_spec(&self) -> Option<&crate::shard::ShardSpec> {
+        self.shard.as_ref()
     }
 
     /// A stable 64-bit fingerprint of everything that determines the

@@ -250,13 +250,29 @@ fn skip_cells_runs_exactly_the_complement() {
     assert_eq!(streamed, vec![1, 3], "only the complement, in order");
     assert_eq!(stats.skipped, 2);
     assert_eq!(stats.cells, 2);
-    // Out-of-range skips are ignored rather than wedging the grid —
-    // and filtered out of the `skipped_cells` view for the same reason.
-    let spec = small_spec().threads(1).skip_cells([99]);
-    assert_eq!(spec.skipped_cells().count(), 0);
+
+    // Duplicate skips — within one call and across calls — collapse to
+    // one skip; shard lowering relies on the dedupe.
+    let spec = small_spec()
+        .threads(1)
+        .skip_cells([0, 0, 2])
+        .skip_cells([2]);
+    assert_eq!(spec.skipped_cells().collect::<Vec<_>>(), vec![0, 2]);
     let stats = spec.run_streaming(|_| {}).expect("runs");
-    assert_eq!(stats.skipped, 0);
-    assert_eq!(stats.cells, 4);
+    assert_eq!(stats.skipped, 2, "duplicates dedupe, never double-count");
+    assert_eq!(stats.cells, 2);
+
+    // An out-of-range skip can only mean the indices belong to a
+    // different grid — a hard error, not a silent ignore (which would
+    // let a mis-paired journal resume into the wrong experiment).
+    let panic = std::panic::catch_unwind(|| small_spec().skip_cells([99]));
+    let payload = panic.expect_err("out-of-range skip panics");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(message.contains("out of range"), "{message}");
+    assert!(message.contains("99"), "{message}");
 }
 
 /// Resuming a journal that is already complete runs zero cells and

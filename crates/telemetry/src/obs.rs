@@ -451,6 +451,127 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Parses a snapshot back from its [`MetricsSnapshot::to_json`]
+    /// line — the worker side of a multi-process campaign writes the
+    /// JSON next to its shard journal, the coordinator reads it back
+    /// and [merges](MetricsSnapshot::merge).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let fields = json::parse_object(text)?;
+        let section = |key: &str| -> Result<&[(String, json::Value)], String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .ok_or_else(|| format!("missing section `{key}`"))?
+                .1
+                .as_object()
+                .ok_or_else(|| format!("section `{key}` must be an object"))
+        };
+        let mut counters = Vec::new();
+        for (name, v) in section("counters")? {
+            let n = match v.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) => n as u64,
+                _ => return Err(format!("counter `{name}` must be a non-negative integer")),
+            };
+            counters.push((name.clone(), n));
+        }
+        let mut gauges = Vec::new();
+        for (name, v) in section("gauges")? {
+            let g = match v {
+                json::Value::Num(x) => *x,
+                json::Value::Null => f64::NAN, // non-finite serialises as null
+                _ => return Err(format!("gauge `{name}` must be a number")),
+            };
+            gauges.push((name.clone(), g));
+        }
+        let mut histograms = Vec::new();
+        for (name, v) in section("histograms")? {
+            let h = v
+                .as_object()
+                .ok_or_else(|| format!("histogram `{name}` must be an object"))?;
+            let num = |key: &str| -> Result<f64, String> {
+                h.iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_f64())
+                    .ok_or_else(|| format!("histogram `{name}` missing numeric `{key}`"))
+            };
+            let count = |key: &str| -> Result<u64, String> {
+                let n = num(key)?;
+                if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
+                    Ok(n as u64)
+                } else {
+                    Err(format!("histogram `{name}` field `{key}` is not a count"))
+                }
+            };
+            histograms.push((
+                name.clone(),
+                HistogramSummary {
+                    count: count("count")?,
+                    mean: num("mean")?,
+                    p50: count("p50")?,
+                    p90: count("p90")?,
+                    p99: count("p99")?,
+                    max: count("max")?,
+                },
+            ));
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Folds another snapshot into this one — the campaign coordinator
+    /// assembling per-shard worker snapshots into one view. Counters
+    /// **add**. Gauges take the elementwise **maximum** (they are
+    /// point-in-time values; campaign-level rates should be recomputed
+    /// from the merged counters, and for the ratios the sweep emits —
+    /// utilization, occupancy — the max is the conservative bound).
+    /// Histogram *summaries* add counts and count-weight the means;
+    /// `p50`/`p90`/`p99`/`max` take the elementwise maximum, an upper
+    /// bound — exact quantile merging needs the buckets, which a
+    /// snapshot no longer has (merge at the
+    /// [`MetricsRegistry`] level when exactness matters). Names present
+    /// on only one side carry over; the result stays name-sorted.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn fold<T: Clone>(
+            ours: &mut Vec<(String, T)>,
+            theirs: &[(String, T)],
+            combine: impl Fn(&mut T, &T),
+        ) {
+            for (name, v) in theirs {
+                match ours.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, mine)) => combine(mine, v),
+                    None => ours.push((name.clone(), v.clone())),
+                }
+            }
+            ours.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        fold(&mut self.counters, &other.counters, |a, b| {
+            *a = a.saturating_add(*b);
+        });
+        fold(&mut self.gauges, &other.gauges, |a, b| {
+            // f64::max prefers the non-NaN operand, so a poisoned shard
+            // gauge never wipes out a measured one.
+            *a = a.max(*b);
+        });
+        fold(&mut self.histograms, &other.histograms, |a, b| {
+            let total = a.count + b.count;
+            if total > 0 {
+                a.mean = (a.mean * a.count as f64 + b.mean * b.count as f64) / total as f64;
+            }
+            a.count = total;
+            a.p50 = a.p50.max(b.p50);
+            a.p90 = a.p90.max(b.p90);
+            a.p99 = a.p99.max(b.p99);
+            a.max = a.max.max(b.max);
+        });
+    }
+
     /// A human-readable table. Histograms whose name ends in `_ns`
     /// render as durations; anything else (queue depths, steal sizes)
     /// as plain numbers.
@@ -880,26 +1001,32 @@ impl ProgressModel {
     }
 
     /// The current progress line, unthrottled.
+    ///
+    /// Until the model has both a non-zero elapsed time *and* at least
+    /// one completed cell there is no defensible throughput estimate,
+    /// so `cells/s` and `ETA` render as `--` — never `inf`, `NaN` or a
+    /// fake `0 cells/s` on the first tick.
     pub fn line(&self) -> String {
         let completed = self.completed();
         let elapsed = self.epoch.elapsed().as_secs_f64();
-        let rate = if elapsed > 0.0 {
-            completed as f64 / elapsed
-        } else {
-            0.0
-        };
         let pct = if self.total > 0 {
             100.0 * completed as f64 / self.total as f64
         } else {
             100.0
         };
-        let eta = if rate > 0.0 && completed < self.total {
-            format!("{:.1}s", (self.total - completed) as f64 / rate)
+        let (rate, eta) = if elapsed > 0.0 && completed > 0 {
+            let rate = completed as f64 / elapsed;
+            let eta = if completed < self.total {
+                format!("{:.1}s", (self.total - completed) as f64 / rate)
+            } else {
+                "-".to_string()
+            };
+            (format!("{rate:.0}"), eta)
         } else {
-            "-".to_string()
+            ("--".to_string(), "--".to_string())
         };
         format!(
-            "sweep {completed}/{} ({pct:.0}%) | {rate:.0} cells/s | ETA {eta} | \
+            "sweep {completed}/{} ({pct:.0}%) | {rate} cells/s | ETA {eta} | \
              {} failed | pareto {} | util {:.1}/{}",
             self.total,
             self.failed,
@@ -1099,6 +1226,79 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_json_round_trips_and_merge_folds_shards() {
+        let shard_a = MetricsSnapshot {
+            counters: vec![("sweep.cells".into(), 170), ("journal.records".into(), 170)],
+            gauges: vec![
+                ("sweep.wall_s".into(), 1.5),
+                ("worker.00.utilization".into(), 0.9),
+            ],
+            histograms: vec![(
+                "cell.wall_ns".into(),
+                HistogramSummary {
+                    count: 170,
+                    mean: 1000.0,
+                    p50: 900,
+                    p90: 1800,
+                    p99: 2200,
+                    max: 2400,
+                },
+            )],
+        };
+        // to_json → from_json is the identity.
+        let back = MetricsSnapshot::from_json(&shard_a.to_json()).expect("parses");
+        assert_eq!(back, shard_a);
+
+        // Merging a second shard: counters add, gauges take the max,
+        // histogram counts add with a count-weighted mean.
+        let mut merged = shard_a.clone();
+        merged.merge(&MetricsSnapshot {
+            counters: vec![("sweep.cells".into(), 330), ("extra".into(), 1)],
+            gauges: vec![("sweep.wall_s".into(), 2.5)],
+            histograms: vec![(
+                "cell.wall_ns".into(),
+                HistogramSummary {
+                    count: 330,
+                    mean: 2000.0,
+                    p50: 1900,
+                    p90: 2800,
+                    p99: 3200,
+                    max: 3400,
+                },
+            )],
+        });
+        assert_eq!(merged.counter("sweep.cells"), Some(500));
+        assert_eq!(
+            merged.counter("journal.records"),
+            Some(170),
+            "one-sided carries over"
+        );
+        assert_eq!(merged.counter("extra"), Some(1));
+        assert_eq!(
+            merged.gauge("sweep.wall_s"),
+            Some(2.5),
+            "gauges take the max"
+        );
+        let h = merged.histogram("cell.wall_ns").expect("merged");
+        assert_eq!(h.count, 500);
+        assert!((h.mean - (170.0 * 1000.0 + 330.0 * 2000.0) / 500.0).abs() < 1e-9);
+        assert_eq!(h.max, 3400);
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["extra", "journal.records", "sweep.cells"],
+            "name-sorted"
+        );
+
+        // Malformed inputs are loud.
+        assert!(MetricsSnapshot::from_json("{}").is_err());
+        assert!(MetricsSnapshot::from_json(
+            "{\"counters\":{\"c\":-1},\"gauges\":{},\"histograms\":{}}"
+        )
+        .is_err());
+    }
+
+    #[test]
     fn progress_line_carries_counts_failures_and_pareto() {
         let mut p = ProgressModel::new(10, 4).with_min_interval(Duration::ZERO);
         for _ in 0..3 {
@@ -1113,6 +1313,35 @@ mod tests {
         assert!(line.contains("pareto 2"), "{line}");
         assert!(line.contains("/4"), "{line}");
         assert!(p.poll().is_some(), "zero interval always emits");
+    }
+
+    #[test]
+    fn progress_first_tick_renders_dashes_never_inf_or_nan() {
+        // A line polled before any cell completes (elapsed ≈ 0 and
+        // done == 0) has no defensible rate: it must say `--`, not
+        // `inf`, `NaN` or a fake `0 cells/s`.
+        let p = ProgressModel::new(10, 2);
+        let line = p.line();
+        assert!(line.contains("0/10"), "{line}");
+        assert!(line.contains("-- cells/s"), "{line}");
+        assert!(line.contains("ETA --"), "{line}");
+        assert!(!line.contains("inf"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
+
+        // Total 0 with nothing done: still dashes, and a sane percent.
+        let empty = ProgressModel::new(0, 1);
+        let line = empty.line();
+        assert!(line.contains("-- cells/s"), "{line}");
+        assert!(line.contains("(100%)"), "{line}");
+
+        // Once a cell lands the real rate/ETA appear.
+        let mut p = ProgressModel::new(10, 2);
+        p.started();
+        std::thread::sleep(Duration::from_millis(2));
+        p.finished(false);
+        let line = p.line();
+        assert!(!line.contains("--"), "rate and ETA are live: {line}");
+        assert!(line.contains("ETA"), "{line}");
     }
 
     #[test]
